@@ -1,0 +1,28 @@
+//! Figure 11: the iWARP-style TCP stack vs IRN (and IRN+AIMD, which the
+//! paper shows beating iWARP outright).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::bench_cell;
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use std::hint::black_box;
+
+const FLOWS: usize = 120;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("iwarp_tcp", |b| {
+        b.iter(|| black_box(bench_cell(FLOWS, TransportKind::IwarpTcp, false, CcKind::None)))
+    });
+    g.bench_function("irn", |b| {
+        b.iter(|| black_box(bench_cell(FLOWS, TransportKind::Irn, false, CcKind::None)))
+    });
+    g.bench_function("irn_aimd", |b| {
+        b.iter(|| black_box(bench_cell(FLOWS, TransportKind::Irn, false, CcKind::Aimd)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

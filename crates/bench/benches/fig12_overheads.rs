@@ -1,0 +1,34 @@
+//! Figure 12: IRN with worst-case implementation overheads — +16 B RETH
+//! on every packet and a 2 µs PCIe fetch before each retransmission
+//! (§6.3) — against plain IRN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::{bench_cell, bench_cfg};
+use irn_core::sim::Duration;
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use std::hint::black_box;
+
+const FLOWS: usize = 120;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("irn_no_overheads", |b| {
+        b.iter(|| black_box(bench_cell(FLOWS, TransportKind::Irn, false, CcKind::None)))
+    });
+    g.bench_function("irn_worst_case", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FLOWS)
+                .with_transport(TransportKind::Irn)
+                .with_pfc(false);
+            cfg.extra_header = 16;
+            cfg.retx_fetch_delay = Duration::micros(2);
+            black_box(irn_core::run(cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

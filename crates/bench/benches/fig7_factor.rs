@@ -1,0 +1,28 @@
+//! Figure 7: factor analysis — full IRN vs go-back-N vs no-BDP-FC.
+//! Each ablation is a config flag on the same simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::bench_cell;
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use std::hint::black_box;
+
+const FLOWS: usize = 120;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for (name, t) in [
+        ("irn", TransportKind::Irn),
+        ("irn_go_back_n", TransportKind::IrnGoBackN),
+        ("irn_no_bdp_fc", TransportKind::IrnNoBdpFc),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(bench_cell(FLOWS, t, false, CcKind::None)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 9: incast request completion — M senders stripe one response
+//! to a single destination (PFC's best case, §4.4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::bench_cfg;
+use irn_core::transport::config::TransportKind;
+use irn_core::Workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_incast");
+    g.sample_size(10);
+    for m in [4usize, 8] {
+        let wl = Workload::Incast {
+            m,
+            total_bytes: 4_000_000,
+        };
+        g.bench_function(format!("irn_m{m}"), |b| {
+            b.iter(|| {
+                black_box(irn_core::run(
+                    bench_cfg(m)
+                        .with_workload(wl.clone())
+                        .with_transport(TransportKind::Irn)
+                        .with_pfc(false),
+                ))
+            })
+        });
+        g.bench_function(format!("roce_pfc_m{m}"), |b| {
+            b.iter(|| {
+                black_box(irn_core::run(
+                    bench_cfg(m)
+                        .with_workload(wl.clone())
+                        .with_transport(TransportKind::Roce)
+                        .with_pfc(true),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figures 2/3/5/6: the PFC on/off matrix for both transports, bare and
+//! under congestion control — the cells behind "IRN does not require
+//! PFC" and "RoCE requires PFC".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::bench_cell;
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use std::hint::black_box;
+
+const FLOWS: usize = 120;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pfc_matrix");
+    g.sample_size(10);
+    let cells: [(&str, TransportKind, bool, CcKind); 6] = [
+        ("fig2_irn_with_pfc", TransportKind::Irn, true, CcKind::None),
+        ("fig3_roce_no_pfc", TransportKind::Roce, false, CcKind::None),
+        ("fig5_irn_pfc_timely", TransportKind::Irn, true, CcKind::Timely),
+        ("fig5_irn_pfc_dcqcn", TransportKind::Irn, true, CcKind::Dcqcn),
+        ("fig6_roce_no_pfc_timely", TransportKind::Roce, false, CcKind::Timely),
+        ("fig6_roce_no_pfc_dcqcn", TransportKind::Roce, false, CcKind::Dcqcn),
+    ];
+    for (name, t, pfc, cc) in cells {
+        g.bench_function(name, |b| b.iter(|| black_box(bench_cell(FLOWS, t, pfc, cc))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Table 2: the four NIC packet-processing modules (§6.2).
+//!
+//! The paper synthesizes `receiveData`, `txFree`, `receiveAck` and
+//! `timeout` on a Kintex Ultrascale FPGA (worst-case latency 6.3-16.5 ns,
+//! throughput 45-318 Mpps). This bench times the same module interfaces
+//! — identical bitmap algorithms over 128-bit BDP-sized ring buffers —
+//! on the CPU. The expected *ordering* matches the paper: `timeout` is
+//! trivial; `receiveData` does the most bitmap work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_rdma::modules::{self, QpContext, ReceiverMode};
+use std::hint::black_box;
+
+fn bench_receive_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/receiveData");
+    // In-order arrivals: the fast path (find-first-zero hits bit 0).
+    g.bench_function("in_order", |b| {
+        let mut ctx = QpContext::new(128);
+        let mut psn = 0u32;
+        b.iter(|| {
+            let out = modules::receive_data(&mut ctx, black_box(psn), false, ReceiverMode::Irn);
+            psn += 1;
+            if psn > 1_000_000 {
+                ctx = QpContext::new(128);
+                psn = 0;
+            }
+            black_box(out)
+        });
+    });
+    // Out-of-order arrivals: bitmap set + NACK generation.
+    g.bench_function("out_of_order", |b| {
+        let mut ctx = QpContext::new(128);
+        let mut off = 1u32;
+        b.iter(|| {
+            let psn = ctx.expected_seq + off;
+            let out = modules::receive_data(&mut ctx, black_box(psn), false, ReceiverMode::Irn);
+            off = off % 100 + 1;
+            if ctx.recv.out_of_order_count() > 100 {
+                ctx = QpContext::new(128);
+            }
+            black_box(out)
+        });
+    });
+    // Hole-filling: window slide with popcount (the §6.2 worst case).
+    g.bench_function("fill_hole_slide", |b| {
+        b.iter_batched(
+            || {
+                let mut ctx = QpContext::new(128);
+                for i in 1..64 {
+                    modules::receive_data(&mut ctx, i, i % 7 == 0, ReceiverMode::Irn);
+                }
+                ctx
+            },
+            |mut ctx| {
+                black_box(modules::receive_data(&mut ctx, 0, false, ReceiverMode::Irn));
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_tx_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/txFree");
+    g.bench_function("send_new", |b| {
+        let mut ctx = QpContext::new(128);
+        b.iter(|| {
+            let out = modules::tx_free(&mut ctx, true);
+            if ctx.next_to_send > 1_000_000 {
+                ctx = QpContext::new(128);
+            }
+            black_box(out)
+        });
+    });
+    // Look-ahead over a SACK bitmap with scattered holes (§6.2: "during
+    // loss-recovery it also performs a look ahead").
+    g.bench_function("recovery_lookahead", |b| {
+        b.iter_batched(
+            || {
+                let mut ctx = QpContext::new(128);
+                for _ in 0..110 {
+                    modules::tx_free(&mut ctx, true);
+                }
+                for s in [3u32, 9, 15, 40, 77, 100] {
+                    modules::receive_ack(&mut ctx, 0, Some(s), true);
+                }
+                ctx
+            },
+            |mut ctx| {
+                while let modules::TxFreeOut::Retransmit { psn } = modules::tx_free(&mut ctx, false)
+                {
+                    black_box(psn);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_receive_ack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/receiveAck");
+    g.bench_function("cumulative", |b| {
+        let mut ctx = QpContext::new(128);
+        ctx.next_to_send = u32::MAX / 2;
+        let mut cum = 0u32;
+        b.iter(|| {
+            cum += 1;
+            black_box(modules::receive_ack(&mut ctx, black_box(cum), None, false));
+            if cum > 1_000_000 {
+                ctx = QpContext::new(128);
+                ctx.next_to_send = u32::MAX / 2;
+                cum = 0;
+            }
+        });
+    });
+    g.bench_function("sack_update", |b| {
+        let mut ctx = QpContext::new(128);
+        ctx.next_to_send = 128;
+        let mut s = 1u32;
+        b.iter(|| {
+            black_box(modules::receive_ack(&mut ctx, 0, Some(black_box(s)), true));
+            s = s % 120 + 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_timeout(c: &mut Criterion) {
+    c.bench_function("table2/timeout", |b| {
+        let mut ctx = QpContext::new(128);
+        ctx.next_to_send = 100;
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            ctx.rto_low_armed = flip;
+            ctx.in_recovery = false;
+            black_box(modules::timeout(&mut ctx, 3))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_receive_data, bench_tx_free, bench_receive_ack, bench_timeout
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Tables 3-9: one representative cell from each robustness sweep —
+//! load (Table 3), bandwidth (Table 4), topology (Table 5), workload
+//! (Table 6), buffer (Table 7), RTO_high (Table 8), N (Table 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::bench_cfg;
+use irn_core::net::Bandwidth;
+use irn_core::sim::Duration;
+use irn_core::transport::config::TransportKind;
+use irn_core::workload::SizeDistribution;
+use irn_core::{TopologySpec, Workload};
+use std::hint::black_box;
+
+const FLOWS: usize = 120;
+
+fn run(cfg: irn_core::ExperimentConfig) -> irn_core::RunResult {
+    irn_core::run(cfg.with_transport(TransportKind::Irn).with_pfc(false))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table3_load90", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FLOWS);
+            cfg.workload = Workload::Poisson {
+                load: 0.9,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: FLOWS,
+            };
+            black_box(run(cfg))
+        })
+    });
+    g.bench_function("table4_bw10g", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FLOWS);
+            cfg.bandwidth = Bandwidth::from_gbps(10);
+            cfg.buffer_bytes = 60_000; // 2x the 10G BDP
+            black_box(run(cfg))
+        })
+    });
+    g.bench_function("table5_k6", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FLOWS);
+            cfg.topology = TopologySpec::FatTree(6);
+            black_box(run(cfg))
+        })
+    });
+    g.bench_function("table6_uniform", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(30);
+            cfg.workload = Workload::Poisson {
+                load: 0.7,
+                sizes: SizeDistribution::Uniform500KbTo5Mb,
+                flow_count: 30,
+            };
+            black_box(run(cfg))
+        })
+    });
+    g.bench_function("table7_buffer60k", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FLOWS);
+            cfg.buffer_bytes = 60_000;
+            black_box(run(cfg))
+        })
+    });
+    g.bench_function("table8_rto1280us", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FLOWS);
+            cfg.rto_high = Some(Duration::micros(1280));
+            black_box(run(cfg))
+        })
+    });
+    g.bench_function("table9_n15", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FLOWS);
+            cfg.rto_low_n = 15;
+            black_box(run(cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! # irn-bench — Criterion benchmarks for every paper artifact
+//!
+//! One bench target per table/figure family (see `benches/`). Network
+//! benches run CI-scale configurations (k=4 fat-tree, tens-to-hundreds
+//! of flows) through the same `irn-core` API the `repro` binary uses at
+//! paper scale; module benches (`table2_modules`) time the exact
+//! `irn-rdma` packet-processing functions the paper synthesizes on an
+//! FPGA.
+
+#![forbid(unsafe_code)]
+
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use irn_core::workload::SizeDistribution;
+use irn_core::{ExperimentConfig, RunResult, TopologySpec, Workload};
+
+/// Bench-scale base configuration: k=4 fat-tree, light flow count so a
+/// single run is a few milliseconds.
+pub fn bench_cfg(flows: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologySpec::FatTree(4),
+        workload: Workload::Poisson {
+            load: 0.7,
+            sizes: SizeDistribution::HeavyTailed,
+            flow_count: flows,
+        },
+        ..ExperimentConfig::paper_default(flows)
+    }
+}
+
+/// Run one (transport, pfc, cc) cell at bench scale.
+pub fn bench_cell(flows: usize, t: TransportKind, pfc: bool, cc: CcKind) -> RunResult {
+    irn_core::run(bench_cfg(flows).with_transport(t).with_pfc(pfc).with_cc(cc))
+}

@@ -1,0 +1,440 @@
+//! The simulation engine: fabric + transports + workload + metrics under
+//! one deterministic event loop.
+//!
+//! The loop owns a single [`EventQueue`] over [`Event`]; every subsystem
+//! is a passive state machine (the smoltcp idiom): the fabric consumes
+//! [`FabricEvent`]s and reports deliveries, senders/receivers are polled
+//! and fed packets, and timers flow through generation-validated events.
+//! Nothing blocks, nothing is hidden — a run is a pure function of its
+//! [`ExperimentConfig`].
+
+use irn_metrics::{ideal_fct, FlowRecord, MetricsCollector};
+use irn_net::{Fabric, FabricEvent, FabricOutput, FlowId, HostId, Packet, PacketKind};
+use irn_sim::{EventQueue, Time, TimerSlot};
+use irn_transport::config::TransportKind;
+use irn_transport::tcp::{TcpReceiver, TcpSender};
+use irn_transport::{HostNic, NicPoll, ReceiverQp, SenderPoll, SenderQp};
+use irn_workload::{incast, FlowSpec, WorkloadSpec};
+
+use crate::config::{ExperimentConfig, Workload};
+use crate::result::{RunResult, TransportTotals};
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// Network-internal event (arrivals, transmit completions, PFC).
+    Fabric(FabricEvent),
+    /// Flow `i` begins.
+    FlowArrival(u32),
+    /// A sender's retransmission timer expires.
+    QpTimer {
+        /// Flow index.
+        flow: u32,
+        /// Generation token (stale expiries are ignored).
+        generation: u64,
+    },
+    /// A host NIC's pacing wake-up.
+    NicWake {
+        /// Host index.
+        host: u32,
+        /// Generation token.
+        generation: u64,
+    },
+}
+
+/// Sender variants (RDMA transports vs the iWARP TCP stack).
+enum FlowSender {
+    Rdma(SenderQp),
+    Tcp(TcpSender),
+}
+
+enum FlowReceiver {
+    Rdma(ReceiverQp),
+    Tcp(TcpReceiver),
+}
+
+/// One experiment in flight.
+pub struct Simulation {
+    cfg: ExperimentConfig,
+    queue: EventQueue<Event>,
+    fabric: Fabric,
+    flows: Vec<FlowSpec>,
+    /// Index of the first incast flow, when the workload has one.
+    incast_from: Option<usize>,
+    senders: Vec<Option<FlowSender>>,
+    receivers: Vec<Option<FlowReceiver>>,
+    nics: Vec<HostNic>,
+    nic_wake: Vec<TimerSlot>,
+    metrics: MetricsCollector,
+    incast_metrics: MetricsCollector,
+    totals: TransportTotals,
+    completed: usize,
+    finished_at: Time,
+}
+
+impl Simulation {
+    /// Build the simulation for `cfg` (generates the workload).
+    pub fn new(cfg: ExperimentConfig) -> Simulation {
+        let topo = cfg.topology.build();
+        let fabric = Fabric::new(&topo, cfg.fabric_config());
+        let hosts = fabric.hosts();
+
+        let (flows, incast_from) = build_flows(&cfg, hosts);
+        assert!(!flows.is_empty(), "workload generated no flows");
+        let n = flows.len();
+
+        Simulation {
+            queue: EventQueue::with_capacity(4096),
+            fabric,
+            flows,
+            incast_from,
+            senders: (0..n).map(|_| None).collect(),
+            receivers: (0..n).map(|_| None).collect(),
+            nics: (0..hosts).map(|_| HostNic::new()).collect(),
+            nic_wake: vec![TimerSlot::new(); hosts],
+            metrics: MetricsCollector::new(),
+            incast_metrics: MetricsCollector::new(),
+            totals: TransportTotals::default(),
+            completed: 0,
+            finished_at: Time::ZERO,
+            cfg,
+        }
+    }
+
+    /// Run to completion (all flows delivered) and report.
+    pub fn run(mut self) -> RunResult {
+        // Schedule every arrival up front: the flow list is not
+        // necessarily sorted (incast bursts are appended after their
+        // cross-traffic), and the heap handles the ordering.
+        for (i, f) in self.flows.iter().enumerate() {
+            self.queue.push(f.at, Event::FlowArrival(i as u32));
+        }
+
+        let mut events: u64 = 0;
+        while let Some((now, ev)) = self.queue.pop() {
+            events += 1;
+            assert!(
+                events <= self.cfg.max_events,
+                "event budget exceeded at {now} with {}/{} flows complete — livelock?",
+                self.completed,
+                self.flows.len()
+            );
+            match ev {
+                Event::FlowArrival(i) => self.on_flow_arrival(now, i as usize),
+                Event::Fabric(fe) => self.on_fabric(now, fe),
+                Event::QpTimer { flow, generation } => self.on_qp_timer(now, flow, generation),
+                Event::NicWake { host, generation } => {
+                    if self.nic_wake[host as usize].fires(generation) {
+                        self.try_send(now, HostId(host));
+                    }
+                }
+            }
+            if self.completed == self.flows.len() {
+                break;
+            }
+        }
+        assert_eq!(
+            self.completed,
+            self.flows.len(),
+            "simulation deadlocked: {}/{} flows completed (no events left)",
+            self.completed,
+            self.flows.len()
+        );
+
+        // Sweep stats from any sender still alive (receiver finished
+        // before the sender saw its final ack).
+        for s in self.senders.iter().flatten() {
+            accumulate(&mut self.totals, s);
+        }
+
+        let (primary, incast_metrics) = match self.incast_from {
+            None => (self.metrics, None),
+            // Pure incast: the incast population is also the primary one.
+            Some(0) => (self.incast_metrics.clone(), Some(self.incast_metrics)),
+            Some(_) => (self.metrics, Some(self.incast_metrics)),
+        };
+
+        RunResult {
+            summary: primary.summary(),
+            metrics: primary,
+            incast_metrics,
+            fabric: self.fabric.stats(),
+            transport: self.totals,
+            events,
+            finished_at: self.finished_at,
+        }
+    }
+
+    fn on_flow_arrival(&mut self, now: Time, i: usize) {
+        let spec = self.flows[i];
+        debug_assert_eq!(spec.at, now);
+        let diameter = self.fabric.diameter_hops();
+        let tcfg = self.cfg.transport_config(diameter);
+        let flow = FlowId(i as u32);
+        let (src, dst) = (HostId(spec.src), HostId(spec.dst));
+
+        let (snd, rcv) = if self.cfg.transport == TransportKind::IwarpTcp {
+            let s = TcpSender::new(tcfg.clone(), flow, src, dst, spec.bytes);
+            let r = TcpReceiver::new(&tcfg, flow, src, dst, s.total_packets());
+            (FlowSender::Tcp(s), FlowReceiver::Tcp(r))
+        } else {
+            let s = SenderQp::new(tcfg.clone(), flow, src, dst, spec.bytes, self.cfg.cc, now);
+            let r = ReceiverQp::new(&tcfg, flow, src, dst, s.total_packets(), self.cfg.cc);
+            (FlowSender::Rdma(s), FlowReceiver::Rdma(r))
+        };
+        self.senders[i] = Some(snd);
+        self.receivers[i] = Some(rcv);
+        self.nics[spec.src as usize].register(flow);
+        self.try_send(now, src);
+    }
+
+    fn on_fabric(&mut self, now: Time, fe: FabricEvent) {
+        let (fabric, queue) = (&mut self.fabric, &mut self.queue);
+        let out = fabric.handle(now, fe, &mut |t, e| queue.push(t, Event::Fabric(e)));
+        match out {
+            None => {}
+            Some(FabricOutput::HostTxReady { host }) => self.try_send(now, host),
+            Some(FabricOutput::Deliver { host, pkt }) => self.on_deliver(now, host, pkt),
+        }
+    }
+
+    fn on_deliver(&mut self, now: Time, host: HostId, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Data => {
+                let idx = pkt.flow.idx();
+                let completed = match self.receivers[idx]
+                    .as_mut()
+                    .expect("data for a flow that never started")
+                {
+                    FlowReceiver::Rdma(r) => {
+                        let out = r.on_data(now, &pkt);
+                        if let Some(ack) = out.ack {
+                            self.nics[host.idx()].push_control(ack);
+                        }
+                        if let Some(cnp) = out.cnp {
+                            self.nics[host.idx()].push_control(cnp);
+                        }
+                        out.completed
+                    }
+                    FlowReceiver::Tcp(r) => {
+                        let (ack, completed) = r.on_data(now, &pkt);
+                        self.nics[host.idx()].push_control(ack);
+                        completed
+                    }
+                };
+                if completed {
+                    self.record_completion(now, idx);
+                }
+                self.try_send(now, host);
+            }
+            PacketKind::Ack | PacketKind::Nack => {
+                let idx = pkt.flow.idx();
+                if let Some(sender) = self.senders[idx].as_mut() {
+                    let done = match sender {
+                        FlowSender::Rdma(s) => s.on_ack_packet(now, &pkt),
+                        FlowSender::Tcp(s) => s.on_ack_packet(now, &pkt),
+                    };
+                    self.drain_timer(idx);
+                    if done {
+                        let s = self.senders[idx].take().unwrap();
+                        accumulate(&mut self.totals, &s);
+                    }
+                }
+                self.try_send(now, host);
+            }
+            PacketKind::Cnp => {
+                let idx = pkt.flow.idx();
+                if let Some(FlowSender::Rdma(s)) = self.senders[idx].as_mut() {
+                    s.on_cnp(now);
+                }
+                // Rate drop needs no immediate send attempt.
+            }
+        }
+    }
+
+    fn on_qp_timer(&mut self, now: Time, flow: u32, generation: u64) {
+        let idx = flow as usize;
+        let Some(sender) = self.senders[idx].as_mut() else {
+            return; // flow finished; stale timer
+        };
+        let fired = match sender {
+            FlowSender::Rdma(s) => s.on_timer(now, generation),
+            FlowSender::Tcp(s) => s.on_timer(now, generation),
+        };
+        if fired {
+            self.drain_timer(idx);
+            let src = HostId(self.flows[idx].src);
+            self.try_send(now, src);
+        }
+    }
+
+    /// Schedule any timer-arm request the sender produced.
+    fn drain_timer(&mut self, idx: usize) {
+        let Some(sender) = self.senders[idx].as_mut() else {
+            return;
+        };
+        let req = match sender {
+            FlowSender::Rdma(s) => s.take_timer_request(),
+            FlowSender::Tcp(s) => s.take_timer_request(),
+        };
+        if let Some(op) = req {
+            self.queue.push(
+                op.deadline,
+                Event::QpTimer {
+                    flow: idx as u32,
+                    generation: op.generation,
+                },
+            );
+        }
+    }
+
+    /// Keep feeding the host's uplink while it is idle and traffic is
+    /// ready; otherwise schedule the earliest pacing wake-up.
+    fn try_send(&mut self, now: Time, host: HostId) {
+        loop {
+            if !self.fabric.host_tx_idle(host) {
+                return;
+            }
+            let (nics, senders) = (&mut self.nics, &mut self.senders);
+            let poll = nics[host.idx()].poll(now, |flow, t| {
+                match senders[flow.idx()].as_mut() {
+                    Some(FlowSender::Rdma(s)) => s.poll(t),
+                    Some(FlowSender::Tcp(s)) => s.poll(t),
+                    None => SenderPoll::Done,
+                }
+            });
+            match poll {
+                NicPoll::Packet(pkt) => {
+                    let flow_idx = pkt.flow.idx();
+                    let (fabric, queue) = (&mut self.fabric, &mut self.queue);
+                    fabric.host_start_tx(now, host, pkt, &mut |t, e| {
+                        queue.push(t, Event::Fabric(e))
+                    });
+                    // The sender may have armed its timer in poll().
+                    self.drain_timer(flow_idx);
+                }
+                NicPoll::Wait(t) => {
+                    self.schedule_wake(host, t.max(now));
+                    return;
+                }
+                NicPoll::Idle => return,
+            }
+        }
+    }
+
+    /// Deduplicated NIC wake-up scheduling: keep only the earliest.
+    fn schedule_wake(&mut self, host: HostId, at: Time) {
+        let slot = &mut self.nic_wake[host.idx()];
+        let better = slot.deadline().is_none_or(|d| at < d);
+        if better {
+            let generation = slot.arm(at);
+            self.queue.push(
+                at,
+                Event::NicWake {
+                    host: host.0,
+                    generation,
+                },
+            );
+        }
+    }
+
+    fn record_completion(&mut self, now: Time, idx: usize) {
+        let spec = self.flows[idx];
+        let hops = self.fabric.path_hops(HostId(spec.src), HostId(spec.dst));
+        let header = 48 + self.cfg.extra_header as u64;
+        let packets = spec.bytes.max(1).div_ceil(self.cfg.mtu as u64);
+        let wire_total = spec.bytes + packets * header;
+        let one_pkt = (self.cfg.mtu as u64 + header).min(wire_total);
+        let ideal = ideal_fct(
+            wire_total,
+            one_pkt,
+            hops,
+            self.cfg.bandwidth.as_bps_f64(),
+            self.cfg.prop_delay,
+        );
+        let record = FlowRecord {
+            flow: idx as u32,
+            bytes: spec.bytes,
+            packets: packets as u32,
+            start: spec.at,
+            finish: now,
+            ideal,
+        };
+        match self.incast_from {
+            Some(boundary) if idx >= boundary => self.incast_metrics.record(record),
+            _ => self.metrics.record(record),
+        }
+        self.completed += 1;
+        self.finished_at = self.finished_at.max(now);
+    }
+}
+
+fn accumulate(t: &mut TransportTotals, s: &FlowSender) {
+    match s {
+        FlowSender::Rdma(s) => {
+            t.sent += s.stats.sent;
+            t.retransmitted += s.stats.retransmitted;
+            t.nacks += s.stats.nacks;
+            t.timeouts += s.stats.timeouts;
+            t.cnps += s.stats.cnps;
+        }
+        FlowSender::Tcp(s) => {
+            t.sent += s.stats.sent;
+            t.retransmitted += s.stats.fast_retransmits;
+            t.timeouts += s.stats.timeouts;
+        }
+    }
+}
+
+/// Materialize the workload into a sorted flow list; returns the index
+/// of the first incast flow when there is one.
+fn build_flows(cfg: &ExperimentConfig, hosts: usize) -> (Vec<FlowSpec>, Option<usize>) {
+    match &cfg.workload {
+        Workload::Poisson {
+            load,
+            sizes,
+            flow_count,
+        } => {
+            let spec = WorkloadSpec {
+                hosts,
+                load: *load,
+                line_rate_bps: cfg.bandwidth.as_bps_f64(),
+                sizes: *sizes,
+                flow_count: *flow_count,
+                seed: cfg.seed,
+            };
+            (spec.generate(), None)
+        }
+        Workload::Incast { m, total_bytes } => {
+            let flows = incast(hosts, *m, 0, *total_bytes, Time::ZERO, cfg.seed);
+            (flows, Some(0))
+        }
+        Workload::IncastWithCross {
+            m,
+            total_bytes,
+            load,
+            sizes,
+            flow_count,
+        } => {
+            let spec = WorkloadSpec {
+                hosts,
+                load: *load,
+                line_rate_bps: cfg.bandwidth.as_bps_f64(),
+                sizes: *sizes,
+                flow_count: *flow_count,
+                seed: cfg.seed,
+            };
+            let mut flows = spec.generate();
+            let boundary = flows.len();
+            // The incast fires mid-workload so cross-traffic is warm.
+            let mid = flows[boundary / 2].at;
+            let mut burst = incast(hosts, *m, 0, *total_bytes, mid, cfg.seed ^ 0x1CA57);
+            flows.append(&mut burst);
+            // Incast flows stay appended (the engine schedules every
+            // arrival up front, so ordering in the list is irrelevant);
+            // the boundary index separates the two metric populations.
+            (flows, Some(boundary))
+        }
+        Workload::Explicit(flows) => (flows.clone(), None),
+    }
+}

@@ -1,0 +1,214 @@
+//! # irn-core — the public face of the IRN reproduction
+//!
+//! This crate assembles the workspace into the system the paper
+//! evaluates: a packet-level simulation of RDMA transports (RoCE's
+//! go-back-N, IRN's selective repeat + BDP-FC, an iWARP-style TCP
+//! stack) over a PFC-capable fat-tree fabric, driven by the §4.1
+//! workloads and measured with the §4.1 metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use irn_core::{ExperimentConfig, Simulation, TopologySpec, Workload};
+//! use irn_core::transport::TransportKind;
+//! use irn_workload::SizeDistribution;
+//!
+//! // A small IRN-without-PFC run on a 16-host fat-tree.
+//! let cfg = ExperimentConfig::quick(200)
+//!     .with_transport(TransportKind::Irn)
+//!     .with_pfc(false);
+//! let result = Simulation::new(cfg).run();
+//! assert!(result.summary.avg_slowdown >= 1.0);
+//! println!(
+//!     "IRN: slowdown {:.2}, avg FCT {}, p99 FCT {}",
+//!     result.summary.avg_slowdown, result.summary.avg_fct, result.summary.p99_fct
+//! );
+//! ```
+//!
+//! The experiment harness (`irn-experiments`) builds every figure and
+//! table of the paper from exactly this API; nothing in the harness
+//! touches simulator internals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod result;
+
+pub use config::{ExperimentConfig, TopologySpec, Workload};
+pub use engine::Simulation;
+pub use result::{RunResult, TransportTotals};
+
+// Re-export the sub-crates under stable names so downstream users (and
+// the examples) need only one dependency.
+pub use irn_metrics as metrics;
+pub use irn_net as net;
+pub use irn_rdma as rdma;
+pub use irn_sim as sim;
+pub use irn_transport as transport;
+pub use irn_workload as workload;
+
+/// Crate-level convenience: run one experiment.
+pub fn run(cfg: ExperimentConfig) -> RunResult {
+    Simulation::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irn_sim::Duration;
+    use irn_transport::cc::CcKind;
+    use irn_transport::config::TransportKind;
+    use irn_workload::{FlowSpec, SizeDistribution};
+    use sim::Time;
+
+    /// One flow across a single switch: completion math should be exact.
+    #[test]
+    fn one_flow_completes_with_sane_fct() {
+        let cfg = ExperimentConfig {
+            topology: TopologySpec::SingleSwitch(2),
+            workload: Workload::Explicit(vec![FlowSpec {
+                src: 0,
+                dst: 1,
+                bytes: 100_000,
+                at: Time::ZERO,
+            }]),
+            ..ExperimentConfig::paper_default(1)
+        };
+        let r = run(cfg);
+        assert_eq!(r.summary.flows, 1);
+        // 100 packets of 1048 B at 40 Gbps ≈ 21 µs + 2 hops × 2 µs.
+        let fct = r.summary.avg_fct;
+        assert!(
+            (Duration::micros(24)..Duration::micros(32)).contains(&fct),
+            "unloaded FCT should be ≈25-26 µs, got {fct}"
+        );
+        assert!(r.summary.avg_slowdown >= 1.0 && r.summary.avg_slowdown < 1.2);
+        assert_eq!(r.fabric.buffer_drops, 0);
+        assert_eq!(r.transport.retransmitted, 0);
+    }
+
+    /// Every transport preset must complete a small workload.
+    #[test]
+    fn all_transports_complete() {
+        for transport in [
+            TransportKind::Irn,
+            TransportKind::Roce,
+            TransportKind::IrnGoBackN,
+            TransportKind::IrnNoBdpFc,
+            TransportKind::IwarpTcp,
+        ] {
+            for pfc in [false, true] {
+                let cfg = ExperimentConfig {
+                    topology: TopologySpec::SingleSwitch(4),
+                    workload: Workload::Poisson {
+                        load: 0.5,
+                        sizes: SizeDistribution::HeavyTailed,
+                        flow_count: 60,
+                    },
+                    ..ExperimentConfig::paper_default(60)
+                }
+                .with_transport(transport)
+                .with_pfc(pfc);
+                let r = run(cfg);
+                assert_eq!(
+                    r.summary.flows, 60,
+                    "{transport:?} pfc={pfc} must complete all flows"
+                );
+            }
+        }
+    }
+
+    /// Every congestion-control scheme must complete a small workload.
+    #[test]
+    fn all_cc_schemes_complete() {
+        for cc in [
+            CcKind::None,
+            CcKind::Timely,
+            CcKind::Dcqcn,
+            CcKind::Aimd,
+            CcKind::Dctcp,
+        ] {
+            let cfg = ExperimentConfig {
+                topology: TopologySpec::SingleSwitch(4),
+                workload: Workload::Poisson {
+                    load: 0.5,
+                    sizes: SizeDistribution::HeavyTailed,
+                    flow_count: 50,
+                },
+                ..ExperimentConfig::paper_default(50)
+            }
+            .with_cc(cc);
+            let r = run(cfg);
+            assert_eq!(r.summary.flows, 50, "{cc:?} must complete all flows");
+        }
+    }
+
+    /// Determinism: identical configs give identical results.
+    #[test]
+    fn runs_are_deterministic() {
+        let mk = || {
+            ExperimentConfig {
+                topology: TopologySpec::FatTree(4),
+                workload: Workload::Poisson {
+                    load: 0.6,
+                    sizes: SizeDistribution::HeavyTailed,
+                    flow_count: 150,
+                },
+                ..ExperimentConfig::paper_default(150)
+            }
+        };
+        let a = run(mk());
+        let b = run(mk());
+        assert_eq!(a.summary.avg_fct, b.summary.avg_fct);
+        assert_eq!(a.summary.p99_fct, b.summary.p99_fct);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fabric, b.fabric);
+    }
+
+    /// PFC keeps the fabric lossless; without it, heavy load drops.
+    #[test]
+    fn pfc_is_lossless_no_pfc_drops() {
+        let base = ExperimentConfig {
+            topology: TopologySpec::FatTree(4),
+            workload: Workload::Poisson {
+                load: 0.9,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: 300,
+            },
+            buffer_bytes: 60_000, // small buffers to force pressure
+            ..ExperimentConfig::paper_default(300)
+        };
+        let with_pfc = run(base.clone().with_transport(TransportKind::Irn).with_pfc(true));
+        assert_eq!(with_pfc.fabric.buffer_drops, 0, "PFC must be lossless");
+        assert!(with_pfc.fabric.pauses > 0, "pressure must trigger pauses");
+        let without = run(base.with_transport(TransportKind::Irn).with_pfc(false));
+        assert!(without.fabric.buffer_drops > 0, "no PFC ⇒ drops");
+        assert_eq!(without.fabric.pauses, 0);
+        assert!(without.transport.retransmitted > 0, "losses must recover");
+    }
+
+    /// Incast completes and reports an RCT.
+    #[test]
+    fn incast_reports_rct() {
+        let cfg = ExperimentConfig {
+            topology: TopologySpec::FatTree(4),
+            workload: Workload::Incast {
+                m: 8,
+                total_bytes: 8_000_000,
+            },
+            ..ExperimentConfig::paper_default(8)
+        }
+        .with_pfc(true)
+        .with_transport(TransportKind::Roce);
+        let r = run(cfg);
+        // 8 MB over a 40 Gbps edge ≈ 1.7 ms lower bound.
+        let rct = r.rct();
+        assert!(
+            rct >= Duration::micros(1_600),
+            "RCT {rct} below the line-rate bound"
+        );
+        assert_eq!(r.summary.flows, 8);
+    }
+}

@@ -1,0 +1,75 @@
+//! Results of one simulation run.
+
+use irn_metrics::{MetricsCollector, Summary};
+use irn_net::FabricStats;
+use irn_sim::{Duration, Time};
+
+/// Transport-layer counters aggregated over every flow in a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportTotals {
+    /// Data packets transmitted (including retransmissions).
+    pub sent: u64,
+    /// Retransmitted data packets.
+    pub retransmitted: u64,
+    /// NACKs received by senders.
+    pub nacks: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// CNPs received by senders.
+    pub cnps: u64,
+}
+
+impl TransportTotals {
+    /// Fraction of transmissions that were retransmissions.
+    pub fn retransmission_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.retransmitted as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// §4.1 headline metrics over the primary flow population (the
+    /// background workload when an incast rides on cross-traffic).
+    pub summary: Summary,
+    /// Full per-flow records of the primary population (percentiles,
+    /// Figure 8 CDFs).
+    pub metrics: MetricsCollector,
+    /// Incast flows, when the workload included an incast (RCT lives
+    /// here, §4.4.3).
+    pub incast_metrics: Option<MetricsCollector>,
+    /// Fabric counters: drops, pauses, ECN marks.
+    pub fabric: FabricStats,
+    /// Transport counters.
+    pub transport: TransportTotals,
+    /// Events processed by the simulation loop.
+    pub events: u64,
+    /// Virtual time of the last flow completion.
+    pub finished_at: Time,
+}
+
+impl RunResult {
+    /// Incast request completion time (§4.4.3). Panics if the workload
+    /// had no incast.
+    pub fn rct(&self) -> Duration {
+        self.incast_metrics
+            .as_ref()
+            .expect("workload had no incast")
+            .rct()
+    }
+
+    /// Drop rate among data packets (e.g. §4.2.2 reports 8.5 % for IRN
+    /// without PFC at 70 % load).
+    pub fn drop_rate(&self) -> f64 {
+        let drops = self.fabric.buffer_drops + self.fabric.injected_drops;
+        if self.transport.sent == 0 {
+            0.0
+        } else {
+            drops as f64 / self.transport.sent as f64
+        }
+    }
+}

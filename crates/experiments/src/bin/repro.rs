@@ -1,0 +1,66 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro [--full] <artifact>...
+//! repro all                  # every artifact at quick scale
+//! repro --full fig1 table3   # selected artifacts at paper scale
+//! ```
+//!
+//! Quick scale runs a k=4 fat-tree (16 hosts) with hundreds of flows —
+//! seconds per artifact. `--full` runs the paper's k=6/54-host default
+//! with thousands of flows (minutes for the sweeps).
+
+use irn_experiments::{runners, Report, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if wanted.is_empty() {
+        eprintln!("usage: repro [--full] <artifact>... | all");
+        eprintln!("artifacts: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12");
+        eprintln!("           incast-cross table1 table2 table3 table4 table5 table6 table7");
+        eprintln!("           table8 table9 state-budget");
+        std::process::exit(2);
+    }
+
+    let all = wanted.iter().any(|w| *w == "all");
+    let run = |name: &str, f: &dyn Fn() -> Report| {
+        if all || wanted.contains(&name) {
+            let t = std::time::Instant::now();
+            let rep = f();
+            print!("{}", rep.render());
+            println!("   [{} in {:.1?}]\n", name, t.elapsed());
+        }
+    };
+
+    run("fig1", &|| runners::fig1(scale));
+    run("fig2", &|| runners::fig2(scale));
+    run("fig3", &|| runners::fig3(scale));
+    run("fig4", &|| runners::fig4(scale));
+    run("fig5", &|| runners::fig5(scale));
+    run("fig6", &|| runners::fig6(scale));
+    run("fig7", &|| runners::fig7(scale));
+    run("fig8", &|| runners::fig8(scale));
+    run("fig9", &|| runners::fig9(scale));
+    run("incast-cross", &|| runners::incast_cross(scale));
+    run("fig10", &|| runners::fig10(scale));
+    run("fig11", &|| runners::fig11(scale));
+    run("fig12", &|| runners::fig12(scale));
+    run("table1", &|| runners::table1());
+    run("table2", &|| runners::table2());
+    run("table3", &|| runners::table3(scale));
+    run("table4", &|| runners::table4(scale));
+    run("table5", &|| runners::table5(scale));
+    run("table6", &|| runners::table6(scale));
+    run("table7", &|| runners::table7(scale));
+    run("table8", &|| runners::table8(scale));
+    run("table9", &|| runners::table9(scale));
+    run("state-budget", &|| runners::state_budget_report());
+}

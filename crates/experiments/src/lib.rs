@@ -1,0 +1,32 @@
+//! # irn-experiments — regenerating every figure and table of the paper
+//!
+//! One runner per evaluation artifact of "Revisiting Network Support for
+//! RDMA" (SIGCOMM 2018). Each runner builds its experiment matrix from
+//! [`irn_core::ExperimentConfig`], runs the simulations, and returns a
+//! [`Report`] that prints rows shaped like the paper's (and that tests
+//! can assert directional claims against).
+//!
+//! Run them through the `repro` binary:
+//!
+//! ```text
+//! repro fig1            # quick scale (k=4 fat-tree, 16 hosts)
+//! repro --full fig1     # paper scale (k=6 fat-tree, 54 hosts)
+//! repro all             # everything
+//! ```
+//!
+//! Absolute numbers will not match the paper — the substrate is a clean
+//! reimplementation and the exact flow-size CDF of \[19\] is not public —
+//! but the *shape* of each comparison (who wins, roughly by how much,
+//! how trends move across sweeps) is the reproduction target; see
+//! EXPERIMENTS.md for the side-by-side record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runners;
+pub mod scale;
+
+pub use report::{Report, Row};
+pub use runners::*;
+pub use scale::Scale;

@@ -1,0 +1,52 @@
+//! Experiment scale: quick (CI/bench) vs full (paper).
+
+use irn_core::workload::SizeDistribution;
+use irn_core::{ExperimentConfig, TopologySpec, Workload};
+
+/// How big to run each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Fat-tree arity (paper default: 6 → 54 hosts).
+    pub fat_tree_k: usize,
+    /// Flows per Poisson run.
+    pub flows: usize,
+    /// Repetitions for incast averaging (paper: 100).
+    pub incast_reps: usize,
+    /// Incast total response bytes (paper: 150 MB).
+    pub incast_bytes: u64,
+}
+
+impl Scale {
+    /// CI/bench scale: k=4 (16 hosts), hundreds of flows, small incast.
+    pub fn quick() -> Scale {
+        Scale {
+            fat_tree_k: 4,
+            flows: 400,
+            incast_reps: 3,
+            incast_bytes: 15_000_000,
+        }
+    }
+
+    /// Paper scale: k=6 (54 hosts), thousands of flows, 150 MB incast.
+    pub fn full() -> Scale {
+        Scale {
+            fat_tree_k: 6,
+            flows: 3000,
+            incast_reps: 10,
+            incast_bytes: 150_000_000,
+        }
+    }
+
+    /// The §4.1 default-case config at this scale.
+    pub fn base(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            topology: TopologySpec::FatTree(self.fat_tree_k),
+            workload: Workload::Poisson {
+                load: 0.7,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: self.flows,
+            },
+            ..ExperimentConfig::paper_default(self.flows)
+        }
+    }
+}

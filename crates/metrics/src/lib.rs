@@ -1,0 +1,324 @@
+//! # irn-metrics — the paper's performance metrics (§4.1)
+//!
+//! "We primarily look at three metrics: (i) average slowdown, where
+//! slowdown for a flow is its completion time divided by the time it
+//! would have taken to traverse its path at line rate in an empty
+//! network, (ii) average flow completion time (FCT), (iii) 99%ile or
+//! tail FCT."
+//!
+//! [`FlowRecord`] captures one completed flow; [`MetricsCollector`]
+//! accumulates records and produces [`Summary`] (the three headline
+//! metrics), percentile queries, the Figure 8 tail-latency CDF for
+//! single-packet messages, and the incast request-completion time (RCT,
+//! §4.4.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use irn_sim::{Duration, Time};
+
+/// One completed flow's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRecord {
+    /// Flow index.
+    pub flow: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Number of data packets.
+    pub packets: u32,
+    /// Arrival (start) time.
+    pub start: Time,
+    /// Completion time (last payload byte delivered in order, §4.1).
+    pub finish: Time,
+    /// Ideal completion time for this flow's path at line rate in an
+    /// empty network (the slowdown denominator).
+    pub ideal: Duration,
+}
+
+impl FlowRecord {
+    /// Flow completion time.
+    pub fn fct(&self) -> Duration {
+        self.finish.since(self.start)
+    }
+
+    /// Slowdown = FCT / ideal (≥ 1 in a well-behaved simulation).
+    pub fn slowdown(&self) -> f64 {
+        self.fct() / self.ideal
+    }
+}
+
+/// Ideal (empty-network, line-rate) completion time for a flow:
+/// store-and-forward serialization of the full wire size at line rate on
+/// the bottleneck (all links equal here), plus per-hop propagation, plus
+/// per-switch store-and-forward of one packet (§4.1's definition of
+/// "traversing its path at line rate").
+pub fn ideal_fct(
+    wire_bytes: u64,
+    one_packet_wire_bytes: u64,
+    hops: usize,
+    line_rate_bps: f64,
+    prop_per_hop: Duration,
+) -> Duration {
+    let ser_all = Duration::from_secs_f64(wire_bytes as f64 * 8.0 / line_rate_bps);
+    let ser_one = Duration::from_secs_f64(one_packet_wire_bytes as f64 * 8.0 / line_rate_bps);
+    // The first packet cuts through `hops` links (serialized per hop);
+    // the remaining bytes stream behind it at line rate.
+    let pipeline = prop_per_hop * hops as u64 + ser_one * (hops.saturating_sub(1)) as u64;
+    ser_all + pipeline
+}
+
+/// Aggregated results over many flows.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsCollector {
+    records: Vec<FlowRecord>,
+}
+
+/// The three headline metrics of §4.1 plus context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean slowdown (dominated by latency-sensitive short flows).
+    pub avg_slowdown: f64,
+    /// Mean FCT (dominated by throughput-sensitive long flows).
+    pub avg_fct: Duration,
+    /// 99th-percentile FCT.
+    pub p99_fct: Duration,
+    /// Completed flows.
+    pub flows: usize,
+}
+
+impl MetricsCollector {
+    /// Empty collector.
+    pub fn new() -> MetricsCollector {
+        MetricsCollector::default()
+    }
+
+    /// Record one completed flow.
+    pub fn record(&mut self, r: FlowRecord) {
+        debug_assert!(r.finish >= r.start, "negative FCT");
+        debug_assert!(!r.ideal.is_zero(), "ideal FCT must be positive");
+        self.records.push(r);
+    }
+
+    /// Number of completed flows.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has completed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records (read-only).
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// The §4.1 headline metrics. Panics when empty (an experiment that
+    /// completed zero flows is broken and must not silently report).
+    pub fn summary(&self) -> Summary {
+        assert!(!self.records.is_empty(), "no flows completed");
+        let n = self.records.len() as f64;
+        let avg_slowdown = self.records.iter().map(|r| r.slowdown()).sum::<f64>() / n;
+        let avg_fct_ns =
+            self.records.iter().map(|r| r.fct().as_nanos()).sum::<u64>() as f64 / n;
+        Summary {
+            avg_slowdown,
+            avg_fct: Duration::nanos(avg_fct_ns.round() as u64),
+            p99_fct: self.percentile_fct(0.99),
+            flows: self.records.len(),
+        }
+    }
+
+    /// FCT at quantile `q` ∈ [0, 1] (nearest-rank).
+    pub fn percentile_fct(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(!self.records.is_empty());
+        let mut fcts: Vec<Duration> = self.records.iter().map(|r| r.fct()).collect();
+        fcts.sort_unstable();
+        fcts[nearest_rank(q, fcts.len())]
+    }
+
+    /// Slowdown at quantile `q`.
+    pub fn percentile_slowdown(&self, q: f64) -> f64 {
+        assert!(!self.records.is_empty());
+        let mut s: Vec<f64> = self.records.iter().map(|r| r.slowdown()).collect();
+        s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN slowdowns"));
+        s[nearest_rank(q, s.len())]
+    }
+
+    /// Restrict to single-packet messages (Figure 8's population).
+    pub fn single_packet_messages(&self) -> MetricsCollector {
+        MetricsCollector {
+            records: self
+                .records
+                .iter()
+                .copied()
+                .filter(|r| r.packets == 1)
+                .collect(),
+        }
+    }
+
+    /// Tail CDF of FCT between quantiles `from` and `to` (Figure 8 plots
+    /// 90 %–99.9 %): returns `(quantile, latency)` points.
+    pub fn tail_cdf(&self, from: f64, to: f64, points: usize) -> Vec<(f64, Duration)> {
+        assert!(points >= 2 && from < to);
+        (0..points)
+            .map(|i| {
+                let q = from + (to - from) * i as f64 / (points - 1) as f64;
+                (q, self.percentile_fct(q))
+            })
+            .collect()
+    }
+
+    /// Request completion time: when the *last* flow finished (incast,
+    /// §4.4.3). Panics when empty.
+    pub fn rct(&self) -> Duration {
+        assert!(!self.records.is_empty());
+        let start = self.records.iter().map(|r| r.start).min().unwrap();
+        let finish = self.records.iter().map(|r| r.finish).max().unwrap();
+        finish.since(start)
+    }
+
+    /// Export per-flow records as CSV (`flow,bytes,packets,start_ns,
+    /// finish_ns,fct_ns,ideal_ns,slowdown`) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("flow,bytes,packets,start_ns,finish_ns,fct_ns,ideal_ns,slowdown\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.6}\n",
+                r.flow,
+                r.bytes,
+                r.packets,
+                r.start.as_nanos(),
+                r.finish.as_nanos(),
+                r.fct().as_nanos(),
+                r.ideal.as_nanos(),
+                r.slowdown()
+            ));
+        }
+        out
+    }
+}
+
+fn nearest_rank(q: f64, n: usize) -> usize {
+    (((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(flow: u32, packets: u32, start_us: u64, fct_us: u64, ideal_us: u64) -> FlowRecord {
+        FlowRecord {
+            flow,
+            bytes: packets as u64 * 1000,
+            packets,
+            start: Time::ZERO + Duration::micros(start_us),
+            finish: Time::ZERO + Duration::micros(start_us + fct_us),
+            ideal: Duration::micros(ideal_us),
+        }
+    }
+
+    #[test]
+    fn slowdown_and_fct() {
+        let r = rec(0, 10, 5, 30, 10);
+        assert_eq!(r.fct(), Duration::micros(30));
+        assert!((r.slowdown() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_averages() {
+        let mut m = MetricsCollector::new();
+        m.record(rec(0, 1, 0, 10, 10)); // slowdown 1
+        m.record(rec(1, 1, 0, 30, 10)); // slowdown 3
+        let s = m.summary();
+        assert!((s.avg_slowdown - 2.0).abs() < 1e-12);
+        assert_eq!(s.avg_fct, Duration::micros(20));
+        assert_eq!(s.flows, 2);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut m = MetricsCollector::new();
+        for i in 1..=100 {
+            m.record(rec(i, 1, 0, i as u64, 1));
+        }
+        assert_eq!(m.percentile_fct(0.50), Duration::micros(50));
+        assert_eq!(m.percentile_fct(0.99), Duration::micros(99));
+        assert_eq!(m.percentile_fct(1.0), Duration::micros(100));
+        assert_eq!(m.percentile_fct(0.0), Duration::micros(1));
+    }
+
+    #[test]
+    fn single_packet_filter() {
+        let mut m = MetricsCollector::new();
+        m.record(rec(0, 1, 0, 5, 1));
+        m.record(rec(1, 100, 0, 500, 100));
+        m.record(rec(2, 1, 0, 7, 1));
+        let sp = m.single_packet_messages();
+        assert_eq!(sp.len(), 2);
+        assert!(sp.records().iter().all(|r| r.packets == 1));
+    }
+
+    #[test]
+    fn tail_cdf_is_monotone() {
+        let mut m = MetricsCollector::new();
+        for i in 1..=1000 {
+            m.record(rec(i, 1, 0, (i * i) as u64 % 977 + 1, 1));
+        }
+        let cdf = m.tail_cdf(0.90, 0.999, 20);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn rct_spans_first_start_to_last_finish() {
+        let mut m = MetricsCollector::new();
+        m.record(rec(0, 10, 0, 100, 10));
+        m.record(rec(1, 10, 50, 200, 10)); // finishes at 250
+        assert_eq!(m.rct(), Duration::micros(250));
+    }
+
+    #[test]
+    fn ideal_fct_math() {
+        // 120 KB over 6 hops at 40 Gbps with 2 µs props:
+        // ser_all = 24 µs; pipeline = 6×2 µs + 5×~0.21 µs ≈ 13.05 µs.
+        let d = ideal_fct(120_000, 1_048, 6, 40e9, Duration::micros(2));
+        let expect_ns = 24_000 + 12_000 + 5 * 210;
+        assert!(
+            (d.as_nanos() as i64 - expect_ns as i64).abs() < 20,
+            "got {d}, expected ≈{expect_ns}ns"
+        );
+        // Single-packet message on 2 hops: ser + 2 props + 1 hop ser.
+        let d1 = ideal_fct(1_048, 1_048, 2, 40e9, Duration::micros(2));
+        assert!(
+            (d1.as_nanos() as i64 - (210 + 4_000 + 210)).abs() < 20,
+            "got {d1}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_summary_panics() {
+        MetricsCollector::new().summary();
+    }
+
+    #[test]
+    fn csv_export_roundtrips_fields() {
+        let mut m = MetricsCollector::new();
+        m.record(rec(7, 3, 10, 40, 20));
+        let csv = m.to_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("flow,bytes"));
+        let row = lines.next().unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields[0], "7");
+        assert_eq!(fields[2], "3");
+        assert_eq!(fields[5], "40000"); // fct ns
+        assert!(fields[7].starts_with("2.0"), "slowdown 2.0, got {}", fields[7]);
+    }
+}

@@ -1,0 +1,857 @@
+//! The fabric: every link, switch and host port wired together behind a
+//! single event-driven interface.
+//!
+//! The transport layer above drives the fabric with three calls:
+//!
+//! * [`Fabric::host_start_tx`] — a host NIC begins serializing a packet
+//!   onto its uplink (only legal when [`Fabric::host_tx_idle`]);
+//! * [`Fabric::handle`] — process one [`FabricEvent`] popped from the
+//!   global queue; may return a packet delivery or a "host may transmit
+//!   again" notification;
+//! * scheduling closure — the fabric never owns the event queue; it emits
+//!   `(Time, FabricEvent)` pairs through a caller-provided closure so the
+//!   embedding simulation can interleave its own transport events.
+//!
+//! ## Model fidelity notes
+//!
+//! * Store-and-forward at every hop: a packet is eligible for forwarding
+//!   only after its last bit arrives (`serialization + propagation` per
+//!   link), matching the INET switch model the paper used.
+//! * PFC PAUSE/RESUME frames bypass data queues and are modelled with
+//!   propagation delay only — a 64-byte control frame's serialization
+//!   time (12.8 ns at 40 Gbps) is three orders of magnitude below the
+//!   2 µs propagation delay and PFC frames preempt data in real MACs.
+//! * A pause lands on the *transmitter* of a link: an X-OFF received
+//!   mid-serialization lets the in-flight frame finish (the headroom in
+//!   [`PfcConfig::for_buffer`](crate::PfcConfig::for_buffer) absorbs it).
+
+use irn_sim::{Duration, SimRng, Time};
+
+use crate::packet::{HostId, Packet};
+use crate::routing::{PortMap, Routes};
+use crate::switch::{Dequeue, EcnConfig, Enqueue, PfcConfig, SwitchState, SwitchStats};
+use crate::topology::{NodeId, Topology};
+use crate::units::Bandwidth;
+
+/// How the fabric spreads traffic over equal-cost paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadBalancing {
+    /// Per-flow ECMP (§4.1's default): a flow sticks to one path, so the
+    /// network never reorders.
+    #[default]
+    EcmpPerFlow,
+    /// Per-packet spraying (§7's "other load balancing schemes that may
+    /// cause packet reordering within a flow", e.g. DRILL \[22\]): each
+    /// packet independently picks an equal-cost next hop.
+    PacketSpray,
+}
+
+/// Fabric-wide configuration (uniform across links/switches, as in every
+/// experiment of the paper).
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Link rate (default scenario: 40 Gbps).
+    pub bandwidth: Bandwidth,
+    /// Per-link propagation delay (default: 2 µs).
+    pub prop_delay: Duration,
+    /// Per-input-port buffer (default: 2 × network BDP = 240 KB).
+    pub buffer_bytes: u64,
+    /// PFC thresholds; `None` disables PFC (losses possible).
+    pub pfc: Option<PfcConfig>,
+    /// ECN marking; `None` disables marking.
+    pub ecn: Option<EcnConfig>,
+    /// Random per-switch-hop drop probability for *data* packets (fault
+    /// injection; 0.0 in all paper experiments).
+    pub loss_injection: f64,
+    /// Equal-cost path selection policy.
+    pub load_balancing: LoadBalancing,
+    /// Seed for the fabric's private randomness (ECN coin flips, fault
+    /// injection).
+    pub seed: u64,
+}
+
+impl FabricConfig {
+    /// The paper's default-scenario fabric (§4.1) with PFC enabled.
+    pub fn paper_default() -> FabricConfig {
+        let bandwidth = Bandwidth::from_gbps(40);
+        let prop_delay = Duration::micros(2);
+        let buffer_bytes = 240_000;
+        FabricConfig {
+            bandwidth,
+            prop_delay,
+            buffer_bytes,
+            pfc: Some(PfcConfig::for_buffer(
+                buffer_bytes,
+                bandwidth,
+                prop_delay,
+                1_048,
+            )),
+            ecn: None,
+            loss_injection: 0.0,
+            load_balancing: LoadBalancing::EcmpPerFlow,
+            seed: 0xF_AB,
+        }
+    }
+
+    /// Same fabric with PFC disabled (drops possible).
+    pub fn without_pfc(mut self) -> FabricConfig {
+        self.pfc = None;
+        self
+    }
+
+    /// Enable ECN marking with the given parameters.
+    pub fn with_ecn(mut self, ecn: EcnConfig) -> FabricConfig {
+        self.ecn = Some(ecn);
+        self
+    }
+}
+
+/// Transmitter endpoint of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Host(u32),
+    SwitchPort { sw: u32, port: u16 },
+}
+
+/// One direction of a cable.
+#[derive(Debug)]
+struct DirLink {
+    src: Endpoint,
+    dst: Endpoint,
+    /// Transmitter currently serializing a frame.
+    busy: bool,
+    /// Transmitter held paused by the receiver (PFC X-OFF).
+    paused: bool,
+}
+
+/// Events the fabric schedules for itself via the caller's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// Last bit of `pkt` reaches the receiving end of directed link `link`.
+    Arrive {
+        /// Directed link index.
+        link: u32,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// The transmitter of `link` finishes serializing its current frame.
+    TxDone {
+        /// Directed link index.
+        link: u32,
+    },
+    /// A PFC frame reaches the transmitter of `link`.
+    PfcArrive {
+        /// Directed link index whose transmitter is being paused/resumed.
+        link: u32,
+        /// `true` = X-OFF (pause), `false` = X-ON (resume).
+        xoff: bool,
+    },
+}
+
+/// What an event produced for the layer above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricOutput {
+    /// A packet arrived at its destination host.
+    Deliver {
+        /// Receiving host.
+        host: HostId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// `host`'s uplink just became available (previous transmission
+    /// finished, or a PFC pause lifted); the transport may send.
+    HostTxReady {
+        /// The host whose uplink is free.
+        host: HostId,
+    },
+}
+
+/// Aggregated fabric counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Packets dropped to buffer overflow (all switches).
+    pub buffer_drops: u64,
+    /// Packets dropped by fault injection.
+    pub injected_drops: u64,
+    /// PFC X-OFF frames generated.
+    pub pauses: u64,
+    /// PFC X-ON frames generated.
+    pub resumes: u64,
+    /// Data packets ECN-marked.
+    pub ecn_marked: u64,
+    /// Packets delivered to hosts.
+    pub delivered_pkts: u64,
+    /// Bytes delivered to hosts (wire bytes).
+    pub delivered_bytes: u64,
+}
+
+/// The simulated network: topology + switches + links + host ports.
+pub struct Fabric {
+    cfg: FabricConfig,
+    links: Vec<DirLink>,
+    switches: Vec<SwitchState>,
+    /// Directed link leaving each switch port.
+    switch_out_link: Vec<Vec<u32>>,
+    /// Directed link entering each switch port.
+    switch_in_link: Vec<Vec<u32>>,
+    /// Directed link host → edge switch.
+    host_uplink: Vec<u32>,
+    routes: Routes,
+    rng: SimRng,
+    injected_drops: u64,
+    delivered_pkts: u64,
+    delivered_bytes: u64,
+    hosts: usize,
+}
+
+impl Fabric {
+    /// Instantiate the fabric for `topo` under `cfg`.
+    pub fn new(topo: &Topology, cfg: FabricConfig) -> Fabric {
+        let topo = topo.clone().validate();
+        let ports = PortMap::new(&topo);
+        let routes = Routes::build(&topo, &ports);
+
+        let mut links = Vec::with_capacity(topo.cables.len() * 2);
+        let mut switch_out_link = vec![Vec::new(); topo.switches];
+        let mut switch_in_link = vec![Vec::new(); topo.switches];
+        let mut host_uplink = vec![u32::MAX; topo.hosts];
+
+        // Port numbers must match PortMap: cable order per switch.
+        let mut next_port = vec![0u16; topo.switches];
+        let endpoint = |n: NodeId, next_port: &mut Vec<u16>| match n {
+            NodeId::Host(h) => Endpoint::Host(h),
+            NodeId::Switch(s) => {
+                let port = next_port[s as usize];
+                next_port[s as usize] += 1;
+                Endpoint::SwitchPort { sw: s, port }
+            }
+        };
+
+        for cable in &topo.cables {
+            let ea = endpoint(cable.a, &mut next_port);
+            let eb = endpoint(cable.b, &mut next_port);
+            for (src, dst) in [(ea, eb), (eb, ea)] {
+                let id = links.len() as u32;
+                links.push(DirLink {
+                    src,
+                    dst,
+                    busy: false,
+                    paused: false,
+                });
+                match src {
+                    Endpoint::Host(h) => host_uplink[h as usize] = id,
+                    Endpoint::SwitchPort { sw, port } => {
+                        let v = &mut switch_out_link[sw as usize];
+                        if v.len() <= port as usize {
+                            v.resize(port as usize + 1, u32::MAX);
+                        }
+                        v[port as usize] = id;
+                    }
+                }
+                match dst {
+                    Endpoint::Host(_) => {}
+                    Endpoint::SwitchPort { sw, port } => {
+                        let v = &mut switch_in_link[sw as usize];
+                        if v.len() <= port as usize {
+                            v.resize(port as usize + 1, u32::MAX);
+                        }
+                        v[port as usize] = id;
+                    }
+                }
+            }
+        }
+
+        let switches = (0..topo.switches)
+            .map(|s| SwitchState::new(ports.radix(s), cfg.buffer_bytes, cfg.pfc, cfg.ecn))
+            .collect();
+
+        let rng = SimRng::new(cfg.seed ^ 0x5EED_F00D);
+
+        Fabric {
+            cfg,
+            links,
+            switches,
+            switch_out_link,
+            switch_in_link,
+            host_uplink,
+            routes,
+            rng,
+            injected_drops: 0,
+            delivered_pkts: 0,
+            delivered_bytes: 0,
+            hosts: topo.hosts,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Link rate.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.cfg.bandwidth
+    }
+
+    /// Per-link propagation delay.
+    pub fn prop_delay(&self) -> Duration {
+        self.cfg.prop_delay
+    }
+
+    /// Longest shortest host-to-host path in links (for BDP-FC).
+    pub fn diameter_hops(&self) -> usize {
+        self.routes.diameter_hops
+    }
+
+    /// Shortest-path length between two hosts in links.
+    pub fn path_hops(&self, src: HostId, dst: HostId) -> usize {
+        self.routes.host_distance(src.idx(), dst.idx())
+    }
+
+    /// True when `host` may start a transmission: uplink idle and not
+    /// PFC-paused.
+    pub fn host_tx_idle(&self, host: HostId) -> bool {
+        let l = &self.links[self.host_uplink[host.idx()] as usize];
+        !l.busy && !l.paused
+    }
+
+    /// True when `host`'s uplink is paused by PFC.
+    pub fn host_tx_paused(&self, host: HostId) -> bool {
+        self.links[self.host_uplink[host.idx()] as usize].paused
+    }
+
+    /// Begin serializing `pkt` from `host` onto its uplink.
+    ///
+    /// Panics if the uplink is busy or paused — the transport must only
+    /// send after [`FabricOutput::HostTxReady`] / [`Fabric::host_tx_idle`].
+    pub fn host_start_tx(
+        &mut self,
+        now: Time,
+        host: HostId,
+        mut pkt: Packet,
+        sched: &mut impl FnMut(Time, FabricEvent),
+    ) {
+        let link_id = self.host_uplink[host.idx()];
+        let link = &mut self.links[link_id as usize];
+        assert!(
+            !link.busy && !link.paused,
+            "host {host:?} started tx on a busy/paused uplink"
+        );
+        link.busy = true;
+        pkt.sent_at = if pkt.is_data() { now } else { pkt.sent_at };
+        let ser = self.cfg.bandwidth.serialize(pkt.wire_bytes as u64);
+        sched(now + ser, FabricEvent::TxDone { link: link_id });
+        sched(
+            now + ser + self.cfg.prop_delay,
+            FabricEvent::Arrive { link: link_id, pkt },
+        );
+    }
+
+    /// Process one fabric event.
+    pub fn handle(
+        &mut self,
+        now: Time,
+        ev: FabricEvent,
+        sched: &mut impl FnMut(Time, FabricEvent),
+    ) -> Option<FabricOutput> {
+        match ev {
+            FabricEvent::Arrive { link, pkt } => self.on_arrive(now, link, pkt, sched),
+            FabricEvent::TxDone { link } => self.on_tx_done(now, link, sched),
+            FabricEvent::PfcArrive { link, xoff } => self.on_pfc(now, link, xoff, sched),
+        }
+    }
+
+    fn on_arrive(
+        &mut self,
+        now: Time,
+        link_id: u32,
+        pkt: Packet,
+        sched: &mut impl FnMut(Time, FabricEvent),
+    ) -> Option<FabricOutput> {
+        match self.links[link_id as usize].dst {
+            Endpoint::Host(h) => {
+                self.delivered_pkts += 1;
+                self.delivered_bytes += pkt.wire_bytes as u64;
+                Some(FabricOutput::Deliver {
+                    host: HostId(h),
+                    pkt,
+                })
+            }
+            Endpoint::SwitchPort { sw, port } => {
+                // Fault injection: a failing hop silently eats the frame.
+                if self.cfg.loss_injection > 0.0
+                    && pkt.is_data()
+                    && self.rng.chance(self.cfg.loss_injection)
+                {
+                    self.injected_drops += 1;
+                    return None;
+                }
+                let swi = sw as usize;
+                let out = match self.cfg.load_balancing {
+                    LoadBalancing::EcmpPerFlow => {
+                        self.routes.out_port(swi, pkt.dst.idx(), pkt.ecmp_seed)
+                    }
+                    LoadBalancing::PacketSpray => {
+                        // Per-packet nonce: PSN plus a retransmission bit
+                        // so a retransmitted copy can take a new path.
+                        let nonce = pkt.psn ^ ((pkt.is_retx as u32) << 30);
+                        self.routes
+                            .out_port_spray(swi, pkt.dst.idx(), pkt.ecmp_seed, nonce)
+                    }
+                };
+                match self.switches[swi].enqueue(port, out, pkt, &mut self.rng) {
+                    Enqueue::Dropped => {}
+                    Enqueue::Queued { send_xoff } => {
+                        if send_xoff {
+                            // Pause the transmitter feeding this input.
+                            sched(
+                                now + self.cfg.prop_delay,
+                                FabricEvent::PfcArrive {
+                                    link: link_id,
+                                    xoff: true,
+                                },
+                            );
+                        }
+                        self.try_switch_tx(now, swi, out, sched);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn on_tx_done(
+        &mut self,
+        now: Time,
+        link_id: u32,
+        sched: &mut impl FnMut(Time, FabricEvent),
+    ) -> Option<FabricOutput> {
+        let link = &mut self.links[link_id as usize];
+        link.busy = false;
+        if link.paused {
+            return None; // the pause owner will kick us on resume
+        }
+        match link.src {
+            Endpoint::Host(h) => Some(FabricOutput::HostTxReady { host: HostId(h) }),
+            Endpoint::SwitchPort { sw, port } => {
+                self.try_switch_tx(now, sw as usize, port, sched);
+                None
+            }
+        }
+    }
+
+    fn on_pfc(
+        &mut self,
+        now: Time,
+        link_id: u32,
+        xoff: bool,
+        sched: &mut impl FnMut(Time, FabricEvent),
+    ) -> Option<FabricOutput> {
+        let link = &mut self.links[link_id as usize];
+        link.paused = xoff;
+        if xoff {
+            return None;
+        }
+        // Resume: restart the transmitter if it has gone idle while
+        // paused (if it is mid-frame, TxDone will pick up from here).
+        if link.busy {
+            return None;
+        }
+        match link.src {
+            Endpoint::Host(h) => Some(FabricOutput::HostTxReady { host: HostId(h) }),
+            Endpoint::SwitchPort { sw, port } => {
+                self.try_switch_tx(now, sw as usize, port, sched);
+                None
+            }
+        }
+    }
+
+    /// Start the transmitter of switch `sw` output `port` if it is idle,
+    /// unpaused, and has queued traffic.
+    fn try_switch_tx(
+        &mut self,
+        now: Time,
+        sw: usize,
+        port: u16,
+        sched: &mut impl FnMut(Time, FabricEvent),
+    ) {
+        let out_link_id = self.switch_out_link[sw][port as usize];
+        let link = &self.links[out_link_id as usize];
+        if link.busy || link.paused {
+            return;
+        }
+        let Some(Dequeue {
+            pkt,
+            in_port,
+            send_xon,
+        }) = self.switches[sw].dequeue(port)
+        else {
+            return;
+        };
+        if send_xon {
+            let in_link = self.switch_in_link[sw][in_port as usize];
+            sched(
+                now + self.cfg.prop_delay,
+                FabricEvent::PfcArrive {
+                    link: in_link,
+                    xoff: false,
+                },
+            );
+        }
+        self.links[out_link_id as usize].busy = true;
+        let ser = self.cfg.bandwidth.serialize(pkt.wire_bytes as u64);
+        sched(now + ser, FabricEvent::TxDone { link: out_link_id });
+        sched(
+            now + ser + self.cfg.prop_delay,
+            FabricEvent::Arrive {
+                link: out_link_id,
+                pkt,
+            },
+        );
+    }
+
+    /// Aggregated counters across all switches plus fabric-level ones.
+    pub fn stats(&self) -> FabricStats {
+        let mut s = FabricStats {
+            injected_drops: self.injected_drops,
+            delivered_pkts: self.delivered_pkts,
+            delivered_bytes: self.delivered_bytes,
+            ..FabricStats::default()
+        };
+        for sw in &self.switches {
+            s.buffer_drops += sw.stats.buffer_drops;
+            s.pauses += sw.stats.pauses_sent;
+            s.resumes += sw.stats.resumes_sent;
+            s.ecn_marked += sw.stats.ecn_marked;
+        }
+        s
+    }
+
+    /// Per-switch counters (for tests asserting where congestion formed).
+    pub fn switch_stats(&self, sw: usize) -> SwitchStats {
+        self.switches[sw].stats
+    }
+
+    /// Direct read of a switch's egress occupancy (bytes queued toward
+    /// `port`), for tests and debugging.
+    pub fn switch_egress_occupancy(&self, sw: usize, port: u16) -> u64 {
+        self.switches[sw].egress_occupancy(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind};
+    use irn_sim::EventQueue;
+
+    /// Drive a fabric to quiescence, collecting host deliveries.
+    /// Returns (deliveries, tx_ready notifications).
+    fn run(
+        fabric: &mut Fabric,
+        queue: &mut EventQueue<FabricEvent>,
+    ) -> (Vec<(Time, HostId, Packet)>, Vec<(Time, HostId)>) {
+        let mut delivered = Vec::new();
+        let mut ready = Vec::new();
+        while let Some((now, ev)) = queue.pop() {
+            let mut pending = Vec::new();
+            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            for (t, e) in pending {
+                queue.push(t, e);
+            }
+            match out {
+                Some(FabricOutput::Deliver { host, pkt }) => delivered.push((now, host, pkt)),
+                Some(FabricOutput::HostTxReady { host }) => ready.push((now, host)),
+                None => {}
+            }
+        }
+        (delivered, ready)
+    }
+
+    fn send(
+        fabric: &mut Fabric,
+        queue: &mut EventQueue<FabricEvent>,
+        now: Time,
+        src: u32,
+        dst: u32,
+        bytes: u32,
+        psn: u32,
+    ) {
+        let mut pkt = Packet::data(FlowId(src), HostId(src), HostId(dst), psn, bytes);
+        pkt.ecmp_seed = src;
+        let mut pending = Vec::new();
+        fabric.host_start_tx(now, HostId(src), pkt, &mut |t, e| pending.push((t, e)));
+        for (t, e) in pending {
+            queue.push(t, e);
+        }
+    }
+
+    fn small_cfg() -> FabricConfig {
+        FabricConfig {
+            bandwidth: Bandwidth::from_gbps(40),
+            prop_delay: Duration::micros(2),
+            buffer_bytes: 240_000,
+            pfc: None,
+            ecn: None,
+            loss_injection: 0.0,
+            load_balancing: LoadBalancing::EcmpPerFlow,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn single_switch_delivery_time_is_exact() {
+        // host0 → sw → host1: ser(1000 B @40G) = 200 ns, prop = 2 µs.
+        // Two links, store-and-forward: 2·(200 + 2000) ns = 4.4 µs.
+        let topo = Topology::single_switch(2);
+        let mut fabric = Fabric::new(&topo, small_cfg());
+        let mut q = EventQueue::new();
+        send(&mut fabric, &mut q, Time::ZERO, 0, 1, 1000, 0);
+        let (delivered, ready) = run(&mut fabric, &mut q);
+        assert_eq!(delivered.len(), 1);
+        let (t, host, pkt) = delivered[0];
+        assert_eq!(host, HostId(1));
+        assert_eq!(pkt.psn, 0);
+        assert_eq!(t, Time::from_nanos(4_400));
+        // The sender's uplink freed after serialization: 200 ns.
+        assert_eq!(ready, vec![(Time::from_nanos(200), HostId(0))]);
+    }
+
+    #[test]
+    fn packets_queue_behind_each_other_at_bottleneck() {
+        // Two senders to one receiver through one switch: second packet
+        // must wait for the first to serialize on the shared downlink.
+        let topo = Topology::single_switch(3);
+        let mut fabric = Fabric::new(&topo, small_cfg());
+        let mut q = EventQueue::new();
+        send(&mut fabric, &mut q, Time::ZERO, 0, 2, 1000, 0);
+        send(&mut fabric, &mut q, Time::ZERO, 1, 2, 1000, 1);
+        let (delivered, _) = run(&mut fabric, &mut q);
+        assert_eq!(delivered.len(), 2);
+        // First arrives at 4.4 µs; second 200 ns (one serialization) later.
+        assert_eq!(delivered[0].0, Time::from_nanos(4_400));
+        assert_eq!(delivered[1].0, Time::from_nanos(4_600));
+    }
+
+    #[test]
+    fn no_drops_with_pfc_under_extreme_fan_in() {
+        // 8 senders blast a single receiver with tiny buffers: without
+        // PFC this drops; with PFC it must be lossless.
+        let topo = Topology::single_switch(9);
+        let buffer = 30_000u64;
+        let mut cfg = small_cfg();
+        cfg.buffer_bytes = buffer;
+        cfg.pfc = Some(PfcConfig::for_buffer(
+            buffer,
+            cfg.bandwidth,
+            cfg.prop_delay,
+            1_048,
+        ));
+        let mut fabric = Fabric::new(&topo, cfg);
+        let mut q = EventQueue::new();
+
+        // Each sender keeps its uplink saturated: re-send on TxReady.
+        let mut sent = vec![0u32; 8];
+        for s in 0..8u32 {
+            send(&mut fabric, &mut q, Time::ZERO, s, 8, 1000, 0);
+            sent[s as usize] = 1;
+        }
+        let per_sender = 60u32;
+        let mut delivered = 0u64;
+        while let Some((now, ev)) = q.pop() {
+            let mut pending = Vec::new();
+            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            for (t, e) in pending {
+                q.push(t, e);
+            }
+            match out {
+                Some(FabricOutput::Deliver { .. }) => delivered += 1,
+                Some(FabricOutput::HostTxReady { host }) => {
+                    let s = host.0 as usize;
+                    if s < 8 && sent[s] < per_sender && fabric.host_tx_idle(host) {
+                        send(&mut fabric, &mut q, now, host.0, 8, 1000, sent[s]);
+                        sent[s] += 1;
+                    }
+                }
+                None => {}
+            }
+        }
+        let stats = fabric.stats();
+        assert_eq!(stats.buffer_drops, 0, "PFC must be lossless");
+        assert!(stats.pauses > 0, "fan-in past tiny buffers must pause");
+        assert_eq!(stats.resumes, stats.pauses, "every pause must resume");
+        assert_eq!(delivered, 8 * per_sender as u64);
+    }
+
+    #[test]
+    fn drops_without_pfc_under_same_fan_in() {
+        let topo = Topology::single_switch(9);
+        let mut cfg = small_cfg();
+        cfg.buffer_bytes = 10_000; // tiny: 10 packets
+        let mut fabric = Fabric::new(&topo, cfg);
+        let mut q = EventQueue::new();
+        let mut sent = vec![0u32; 8];
+        for s in 0..8u32 {
+            send(&mut fabric, &mut q, Time::ZERO, s, 8, 1000, 0);
+            sent[s as usize] = 1;
+        }
+        let per_sender = 60u32;
+        let mut delivered = 0u64;
+        while let Some((now, ev)) = q.pop() {
+            let mut pending = Vec::new();
+            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            for (t, e) in pending {
+                q.push(t, e);
+            }
+            match out {
+                Some(FabricOutput::Deliver { .. }) => delivered += 1,
+                Some(FabricOutput::HostTxReady { host }) => {
+                    let s = host.0 as usize;
+                    if s < 8 && sent[s] < per_sender && fabric.host_tx_idle(host) {
+                        send(&mut fabric, &mut q, now, host.0, 8, 1000, sent[s]);
+                        sent[s] += 1;
+                    }
+                }
+                None => {}
+            }
+        }
+        let stats = fabric.stats();
+        assert!(stats.buffer_drops > 0, "tail-drop expected without PFC");
+        assert_eq!(stats.pauses, 0);
+        assert_eq!(delivered + stats.buffer_drops, 8 * per_sender as u64);
+    }
+
+    #[test]
+    fn pfc_pause_reaches_host_uplink() {
+        // One sender saturates a 2-host dumbbell whose second switch
+        // port is congested... simpler: tiny buffer on single switch,
+        // one fast sender, verify host uplink sees a pause.
+        // Headroom must absorb 2·prop·BW + in-flight frames ≈ 21 KB at
+        // 40 Gbps / 2 µs; give 30 KB below a 60 KB buffer.
+        let topo = Topology::single_switch(3);
+        let buffer = 60_000u64;
+        let mut cfg = small_cfg();
+        cfg.buffer_bytes = buffer;
+        cfg.pfc = Some(PfcConfig {
+            xoff_bytes: 30_000,
+            xon_bytes: 26_000,
+        });
+        let mut fabric = Fabric::new(&topo, cfg);
+        let mut q = EventQueue::new();
+        // Two senders to one host: downlink drains at 1 pkt per 200 ns
+        // while 2 pkt per 200 ns arrive; occupancy builds, pause fires.
+        let mut sent = [0u32; 2];
+        for s in 0..2u32 {
+            send(&mut fabric, &mut q, Time::ZERO, s, 2, 1000, 0);
+            sent[s as usize] = 1;
+        }
+        let mut saw_pause = false;
+        let mut budget = 400u32;
+        while let Some((now, ev)) = q.pop() {
+            let mut pending = Vec::new();
+            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            for (t, e) in pending {
+                q.push(t, e);
+            }
+            saw_pause |= fabric.host_tx_paused(HostId(0)) || fabric.host_tx_paused(HostId(1));
+            if let Some(FabricOutput::HostTxReady { host }) = out {
+                let s = host.0 as usize;
+                if s < 2 && budget > 0 && fabric.host_tx_idle(host) {
+                    send(&mut fabric, &mut q, now, host.0, 2, 1000, sent[s]);
+                    sent[s] += 1;
+                    budget -= 1;
+                }
+            }
+        }
+        assert!(saw_pause, "host uplinks should have been paused");
+        assert_eq!(fabric.stats().buffer_drops, 0);
+    }
+
+    #[test]
+    fn ecmp_flows_use_distinct_paths_in_fat_tree() {
+        // Cross-pod traffic in a k=4 fat-tree: different seeds must be
+        // able to take different core paths (we check routing is actually
+        // consulted per flow by sending two flows and completing).
+        let topo = Topology::fat_tree(4);
+        let mut fabric = Fabric::new(&topo, small_cfg());
+        let mut q = EventQueue::new();
+        let far = (topo.hosts - 1) as u32;
+        for f in 0..4u32 {
+            let mut pkt = Packet::data(FlowId(f), HostId(0), HostId(far), 0, 1000);
+            pkt.ecmp_seed = f;
+            // Inject sequentially: wait for uplink to free between sends.
+            if fabric.host_tx_idle(HostId(0)) {
+                let mut pending = Vec::new();
+                fabric.host_start_tx(q.now(), HostId(0), pkt, &mut |t, e| pending.push((t, e)));
+                for (t, e) in pending {
+                    q.push(t, e);
+                }
+            }
+            // Drain fully before next (keeps the test simple).
+            let (d, _) = run(&mut fabric, &mut q);
+            assert_eq!(d.len(), 1);
+            assert_eq!(d[0].1, HostId(far));
+        }
+    }
+
+    #[test]
+    fn fault_injection_drops_data() {
+        let topo = Topology::single_switch(2);
+        let mut cfg = small_cfg();
+        cfg.loss_injection = 1.0; // drop everything at the switch hop
+        let mut fabric = Fabric::new(&topo, cfg);
+        let mut q = EventQueue::new();
+        send(&mut fabric, &mut q, Time::ZERO, 0, 1, 1000, 0);
+        let (delivered, _) = run(&mut fabric, &mut q);
+        assert!(delivered.is_empty());
+        assert_eq!(fabric.stats().injected_drops, 1);
+    }
+
+    #[test]
+    fn fault_injection_spares_control_packets() {
+        let topo = Topology::single_switch(2);
+        let mut cfg = small_cfg();
+        cfg.loss_injection = 1.0;
+        let mut fabric = Fabric::new(&topo, cfg);
+        let mut q = EventQueue::new();
+        let ack = Packet::control(PacketKind::Ack, FlowId(0), HostId(0), HostId(1), 3, 64);
+        let mut pending = Vec::new();
+        fabric.host_start_tx(Time::ZERO, HostId(0), ack, &mut |t, e| pending.push((t, e)));
+        for (t, e) in pending {
+            q.push(t, e);
+        }
+        let (delivered, _) = run(&mut fabric, &mut q);
+        assert_eq!(delivered.len(), 1, "ACKs bypass fault injection");
+    }
+
+    #[test]
+    fn zero_byte_frames_flow_through() {
+        // The RoCE baseline's signalling-only ACKs must traverse the
+        // fabric in pure propagation time.
+        let topo = Topology::single_switch(2);
+        let mut fabric = Fabric::new(&topo, small_cfg());
+        let mut q = EventQueue::new();
+        let ack = Packet::control(PacketKind::Ack, FlowId(0), HostId(0), HostId(1), 3, 0);
+        let mut pending = Vec::new();
+        fabric.host_start_tx(Time::ZERO, HostId(0), ack, &mut |t, e| pending.push((t, e)));
+        for (t, e) in pending {
+            q.push(t, e);
+        }
+        let (delivered, _) = run(&mut fabric, &mut q);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].0, Time::from_nanos(4_000)); // 2 × 2 µs
+    }
+
+    #[test]
+    fn path_hops_match_topology() {
+        let topo = Topology::fat_tree(4);
+        let fabric = Fabric::new(&topo, small_cfg());
+        // Same edge switch: 2 hops. Cross-pod: 6 hops.
+        assert_eq!(fabric.path_hops(HostId(0), HostId(1)), 2);
+        assert_eq!(
+            fabric.path_hops(HostId(0), HostId((topo.hosts - 1) as u32)),
+            6
+        );
+        assert_eq!(fabric.diameter_hops(), 6);
+    }
+}

@@ -1,0 +1,177 @@
+//! The simulated packet.
+//!
+//! Packets carry metadata only — payload bytes are never materialized.
+//! `wire_bytes` (payload + all header overhead) is the only thing the
+//! network cares about; the remaining fields exist for the transport
+//! layer above (sequence numbers, acknowledgement state, timestamps, ECN
+//! echoes). Keeping one concrete packet struct shared by every protocol
+//! mirrors how packet-level simulators like INET/ns-3 attach a common
+//! header chain, and keeps the hot path allocation-free.
+
+use irn_sim::Time;
+
+/// Identifies an endhost (server) in the fabric: dense index `0..hosts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// The host index as a usize (for table lookups).
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a flow (one unit of data transfer between a source and a
+/// destination queue pair, §4.1): dense index into the run's flow table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The flow index as a usize (for table lookups).
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What role a packet plays for the transport layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A data segment (request direction).
+    Data,
+    /// Cumulative acknowledgement (`psn` = next expected sequence).
+    Ack,
+    /// Negative acknowledgement: cumulative ack in `psn` plus, for IRN,
+    /// the sequence number that triggered it in `sack` (§3.1).
+    Nack,
+    /// DCQCN Congestion Notification Packet (one per CNP interval when
+    /// marked packets arrive).
+    Cnp,
+}
+
+/// A simulated packet / frame.
+///
+/// PFC PAUSE frames are *not* `Packet`s: they are modelled as link-level
+/// control signalling inside the fabric (see `FabricEvent::PfcArrive`),
+/// matching how PFC bypasses normal queues in real switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Source endhost.
+    pub src: HostId,
+    /// Destination endhost (routing key).
+    pub dst: HostId,
+    /// Transport role.
+    pub kind: PacketKind,
+    /// Data: packet sequence number. Ack/Nack: cumulative acknowledgement
+    /// (the receiver's expected sequence number).
+    pub psn: u32,
+    /// Nack: PSN of the out-of-order arrival that triggered it (IRN's
+    /// simplified SACK, §3.1). Unused otherwise.
+    pub sack: u32,
+    /// Total bytes on the wire, including every header. Zero is legal
+    /// (pure-signalling frames used by the RoCE baseline, whose ACK
+    /// overhead the paper deliberately excludes, §5.2).
+    pub wire_bytes: u32,
+    /// When the packet this one acknowledges was sent (echoed by the
+    /// receiver so Timely can compute an RTT without sender-side maps),
+    /// or the send time of this data packet.
+    pub sent_at: Time,
+    /// Congestion Experienced: set by switches via RED/ECN marking.
+    pub ecn_ce: bool,
+    /// ECN echo on Ack/Nack packets (for DCTCP's marked-fraction
+    /// estimator).
+    pub ecn_echo: bool,
+    /// True on the last data packet of a message/flow.
+    pub is_last: bool,
+    /// Per-flow ECMP hash seed; combined with the switch id to pick among
+    /// equal-cost next hops so a flow follows one consistent path.
+    pub ecmp_seed: u32,
+    /// Retransmission flag (for statistics / debugging only; the network
+    /// treats retransmissions like any other data packet).
+    pub is_retx: bool,
+}
+
+impl Packet {
+    /// A data packet with the common fields filled in; the caller sets
+    /// acknowledgement-related fields as needed.
+    pub fn data(flow: FlowId, src: HostId, dst: HostId, psn: u32, wire_bytes: u32) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            kind: PacketKind::Data,
+            psn,
+            sack: 0,
+            wire_bytes,
+            sent_at: Time::ZERO,
+            ecn_ce: false,
+            ecn_echo: false,
+            is_last: false,
+            ecmp_seed: flow.0,
+            is_retx: false,
+        }
+    }
+
+    /// A control packet (ACK / NACK / CNP) flowing `src → dst`.
+    pub fn control(
+        kind: PacketKind,
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        psn: u32,
+        wire_bytes: u32,
+    ) -> Packet {
+        debug_assert!(kind != PacketKind::Data);
+        Packet {
+            flow,
+            src,
+            dst,
+            kind,
+            psn,
+            sack: 0,
+            wire_bytes,
+            sent_at: Time::ZERO,
+            ecn_ce: false,
+            ecn_echo: false,
+            is_last: false,
+            ecmp_seed: flow.0,
+            is_retx: false,
+        }
+    }
+
+    /// True for data packets.
+    pub fn is_data(&self) -> bool {
+        self.kind == PacketKind::Data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_constructor_sets_kind_and_seed() {
+        let p = Packet::data(FlowId(7), HostId(1), HostId(2), 42, 1048);
+        assert!(p.is_data());
+        assert_eq!(p.psn, 42);
+        assert_eq!(p.ecmp_seed, 7);
+        assert!(!p.is_retx);
+        assert!(!p.ecn_ce);
+    }
+
+    #[test]
+    fn control_constructor() {
+        let p = Packet::control(PacketKind::Ack, FlowId(3), HostId(2), HostId(1), 10, 64);
+        assert_eq!(p.kind, PacketKind::Ack);
+        assert!(!p.is_data());
+        assert_eq!(p.wire_bytes, 64);
+    }
+
+    #[test]
+    fn packet_is_small() {
+        // The hot path copies packets by value through VOQs; keep the
+        // struct compact. 64 bytes = one cache line.
+        assert!(std::mem::size_of::<Packet>() <= 64);
+    }
+}

@@ -1,0 +1,316 @@
+//! Shortest-path routing tables with per-flow ECMP.
+//!
+//! The paper's experiments load-balance with ECMP (§4.1): each flow
+//! hashes onto one of the equal-cost shortest paths to its destination
+//! and stays there (no packet-level spraying, so reordering only comes
+//! from loss — §7 discusses the alternative). This module precomputes,
+//! for every `(switch, destination-host)` pair, the set of output ports
+//! that lie on a shortest path, and provides the deterministic hash that
+//! picks among them.
+
+use crate::topology::{NodeId, Topology};
+
+/// Port-level view of a [`Topology`]: who is plugged into which port.
+///
+/// Port numbers follow cable order (the convention documented on
+/// [`Topology`]): a switch's n-th cable occupies its port n.
+#[derive(Debug, Clone)]
+pub struct PortMap {
+    /// For each switch, the neighbor on each port (indexed by port).
+    pub switch_ports: Vec<Vec<NodeId>>,
+    /// For each host: the switch it is attached to and the port index on
+    /// that switch.
+    pub host_attachment: Vec<(u32, u16)>,
+}
+
+impl PortMap {
+    /// Build the port map from a topology (validates host degree).
+    pub fn new(topo: &Topology) -> PortMap {
+        let mut switch_ports: Vec<Vec<NodeId>> = vec![Vec::new(); topo.switches];
+        let mut host_attachment: Vec<Option<(u32, u16)>> = vec![None; topo.hosts];
+
+        for cable in &topo.cables {
+            // Register each switch end; record host attachments.
+            let ends = [(cable.a, cable.b), (cable.b, cable.a)];
+            for (me, other) in ends {
+                if let NodeId::Switch(s) = me {
+                    let port = switch_ports[s as usize].len() as u16;
+                    switch_ports[s as usize].push(other);
+                    if let NodeId::Host(h) = other {
+                        assert!(
+                            host_attachment[h as usize].is_none(),
+                            "host {h} attached more than once"
+                        );
+                        host_attachment[h as usize] = Some((s, port));
+                    }
+                }
+            }
+            if let (NodeId::Host(a), NodeId::Host(b)) = (cable.a, cable.b) {
+                panic!("direct host-host cable ({a}-{b}) is not supported");
+            }
+        }
+
+        let host_attachment = host_attachment
+            .into_iter()
+            .enumerate()
+            .map(|(h, a)| a.unwrap_or_else(|| panic!("host {h} is not attached to any switch")))
+            .collect();
+
+        PortMap {
+            switch_ports,
+            host_attachment,
+        }
+    }
+
+    /// Number of ports on switch `s`.
+    pub fn radix(&self, s: usize) -> usize {
+        self.switch_ports[s].len()
+    }
+}
+
+/// Precomputed ECMP routing state for one topology.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    /// `next[switch][host]` = output ports on shortest paths to `host`.
+    next: Vec<Vec<Vec<u16>>>,
+    /// Flattened hosts×hosts matrix of shortest-path lengths in links.
+    host_dist: Vec<u16>,
+    hosts: usize,
+    /// Longest shortest host-to-host path, in links traversed.
+    pub diameter_hops: usize,
+}
+
+impl Routes {
+    /// Compute shortest-path DAGs by BFS from every host.
+    ///
+    /// Complexity O(hosts × (switches + cables)) — instantaneous for
+    /// every topology in the paper (≤ 250 hosts, ≤ 125 switches).
+    pub fn build(topo: &Topology, ports: &PortMap) -> Routes {
+        let s_count = topo.switches;
+        let h_count = topo.hosts;
+
+        // Switch-to-switch adjacency in port terms.
+        // adj[s] = list of (port, neighbor switch) | (port, host).
+        let mut next = vec![vec![Vec::new(); h_count]; s_count];
+        let mut host_dist = vec![0u16; h_count * h_count];
+        let mut diameter = 0usize;
+
+        for dst in 0..h_count {
+            // BFS over switches, seeded at the destination's edge switch.
+            let (attach_sw, _) = ports.host_attachment[dst];
+            let mut dist = vec![usize::MAX; s_count];
+            let mut queue = std::collections::VecDeque::new();
+            dist[attach_sw as usize] = 1; // one link: edge switch → host
+            queue.push_back(attach_sw as usize);
+            while let Some(s) = queue.pop_front() {
+                for n in &ports.switch_ports[s] {
+                    if let NodeId::Switch(t) = n {
+                        let t = t.idx_usize();
+                        if dist[t] == usize::MAX {
+                            dist[t] = dist[s] + 1;
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+
+            // Candidate ports: any neighbor strictly closer to dst.
+            for s in 0..s_count {
+                if dist[s] == usize::MAX {
+                    continue; // unreachable: left empty, fabric will panic on use
+                }
+                let mut cands = Vec::new();
+                for (port, n) in ports.switch_ports[s].iter().enumerate() {
+                    let closer = match n {
+                        NodeId::Host(h) => *h as usize == dst,
+                        NodeId::Switch(t) => {
+                            let td = dist[t.idx_usize()];
+                            td != usize::MAX && td + 1 == dist[s]
+                        }
+                    };
+                    if closer {
+                        cands.push(port as u16);
+                    }
+                }
+                debug_assert!(!cands.is_empty(), "switch {s} has no route to host {dst}");
+                next[s][dst] = cands;
+            }
+
+            // Host-to-host distance via each source host's edge switch.
+            for src in 0..h_count {
+                if src == dst {
+                    continue;
+                }
+                let (src_sw, _) = ports.host_attachment[src];
+                let d = dist[src_sw as usize] + 1; // + host→edge link
+                host_dist[src * h_count + dst] = d as u16;
+                diameter = diameter.max(d);
+            }
+        }
+
+        Routes {
+            next,
+            host_dist,
+            hosts: h_count,
+            diameter_hops: diameter,
+        }
+    }
+
+    /// Shortest-path length between two hosts, in links traversed
+    /// (0 for `src == dst`).
+    pub fn host_distance(&self, src: usize, dst: usize) -> usize {
+        self.host_dist[src * self.hosts + dst] as usize
+    }
+
+    /// The ECMP-selected output port on `switch` toward `dst_host` for a
+    /// flow carrying `ecmp_seed`.
+    ///
+    /// The hash mixes the seed with the switch id so one flow takes
+    /// independent (but fixed) choices at each hop, like hashing a
+    /// five-tuple with a switch-specific salt.
+    pub fn out_port(&self, switch: usize, dst_host: usize, ecmp_seed: u32) -> u16 {
+        let cands = &self.next[switch][dst_host];
+        assert!(
+            !cands.is_empty(),
+            "no route from switch {switch} to host {dst_host}"
+        );
+        if cands.len() == 1 {
+            return cands[0];
+        }
+        let h = splitmix64((ecmp_seed as u64) << 32 | switch as u64);
+        cands[(h % cands.len() as u64) as usize]
+    }
+
+    /// All equal-cost ports (for tests and path-diversity assertions).
+    pub fn candidates(&self, switch: usize, dst_host: usize) -> &[u16] {
+        &self.next[switch][dst_host]
+    }
+
+    /// Per-packet spraying (§7 "Reordering due to load-balancing"):
+    /// like [`Routes::out_port`] but mixes a per-packet `nonce` into the
+    /// hash, so consecutive packets of one flow spread over all
+    /// equal-cost paths (DRILL/packet-spray style schemes [20, 22]).
+    pub fn out_port_spray(
+        &self,
+        switch: usize,
+        dst_host: usize,
+        ecmp_seed: u32,
+        nonce: u32,
+    ) -> u16 {
+        let cands = &self.next[switch][dst_host];
+        assert!(
+            !cands.is_empty(),
+            "no route from switch {switch} to host {dst_host}"
+        );
+        if cands.len() == 1 {
+            return cands[0];
+        }
+        let h = splitmix64(((ecmp_seed as u64) << 32 | switch as u64) ^ ((nonce as u64) << 17));
+        cands[(h % cands.len() as u64) as usize]
+    }
+}
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer (public domain), used
+/// only for ECMP hashing — never for workload randomness.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+trait SwitchIdxExt {
+    fn idx_usize(&self) -> usize;
+}
+impl SwitchIdxExt for u32 {
+    fn idx_usize(&self) -> usize {
+        *self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routes_for(topo: &Topology) -> (PortMap, Routes) {
+        let ports = PortMap::new(topo);
+        let routes = Routes::build(topo, &ports);
+        (ports, routes)
+    }
+
+    #[test]
+    fn single_switch_routes_directly() {
+        let t = Topology::single_switch(3);
+        let (ports, routes) = routes_for(&t);
+        assert_eq!(routes.diameter_hops, 2);
+        for dst in 0..3 {
+            let port = routes.out_port(0, dst, 99);
+            assert_eq!(ports.switch_ports[0][port as usize], NodeId::Host(dst as u32));
+        }
+    }
+
+    #[test]
+    fn dumbbell_crosses_the_bottleneck() {
+        let t = Topology::dumbbell(2, 2);
+        let (_, routes) = routes_for(&t);
+        assert_eq!(routes.diameter_hops, 3);
+        // From switch 0, hosts 2 and 3 must route via the inter-switch
+        // port (the only non-host port on switch 0: port index 2).
+        assert_eq!(routes.candidates(0, 2), &[2]);
+        assert_eq!(routes.candidates(0, 3), &[2]);
+    }
+
+    #[test]
+    fn fat_tree_k4_diameter_and_path_diversity() {
+        let t = Topology::fat_tree(4);
+        let (ports, routes) = routes_for(&t);
+        assert_eq!(routes.diameter_hops, 6);
+        // From an edge switch, a host in a different pod has k/2 = 2
+        // equal-cost uplinks.
+        let (edge_of_h0, _) = ports.host_attachment[0];
+        let far_host = t.hosts - 1;
+        assert_eq!(routes.candidates(edge_of_h0 as usize, far_host).len(), 2);
+        // A host on the same switch has exactly one candidate (its port).
+        assert_eq!(routes.candidates(edge_of_h0 as usize, 1).len(), 1);
+    }
+
+    #[test]
+    fn fat_tree_k6_diameter_matches_paper() {
+        let t = Topology::fat_tree(6);
+        let (_, routes) = routes_for(&t);
+        assert_eq!(routes.diameter_hops, 6, "§4.1: longest path is 6 hops");
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_and_spreads() {
+        let t = Topology::fat_tree(4);
+        let (ports, routes) = routes_for(&t);
+        let (edge, _) = ports.host_attachment[0];
+        let dst = t.hosts - 1;
+        // Deterministic: same seed, same port.
+        let p1 = routes.out_port(edge as usize, dst, 5);
+        let p2 = routes.out_port(edge as usize, dst, 5);
+        assert_eq!(p1, p2);
+        // Spreads: many seeds should cover all candidates.
+        let cands = routes.candidates(edge as usize, dst);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            seen.insert(routes.out_port(edge as usize, dst, seed));
+        }
+        assert_eq!(seen.len(), cands.len(), "ECMP must use all candidate ports");
+    }
+
+    #[test]
+    fn all_pairs_reachable_in_fat_tree() {
+        let t = Topology::fat_tree(4);
+        let (_, routes) = routes_for(&t);
+        for s in 0..t.switches {
+            for h in 0..t.hosts {
+                assert!(
+                    !routes.candidates(s, h).is_empty(),
+                    "switch {s} cannot reach host {h}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The input-queued switch model (§4.1 of the paper).
+//!
+//! "All switches in our simulation are input-queued with virtual output
+//! ports, that are scheduled using round-robin. The switches can be
+//! configured to generate PFC frames by setting appropriate buffer
+//! thresholds."
+//!
+//! * Every input port owns a byte-budgeted buffer; packets are stored in
+//!   **virtual output queues** (one per output) so one blocked output
+//!   cannot head-of-line-block a different output *inside* the switch.
+//!   (HoL blocking in the paper comes from PFC pauses, not the fabric.)
+//! * Each output port arbitrates **round-robin across input ports**.
+//! * **PFC** (802.1Qbb): when an input port's occupancy crosses the X-OFF
+//!   threshold, an X-OFF is owed to the upstream transmitter; when it
+//!   drains to the X-ON threshold the pause is lifted. One traffic class
+//!   is modelled (the class RDMA rides on).
+//! * **ECN**: data packets are marked Congestion-Experienced with a
+//!   RED-style probability driven by the egress occupancy (total bytes
+//!   queued for the packet's output port), the signal DCQCN \[37\] and
+//!   DCTCP \[15\] react to.
+//!
+//! This module is pure state — no event scheduling — so every branch is
+//! unit-testable; the event plumbing lives in [`crate::fabric`].
+
+use std::collections::VecDeque;
+
+use irn_sim::{Duration, SimRng};
+
+use crate::packet::Packet;
+use crate::units::Bandwidth;
+
+/// Priority Flow Control thresholds for one input port, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfcConfig {
+    /// Send X-OFF when input-port occupancy exceeds this.
+    pub xoff_bytes: u64,
+    /// Send X-ON when occupancy drains to or below this. Must be
+    /// ≤ `xoff_bytes`; a gap adds hysteresis against pause-frame storms.
+    pub xon_bytes: u64,
+}
+
+impl PfcConfig {
+    /// The paper's provisioning rule (§4.1): threshold = buffer −
+    /// headroom, headroom = the upstream link's bandwidth-delay product
+    /// (it must absorb everything in flight while the pause propagates).
+    ///
+    /// We add two maximum-size frames of slop for the frame that may be
+    /// mid-serialization when the pause lands plus the one crossing the
+    /// wire — the standard 802.1Qbb worst-case provisioning — so PFC is
+    /// genuinely lossless (asserted by tests).
+    pub fn for_buffer(
+        buffer_bytes: u64,
+        upstream_bw: Bandwidth,
+        prop_delay: Duration,
+        max_frame_bytes: u64,
+    ) -> PfcConfig {
+        let in_flight = upstream_bw.bytes_in(prop_delay * 2);
+        let headroom = in_flight + 2 * max_frame_bytes;
+        assert!(
+            buffer_bytes > headroom,
+            "buffer ({buffer_bytes} B) must exceed PFC headroom ({headroom} B)"
+        );
+        let xoff = buffer_bytes - headroom;
+        PfcConfig {
+            xoff_bytes: xoff,
+            // Resume two frames below X-OFF: hysteresis without
+            // sacrificing utilization.
+            xon_bytes: xoff.saturating_sub(2 * max_frame_bytes),
+        }
+    }
+}
+
+/// RED-style ECN marking parameters (the DCQCN switch configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcnConfig {
+    /// No marking below this egress occupancy.
+    pub kmin_bytes: u64,
+    /// Always mark above this occupancy.
+    pub kmax_bytes: u64,
+    /// Marking probability at `kmax` (ramps linearly from 0 at `kmin`).
+    pub pmax: f64,
+}
+
+impl EcnConfig {
+    /// Parameters from the DCQCN paper \[37\] as used for 10–40 Gbps links.
+    pub fn dcqcn_default() -> EcnConfig {
+        EcnConfig {
+            kmin_bytes: 40_000,  // ~5 packets at 8 KB MTU in [37]; 40 KB here
+            kmax_bytes: 200_000, // 200 KB
+            pmax: 0.01,
+        }
+    }
+
+    /// DCTCP-style step marking at threshold `k` (mark everything above).
+    pub fn step(k_bytes: u64) -> EcnConfig {
+        EcnConfig {
+            kmin_bytes: k_bytes,
+            kmax_bytes: k_bytes,
+            pmax: 1.0,
+        }
+    }
+
+    /// Marking probability at egress occupancy `occ`.
+    pub fn mark_probability(&self, occ: u64) -> f64 {
+        if occ <= self.kmin_bytes {
+            0.0
+        } else if occ >= self.kmax_bytes {
+            1.0
+        } else {
+            self.pmax * (occ - self.kmin_bytes) as f64
+                / (self.kmax_bytes - self.kmin_bytes) as f64
+        }
+    }
+}
+
+/// Outcome of offering a packet to an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Packet queued. `send_xoff` means this arrival crossed the PFC
+    /// threshold and an X-OFF is now owed to the upstream transmitter.
+    Queued {
+        /// Owe an X-OFF pause frame upstream.
+        send_xoff: bool,
+    },
+    /// Buffer overflow: packet dropped (only possible without PFC, or
+    /// with misconfigured headroom).
+    Dropped,
+}
+
+/// Outcome of dequeuing a packet for an output port.
+#[derive(Debug, Clone)]
+pub struct Dequeue {
+    /// The packet to transmit.
+    pub pkt: Packet,
+    /// Input port it came from (pause bookkeeping).
+    pub in_port: u16,
+    /// This departure drained the input port to its X-ON threshold: owe
+    /// a resume frame upstream.
+    pub send_xon: bool,
+}
+
+/// Counters exported by each switch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets dropped to buffer overflow.
+    pub buffer_drops: u64,
+    /// X-OFF pause frames generated.
+    pub pauses_sent: u64,
+    /// X-ON resume frames generated.
+    pub resumes_sent: u64,
+    /// Data packets ECN-marked.
+    pub ecn_marked: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// High-water mark of any input port's occupancy, bytes.
+    pub max_input_occupancy: u64,
+}
+
+/// Run-time state of one input-queued switch.
+#[derive(Debug)]
+pub struct SwitchState {
+    radix: usize,
+    buffer_bytes: u64,
+    pfc: Option<PfcConfig>,
+    ecn: Option<EcnConfig>,
+    /// Bytes buffered per input port.
+    input_occ: Vec<u64>,
+    /// `voq[out * radix + inp]`: packets from `inp` waiting for `out`.
+    voq: Vec<VecDeque<Packet>>,
+    /// Total bytes queued for each output port (ECN signal).
+    egress_bytes: Vec<u64>,
+    /// Round-robin position per output port.
+    rr_cursor: Vec<usize>,
+    /// Whether we currently hold the upstream of each input port paused.
+    xoff_active: Vec<bool>,
+    /// Counters.
+    pub stats: SwitchStats,
+}
+
+impl SwitchState {
+    /// A switch with `radix` ports, `buffer_bytes` per input port.
+    pub fn new(
+        radix: usize,
+        buffer_bytes: u64,
+        pfc: Option<PfcConfig>,
+        ecn: Option<EcnConfig>,
+    ) -> SwitchState {
+        assert!(radix > 0);
+        if let Some(p) = pfc {
+            assert!(p.xon_bytes <= p.xoff_bytes, "X-ON must not exceed X-OFF");
+            assert!(
+                p.xoff_bytes < buffer_bytes,
+                "X-OFF threshold must leave headroom below the buffer size"
+            );
+        }
+        SwitchState {
+            radix,
+            buffer_bytes,
+            pfc,
+            ecn,
+            input_occ: vec![0; radix],
+            voq: (0..radix * radix).map(|_| VecDeque::new()).collect(),
+            egress_bytes: vec![0; radix],
+            rr_cursor: vec![0; radix],
+            xoff_active: vec![false; radix],
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Offer a packet arriving on `in_port` destined for `out_port`.
+    ///
+    /// On success the packet lands in the VOQ (possibly ECN-marked); the
+    /// caller must then try to start the output port if it is idle, and
+    /// deliver an X-OFF upstream if requested.
+    pub fn enqueue(
+        &mut self,
+        in_port: u16,
+        out_port: u16,
+        mut pkt: Packet,
+        rng: &mut SimRng,
+    ) -> Enqueue {
+        let (inp, out) = (in_port as usize, out_port as usize);
+        assert!(inp < self.radix && out < self.radix, "port out of range");
+        let size = pkt.wire_bytes as u64;
+
+        if self.input_occ[inp] + size > self.buffer_bytes {
+            self.stats.buffer_drops += 1;
+            return Enqueue::Dropped;
+        }
+
+        // ECN: mark data packets against the *egress* occupancy they join
+        // (DCQCN marks on egress enqueue).
+        if let Some(ecn) = &self.ecn {
+            if pkt.is_data() {
+                let p = ecn.mark_probability(self.egress_bytes[out] + size);
+                if rng.chance(p) {
+                    pkt.ecn_ce = true;
+                    self.stats.ecn_marked += 1;
+                }
+            }
+        }
+
+        self.input_occ[inp] += size;
+        self.egress_bytes[out] += size;
+        self.stats.max_input_occupancy = self.stats.max_input_occupancy.max(self.input_occ[inp]);
+        self.voq[out * self.radix + inp].push_back(pkt);
+
+        let mut send_xoff = false;
+        if let Some(pfc) = &self.pfc {
+            if !self.xoff_active[inp] && self.input_occ[inp] > pfc.xoff_bytes {
+                self.xoff_active[inp] = true;
+                self.stats.pauses_sent += 1;
+                send_xoff = true;
+            }
+        }
+        Enqueue::Queued { send_xoff }
+    }
+
+    /// Pick the next packet for `out_port`, round-robin across input
+    /// ports. Returns `None` when no VOQ for this output has traffic.
+    pub fn dequeue(&mut self, out_port: u16) -> Option<Dequeue> {
+        let out = out_port as usize;
+        assert!(out < self.radix, "port out of range");
+        let start = self.rr_cursor[out];
+        for off in 0..self.radix {
+            let inp = (start + off) % self.radix;
+            if let Some(pkt) = self.voq[out * self.radix + inp].pop_front() {
+                // Advance past the input we just served.
+                self.rr_cursor[out] = (inp + 1) % self.radix;
+                let size = pkt.wire_bytes as u64;
+                self.input_occ[inp] -= size;
+                self.egress_bytes[out] -= size;
+                self.stats.forwarded += 1;
+
+                let mut send_xon = false;
+                if let Some(pfc) = &self.pfc {
+                    if self.xoff_active[inp] && self.input_occ[inp] <= pfc.xon_bytes {
+                        self.xoff_active[inp] = false;
+                        self.stats.resumes_sent += 1;
+                        send_xon = true;
+                    }
+                }
+                return Some(Dequeue {
+                    pkt,
+                    in_port: inp as u16,
+                    send_xon,
+                });
+            }
+        }
+        None
+    }
+
+    /// True if any packet is waiting for `out_port`.
+    pub fn has_traffic(&self, out_port: u16) -> bool {
+        self.egress_bytes[out_port as usize] > 0
+            || (0..self.radix).any(|inp| !self.voq[out_port as usize * self.radix + inp].is_empty())
+    }
+
+    /// Occupancy of input port `p`, bytes.
+    pub fn input_occupancy(&self, p: u16) -> u64 {
+        self.input_occ[p as usize]
+    }
+
+    /// Bytes queued toward output port `p`.
+    pub fn egress_occupancy(&self, p: u16) -> u64 {
+        self.egress_bytes[p as usize]
+    }
+
+    /// Whether this switch currently holds input port `p`'s upstream
+    /// paused.
+    pub fn holds_paused(&self, p: u16) -> bool {
+        self.xoff_active[p as usize]
+    }
+
+    /// Port count.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, HostId};
+
+    fn pkt(bytes: u32) -> Packet {
+        Packet::data(FlowId(0), HostId(0), HostId(1), 0, bytes)
+    }
+
+    fn rng() -> SimRng {
+        SimRng::new(1)
+    }
+
+    #[test]
+    fn fifo_within_one_voq() {
+        let mut sw = SwitchState::new(2, 10_000, None, None);
+        let mut r = rng();
+        for psn in 0..3 {
+            let mut p = pkt(100);
+            p.psn = psn;
+            assert!(matches!(sw.enqueue(0, 1, p, &mut r), Enqueue::Queued { .. }));
+        }
+        for psn in 0..3 {
+            assert_eq!(sw.dequeue(1).unwrap().pkt.psn, psn);
+        }
+        assert!(sw.dequeue(1).is_none());
+    }
+
+    #[test]
+    fn round_robin_across_inputs() {
+        let mut sw = SwitchState::new(3, 10_000, None, None);
+        let mut r = rng();
+        // Two packets from each of inputs 0 and 1, all to output 2.
+        for inp in [0u16, 1] {
+            for psn in 0..2 {
+                let mut p = pkt(100);
+                p.psn = psn;
+                p.sack = inp as u32; // tag origin for the assertion
+                sw.enqueue(inp, 2, p, &mut r);
+            }
+        }
+        let order: Vec<u32> = (0..4).map(|_| sw.dequeue(2).unwrap().pkt.sack).collect();
+        assert_eq!(order, vec![0, 1, 0, 1], "must alternate between inputs");
+    }
+
+    #[test]
+    fn buffer_overflow_drops_without_pfc() {
+        let mut sw = SwitchState::new(2, 250, None, None);
+        let mut r = rng();
+        assert!(matches!(sw.enqueue(0, 1, pkt(200), &mut r), Enqueue::Queued { .. }));
+        assert_eq!(sw.enqueue(0, 1, pkt(100), &mut r), Enqueue::Dropped);
+        assert_eq!(sw.stats.buffer_drops, 1);
+        // Zero-byte control frames always fit.
+        assert!(matches!(sw.enqueue(0, 1, pkt(0), &mut r), Enqueue::Queued { .. }));
+    }
+
+    #[test]
+    fn pfc_xoff_fires_once_on_threshold_crossing() {
+        let pfc = PfcConfig {
+            xoff_bytes: 250,
+            xon_bytes: 100,
+        };
+        let mut sw = SwitchState::new(2, 1000, Some(pfc), None);
+        let mut r = rng();
+        assert_eq!(
+            sw.enqueue(0, 1, pkt(200), &mut r),
+            Enqueue::Queued { send_xoff: false }
+        );
+        // Crosses 250 B: X-OFF owed.
+        assert_eq!(
+            sw.enqueue(0, 1, pkt(100), &mut r),
+            Enqueue::Queued { send_xoff: true }
+        );
+        // Already paused: no duplicate X-OFF.
+        assert_eq!(
+            sw.enqueue(0, 1, pkt(100), &mut r),
+            Enqueue::Queued { send_xoff: false }
+        );
+        assert_eq!(sw.stats.pauses_sent, 1);
+        assert!(sw.holds_paused(0));
+    }
+
+    #[test]
+    fn pfc_xon_fires_when_drained_to_threshold() {
+        let pfc = PfcConfig {
+            xoff_bytes: 250,
+            xon_bytes: 100,
+        };
+        let mut sw = SwitchState::new(2, 1000, Some(pfc), None);
+        let mut r = rng();
+        for _ in 0..3 {
+            sw.enqueue(0, 1, pkt(100), &mut r);
+        }
+        assert!(sw.holds_paused(0));
+        // 300 → 200: still above X-ON (100).
+        assert!(!sw.dequeue(1).unwrap().send_xon);
+        // 200 → 100: at X-ON, resume.
+        assert!(sw.dequeue(1).unwrap().send_xon);
+        assert!(!sw.holds_paused(0));
+        assert_eq!(sw.stats.resumes_sent, 1);
+    }
+
+    #[test]
+    fn pfc_is_per_input_port() {
+        let pfc = PfcConfig {
+            xoff_bytes: 150,
+            xon_bytes: 50,
+        };
+        let mut sw = SwitchState::new(3, 1000, Some(pfc), None);
+        let mut r = rng();
+        // Fill input 0 past the threshold; input 1 stays quiet.
+        sw.enqueue(0, 2, pkt(200), &mut r);
+        assert!(sw.holds_paused(0));
+        assert!(!sw.holds_paused(1));
+        assert!(matches!(
+            sw.enqueue(1, 2, pkt(100), &mut r),
+            Enqueue::Queued { send_xoff: false }
+        ));
+    }
+
+    #[test]
+    fn ecn_marks_above_kmax_never_below_kmin() {
+        let ecn = EcnConfig {
+            kmin_bytes: 500,
+            kmax_bytes: 1000,
+            pmax: 1.0,
+        };
+        let mut sw = SwitchState::new(2, 1_000_000, None, Some(ecn));
+        let mut r = rng();
+        // First packet joins an empty egress queue: occupancy 400 < kmin.
+        sw.enqueue(0, 1, pkt(400), &mut r);
+        // Keep filling: once occupancy ≥ kmax every data packet is marked.
+        for _ in 0..5 {
+            sw.enqueue(0, 1, pkt(400), &mut r);
+        }
+        let mut marked = Vec::new();
+        while let Some(d) = sw.dequeue(1) {
+            marked.push(d.pkt.ecn_ce);
+        }
+        assert!(!marked[0], "below kmin must not be marked");
+        assert!(
+            marked[2..].iter().all(|&m| m),
+            "above kmax every packet must be marked, got {marked:?}"
+        );
+    }
+
+    #[test]
+    fn ecn_ignores_control_packets() {
+        let ecn = EcnConfig::step(0); // mark everything
+        let mut sw = SwitchState::new(2, 1_000_000, None, Some(ecn));
+        let mut r = rng();
+        let ack = Packet::control(
+            crate::packet::PacketKind::Ack,
+            FlowId(0),
+            HostId(1),
+            HostId(0),
+            5,
+            64,
+        );
+        sw.enqueue(0, 1, ack, &mut r);
+        assert!(!sw.dequeue(1).unwrap().pkt.ecn_ce);
+    }
+
+    #[test]
+    fn mark_probability_ramp() {
+        let ecn = EcnConfig {
+            kmin_bytes: 100,
+            kmax_bytes: 300,
+            pmax: 0.5,
+        };
+        assert_eq!(ecn.mark_probability(50), 0.0);
+        assert_eq!(ecn.mark_probability(100), 0.0);
+        assert!((ecn.mark_probability(200) - 0.25).abs() < 1e-12);
+        assert_eq!(ecn.mark_probability(300), 1.0); // note: ≥kmax ⇒ 1.0
+        assert_eq!(ecn.mark_probability(400), 1.0);
+    }
+
+    #[test]
+    fn for_buffer_matches_paper_provisioning() {
+        // §4.1 defaults: 240 KB buffer, 40 Gbps, 2 µs ⇒ headroom 20 KB
+        // (+ 2 max frames of slop), threshold ≈ 220 KB.
+        let pfc = PfcConfig::for_buffer(
+            240_000,
+            Bandwidth::from_gbps(40),
+            Duration::micros(2),
+            1_048,
+        );
+        assert_eq!(pfc.xoff_bytes, 240_000 - 20_000 - 2 * 1_048);
+        assert!(pfc.xon_bytes < pfc.xoff_bytes);
+    }
+
+    #[test]
+    fn egress_accounting_balances() {
+        let mut sw = SwitchState::new(2, 100_000, None, None);
+        let mut r = rng();
+        for _ in 0..10 {
+            sw.enqueue(0, 1, pkt(1000), &mut r);
+        }
+        assert_eq!(sw.egress_occupancy(1), 10_000);
+        assert_eq!(sw.input_occupancy(0), 10_000);
+        for _ in 0..10 {
+            sw.dequeue(1);
+        }
+        assert_eq!(sw.egress_occupancy(1), 0);
+        assert_eq!(sw.input_occupancy(0), 0);
+        assert!(!sw.has_traffic(1));
+    }
+}

@@ -1,0 +1,150 @@
+//! NIC state accounting (§6.1): the memory overhead IRN adds to a RoCE
+//! NIC, reproduced from first principles so the paper's numbers fall out
+//! of the configuration.
+//!
+//! §6.1's breakdown:
+//!
+//! * **Per-QP state variables** — 24 bits for the retransmission
+//!   sequence, 24 for the recovery sequence, 4 flag bits = 52 bits at
+//!   the requester and 52 at the responder (104); Read timeouts add a
+//!   timer and an in-progress-Read tracker (56 bits) at the responder —
+//!   160 bits per QP total.
+//! * **Bitmaps** — five BDP-sized bitmaps: two for the responder's
+//!   2-bitmap, one for the requester's Read responses, one SACK bitmap
+//!   at each side. At 128 bits each (40 Gbps × up-to-24 µs two-way
+//!   propagation) that is 640 bits per QP.
+//! * **Per-WQE** — the `recv_WQE_SN`/`read_WQE_SN` counters add 3 bytes
+//!   to a 64-byte WQE context.
+//! * **Shared** — BDP cap, RTO_low, N: 10 bytes per NIC.
+//!
+//! The paper concludes 3–10 % of a multi-MB NIC cache for a couple of
+//! thousand QPs and tens of thousands of WQEs; [`StateBudget::cache_fraction`]
+//! reproduces that claim.
+
+/// Width of a PSN-tracking field (RoCE PSNs are 24-bit).
+const PSN_BITS: u64 = 24;
+/// Transport flag bits IRN adds (§6.1: "4 bits for various flags").
+const FLAG_BITS: u64 = 4;
+/// Responder Read-timeout additions (§6.1: timer + in-progress Read
+/// tracking = 56 bits).
+const READ_TIMEOUT_BITS: u64 = 56;
+/// Bitmaps IRN needs per QP (§6.1): responder 2-bitmap (2), requester
+/// read-response bitmap (1), SACK bitmap at each end (2).
+const BITMAP_COUNT: u64 = 5;
+/// Extra per-WQE context: the WQE sequence-number counters (3 bytes).
+const PER_WQE_EXTRA_BYTES: u64 = 3;
+/// Shared (cross-QP) additions: BDP cap value, RTO_low, N (10 bytes).
+const SHARED_BYTES: u64 = 10;
+
+/// IRN's additional NIC state for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBudget {
+    /// Additional per-QP state-variable bits (requester + responder +
+    /// read-timeout support).
+    pub per_qp_state_bits: u64,
+    /// Per-QP bitmap bits (five BDP-sized bitmaps).
+    pub per_qp_bitmap_bits: u64,
+    /// Additional bits per WQE context.
+    pub per_wqe_bits: u64,
+    /// Shared bytes per NIC.
+    pub shared_bytes: u64,
+}
+
+/// Compute the budget for bitmaps of `bdp_cap_bits` (the BDP cap rounded
+/// up to the bitmap chunk size; 128 for the paper's default network).
+pub fn irn_state_budget(bdp_cap_bits: u64) -> StateBudget {
+    let per_side = 2 * PSN_BITS + FLAG_BITS; // 52
+    StateBudget {
+        per_qp_state_bits: 2 * per_side + READ_TIMEOUT_BITS, // 160
+        per_qp_bitmap_bits: BITMAP_COUNT * bdp_cap_bits,     // 640 @128
+        per_wqe_bits: PER_WQE_EXTRA_BYTES * 8,
+        shared_bytes: SHARED_BYTES,
+    }
+}
+
+impl StateBudget {
+    /// Requester-or-responder transport state bits (the "52 bits each").
+    pub fn per_side_state_bits(&self) -> u64 {
+        (self.per_qp_state_bits - READ_TIMEOUT_BITS) / 2
+    }
+
+    /// Total additional bytes for `qps` QPs and `wqes` cached WQEs.
+    pub fn total_bytes(&self, qps: u64, wqes: u64) -> u64 {
+        let qp_bits = qps * (self.per_qp_state_bits + self.per_qp_bitmap_bits);
+        let wqe_bits = wqes * self.per_wqe_bits;
+        (qp_bits + wqe_bits).div_ceil(8) + self.shared_bytes
+    }
+
+    /// Fraction of a NIC cache of `cache_bytes` consumed.
+    pub fn cache_fraction(&self, qps: u64, wqes: u64, cache_bytes: u64) -> f64 {
+        self.total_bytes(qps, wqes) as f64 / cache_bytes as f64
+    }
+}
+
+/// Bitmap sizing for a link: BDP cap in packets rounded up to 32-bit
+/// chunks (the hardware ring-buffer granularity, §6.2).
+pub fn bitmap_bits_for(bdp_cap_packets: u64) -> u64 {
+    bdp_cap_packets.div_ceil(32) * 32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_per_qp_numbers() {
+        let b = irn_state_budget(128);
+        assert_eq!(b.per_side_state_bits(), 52, "§6.1: 52 bits per side");
+        assert_eq!(b.per_qp_state_bits, 160, "§6.1: 160 bits per QP");
+        assert_eq!(b.per_qp_bitmap_bits, 640, "§6.1: five 128-bit bitmaps");
+        assert_eq!(b.per_wqe_bits, 24, "§6.1: 3 bytes per WQE");
+        assert_eq!(b.shared_bytes, 10, "§6.1: 10 shared bytes");
+    }
+
+    #[test]
+    fn default_bdp_cap_needs_128_bit_bitmaps() {
+        // ~110 packets (§4.1) rounds up to 128 bits.
+        assert_eq!(bitmap_bits_for(110), 128);
+        // 100 Gbps: 2.5× the packets → 288-bit bitmaps (the §6.2
+        // synthesis scaled similarly).
+        assert_eq!(bitmap_bits_for(275), 288);
+    }
+
+    #[test]
+    fn cache_fraction_is_3_to_10_percent() {
+        // §6.1: "3-10% of the current NIC cache for a couple of
+        // thousands of QPs and tens of thousands of WQEs" — Mellanox
+        // NICs cache "several MBs" (we take 2–4 MB).
+        let b = irn_state_budget(128);
+        let scenarios = [
+            (1_000u64, 10_000u64, 4 << 20), // light
+            (2_000, 20_000, 4 << 20),
+            (2_000, 40_000, 4 << 20), // heavy
+        ];
+        for (qps, wqes, cache) in scenarios {
+            let f = b.cache_fraction(qps, wqes, cache);
+            assert!(
+                (0.02..=0.11).contains(&f),
+                "fraction {f:.3} out of the paper's 3-10% ballpark for {qps} QPs"
+            );
+        }
+    }
+
+    #[test]
+    fn total_bytes_arithmetic() {
+        let b = irn_state_budget(128);
+        // One QP, no WQEs: (160+640)/8 + 10 = 110 bytes.
+        assert_eq!(b.total_bytes(1, 0), 110);
+        // Add 8 WQEs: + 8*3 = 24 bytes.
+        assert_eq!(b.total_bytes(1, 8), 134);
+    }
+
+    #[test]
+    fn bigger_networks_grow_only_bitmaps() {
+        let small = irn_state_budget(128);
+        let big = irn_state_budget(320); // 100 Gbps-class
+        assert_eq!(small.per_qp_state_bits, big.per_qp_state_bits);
+        assert_eq!(big.per_qp_bitmap_bits, 5 * 320);
+        assert!(big.total_bytes(1, 0) > small.total_bytes(1, 0));
+    }
+}

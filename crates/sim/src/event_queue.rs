@@ -1,0 +1,197 @@
+//! The central event queue: a priority queue over virtual time with
+//! deterministic FIFO ordering of simultaneous events.
+//!
+//! Determinism matters: the paper's results hinge on packet-level races
+//! (which VOQ a round-robin arbiter visits first, whether a PAUSE frame
+//! beats a data packet). A plain `BinaryHeap<(Time, E)>` would order
+//! simultaneous events by `E`'s `Ord`, which is arbitrary and fragile;
+//! instead every push is stamped with a monotonically increasing sequence
+//! number so ties break strictly in insertion order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// Heap entry: ordered by `(time, seq)` ascending. The payload never
+/// participates in ordering.
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest entry first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events of type `E` are scheduled at absolute virtual times and popped
+/// in nondecreasing time order; events scheduled for the same instant pop
+/// in the order they were pushed.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at `Time::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: Time::ZERO,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            last_popped: Time::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past (before the last popped event) is a logic
+    /// error in the caller and panics in debug builds; in release builds
+    /// the event fires "now" (time never runs backwards).
+    pub fn push(&mut self, at: Time, event: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduled event in the past: {at} < {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at.max(self.last_popped),
+            seq,
+            event,
+        });
+    }
+
+    /// Remove and return the earliest event, advancing the queue's notion
+    /// of "now". Returns `None` when no events remain.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let entry = self.heap.pop()?;
+        self.last_popped = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the queue's "now").
+    pub fn now(&self) -> Time {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(30), "c");
+        q.push(Time::from_nanos(10), "a");
+        q.push(Time::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(10), 1);
+        q.push(Time::from_nanos(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // Schedule another event at the same time as a pending one: the
+        // pending (earlier-pushed) one must still pop first.
+        q.push(Time::from_nanos(20), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.push(Time::from_nanos(42), ());
+        q.pop();
+        assert_eq!(q.now(), Time::from_nanos(42));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time::ZERO + Duration::nanos(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(100), ());
+        q.pop();
+        q.push(Time::from_nanos(50), ());
+    }
+}

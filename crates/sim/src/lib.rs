@@ -1,0 +1,43 @@
+//! # irn-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate every other crate in the workspace builds
+//! on: a virtual clock with nanosecond resolution, an event queue with
+//! deterministic FIFO tie-breaking, a seeded random-number generator, and
+//! lazily-cancellable timers.
+//!
+//! The paper's evaluation ("Revisiting Network Support for RDMA",
+//! SIGCOMM 2018) ran on a vendor-internal OMNET++/INET model. This crate
+//! reproduces the *kernel* of such a simulator with two properties the
+//! reproduction depends on:
+//!
+//! 1. **Exact determinism.** Two runs with the same seed produce
+//!    bit-identical results, on any platform. All randomness flows through
+//!    [`SimRng`]; simultaneous events fire in insertion order.
+//! 2. **No wall-clock, no I/O, no threads.** Virtual time advances only
+//!    when events fire, so million-packet experiments run as fast as the
+//!    CPU allows and unit tests can assert on precise timestamps.
+//!
+//! ## Example
+//!
+//! ```
+//! use irn_sim::{EventQueue, Time, Duration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(Time::ZERO + Duration::micros(5), "second");
+//! q.push(Time::ZERO, "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (Time::ZERO, "first"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event_queue;
+mod rng;
+mod time;
+mod timer;
+
+pub use event_queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Duration, Time};
+pub use timer::TimerSlot;

@@ -1,0 +1,179 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! Every stochastic choice in the workspace (flow inter-arrivals, flow
+//! sizes, destinations, ECMP hashing salt, ECN coin flips) draws from a
+//! [`SimRng`] seeded from the experiment configuration, so a run is fully
+//! determined by its config.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::Duration;
+
+/// A deterministic random-number generator for simulation use.
+///
+/// Wraps `rand`'s `SmallRng` (xoshiro256++) with the handful of draws the
+/// simulator needs. `SmallRng`'s stream is stable for a given seed within
+/// a locked dependency version, which is all the reproduction requires.
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator; `salt` distinguishes
+    /// children of the same parent (e.g. one stream per host).
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let seed = self.inner.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(seed)
+    }
+
+    /// A uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// A uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// A uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index into empty collection");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to 0..=1).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// An exponentially distributed duration with the given mean; used for
+    /// Poisson flow inter-arrival times (§4.1 of the paper).
+    pub fn exp_duration(&mut self, mean: Duration) -> Duration {
+        // Inverse-CDF sampling; `1 - uniform()` avoids ln(0).
+        let u = 1.0 - self.uniform();
+        let scaled = -(u.ln()) * mean.as_nanos() as f64;
+        Duration::nanos(scaled.round() as u64)
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (order unspecified but
+    /// deterministic). Used to pick incast senders. Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct from {n}");
+        // Partial Fisher-Yates over an index vector.
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.inner.random_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimRng {{ .. }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn forked_children_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::new(42);
+        let mut parent2 = SimRng::new(42);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        for _ in 0..16 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn exp_duration_mean_is_close() {
+        let mut rng = SimRng::new(11);
+        let mean = Duration::micros(100);
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| rng.exp_duration(mean).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        let expect = mean.as_nanos() as f64;
+        assert!(
+            (avg - expect).abs() / expect < 0.05,
+            "sample mean {avg} too far from {expect}"
+        );
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = SimRng::new(9);
+        let s = rng.sample_distinct(50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sample_distinct_overflow_panics() {
+        SimRng::new(0).sample_distinct(3, 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Congestion-control parameters, as specified by the source papers.
+//!
+//! §4.1: "When using RoCE or IRN with Timely or DCQCN, we use the same
+//! congestion control parameters as specified in \[29\] and \[37\]
+//! respectively." Those values are encoded here verbatim where the
+//! papers give them; where a paper gives only a 10 Gbps configuration we
+//! keep the value and note it (the reproduction target is the *shape* of
+//! the comparisons, and every transport under test shares the same
+//! parameters).
+
+use irn_sim::Duration;
+
+/// DCQCN \[37\] reaction-point / notification-point parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcqcnParams {
+    /// EWMA gain for the alpha estimate (g = 1/256 in \[37\]).
+    pub g: f64,
+    /// Alpha update timer: alpha decays every such period without CNPs
+    /// (55 µs in \[37\]).
+    pub alpha_timer: Duration,
+    /// Rate-increase timer period (55 µs, the fast-recovery clock).
+    pub increase_timer: Duration,
+    /// Byte counter: a rate-increase event per this many bytes sent
+    /// (10 MB in \[37\]).
+    pub byte_counter: u64,
+    /// Fast-recovery threshold F: increase events before leaving fast
+    /// recovery (5 in \[37\]).
+    pub fast_recovery_threshold: u32,
+    /// Additive-increase step (40 Mbps in \[37\]).
+    pub rai_mbps: f64,
+    /// Hyper-increase step (400 Mbps in \[37\]).
+    pub rhai_mbps: f64,
+    /// Rate floor — DCQCN never pushes a flow below this.
+    pub min_rate_mbps: f64,
+    /// Notification point: minimum gap between CNPs per flow (50 µs).
+    pub cnp_interval: Duration,
+}
+
+impl DcqcnParams {
+    /// The values from the DCQCN paper \[37\].
+    pub fn paper() -> DcqcnParams {
+        DcqcnParams {
+            g: 1.0 / 256.0,
+            alpha_timer: Duration::micros(55),
+            increase_timer: Duration::micros(55),
+            byte_counter: 10 * 1024 * 1024,
+            fast_recovery_threshold: 5,
+            rai_mbps: 40.0,
+            rhai_mbps: 400.0,
+            min_rate_mbps: 40.0,
+            cnp_interval: Duration::micros(50),
+        }
+    }
+}
+
+/// Timely \[29\] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelyParams {
+    /// Additive increment δ (10 Mbps in \[29\]).
+    pub delta_mbps: f64,
+    /// Multiplicative-decrease factor β (0.8 in \[29\]).
+    pub beta: f64,
+    /// EWMA weight α for the RTT-difference filter (0.46 per \[29\]'s
+    /// patched implementation).
+    pub ewma_alpha: f64,
+    /// Below this RTT: pure additive increase (50 µs in \[29\]).
+    pub t_low: Duration,
+    /// Above this RTT: multiplicative decrease independent of gradient
+    /// (500 µs in \[29\]).
+    pub t_high: Duration,
+    /// Consecutive negative-gradient completions before hyperactive
+    /// increase (5 in \[29\]).
+    pub hai_threshold: u32,
+    /// Minimum RTT used to normalize the gradient (the paper's fabric
+    /// floor; 20 µs here ≈ the 24 µs propagation RTT minus queuing-free
+    /// slack).
+    pub min_rtt: Duration,
+    /// Rate floor.
+    pub min_rate_mbps: f64,
+    /// Minimum spacing between rate updates; `ZERO` = update on every
+    /// ACK (each MTU-sized segment is a completion event, \[29\]).
+    pub update_interval: Duration,
+}
+
+impl TimelyParams {
+    /// The values from the Timely paper \[29\].
+    pub fn paper() -> TimelyParams {
+        TimelyParams {
+            delta_mbps: 10.0,
+            beta: 0.8,
+            ewma_alpha: 0.46,
+            t_low: Duration::micros(50),
+            t_high: Duration::micros(500),
+            hai_threshold: 5,
+            min_rtt: Duration::micros(20),
+            min_rate_mbps: 10.0,
+            update_interval: Duration::ZERO,
+        }
+    }
+}
+
+/// TCP-style AIMD window parameters (§4.4.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AimdParams {
+    /// Additive increase per window's worth of ACKs, in packets.
+    pub increase_per_rtt: f64,
+    /// Multiplicative-decrease factor on a loss event.
+    pub decrease_factor: f64,
+    /// Window floor, packets.
+    pub min_cwnd: f64,
+}
+
+impl AimdParams {
+    /// Standard Reno-style constants.
+    pub fn default_params() -> AimdParams {
+        AimdParams {
+            increase_per_rtt: 1.0,
+            decrease_factor: 0.5,
+            min_cwnd: 1.0,
+        }
+    }
+}
+
+/// DCTCP \[15\] parameters (§4.4.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DctcpParams {
+    /// EWMA gain for the marked fraction (1/16 in \[15\]).
+    pub g: f64,
+    /// Window floor, packets.
+    pub min_cwnd: f64,
+}
+
+impl DctcpParams {
+    /// The values from the DCTCP paper \[15\].
+    pub fn default_params() -> DctcpParams {
+        DctcpParams {
+            g: 1.0 / 16.0,
+            min_cwnd: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcqcn_paper_values() {
+        let p = DcqcnParams::paper();
+        assert!((p.g - 0.00390625).abs() < 1e-12);
+        assert_eq!(p.alpha_timer, Duration::micros(55));
+        assert_eq!(p.byte_counter, 10 * 1024 * 1024);
+        assert_eq!(p.fast_recovery_threshold, 5);
+        assert_eq!(p.cnp_interval, Duration::micros(50));
+    }
+
+    #[test]
+    fn timely_paper_values() {
+        let p = TimelyParams::paper();
+        assert_eq!(p.t_low, Duration::micros(50));
+        assert_eq!(p.t_high, Duration::micros(500));
+        assert_eq!(p.beta, 0.8);
+        assert_eq!(p.delta_mbps, 10.0);
+    }
+}

@@ -1,0 +1,761 @@
+//! The sending half of a flow's queue pair.
+//!
+//! One [`SenderQp`] drives one flow (§4.1's unit of transfer). It
+//! composes four orthogonal mechanisms, mirroring the paper's factoring:
+//!
+//! 1. **Loss recovery** — either IRN's SACK-driven selective repeat
+//!    (§3.1), executed by the *same* `irn-rdma` packet-processing
+//!    modules the paper synthesizes for Table 2, or RoCE's go-back-N
+//!    rewind (§2.1);
+//! 2. **BDP-FC** — the static in-flight cap (§3.2);
+//! 3. **Congestion control** — optional rate pacing (Timely/DCQCN) or
+//!    window bounding (AIMD/DCTCP),§4.2.4/§4.4.4;
+//! 4. **Timeouts** — IRN's RTO_low/RTO_high split (§3.1) or RoCE's
+//!    single RTO_high; disabled for RoCE-with-PFC (§4.1).
+//!
+//! The interface is poll-based: the NIC asks for the next packet when
+//! the uplink frees ([`SenderQp::poll`]); ACK/NACK/CNP arrivals and
+//! timer expirations are fed in; timer (re-)arm requests are drained via
+//! [`SenderQp::take_timer_request`].
+
+use irn_net::{FlowId, HostId, Packet, PacketKind};
+use irn_rdma::modules::{self, QpContext, TimeoutOut, TxFreeOut};
+use irn_sim::{Duration, Time, TimerSlot};
+
+use crate::cc::{CcKind, CcState};
+use crate::config::{LossRecovery, TransportConfig};
+
+/// Result of asking the sender for its next packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderPoll {
+    /// Transmit this packet now.
+    Packet(Packet),
+    /// Nothing until the given time (pacing gap or retransmission-fetch
+    /// delay); poll again then.
+    Wait(Time),
+    /// Window/BDP-FC full, or all data sent: an ACK must arrive before
+    /// anything more can happen.
+    Blocked,
+    /// Flow fully acknowledged; the QP can be torn down.
+    Done,
+}
+
+/// A timer (re-)arm request the embedding simulation must schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerOp {
+    /// Absolute expiry time.
+    pub deadline: Time,
+    /// Generation token to pass back into [`SenderQp::on_timer`].
+    pub generation: u64,
+}
+
+/// Per-flow sender statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Data packets transmitted (including retransmissions).
+    pub sent: u64,
+    /// Retransmitted packets.
+    pub retransmitted: u64,
+    /// NACKs received.
+    pub nacks: u64,
+    /// Timeouts fired.
+    pub timeouts: u64,
+    /// CNPs received.
+    pub cnps: u64,
+}
+
+/// The sending half of one flow.
+#[derive(Debug)]
+pub struct SenderQp {
+    cfg: TransportConfig,
+    flow: FlowId,
+    src: HostId,
+    dst: HostId,
+    size_bytes: u64,
+    total_packets: u32,
+    /// Transport context (SACK bitmap, cumulative state, recovery FSM).
+    ctx: QpContext,
+    /// Go-back-N transmit cursor (rewinds on NACK); mirrors
+    /// `ctx.next_to_send` in selective-repeat mode.
+    gbn_cursor: u32,
+    /// Highest sequence ever transmitted + 1 (for retransmit marking).
+    highest_sent: u32,
+    /// Congestion-control state.
+    cc: CcState,
+    /// Pacing: earliest next transmission.
+    next_allowed: Time,
+    /// Retransmissions become available at this time (PCIe fetch model,
+    /// §6.3).
+    retx_ready_at: Time,
+    /// Pending head retransmission forced by a timeout (§3.1: timeout
+    /// retransmits from the cumulative ack even without SACKs).
+    force_head_retx: bool,
+    /// Retransmission timer.
+    timer: TimerSlot,
+    pending_timer: Option<TimerOp>,
+    /// Last acknowledgement progress; timer expiries earlier than
+    /// `last_progress + RTO` re-arm instead of firing (the standard
+    /// lazy-reset optimization — avoids scheduling an event per ACK).
+    last_progress: Time,
+    /// In a loss episode for window-CC purposes (one `on_loss` per
+    /// episode).
+    cc_loss_reported: bool,
+    /// NACKs seen outside recovery (for §7's reordering threshold).
+    nacks_outside_recovery: u32,
+    done: bool,
+    /// Counters.
+    pub stats: SenderStats,
+}
+
+impl SenderQp {
+    /// Create the sender for a flow of `size_bytes` from `src` to `dst`,
+    /// starting (at line rate, §4.1) at time `now`.
+    pub fn new(
+        cfg: TransportConfig,
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        size_bytes: u64,
+        cc_kind: CcKind,
+        now: Time,
+    ) -> SenderQp {
+        let total_packets = cfg.packets_for(size_bytes);
+        let bitmap_bits = cfg.bdp_cap.unwrap_or(0).max(256).max(total_packets.min(4096));
+        let cc = CcState::new(cc_kind, cfg.line_rate, cfg.bdp_cap.unwrap_or(110), now);
+        SenderQp {
+            flow,
+            src,
+            dst,
+            size_bytes,
+            total_packets,
+            ctx: QpContext::new(bitmap_bits as usize),
+            gbn_cursor: 0,
+            highest_sent: 0,
+            cc,
+            next_allowed: Time::ZERO,
+            retx_ready_at: Time::ZERO,
+            force_head_retx: false,
+            timer: TimerSlot::new(),
+            pending_timer: None,
+            last_progress: now,
+            cc_loss_reported: false,
+            nacks_outside_recovery: 0,
+            done: false,
+            cfg,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// The flow this sender drives.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Total data packets in the flow.
+    pub fn total_packets(&self) -> u32 {
+        self.total_packets
+    }
+
+    /// Flow size in payload bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// True once every packet is cumulatively acknowledged.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Packets currently unacknowledged.
+    pub fn in_flight(&self) -> u32 {
+        self.ctx.in_flight()
+    }
+
+    /// Effective window: the tightest of BDP-FC (§3.2) and the CC
+    /// window (§4.4.4). `u32::MAX` when unbounded (plain RoCE).
+    fn window(&self) -> u32 {
+        let bdp = self.cfg.bdp_cap.unwrap_or(u32::MAX);
+        let cwnd = self.cc.cwnd().unwrap_or(u32::MAX);
+        bdp.min(cwnd)
+    }
+
+    /// Ask for the next packet to put on the wire.
+    pub fn poll(&mut self, now: Time) -> SenderPoll {
+        if self.done {
+            return SenderPoll::Done;
+        }
+        // Pacing gate (rate-based CC).
+        if now < self.next_allowed {
+            return SenderPoll::Wait(self.next_allowed);
+        }
+
+        // Timeout-forced head retransmission takes priority.
+        if self.force_head_retx {
+            if now < self.retx_ready_at {
+                return SenderPoll::Wait(self.retx_ready_at);
+            }
+            self.force_head_retx = false;
+            let psn = self.ctx.cum_acked;
+            if psn < self.total_packets {
+                return SenderPoll::Packet(self.make_packet(now, psn));
+            }
+        }
+
+        match self.cfg.recovery {
+            LossRecovery::SelectiveRepeat => self.poll_sack(now),
+            LossRecovery::GoBackN => self.poll_gbn(now),
+        }
+    }
+
+    fn poll_sack(&mut self, now: Time) -> SenderPoll {
+        let can_send_new =
+            self.ctx.in_flight() < self.window() && self.ctx.next_to_send < self.total_packets;
+        match modules::tx_free(&mut self.ctx, can_send_new) {
+            TxFreeOut::Retransmit { psn } => {
+                if now < self.retx_ready_at {
+                    // Not fetched yet (§6.3): undo the cursor advance and
+                    // come back when the DMA completes.
+                    self.ctx.retx_cursor = psn;
+                    return SenderPoll::Wait(self.retx_ready_at);
+                }
+                SenderPoll::Packet(self.make_packet(now, psn))
+            }
+            TxFreeOut::SendNew { psn } => SenderPoll::Packet(self.make_packet(now, psn)),
+            TxFreeOut::Idle => SenderPoll::Blocked,
+        }
+    }
+
+    fn poll_gbn(&mut self, now: Time) -> SenderPoll {
+        if self.gbn_cursor >= self.total_packets {
+            return SenderPoll::Blocked;
+        }
+        if self.gbn_cursor.saturating_sub(self.ctx.cum_acked) >= self.window() {
+            return SenderPoll::Blocked;
+        }
+        if self.gbn_cursor < self.highest_sent && now < self.retx_ready_at {
+            return SenderPoll::Wait(self.retx_ready_at);
+        }
+        let psn = self.gbn_cursor;
+        self.gbn_cursor += 1;
+        // Keep the shared context's send cursor at the high-water mark so
+        // in-flight accounting stays correct across rewinds.
+        if self.gbn_cursor > self.ctx.next_to_send {
+            self.ctx.next_to_send = self.gbn_cursor;
+        }
+        SenderPoll::Packet(self.make_packet(now, psn))
+    }
+
+    fn make_packet(&mut self, now: Time, psn: u32) -> Packet {
+        let payload = self.cfg.payload_of(self.size_bytes, psn);
+        let wire = self.cfg.data_wire_bytes(payload);
+        let mut pkt = Packet::data(self.flow, self.src, self.dst, psn, wire);
+        pkt.sent_at = now;
+        pkt.is_last = psn + 1 == self.total_packets;
+        pkt.is_retx = psn < self.highest_sent;
+        if pkt.is_retx {
+            self.stats.retransmitted += 1;
+        }
+        self.highest_sent = self.highest_sent.max(psn + 1);
+        self.stats.sent += 1;
+
+        // Pacing: open the next slot per the current rate.
+        if let Some(rate) = self.cc.pacing_rate_mbps(now) {
+            let gap_ns = (wire as f64 * 8000.0 / rate).ceil() as u64;
+            self.next_allowed = now + Duration::nanos(gap_ns);
+        }
+        self.cc.on_send(now, wire as u64);
+
+        // Make sure a retransmission timer is running.
+        if self.cfg.timeouts_enabled && !self.timer.is_armed() {
+            self.last_progress = now;
+            self.arm_timer(now);
+        }
+        pkt
+    }
+
+    /// Pick the §3.1 timeout: RTO_low only when few packets are in
+    /// flight (and only for IRN-style recovery).
+    fn arm_timer(&mut self, now: Time) {
+        let low = self.cfg.recovery == LossRecovery::SelectiveRepeat
+            && self.ctx.in_flight() < self.cfg.rto_low_n;
+        let dur = if low { self.cfg.rto_low } else { self.cfg.rto_high };
+        self.ctx.rto_low_armed = low;
+        let generation = self.timer.arm(now + dur);
+        self.pending_timer = Some(TimerOp {
+            deadline: now + dur,
+            generation,
+        });
+    }
+
+    /// Drain the timer request produced by the last call, if any. The
+    /// embedding simulation schedules a timer event for it.
+    pub fn take_timer_request(&mut self) -> Option<TimerOp> {
+        self.pending_timer.take()
+    }
+
+    /// Feed an arriving ACK or NACK. Returns `true` if the flow just
+    /// completed (all data acknowledged).
+    pub fn on_ack_packet(&mut self, now: Time, pkt: &Packet) -> bool {
+        debug_assert!(matches!(pkt.kind, PacketKind::Ack | PacketKind::Nack));
+        let is_nack = pkt.kind == PacketKind::Nack;
+        let cum = pkt.psn;
+        let sack = is_nack.then_some(pkt.sack);
+        if is_nack {
+            self.stats.nacks += 1;
+        }
+
+        // §7 reordering robustness: with a threshold > 1, the first
+        // NACKs outside recovery record their SACK information but do
+        // not trigger retransmission — spraying fabrics NACK benignly.
+        let mut effective_nack = is_nack;
+        if is_nack
+            && self.cfg.recovery == LossRecovery::SelectiveRepeat
+            && !self.ctx.in_recovery
+        {
+            self.nacks_outside_recovery += 1;
+            if self.nacks_outside_recovery < self.cfg.nack_threshold {
+                effective_nack = false;
+            }
+        }
+        let out = modules::receive_ack(&mut self.ctx, cum, sack, effective_nack);
+
+        if out.entered_recovery || out.exited_recovery {
+            self.nacks_outside_recovery = 0;
+        }
+        if out.entered_recovery {
+            self.retx_ready_at = now + self.cfg.retx_fetch_delay;
+            self.report_cc_loss(now);
+        }
+        if out.exited_recovery {
+            self.cc_loss_reported = false;
+        }
+
+        match self.cfg.recovery {
+            LossRecovery::SelectiveRepeat => {}
+            LossRecovery::GoBackN => {
+                if is_nack {
+                    // §2.1: retransmit all packets sent after the last
+                    // acknowledged one.
+                    if cum < self.gbn_cursor {
+                        self.gbn_cursor = cum.max(self.ctx.cum_acked);
+                        self.retx_ready_at = now + self.cfg.retx_fetch_delay;
+                        self.report_cc_loss(now);
+                    }
+                } else if cum > self.gbn_cursor {
+                    self.gbn_cursor = cum;
+                }
+            }
+        }
+
+        // Congestion-control feedback: RTT echo + ECN echo.
+        let rtt = now.saturating_since(pkt.sent_at);
+        self.cc.on_ack(now, out.newly_acked, rtt, pkt.ecn_echo);
+
+        // Timer discipline: progress re-arms, completion cancels.
+        if self.ctx.cum_acked >= self.total_packets {
+            self.timer.cancel();
+            self.pending_timer = None;
+            self.done = true;
+            return true;
+        }
+        if out.newly_acked > 0 {
+            // Lazy timer reset: the expiry handler defers against this.
+            self.last_progress = now;
+            if self.cfg.timeouts_enabled && !self.timer.is_armed() {
+                self.arm_timer(now);
+            }
+        }
+        false
+    }
+
+    fn report_cc_loss(&mut self, now: Time) {
+        if !self.cc_loss_reported {
+            self.cc_loss_reported = true;
+            self.cc.on_loss(now);
+        }
+    }
+
+    /// Feed a DCQCN congestion-notification packet.
+    pub fn on_cnp(&mut self, now: Time) {
+        self.stats.cnps += 1;
+        self.cc.on_cnp(now);
+    }
+
+    /// A scheduled timer event fired. Returns `true` if it was live (and
+    /// acted on), `false` if stale.
+    pub fn on_timer(&mut self, now: Time, generation: u64) -> bool {
+        if self.done || !self.timer.fires(generation) {
+            return false;
+        }
+        if self.ctx.in_flight() == 0 && self.ctx.next_to_send >= self.total_packets {
+            return false; // nothing outstanding; quiescent
+        }
+        // Lazy reset: if progress happened since this expiry was armed,
+        // push the deadline out instead of firing.
+        let rto_now = if self.cfg.recovery == LossRecovery::SelectiveRepeat
+            && self.ctx.in_flight() < self.cfg.rto_low_n
+        {
+            self.cfg.rto_low
+        } else {
+            self.cfg.rto_high
+        };
+        let effective_deadline = self.last_progress + rto_now;
+        if effective_deadline > now {
+            self.ctx.rto_low_armed = rto_now == self.cfg.rto_low;
+            let generation = self.timer.arm(effective_deadline);
+            self.pending_timer = Some(TimerOp {
+                deadline: effective_deadline,
+                generation,
+            });
+            return true;
+        }
+        match self.cfg.recovery {
+            LossRecovery::SelectiveRepeat => {
+                match modules::timeout(&mut self.ctx, self.cfg.rto_low_n) {
+                    TimeoutOut::ExtendToHigh => {
+                        // Re-arm with the long timeout; no action (§6.2).
+                        let generation = self.timer.arm(now + self.cfg.rto_high);
+                        self.ctx.rto_low_armed = false;
+                        self.pending_timer = Some(TimerOp {
+                            deadline: now + self.cfg.rto_high,
+                            generation,
+                        });
+                        return true;
+                    }
+                    TimeoutOut::Fired { .. } => {
+                        self.stats.timeouts += 1;
+                        self.force_head_retx = true;
+                        self.retx_ready_at = now + self.cfg.retx_fetch_delay;
+                        self.report_cc_loss(now);
+                    }
+                }
+            }
+            LossRecovery::GoBackN => {
+                self.stats.timeouts += 1;
+                self.gbn_cursor = self.ctx.cum_acked;
+                self.retx_ready_at = now + self.cfg.retx_fetch_delay;
+                self.report_cc_loss(now);
+            }
+        }
+        self.last_progress = now;
+        self.arm_timer(now);
+        true
+    }
+
+    /// Expose the congestion-control state (tests, ablation metrics).
+    pub fn cc(&self) -> &CcState {
+        &self.cc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn irn_sender(size: u64) -> SenderQp {
+        SenderQp::new(
+            TransportConfig::irn_default(),
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            size,
+            CcKind::None,
+            Time::ZERO,
+        )
+    }
+
+    fn roce_sender(size: u64, with_pfc: bool) -> SenderQp {
+        SenderQp::new(
+            TransportConfig::roce_default(with_pfc),
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            size,
+            CcKind::None,
+            Time::ZERO,
+        )
+    }
+
+    fn ack(cum: u32, sent_at: Time) -> Packet {
+        let mut p = Packet::control(PacketKind::Ack, FlowId(0), HostId(1), HostId(0), cum, 64);
+        p.sent_at = sent_at;
+        p
+    }
+
+    fn nack(cum: u32, sack: u32, sent_at: Time) -> Packet {
+        let mut p = Packet::control(PacketKind::Nack, FlowId(0), HostId(1), HostId(0), cum, 64);
+        p.sack = sack;
+        p.sent_at = sent_at;
+        p
+    }
+
+    fn drain(s: &mut SenderQp, now: Time) -> Vec<Packet> {
+        let mut pkts = Vec::new();
+        while let SenderPoll::Packet(p) = s.poll(now) {
+            pkts.push(p);
+        }
+        pkts
+    }
+
+    #[test]
+    fn bdp_fc_caps_initial_burst() {
+        // 1 MB flow = 1000 packets, but only 110 may be outstanding.
+        let mut s = irn_sender(1_000_000);
+        let burst = drain(&mut s, Time::ZERO);
+        assert_eq!(burst.len(), 110, "§3.2: BDP cap");
+        assert_eq!(s.poll(Time::ZERO), SenderPoll::Blocked);
+        // ACKs open the window one-for-one.
+        s.on_ack_packet(Time::from_nanos(100), &ack(5, Time::ZERO));
+        let more = drain(&mut s, Time::from_nanos(100));
+        assert_eq!(more.len(), 5);
+    }
+
+    #[test]
+    fn roce_has_no_bdp_cap() {
+        let mut s = roce_sender(1_000_000, true);
+        let burst = drain(&mut s, Time::ZERO);
+        assert_eq!(burst.len(), 1000, "RoCE blasts the whole message");
+    }
+
+    #[test]
+    fn packets_have_correct_sizes_and_last_flag() {
+        let mut s = irn_sender(2_500);
+        let pkts = drain(&mut s, Time::ZERO);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].wire_bytes, 1048);
+        assert_eq!(pkts[2].wire_bytes, 500 + 48);
+        assert!(pkts[2].is_last);
+        assert!(!pkts[0].is_last);
+    }
+
+    #[test]
+    fn sack_recovery_retransmits_only_losses() {
+        let mut s = irn_sender(10_000); // 10 packets
+        let t0 = Time::ZERO;
+        drain(&mut s, t0);
+        // Receiver got 0,1; 2 lost; 3..9 arrived (SACKed).
+        let t1 = Time::from_nanos(10_000);
+        s.on_ack_packet(t1, &ack(2, t0));
+        for sacked in 3..10 {
+            s.on_ack_packet(t1, &nack(2, sacked, t0));
+        }
+        let retx = drain(&mut s, t1);
+        assert_eq!(retx.len(), 1, "only the lost packet retransmits");
+        assert_eq!(retx[0].psn, 2);
+        assert!(retx[0].is_retx);
+        // Ack for the retransmission completes the flow.
+        let done = s.on_ack_packet(Time::from_nanos(20_000), &ack(10, t1));
+        assert!(done);
+        assert!(s.is_done());
+        assert_eq!(s.stats.retransmitted, 1);
+    }
+
+    #[test]
+    fn gbn_rewinds_everything_after_loss() {
+        let mut s = roce_sender(10_000, false);
+        let t0 = Time::ZERO;
+        let first = drain(&mut s, t0);
+        assert_eq!(first.len(), 10);
+        // Receiver NACKs at expected=2 (packet 2 lost).
+        let t1 = Time::from_nanos(10_000);
+        s.on_ack_packet(t1, &nack(2, 3, t0));
+        let retx = drain(&mut s, t1);
+        // Go-back-N: retransmits 2..9 (8 packets).
+        assert_eq!(retx.len(), 8, "§2.1: all packets after the loss resend");
+        assert_eq!(retx[0].psn, 2);
+        assert!(retx.iter().all(|p| p.is_retx));
+        assert_eq!(s.stats.retransmitted, 8);
+    }
+
+    #[test]
+    fn timeout_forces_head_retransmission() {
+        let mut s = irn_sender(2_000); // 2 packets: in-flight 2 < N=3 → RTO_low
+        let pkts = drain(&mut s, Time::ZERO);
+        assert_eq!(pkts.len(), 2);
+        let req = s.take_timer_request().expect("timer armed on send");
+        assert_eq!(req.deadline, Time::ZERO + Duration::micros(100), "RTO_low");
+        assert!(s.on_timer(req.deadline, req.generation));
+        assert_eq!(s.stats.timeouts, 1);
+        let retx = drain(&mut s, req.deadline);
+        assert_eq!(retx[0].psn, 0, "§3.1: timeout retransmits the cum. ack");
+        assert!(retx[0].is_retx);
+    }
+
+    #[test]
+    fn rto_low_extends_to_high_when_flight_grows() {
+        let mut s = irn_sender(200_000); // 200 packets
+        drain(&mut s, Time::ZERO);
+        // Timer armed at the first send while in-flight was 0 → RTO_low.
+        let req = s.take_timer_request().unwrap();
+        assert_eq!(req.deadline, Time::ZERO + Duration::micros(100));
+        // At expiry 110 packets are in flight (≥ N): must extend to
+        // RTO_high (measured from the arming point), not fire.
+        assert!(s.on_timer(req.deadline, req.generation));
+        assert_eq!(s.stats.timeouts, 0, "no spurious timeout");
+        let req2 = s.take_timer_request().expect("re-armed with RTO_high");
+        assert_eq!(
+            req2.deadline,
+            Time::ZERO + Duration::micros(320),
+            "extended to RTO_high"
+        );
+    }
+
+    #[test]
+    fn ack_progress_defers_timeout_and_stale_generations_ignored() {
+        let mut s = irn_sender(5_000);
+        drain(&mut s, Time::ZERO);
+        let r1 = s.take_timer_request().unwrap();
+        // Progress at 5 µs: the expiry at the original deadline must
+        // defer (re-arm), not fire a timeout.
+        s.on_ack_packet(Time::ZERO + Duration::micros(5), &ack(2, Time::ZERO));
+        assert!(s.on_timer(r1.deadline, r1.generation), "live but deferred");
+        assert_eq!(s.stats.timeouts, 0);
+        let r2 = s.take_timer_request().expect("deferred re-arm");
+        assert!(r2.deadline > r1.deadline);
+        assert_ne!(r1.generation, r2.generation);
+        // The consumed generation is stale now.
+        assert!(!s.on_timer(r2.deadline, r1.generation));
+        // The live generation eventually fires for real.
+        assert!(s.on_timer(r2.deadline, r2.generation));
+        assert_eq!(s.stats.timeouts, 1);
+    }
+
+    #[test]
+    fn timeouts_disabled_for_roce_with_pfc() {
+        let mut s = roce_sender(5_000, true);
+        drain(&mut s, Time::ZERO);
+        assert!(s.take_timer_request().is_none(), "§4.1: no timers with PFC");
+    }
+
+    #[test]
+    fn pacing_spaces_packets_at_cc_rate() {
+        let cfg = TransportConfig::irn_default();
+        let mut s = SenderQp::new(
+            cfg,
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            10_000,
+            CcKind::Timely,
+            Time::ZERO,
+        );
+        // Line rate 40 Gbps: 1048 B gap = 1048*8/40000 µs ≈ 210 ns.
+        let SenderPoll::Packet(_) = s.poll(Time::ZERO) else {
+            panic!()
+        };
+        match s.poll(Time::ZERO) {
+            SenderPoll::Wait(t) => {
+                assert_eq!(t, Time::from_nanos(210), "pacing gap at line rate")
+            }
+            other => panic!("expected pacing wait, got {other:?}"),
+        }
+        // At the allowed time the next packet flows.
+        assert!(matches!(
+            s.poll(Time::from_nanos(210)),
+            SenderPoll::Packet(_)
+        ));
+    }
+
+    #[test]
+    fn cnp_cuts_dcqcn_rate_and_pacing_slows() {
+        let cfg = TransportConfig::irn_default();
+        let mut s = SenderQp::new(
+            cfg,
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            100_000,
+            CcKind::Dcqcn,
+            Time::ZERO,
+        );
+        let SenderPoll::Packet(_) = s.poll(Time::ZERO) else {
+            panic!()
+        };
+        s.on_cnp(Time::from_nanos(50));
+        // Pull the next packet at its allowed time, then measure the gap.
+        let t1 = match s.poll(Time::from_nanos(50)) {
+            SenderPoll::Wait(t) => t,
+            SenderPoll::Packet(_) => Time::from_nanos(50),
+            other => panic!("{other:?}"),
+        };
+        let SenderPoll::Packet(_) = s.poll(t1) else {
+            panic!()
+        };
+        match s.poll(t1) {
+            SenderPoll::Wait(t2) => {
+                let gap = t2.since(t1);
+                assert!(
+                    gap >= Duration::nanos(400),
+                    "post-CNP gap must reflect the halved rate, got {gap}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn retx_fetch_delay_postpones_retransmissions_only() {
+        let mut cfg = TransportConfig::irn_default();
+        cfg.retx_fetch_delay = Duration::micros(2);
+        let mut s = SenderQp::new(
+            cfg,
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            10_000,
+            CcKind::None,
+            Time::ZERO,
+        );
+        drain(&mut s, Time::ZERO);
+        let t1 = Time::from_nanos(10_000);
+        s.on_ack_packet(t1, &nack(2, 5, Time::ZERO));
+        match s.poll(t1) {
+            SenderPoll::Wait(t) => assert_eq!(t, t1 + Duration::micros(2)),
+            other => panic!("retransmission must wait for the fetch: {other:?}"),
+        }
+        let retx = drain(&mut s, t1 + Duration::micros(2));
+        assert_eq!(retx[0].psn, 2);
+    }
+
+    #[test]
+    fn aimd_window_halves_on_loss() {
+        let cfg = TransportConfig::irn_default();
+        let mut s = SenderQp::new(
+            cfg,
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            1_000_000,
+            CcKind::Aimd,
+            Time::ZERO,
+        );
+        let burst = drain(&mut s, Time::ZERO);
+        assert_eq!(burst.len(), 110, "min(BDP cap, cwnd)");
+        let t1 = Time::from_nanos(10_000);
+        s.on_ack_packet(t1, &nack(0, 1, Time::ZERO));
+        // After halving, the window is 55: with 110 in flight the sender
+        // can only retransmit the hole, not send new data.
+        let pkts = drain(&mut s, t1);
+        assert!(pkts.iter().all(|p| p.is_retx));
+    }
+
+    #[test]
+    fn done_flow_reports_done() {
+        let mut s = irn_sender(1_000);
+        drain(&mut s, Time::ZERO);
+        assert!(s.on_ack_packet(Time::from_nanos(5_000), &ack(1, Time::ZERO)));
+        assert_eq!(s.poll(Time::from_nanos(6_000)), SenderPoll::Done);
+    }
+
+    #[test]
+    fn single_packet_flow_uses_rto_low() {
+        let mut s = irn_sender(100);
+        let pkts = drain(&mut s, Time::ZERO);
+        assert_eq!(pkts.len(), 1);
+        let req = s.take_timer_request().unwrap();
+        assert_eq!(
+            req.deadline,
+            Time::ZERO + Duration::micros(100),
+            "§3.1: short messages recover via RTO_low"
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! # irn-workload — traffic generation for the IRN experiments (§4.1)
+//!
+//! "Each end host generates new flows with Poisson inter-arrival times.
+//! Each flow's destination is picked randomly and size is drawn from a
+//! realistic heavy-tailed distribution derived from \[19\]. … The network
+//! load is set at 70% utilization for our default case."
+//!
+//! This crate provides:
+//!
+//! * [`SizeDistribution`] — the paper's heavy-tailed mix (50 % small
+//!   RPC-like single-packet messages of 32 B–1 KB, 15 % large 200 KB–3 MB
+//!   background/storage transfers, the rest in between) and the Table 6
+//!   uniform 500 KB–5 MB alternative, plus fixed sizes for tests;
+//! * [`WorkloadSpec::generate`] — Poisson open-loop flow arrival
+//!   schedules calibrated so offered load hits a target fraction of each
+//!   host's line rate;
+//! * [`incast`] — the §4.4.3 incast pattern: a 150 MB response striped
+//!   over M randomly-chosen senders toward one destination, optionally
+//!   on top of cross-traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use irn_sim::{Duration, SimRng, Time};
+
+/// One flow to simulate: who, whom, how much, when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Source host index.
+    pub src: u32,
+    /// Destination host index (≠ src).
+    pub dst: u32,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Arrival (start) time.
+    pub at: Time,
+}
+
+/// Flow-size distributions used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDistribution {
+    /// §4.1's heavy-tailed enterprise/datacenter mix derived from
+    /// Benson et al. \[19\]: 50 % of flows are single-packet RPCs
+    /// (32 B–1 KB, think key-value lookups [21, 25]), 15 % are large
+    /// 200 KB–3 MB background/storage flows carrying most of the bytes,
+    /// and the remaining 35 % sit in between (1 KB–200 KB), all
+    /// log-uniform within their bands.
+    HeavyTailed,
+    /// Table 6's uniform 500 KB–5 MB mix ("storage or background
+    /// tasks").
+    Uniform500KbTo5Mb,
+    /// Every flow the same size (tests, microbenchmarks).
+    Fixed(u64),
+}
+
+impl SizeDistribution {
+    /// Draw one flow size.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            SizeDistribution::HeavyTailed => {
+                let band = rng.uniform();
+                if band < 0.50 {
+                    log_uniform(rng, 32, 1_000)
+                } else if band < 0.85 {
+                    log_uniform(rng, 1_000, 200_000)
+                } else {
+                    log_uniform(rng, 200_000, 3_000_000)
+                }
+            }
+            SizeDistribution::Uniform500KbTo5Mb => rng.range(500_000, 5_000_001),
+            SizeDistribution::Fixed(b) => *b,
+        }
+    }
+
+    /// Analytic mean of the distribution in bytes (used to calibrate the
+    /// Poisson arrival rate to a load target).
+    pub fn mean_bytes(&self) -> f64 {
+        match self {
+            SizeDistribution::HeavyTailed => {
+                0.50 * log_uniform_mean(32.0, 1_000.0)
+                    + 0.35 * log_uniform_mean(1_000.0, 200_000.0)
+                    + 0.15 * log_uniform_mean(200_000.0, 3_000_000.0)
+            }
+            SizeDistribution::Uniform500KbTo5Mb => (500_000.0 + 5_000_000.0) / 2.0,
+            SizeDistribution::Fixed(b) => *b as f64,
+        }
+    }
+}
+
+/// Log-uniform integer draw in `[lo, hi]`.
+fn log_uniform(rng: &mut SimRng, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo > 0 && hi > lo);
+    let (a, b) = ((lo as f64).ln(), (hi as f64).ln());
+    let x = (a + rng.uniform() * (b - a)).exp();
+    (x.round() as u64).clamp(lo, hi)
+}
+
+/// Mean of a log-uniform distribution on `[a, b]`: `(b-a)/ln(b/a)`.
+fn log_uniform_mean(a: f64, b: f64) -> f64 {
+    (b - a) / (b / a).ln()
+}
+
+/// An open-loop Poisson workload over a set of hosts.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of hosts generating (and receiving) traffic.
+    pub hosts: usize,
+    /// Target average utilization of each host's access link (0, 1].
+    pub load: f64,
+    /// Host line rate in bits per second.
+    pub line_rate_bps: f64,
+    /// Flow sizes.
+    pub sizes: SizeDistribution,
+    /// Total number of flows to generate across all hosts.
+    pub flow_count: usize,
+    /// RNG seed (workloads are reproducible).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default-case workload at the given scale: heavy-tailed
+    /// sizes, 70 % load, 40 Gbps access links.
+    pub fn paper_default(hosts: usize, flow_count: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            hosts,
+            load: 0.7,
+            line_rate_bps: 40e9,
+            sizes: SizeDistribution::HeavyTailed,
+            flow_count,
+            seed,
+        }
+    }
+
+    /// Mean inter-arrival time per *host* for the configured load.
+    ///
+    /// Load calibration: each host must *send* `load × line_rate` on
+    /// average, so the per-host flow rate is `load × rate / (8 × E[size])`
+    /// flows per second.
+    pub fn mean_interarrival(&self) -> Duration {
+        assert!(self.load > 0.0 && self.load <= 1.0, "load must be in (0,1]");
+        let flows_per_sec = self.load * self.line_rate_bps / (8.0 * self.sizes.mean_bytes());
+        Duration::from_secs_f64(1.0 / flows_per_sec)
+    }
+
+    /// Generate the flow schedule: every host runs an independent
+    /// Poisson process; destinations are uniform over the other hosts.
+    /// The result is sorted by arrival time.
+    pub fn generate(&self) -> Vec<FlowSpec> {
+        assert!(self.hosts >= 2, "need at least two hosts for traffic");
+        let mut rng = SimRng::new(self.seed);
+        let mean_gap = self.mean_interarrival();
+        let per_host = self.flow_count.div_ceil(self.hosts);
+
+        let mut flows = Vec::with_capacity(per_host * self.hosts);
+        for src in 0..self.hosts as u32 {
+            let mut host_rng = rng.fork(src as u64);
+            let mut t = Time::ZERO;
+            for _ in 0..per_host {
+                t = t + host_rng.exp_duration(mean_gap);
+                let mut dst = host_rng.range(0, self.hosts as u64 - 1) as u32;
+                if dst >= src {
+                    dst += 1; // skip self
+                }
+                flows.push(FlowSpec {
+                    src,
+                    dst,
+                    bytes: self.sizes.sample(&mut host_rng).max(1),
+                    at: t,
+                });
+            }
+        }
+        flows.sort_by_key(|f| (f.at, f.src, f.dst));
+        flows.truncate(self.flow_count);
+        flows
+    }
+}
+
+/// The §4.4.3 incast pattern: `total_bytes` striped equally across `m`
+/// distinct senders, all answering `dst` at `at`.
+///
+/// "We simulate the incast workload on our default topology by striping
+/// 150MB of data across M randomly chosen sender nodes that send it to a
+/// fixed destination node."
+pub fn incast(
+    hosts: usize,
+    m: usize,
+    dst: u32,
+    total_bytes: u64,
+    at: Time,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    assert!(m >= 1 && m < hosts, "need 1 ≤ M < hosts senders");
+    assert!((dst as usize) < hosts);
+    let mut rng = SimRng::new(seed);
+    // Sample senders from the hosts other than dst.
+    let senders = rng.sample_distinct(hosts - 1, m);
+    let per_sender = total_bytes / m as u64;
+    senders
+        .into_iter()
+        .map(|raw| {
+            let src = if (raw as u32) >= dst { raw as u32 + 1 } else { raw as u32 };
+            FlowSpec {
+                src,
+                dst,
+                bytes: per_sender,
+                at,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_tailed_band_fractions() {
+        let d = SizeDistribution::HeavyTailed;
+        let mut rng = SimRng::new(7);
+        let n = 50_000;
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            assert!((32..=3_000_000).contains(&s));
+            if s <= 1_000 {
+                small += 1;
+            } else if s >= 200_000 {
+                large += 1;
+            }
+        }
+        let fs = small as f64 / n as f64;
+        let fl = large as f64 / n as f64;
+        assert!((fs - 0.50).abs() < 0.02, "§4.1: ~50% single-packet, got {fs}");
+        assert!((fl - 0.15).abs() < 0.02, "§4.1: ~15% large flows, got {fl}");
+    }
+
+    #[test]
+    fn most_bytes_in_large_flows() {
+        // §4.1: "most of the bytes are in large flows".
+        let d = SizeDistribution::HeavyTailed;
+        let mut rng = SimRng::new(8);
+        let mut total = 0u64;
+        let mut large = 0u64;
+        for _ in 0..50_000 {
+            let s = d.sample(&mut rng);
+            total += s;
+            if s >= 200_000 {
+                large += s;
+            }
+        }
+        assert!(
+            large as f64 / total as f64 > 0.7,
+            "large flows must dominate bytes"
+        );
+    }
+
+    #[test]
+    fn uniform_band() {
+        let d = SizeDistribution::Uniform500KbTo5Mb;
+        let mut rng = SimRng::new(9);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((500_000..=5_000_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn mean_bytes_close_to_sampled_mean() {
+        for d in [
+            SizeDistribution::HeavyTailed,
+            SizeDistribution::Uniform500KbTo5Mb,
+        ] {
+            let mut rng = SimRng::new(3);
+            let n = 200_000u64;
+            let total: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+            let sampled = total as f64 / n as f64;
+            let analytic = d.mean_bytes();
+            assert!(
+                (sampled - analytic).abs() / analytic < 0.05,
+                "{d:?}: sampled {sampled:.0} vs analytic {analytic:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_calibration_hits_target() {
+        // Generated traffic over the horizon must offer ≈70 % load.
+        let spec = WorkloadSpec::paper_default(16, 4000, 11);
+        let flows = spec.generate();
+        assert_eq!(flows.len(), 4000);
+        let horizon = flows.last().unwrap().at.as_nanos() as f64 / 1e9;
+        let bytes: u64 = flows.iter().map(|f| f.bytes).sum();
+        let offered_bps = bytes as f64 * 8.0 / horizon;
+        let capacity_bps = 16.0 * 40e9;
+        let load = offered_bps / capacity_bps;
+        assert!(
+            (load - 0.7).abs() < 0.12,
+            "offered load {load:.3} should be ≈0.70"
+        );
+    }
+
+    #[test]
+    fn flows_never_self_target() {
+        let spec = WorkloadSpec::paper_default(8, 2000, 5);
+        for f in spec.generate() {
+            assert_ne!(f.src, f.dst);
+            assert!((f.dst as usize) < 8);
+        }
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_deterministic() {
+        let spec = WorkloadSpec::paper_default(8, 500, 42);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b, "same seed ⇒ same workload");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        let spec2 = WorkloadSpec {
+            seed: 43,
+            ..spec
+        };
+        assert_ne!(a, spec2.generate());
+    }
+
+    #[test]
+    fn incast_stripes_evenly_excluding_dst() {
+        let flows = incast(54, 30, 7, 150_000_000, Time::ZERO, 1);
+        assert_eq!(flows.len(), 30);
+        let mut seen = std::collections::HashSet::new();
+        for f in &flows {
+            assert_eq!(f.dst, 7);
+            assert_ne!(f.src, 7, "destination must not send to itself");
+            assert!(seen.insert(f.src), "senders must be distinct");
+            assert_eq!(f.bytes, 5_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn incast_with_too_many_senders_panics() {
+        incast(10, 10, 0, 1000, Time::ZERO, 1);
+    }
+}

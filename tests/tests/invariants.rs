@@ -1,0 +1,188 @@
+//! Cross-crate invariants: losslessness, conservation, recovery under
+//! injected faults, determinism.
+
+use irn_core::sim::Duration;
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use irn_core::workload::SizeDistribution;
+use irn_core::{run, TopologySpec, Workload};
+use irn_integration::{quick_cfg, run_cell};
+
+#[test]
+fn pfc_is_lossless_for_every_transport() {
+    for t in [
+        TransportKind::Irn,
+        TransportKind::Roce,
+        TransportKind::IrnGoBackN,
+        TransportKind::IwarpTcp,
+    ] {
+        let r = run_cell(250, t, true, CcKind::None);
+        assert_eq!(
+            r.fabric.buffer_drops, 0,
+            "{t:?}: PFC must never drop (got {} drops)",
+            r.fabric.buffer_drops
+        );
+    }
+}
+
+#[test]
+fn every_pause_is_resumed() {
+    let r = run_cell(300, TransportKind::Roce, true, CcKind::None);
+    assert!(r.fabric.pauses > 0, "need pauses for this test to bite");
+    assert_eq!(
+        r.fabric.pauses, r.fabric.resumes,
+        "every X-OFF must eventually X-ON (no stuck ports)"
+    );
+}
+
+#[test]
+fn all_flows_complete_under_heavy_fault_injection() {
+    // 1% random per-hop loss on top of congestion: loss recovery must
+    // still deliver everything (the MELO/§7 robustness scenario).
+    let mut cfg = quick_cfg(200);
+    cfg.loss_injection = 0.01;
+    let r = run(cfg
+        .with_transport(TransportKind::Irn)
+        .with_pfc(false)
+        .with_cc(CcKind::None));
+    assert_eq!(r.summary.flows, 200);
+    assert!(r.fabric.injected_drops > 0, "injector must have fired");
+    assert!(r.transport.retransmitted >= r.fabric.injected_drops / 2);
+}
+
+#[test]
+fn fault_injection_with_pfc_still_completes() {
+    // PFC prevents congestion drops but not injected (failure) losses:
+    // IRN's recovery must handle the random-loss regime too.
+    let mut cfg = quick_cfg(150);
+    cfg.loss_injection = 0.005;
+    let r = run(cfg.with_transport(TransportKind::Irn).with_pfc(true));
+    assert_eq!(r.summary.flows, 150);
+    assert_eq!(r.fabric.buffer_drops, 0);
+    assert!(r.fabric.injected_drops > 0);
+}
+
+#[test]
+fn go_back_n_survives_fault_injection() {
+    let mut cfg = quick_cfg(100);
+    cfg.loss_injection = 0.005;
+    let r = run(cfg.with_transport(TransportKind::Roce).with_pfc(false));
+    assert_eq!(r.summary.flows, 100);
+    assert!(
+        r.transport.retransmitted > r.fabric.injected_drops,
+        "go-back-N must resend more than was lost"
+    );
+}
+
+#[test]
+fn tcp_survives_fault_injection() {
+    let mut cfg = quick_cfg(100);
+    cfg.loss_injection = 0.005;
+    let r = run(cfg.with_transport(TransportKind::IwarpTcp).with_pfc(false));
+    assert_eq!(r.summary.flows, 100);
+}
+
+#[test]
+fn slowdowns_are_at_least_one() {
+    // The ideal-FCT denominator must be a true lower bound.
+    for t in [TransportKind::Irn, TransportKind::Roce] {
+        let r = run_cell(200, t, t == TransportKind::Roce, CcKind::None);
+        for rec in r.metrics.records() {
+            assert!(
+                rec.slowdown() >= 0.999,
+                "{t:?}: flow {} slowdown {:.4} < 1 — ideal FCT overestimates",
+                rec.flow,
+                rec.slowdown()
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_across_transports_and_cc() {
+    for (t, cc) in [
+        (TransportKind::Irn, CcKind::Dcqcn),
+        (TransportKind::Roce, CcKind::Timely),
+        (TransportKind::IwarpTcp, CcKind::None),
+    ] {
+        let a = run_cell(150, t, false, cc);
+        let b = run_cell(150, t, false, cc);
+        assert_eq!(a.events, b.events, "{t:?}/{cc:?} must be deterministic");
+        assert_eq!(a.summary.avg_fct, b.summary.avg_fct);
+        assert_eq!(a.fabric, b.fabric);
+    }
+}
+
+#[test]
+fn seeds_change_results() {
+    let a = run(quick_cfg(150).with_seed(1));
+    let b = run(quick_cfg(150).with_seed(2));
+    assert_ne!(
+        a.summary.avg_fct, b.summary.avg_fct,
+        "different seeds must explore different workloads"
+    );
+}
+
+#[test]
+fn dcqcn_generates_cnps_under_congestion() {
+    let r = run_cell(300, TransportKind::Irn, false, CcKind::Dcqcn);
+    assert!(r.fabric.ecn_marked > 0, "ECN must mark under load");
+    assert!(r.transport.cnps > 0, "marked packets must become CNPs");
+}
+
+#[test]
+fn single_switch_and_dumbbell_topologies_work() {
+    for topo in [TopologySpec::SingleSwitch(6), TopologySpec::Dumbbell(3, 3)] {
+        let mut cfg = quick_cfg(100);
+        cfg.topology = topo;
+        let r = run(cfg);
+        assert_eq!(r.summary.flows, 100, "{topo:?}");
+    }
+}
+
+#[test]
+fn uniform_workload_completes_on_all_transports() {
+    for t in [TransportKind::Irn, TransportKind::Roce] {
+        let mut cfg = quick_cfg(40);
+        cfg.workload = Workload::Poisson {
+            load: 0.6,
+            sizes: SizeDistribution::Uniform500KbTo5Mb,
+            flow_count: 40,
+        };
+        let r = run(cfg.with_transport(t).with_pfc(true));
+        assert_eq!(r.summary.flows, 40);
+        // Multi-MB flows: FCT must be at least the line-rate bound.
+        assert!(r.summary.avg_fct > Duration::micros(100));
+    }
+}
+
+#[test]
+fn incast_with_cross_traffic_separates_populations() {
+    let mut cfg = quick_cfg(100);
+    cfg.workload = Workload::IncastWithCross {
+        m: 6,
+        total_bytes: 6_000_000,
+        load: 0.5,
+        sizes: SizeDistribution::HeavyTailed,
+        flow_count: 100,
+    };
+    let r = run(cfg);
+    assert_eq!(r.summary.flows, 100, "background population");
+    let incast = r.incast_metrics.as_ref().expect("incast population");
+    assert_eq!(incast.len(), 6);
+    assert!(r.rct() > Duration::micros(100));
+}
+
+#[test]
+fn rto_high_trends_insensitive() {
+    // Table 8's claim: multiplying RTO_high by 4 barely moves results.
+    let base = run(quick_cfg(300));
+    let mut cfg = quick_cfg(300);
+    cfg.rto_high = Some(Duration::micros(1280));
+    let big = run(cfg);
+    let ratio = big.summary.avg_fct / base.summary.avg_fct;
+    assert!(
+        (0.8..1.35).contains(&ratio),
+        "RTO_high x4 should change avg FCT little, ratio {ratio:.3}"
+    );
+}
