@@ -13,7 +13,14 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
     g.bench_function("iwarp_tcp", |b| {
-        b.iter(|| black_box(bench_cell(FLOWS, TransportKind::IwarpTcp, false, CcKind::None)))
+        b.iter(|| {
+            black_box(bench_cell(
+                FLOWS,
+                TransportKind::IwarpTcp,
+                false,
+                CcKind::None,
+            ))
+        })
     });
     g.bench_function("irn", |b| {
         b.iter(|| black_box(bench_cell(FLOWS, TransportKind::Irn, false, CcKind::None)))

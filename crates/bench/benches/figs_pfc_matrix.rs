@@ -16,13 +16,35 @@ fn bench(c: &mut Criterion) {
     let cells: [(&str, TransportKind, bool, CcKind); 6] = [
         ("fig2_irn_with_pfc", TransportKind::Irn, true, CcKind::None),
         ("fig3_roce_no_pfc", TransportKind::Roce, false, CcKind::None),
-        ("fig5_irn_pfc_timely", TransportKind::Irn, true, CcKind::Timely),
-        ("fig5_irn_pfc_dcqcn", TransportKind::Irn, true, CcKind::Dcqcn),
-        ("fig6_roce_no_pfc_timely", TransportKind::Roce, false, CcKind::Timely),
-        ("fig6_roce_no_pfc_dcqcn", TransportKind::Roce, false, CcKind::Dcqcn),
+        (
+            "fig5_irn_pfc_timely",
+            TransportKind::Irn,
+            true,
+            CcKind::Timely,
+        ),
+        (
+            "fig5_irn_pfc_dcqcn",
+            TransportKind::Irn,
+            true,
+            CcKind::Dcqcn,
+        ),
+        (
+            "fig6_roce_no_pfc_timely",
+            TransportKind::Roce,
+            false,
+            CcKind::Timely,
+        ),
+        (
+            "fig6_roce_no_pfc_dcqcn",
+            TransportKind::Roce,
+            false,
+            CcKind::Dcqcn,
+        ),
     ];
     for (name, t, pfc, cc) in cells {
-        g.bench_function(name, |b| b.iter(|| black_box(bench_cell(FLOWS, t, pfc, cc))));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(bench_cell(FLOWS, t, pfc, cc)))
+        });
     }
     g.finish();
 }

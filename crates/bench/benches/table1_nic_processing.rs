@@ -30,11 +30,18 @@ fn rdma_session(cfg: &TransportConfig) -> u64 {
         CcKind::None,
         Time::ZERO,
     );
-    let mut r = ReceiverQp::new(cfg, FlowId(0), HostId(0), HostId(1), s.total_packets(), CcKind::None);
+    let mut r = ReceiverQp::new(
+        cfg,
+        FlowId(0),
+        HostId(0),
+        HostId(1),
+        s.total_packets(),
+        CcKind::None,
+    );
     let mut now = Time::ZERO;
     let mut processed = 0u64;
     while !s.is_done() {
-        now = now + Duration::nanos(210);
+        now += Duration::nanos(210);
         match s.poll(now) {
             SenderPoll::Packet(pkt) => {
                 let out = r.on_data(now, &pkt);
@@ -55,7 +62,7 @@ fn tcp_session(cfg: &TransportConfig) -> u64 {
     let mut now = Time::ZERO;
     let mut processed = 0u64;
     while !s.is_done() {
-        now = now + Duration::nanos(210);
+        now += Duration::nanos(210);
         match s.poll(now) {
             SenderPoll::Packet(pkt) => {
                 let (ack, _) = r.on_data(now, &pkt);

@@ -6,29 +6,12 @@
 //! paper scale; module benches (`table2_modules`) time the exact
 //! `irn-rdma` packet-processing functions the paper synthesizes on an
 //! FPGA.
+//!
+//! The CI-scale scenario is defined once, in `irn-integration`
+//! ([`irn_integration::quick_cfg`]); this crate re-exports it under the
+//! bench vocabulary so the integration tests and the benchmarks always
+//! measure the same configuration.
 
 #![forbid(unsafe_code)]
 
-use irn_core::transport::cc::CcKind;
-use irn_core::transport::config::TransportKind;
-use irn_core::workload::SizeDistribution;
-use irn_core::{ExperimentConfig, RunResult, TopologySpec, Workload};
-
-/// Bench-scale base configuration: k=4 fat-tree, light flow count so a
-/// single run is a few milliseconds.
-pub fn bench_cfg(flows: usize) -> ExperimentConfig {
-    ExperimentConfig {
-        topology: TopologySpec::FatTree(4),
-        workload: Workload::Poisson {
-            load: 0.7,
-            sizes: SizeDistribution::HeavyTailed,
-            flow_count: flows,
-        },
-        ..ExperimentConfig::paper_default(flows)
-    }
-}
-
-/// Run one (transport, pfc, cc) cell at bench scale.
-pub fn bench_cell(flows: usize, t: TransportKind, pfc: bool, cc: CcKind) -> RunResult {
-    irn_core::run(bench_cfg(flows).with_transport(t).with_pfc(pfc).with_cc(cc))
-}
+pub use irn_integration::{quick_cfg as bench_cfg, run_cell as bench_cell};

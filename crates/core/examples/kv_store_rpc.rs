@@ -45,5 +45,7 @@ fn main() {
             rpcs.len(),
         );
     }
-    println!("\nIRN's RTO_low recovery keeps the RPC tail short without a lossless fabric (§4.4.2).");
+    println!(
+        "\nIRN's RTO_low recovery keeps the RPC tail short without a lossless fabric (§4.4.2)."
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
         .with_pfc(true));
 
     println!();
-    println!("{:<14} {:>13} {:>12} {:>12}", "config", "avg slowdown", "avg FCT", "p99 FCT");
+    println!(
+        "{:<14} {:>13} {:>12} {:>12}",
+        "config", "avg slowdown", "avg FCT", "p99 FCT"
+    );
     for (name, r) in [("IRN", &irn), ("RoCE + PFC", &roce)] {
         println!(
             "{:<14} {:>13.2} {:>12} {:>12}",

@@ -257,7 +257,12 @@ impl ExperimentConfig {
             prop_delay: self.prop_delay,
             buffer_bytes: self.buffer_bytes,
             pfc: self.pfc.then(|| {
-                PfcConfig::for_buffer(self.buffer_bytes, self.bandwidth, self.prop_delay, max_frame)
+                PfcConfig::for_buffer(
+                    self.buffer_bytes,
+                    self.bandwidth,
+                    self.prop_delay,
+                    max_frame,
+                )
             }),
             ecn: self.cc.needs_ecn().then(EcnConfig::dcqcn_default),
             loss_injection: self.loss_injection,
@@ -278,7 +283,7 @@ mod tests {
         assert_eq!(c.max_rtt(6), Duration::micros(24));
         assert_eq!(c.bdp_bytes(6), 120_000);
         assert_eq!(c.bdp_cap_packets(6), 114); // 120000 / 1048
-        // RTO_high ≈ 320 µs ("approximately 320 µs for our default").
+                                               // RTO_high ≈ 320 µs ("approximately 320 µs for our default").
         let rto = c.rto_high(6);
         assert!(
             (Duration::micros(250)..=Duration::micros(400)).contains(&rto),

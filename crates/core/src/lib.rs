@@ -148,16 +148,14 @@ mod tests {
     /// Determinism: identical configs give identical results.
     #[test]
     fn runs_are_deterministic() {
-        let mk = || {
-            ExperimentConfig {
-                topology: TopologySpec::FatTree(4),
-                workload: Workload::Poisson {
-                    load: 0.6,
-                    sizes: SizeDistribution::HeavyTailed,
-                    flow_count: 150,
-                },
-                ..ExperimentConfig::paper_default(150)
-            }
+        let mk = || ExperimentConfig {
+            topology: TopologySpec::FatTree(4),
+            workload: Workload::Poisson {
+                load: 0.6,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: 150,
+            },
+            ..ExperimentConfig::paper_default(150)
         };
         let a = run(mk());
         let b = run(mk());
@@ -180,7 +178,10 @@ mod tests {
             buffer_bytes: 60_000, // small buffers to force pressure
             ..ExperimentConfig::paper_default(300)
         };
-        let with_pfc = run(base.clone().with_transport(TransportKind::Irn).with_pfc(true));
+        let with_pfc = run(base
+            .clone()
+            .with_transport(TransportKind::Irn)
+            .with_pfc(true));
         assert_eq!(with_pfc.fabric.buffer_drops, 0, "PFC must be lossless");
         assert!(with_pfc.fabric.pauses > 0, "pressure must trigger pauses");
         let without = run(base.with_transport(TransportKind::Irn).with_pfc(false));

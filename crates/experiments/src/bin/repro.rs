@@ -30,7 +30,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let all = wanted.iter().any(|w| *w == "all");
+    let all = wanted.contains(&"all");
     let run = |name: &str, f: &dyn Fn() -> Report| {
         if all || wanted.contains(&name) {
             let t = std::time::Instant::now();

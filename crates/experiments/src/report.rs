@@ -160,7 +160,11 @@ mod tests {
     fn render_has_all_labels_and_columns() {
         let mut rep = Report::new("Figure 1", "IRN vs RoCE", "IRN wins");
         rep.add(Row::new("IRN").push("slowdown", 2.5));
-        rep.add(Row::new("RoCE + PFC").push("slowdown", 5.1).push("p99", 42.0));
+        rep.add(
+            Row::new("RoCE + PFC")
+                .push("slowdown", 5.1)
+                .push("p99", 42.0),
+        );
         let text = rep.render();
         assert!(text.contains("Figure 1"));
         assert!(text.contains("IRN"));

@@ -39,7 +39,10 @@ pub fn fig1(scale: Scale) -> Report {
         "Comparing IRN and RoCE's performance",
         "IRN is 2.8-3.7x better than RoCE across all three metrics",
     );
-    rep.add(metrics_row("IRN", &cell(&base, TransportKind::Irn, false, CcKind::None)));
+    rep.add(metrics_row(
+        "IRN",
+        &cell(&base, TransportKind::Irn, false, CcKind::None),
+    ));
     rep.add(metrics_row(
         "RoCE (PFC)",
         &cell(&base, TransportKind::Roce, true, CcKind::None),
@@ -59,7 +62,10 @@ pub fn fig2(scale: Scale) -> Report {
         "IRN + PFC",
         &cell(&base, TransportKind::Irn, true, CcKind::None),
     ));
-    rep.add(metrics_row("IRN", &cell(&base, TransportKind::Irn, false, CcKind::None)));
+    rep.add(metrics_row(
+        "IRN",
+        &cell(&base, TransportKind::Irn, false, CcKind::None),
+    ));
     rep
 }
 
@@ -241,8 +247,7 @@ pub fn fig9(scale: Scale) -> Report {
             }
             let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
             rep.add(
-                Row::new(format!("M={m}{}", cc_label(cc)))
-                    .push("rct_ratio_irn_over_roce", mean),
+                Row::new(format!("M={m}{}", cc_label(cc))).push("rct_ratio_irn_over_roce", mean),
             );
         }
     }
@@ -303,7 +308,10 @@ pub fn fig10(scale: Scale) -> Report {
         "Resilient RoCE",
         &cell(&base, TransportKind::Roce, false, CcKind::Dcqcn),
     ));
-    rep.add(metrics_row("IRN", &cell(&base, TransportKind::Irn, false, CcKind::None)));
+    rep.add(metrics_row(
+        "IRN",
+        &cell(&base, TransportKind::Irn, false, CcKind::None),
+    ));
     rep
 }
 
@@ -319,7 +327,10 @@ pub fn fig11(scale: Scale) -> Report {
         "iWARP (TCP)",
         &cell(&base, TransportKind::IwarpTcp, false, CcKind::None),
     ));
-    rep.add(metrics_row("IRN", &cell(&base, TransportKind::Irn, false, CcKind::None)));
+    rep.add(metrics_row(
+        "IRN",
+        &cell(&base, TransportKind::Irn, false, CcKind::None),
+    ));
     rep.add(metrics_row(
         "IRN + AIMD",
         &cell(&base, TransportKind::Irn, false, CcKind::Aimd),
@@ -373,15 +384,12 @@ fn appendix_rows(rep: &mut Report, variant: &str, base: &ExperimentConfig) {
         );
         rep.add(
             Row::new(format!("{variant}{} IRN/IRN+PFC", cc_label(cc)))
-                .push("avg_slowdown", irn.summary.avg_slowdown / irn_pfc.summary.avg_slowdown)
                 .push(
-                    "avg_fct_ms",
-                    irn.summary.avg_fct / irn_pfc.summary.avg_fct,
+                    "avg_slowdown",
+                    irn.summary.avg_slowdown / irn_pfc.summary.avg_slowdown,
                 )
-                .push(
-                    "p99_fct_ms",
-                    irn.summary.p99_fct / irn_pfc.summary.p99_fct,
-                ),
+                .push("avg_fct_ms", irn.summary.avg_fct / irn_pfc.summary.avg_fct)
+                .push("p99_fct_ms", irn.summary.p99_fct / irn_pfc.summary.p99_fct),
         );
         rep.add(
             Row::new(format!("{variant}{} IRN/RoCE+PFC", cc_label(cc)))
@@ -389,14 +397,8 @@ fn appendix_rows(rep: &mut Report, variant: &str, base: &ExperimentConfig) {
                     "avg_slowdown",
                     irn.summary.avg_slowdown / roce_pfc.summary.avg_slowdown,
                 )
-                .push(
-                    "avg_fct_ms",
-                    irn.summary.avg_fct / roce_pfc.summary.avg_fct,
-                )
-                .push(
-                    "p99_fct_ms",
-                    irn.summary.p99_fct / roce_pfc.summary.p99_fct,
-                ),
+                .push("avg_fct_ms", irn.summary.avg_fct / roce_pfc.summary.avg_fct)
+                .push("p99_fct_ms", irn.summary.p99_fct / roce_pfc.summary.p99_fct),
         );
     }
 }
@@ -583,7 +585,7 @@ pub fn table1() -> Report {
         let mut now = Time::ZERO;
         let mut processed = 0u64;
         while processed < PACKETS {
-            now = now + Duration::nanos(210);
+            now += Duration::nanos(210);
             match s.poll(now) {
                 SenderPoll::Packet(pkt) => {
                     let out = r.on_data(now, &pkt);
@@ -609,7 +611,7 @@ pub fn table1() -> Report {
         let mut now = Time::ZERO;
         let mut processed = 0u64;
         while processed < PACKETS {
-            now = now + Duration::nanos(210);
+            now += Duration::nanos(210);
             match s.poll(now) {
                 SenderPoll::Packet(pkt) => {
                     let (ack, _) = r.on_data(now, &pkt);
@@ -646,7 +648,7 @@ pub fn table1() -> Report {
         let mut now = Time::ZERO;
         let mut processed = 0u64;
         while processed < PACKETS {
-            now = now + Duration::nanos(210);
+            now += Duration::nanos(210);
             match s.poll(now) {
                 SenderPoll::Packet(pkt) => {
                     let out = r.on_data(now, &pkt);
@@ -689,7 +691,11 @@ pub fn table2() -> Report {
         let mut psn = 0u32;
         for i in 0..OPS {
             // Every 13th packet "lost": arrivals run ahead and backfill.
-            let this = if i % 13 == 12 { psn.saturating_sub(1) } else { psn };
+            let this = if i % 13 == 12 {
+                psn.saturating_sub(1)
+            } else {
+                psn
+            };
             modules::receive_data(&mut ctx, this, false, ReceiverMode::Irn);
             psn = ctx.expected_seq.max(psn) + u32::from(i % 13 != 12);
             if ctx.expected_seq > 1_000_000 {
@@ -790,10 +796,7 @@ pub fn state_budget_report() -> Report {
             .push("bitmap_bits", b.per_qp_bitmap_bits as f64)
             .push("per_side_bits", b.per_side_state_bits() as f64),
     );
-    rep.add(
-        Row::new("per-WQE")
-            .push("extra_bits", b.per_wqe_bits as f64),
-    );
+    rep.add(Row::new("per-WQE").push("extra_bits", b.per_wqe_bits as f64));
     rep.add(Row::new("shared").push("bytes", b.shared_bytes as f64));
     for (qps, wqes) in [(1000u64, 10_000u64), (2000, 20_000), (2000, 40_000)] {
         rep.add(

@@ -120,8 +120,7 @@ impl MetricsCollector {
         assert!(!self.records.is_empty(), "no flows completed");
         let n = self.records.len() as f64;
         let avg_slowdown = self.records.iter().map(|r| r.slowdown()).sum::<f64>() / n;
-        let avg_fct_ns =
-            self.records.iter().map(|r| r.fct().as_nanos()).sum::<u64>() as f64 / n;
+        let avg_fct_ns = self.records.iter().map(|r| r.fct().as_nanos()).sum::<u64>() as f64 / n;
         Summary {
             avg_slowdown,
             avg_fct: Duration::nanos(avg_fct_ns.round() as u64),
@@ -319,6 +318,10 @@ mod tests {
         assert_eq!(fields[0], "7");
         assert_eq!(fields[2], "3");
         assert_eq!(fields[5], "40000"); // fct ns
-        assert!(fields[7].starts_with("2.0"), "slowdown 2.0, got {}", fields[7]);
+        assert!(
+            fields[7].starts_with("2.0"),
+            "slowdown 2.0, got {}",
+            fields[7]
+        );
     }
 }

@@ -545,12 +545,14 @@ mod tests {
     use crate::packet::{FlowId, PacketKind};
     use irn_sim::EventQueue;
 
+    /// Timestamped packet deliveries to hosts.
+    type Deliveries = Vec<(Time, HostId, Packet)>;
+    /// Timestamped transmit-ready notifications to hosts.
+    type TxReadies = Vec<(Time, HostId)>;
+
     /// Drive a fabric to quiescence, collecting host deliveries.
     /// Returns (deliveries, tx_ready notifications).
-    fn run(
-        fabric: &mut Fabric,
-        queue: &mut EventQueue<FabricEvent>,
-    ) -> (Vec<(Time, HostId, Packet)>, Vec<(Time, HostId)>) {
+    fn run(fabric: &mut Fabric, queue: &mut EventQueue<FabricEvent>) -> (Deliveries, TxReadies) {
         let mut delivered = Vec::new();
         let mut ready = Vec::new();
         while let Some((now, ev)) = queue.pop() {
@@ -651,7 +653,7 @@ mod tests {
         let mut q = EventQueue::new();
 
         // Each sender keeps its uplink saturated: re-send on TxReady.
-        let mut sent = vec![0u32; 8];
+        let mut sent = [0u32; 8];
         for s in 0..8u32 {
             send(&mut fabric, &mut q, Time::ZERO, s, 8, 1000, 0);
             sent[s as usize] = 1;
@@ -690,7 +692,7 @@ mod tests {
         cfg.buffer_bytes = 10_000; // tiny: 10 packets
         let mut fabric = Fabric::new(&topo, cfg);
         let mut q = EventQueue::new();
-        let mut sent = vec![0u32; 8];
+        let mut sent = [0u32; 8];
         for s in 0..8u32 {
             send(&mut fabric, &mut q, Time::ZERO, s, 8, 1000, 0);
             sent[s as usize] = 1;

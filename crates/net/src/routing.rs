@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(routes.diameter_hops, 2);
         for dst in 0..3 {
             let port = routes.out_port(0, dst, 99);
-            assert_eq!(ports.switch_ports[0][port as usize], NodeId::Host(dst as u32));
+            assert_eq!(
+                ports.switch_ports[0][port as usize],
+                NodeId::Host(dst as u32)
+            );
         }
     }
 

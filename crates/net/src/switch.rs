@@ -107,8 +107,7 @@ impl EcnConfig {
         } else if occ >= self.kmax_bytes {
             1.0
         } else {
-            self.pmax * (occ - self.kmin_bytes) as f64
-                / (self.kmax_bytes - self.kmin_bytes) as f64
+            self.pmax * (occ - self.kmin_bytes) as f64 / (self.kmax_bytes - self.kmin_bytes) as f64
         }
     }
 }
@@ -338,7 +337,10 @@ mod tests {
         for psn in 0..3 {
             let mut p = pkt(100);
             p.psn = psn;
-            assert!(matches!(sw.enqueue(0, 1, p, &mut r), Enqueue::Queued { .. }));
+            assert!(matches!(
+                sw.enqueue(0, 1, p, &mut r),
+                Enqueue::Queued { .. }
+            ));
         }
         for psn in 0..3 {
             assert_eq!(sw.dequeue(1).unwrap().pkt.psn, psn);
@@ -367,11 +369,17 @@ mod tests {
     fn buffer_overflow_drops_without_pfc() {
         let mut sw = SwitchState::new(2, 250, None, None);
         let mut r = rng();
-        assert!(matches!(sw.enqueue(0, 1, pkt(200), &mut r), Enqueue::Queued { .. }));
+        assert!(matches!(
+            sw.enqueue(0, 1, pkt(200), &mut r),
+            Enqueue::Queued { .. }
+        ));
         assert_eq!(sw.enqueue(0, 1, pkt(100), &mut r), Enqueue::Dropped);
         assert_eq!(sw.stats.buffer_drops, 1);
         // Zero-byte control frames always fit.
-        assert!(matches!(sw.enqueue(0, 1, pkt(0), &mut r), Enqueue::Queued { .. }));
+        assert!(matches!(
+            sw.enqueue(0, 1, pkt(0), &mut r),
+            Enqueue::Queued { .. }
+        ));
     }
 
     #[test]

@@ -143,7 +143,12 @@ pub enum ReceiverMode {
 
 /// `receiveData` (§6.2): triggered on a data-packet arrival; updates the
 /// receive bitmaps and produces the (N)ACK plus WQE-expiry counts.
-pub fn receive_data(ctx: &mut QpContext, psn: u32, is_last: bool, mode: ReceiverMode) -> ReceiveDataOut {
+pub fn receive_data(
+    ctx: &mut QpContext,
+    psn: u32,
+    is_last: bool,
+    mode: ReceiverMode,
+) -> ReceiveDataOut {
     let mut out = ReceiveDataOut {
         ack: AckEmit::None,
         advanced: 0,
@@ -288,7 +293,12 @@ pub struct ReceiveAckOut {
 /// `receiveAck` (§6.2): triggered when an ACK/NACK arrives; advances the
 /// cumulative state, shifts the SACK bitmap, records selective acks, and
 /// drives recovery entry/exit.
-pub fn receive_ack(ctx: &mut QpContext, cum: u32, sack: Option<u32>, is_nack: bool) -> ReceiveAckOut {
+pub fn receive_ack(
+    ctx: &mut QpContext,
+    cum: u32,
+    sack: Option<u32>,
+    is_nack: bool,
+) -> ReceiveAckOut {
     let mut out = ReceiveAckOut::default();
 
     // Advance the cumulative point and shift the bitmap head with it.
@@ -541,8 +551,8 @@ mod tests {
             tx_free(&mut c, true);
         }
         receive_ack(&mut c, 1, Some(2), true); // 1 delivered; 2 sacked; hole at... cum=1
-        // Retransmit cursor starts at cum (1). Only psn 1 qualifies
-        // (sack at 2 is higher); psn 3,4,5 have no higher sack.
+                                               // Retransmit cursor starts at cum (1). Only psn 1 qualifies
+                                               // (sack at 2 is higher); psn 3,4,5 have no higher sack.
         assert_eq!(tx_free(&mut c, true), TxFreeOut::Retransmit { psn: 1 });
         match tx_free(&mut c, true) {
             TxFreeOut::SendNew { psn } => assert_eq!(psn, 6),
@@ -679,11 +689,8 @@ mod tests {
                     if s.cum_acked == total { break; }
                     // Ask txFree for retransmissions only.
                     let mut to_send = Vec::new();
-                    loop {
-                        match tx_free(&mut s, false) {
-                            TxFreeOut::Retransmit { psn } => to_send.push(psn),
-                            _ => break,
-                        }
+                    while let TxFreeOut::Retransmit { psn } = tx_free(&mut s, false) {
+                        to_send.push(psn);
                     }
                     if to_send.is_empty() {
                         // Timeout path: retransmit the cumulative head.
@@ -718,16 +725,11 @@ mod tests {
                 for sk in &sacks {
                     receive_ack(&mut s, cum, Some(*sk), true);
                 }
-                loop {
-                    match tx_free(&mut s, false) {
-                        TxFreeOut::Retransmit { psn } => {
-                            prop_assert!(psn >= s.cum_acked);
-                            prop_assert!(psn < s.highest_sacked);
-                            let off = (psn - s.cum_acked) as usize;
-                            prop_assert!(!s.sack.get(off), "never retransmit SACKed data");
-                        }
-                        _ => break,
-                    }
+                while let TxFreeOut::Retransmit { psn } = tx_free(&mut s, false) {
+                    prop_assert!(psn >= s.cum_acked);
+                    prop_assert!(psn < s.highest_sacked);
+                    let off = (psn - s.cum_acked) as usize;
+                    prop_assert!(!s.sack.get(off), "never retransmit SACKed data");
                 }
             }
         }

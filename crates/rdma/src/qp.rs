@@ -622,7 +622,9 @@ impl Responder {
         }
 
         let fresh_arrival = !out.duplicate
-            && (out.advanced > 0 || out.buffered_ooo || self.mode == ReceiverMode::Irn && pkt.psn >= expected_before);
+            && (out.advanced > 0
+                || out.buffered_ooo
+                || self.mode == ReceiverMode::Irn && pkt.psn >= expected_before);
         let accepted = match self.mode {
             ReceiverMode::Irn => fresh_arrival,
             // RoCE discards OOO arrivals entirely.
@@ -685,8 +687,11 @@ impl Responder {
                     .get(&sn)
                     .unwrap_or_else(|| panic!("no Receive WQE with SN {sn} (RNR; see credits)"));
                 if pkt.payload_len > 0 {
-                    self.memory
-                        .place(wqe.sink_addr + pkt.msg_offset as u64, pkt.payload_len, pkt.msg_id);
+                    self.memory.place(
+                        wqe.sink_addr + pkt.msg_offset as u64,
+                        pkt.payload_len,
+                        pkt.msg_id,
+                    );
                 }
                 if pkt.last {
                     self.held.insert(
@@ -767,7 +772,9 @@ impl Responder {
                 let payload = if br.atomic {
                     8
                 } else {
-                    br.read_len.saturating_sub(i * self.cfg.mtu).min(self.cfg.mtu)
+                    br.read_len
+                        .saturating_sub(i * self.cfg.mtu)
+                        .min(self.cfg.mtu)
                 };
                 let rp = ReadResponsePacket {
                     rpsn,
@@ -883,11 +890,21 @@ mod tests {
         let acts = resp.on_packet(p2);
         assert_eq!(resp.memory.bytes_of(0), 1000, "OOO data DMA'd directly");
         assert_eq!(resp.msn(), 0, "completion held until in-order");
-        assert!(matches!(acts[0], ResponderAction::Nack { cum: 0, sack: 2, .. }));
+        assert!(matches!(
+            acts[0],
+            ResponderAction::Nack {
+                cum: 0,
+                sack: 2,
+                ..
+            }
+        ));
         resp.on_packet(p1);
         let acts = resp.on_packet(p0);
         assert_eq!(resp.msn(), 1, "hole filled → MSN advances");
-        assert!(matches!(acts.last().unwrap(), ResponderAction::Ack { cum: 3, msn: 1 }));
+        assert!(matches!(
+            acts.last().unwrap(),
+            ResponderAction::Ack { cum: 3, msn: 1 }
+        ));
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub enum RdmaOp {
 }
 
 impl RdmaOp {
+    /// Whether the operation moves no payload (zero-length messages are
+    /// legal verbs; they still consume one packet and one MSN).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Message length in bytes (Atomics move 8).
     pub fn len(&self) -> u32 {
         match *self {

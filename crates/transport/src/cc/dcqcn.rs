@@ -75,7 +75,7 @@ impl Dcqcn {
         if periods > 0 {
             let decay = (1.0 - self.p.g).powi(periods.min(10_000) as i32);
             self.alpha *= decay;
-            self.alpha_clock = self.alpha_clock + self.p.alpha_timer * periods;
+            self.alpha_clock += self.p.alpha_timer * periods;
         }
         // Timer-driven increase events, one step per period.
         let inc_periods = now.saturating_since(self.inc_clock).as_nanos()
@@ -85,7 +85,7 @@ impl Dcqcn {
             self.increase_step();
         }
         if inc_periods > 0 {
-            self.inc_clock = self.inc_clock + self.p.increase_timer * inc_periods;
+            self.inc_clock += self.p.increase_timer * inc_periods;
         }
     }
 
@@ -235,7 +235,7 @@ mod tests {
         let mut d = mk(Time::ZERO);
         let mut t = Time::ZERO;
         for _ in 0..60 {
-            t = t + Duration::micros(50);
+            t += Duration::micros(50);
             d.on_cnp(t);
         }
         let r = d.rate_mbps(t);

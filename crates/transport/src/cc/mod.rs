@@ -90,9 +90,7 @@ impl CcState {
             CcKind::Timely => CcState::Timely(Timely::new(TimelyParams::paper(), line_rate)),
             CcKind::Dcqcn => CcState::Dcqcn(Dcqcn::new(DcqcnParams::paper(), line_rate, now)),
             CcKind::Aimd => CcState::Aimd(Aimd::new(AimdParams::default_params(), bdp_packets)),
-            CcKind::Dctcp => {
-                CcState::Dctcp(Dctcp::new(DctcpParams::default_params(), bdp_packets))
-            }
+            CcKind::Dctcp => CcState::Dctcp(Dctcp::new(DctcpParams::default_params(), bdp_packets)),
         }
     }
 

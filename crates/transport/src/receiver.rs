@@ -81,7 +81,7 @@ impl ReceiverQp {
             LossRecovery::SelectiveRepeat => ReceiverMode::Irn,
             LossRecovery::GoBackN => ReceiverMode::RoceGoBackN,
         };
-        let bitmap_bits = cfg.bdp_cap.unwrap_or(0).max(256).min(4096);
+        let bitmap_bits = cfg.bdp_cap.unwrap_or(0).clamp(256, 4096);
         ReceiverQp {
             flow,
             sender,
@@ -291,14 +291,11 @@ mod tests {
         assert!(out.cnp.is_none(), "within 50 µs → suppressed");
         assert_eq!(r.stats.cnps_sent, 1);
         let cnp = r
-            .on_data(
-                Time::ZERO + irn_sim::Duration::micros(51),
-                &{
-                    let mut d = data(2, false);
-                    d.ecn_ce = true;
-                    d
-                },
-            )
+            .on_data(Time::ZERO + irn_sim::Duration::micros(51), &{
+                let mut d = data(2, false);
+                d.ecn_ce = true;
+                d
+            })
             .cnp;
         assert!(cnp.is_some(), "next interval → CNP");
     }

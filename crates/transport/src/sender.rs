@@ -120,7 +120,11 @@ impl SenderQp {
         now: Time,
     ) -> SenderQp {
         let total_packets = cfg.packets_for(size_bytes);
-        let bitmap_bits = cfg.bdp_cap.unwrap_or(0).max(256).max(total_packets.min(4096));
+        let bitmap_bits = cfg
+            .bdp_cap
+            .unwrap_or(0)
+            .max(256)
+            .max(total_packets.min(4096));
         let cc = CcState::new(cc_kind, cfg.line_rate, cfg.bdp_cap.unwrap_or(110), now);
         SenderQp {
             flow,
@@ -278,7 +282,11 @@ impl SenderQp {
     fn arm_timer(&mut self, now: Time) {
         let low = self.cfg.recovery == LossRecovery::SelectiveRepeat
             && self.ctx.in_flight() < self.cfg.rto_low_n;
-        let dur = if low { self.cfg.rto_low } else { self.cfg.rto_high };
+        let dur = if low {
+            self.cfg.rto_low
+        } else {
+            self.cfg.rto_high
+        };
         self.ctx.rto_low_armed = low;
         let generation = self.timer.arm(now + dur);
         self.pending_timer = Some(TimerOp {
@@ -308,10 +316,7 @@ impl SenderQp {
         // NACKs outside recovery record their SACK information but do
         // not trigger retransmission — spraying fabrics NACK benignly.
         let mut effective_nack = is_nack;
-        if is_nack
-            && self.cfg.recovery == LossRecovery::SelectiveRepeat
-            && !self.ctx.in_recovery
-        {
+        if is_nack && self.cfg.recovery == LossRecovery::SelectiveRepeat && !self.ctx.in_recovery {
             self.nacks_outside_recovery += 1;
             if self.nacks_outside_recovery < self.cfg.nack_threshold {
                 effective_nack = false;

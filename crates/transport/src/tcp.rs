@@ -382,13 +382,13 @@ impl TcpReceiver {
         );
         ack.sent_at = pkt.sent_at;
         ack.ecn_echo = pkt.ecn_ce;
-        let completed = if self.completed_at.is_none() && self.ctx.expected_seq >= self.total_packets
-        {
-            self.completed_at = Some(now);
-            true
-        } else {
-            false
-        };
+        let completed =
+            if self.completed_at.is_none() && self.ctx.expected_seq >= self.total_packets {
+                self.completed_at = Some(now);
+                true
+            } else {
+                false
+            };
         (ack, completed)
     }
 }
@@ -439,7 +439,7 @@ mod tests {
         let mut in_flight = drain(&mut s, time);
         let mut window_sizes = vec![in_flight.len()];
         for _ in 0..4 {
-            time = time + Duration::micros(25);
+            time += Duration::micros(25);
             for p in std::mem::take(&mut in_flight) {
                 s.on_ack_packet(time, &ack_at(p.psn + 1, p.sent_at));
             }
@@ -458,10 +458,10 @@ mod tests {
     #[test]
     fn triple_dupack_fast_retransmits() {
         let mut s = sender(20_000); // 20 packets
-        // Grow the window a bit first.
+                                    // Grow the window a bit first.
         let mut t = Time::ZERO;
         let burst = drain(&mut s, t);
-        t = t + Duration::micros(25);
+        t += Duration::micros(25);
         for p in &burst {
             s.on_ack_packet(t, &ack_at(p.psn + 1, p.sent_at));
         }
@@ -469,7 +469,7 @@ mod tests {
         assert!(burst2.len() >= 4, "need ≥4 in flight for 3 dupacks");
         // Packet burst2[0] lost: receiver dupacks at its cum.
         let lost = burst2[0].psn;
-        t = t + Duration::micros(25);
+        t += Duration::micros(25);
         for _ in 0..3 {
             s.on_ack_packet(t, &ack_at(lost, burst2[1].sent_at));
         }
@@ -534,7 +534,7 @@ mod tests {
         let mut t = Time::ZERO;
         let mut b2 = drain(&mut s, t);
         for _ in 0..2 {
-            t = t + Duration::micros(25);
+            t += Duration::micros(25);
             for p in std::mem::take(&mut b2) {
                 s.on_ack_packet(t, &ack_at(p.psn + 1, p.sent_at));
             }
@@ -543,14 +543,14 @@ mod tests {
         assert!(b2.len() >= 6);
         let first = b2[0].psn;
         // Two losses: first and first+2. Dupacks carry cum=first.
-        t = t + Duration::micros(25);
+        t += Duration::micros(25);
         for _ in 0..3 {
             s.on_ack_packet(t, &ack_at(first, b2[1].sent_at));
         }
         let retx1 = drain(&mut s, t);
         assert_eq!(retx1[0].psn, first);
         // Partial ack up to the second hole.
-        t = t + Duration::micros(25);
+        t += Duration::micros(25);
         s.on_ack_packet(t, &ack_at(first + 2, retx1[0].sent_at));
         let retx2 = drain(&mut s, t);
         assert_eq!(retx2[0].psn, first + 2, "NewReno retransmits the next hole");

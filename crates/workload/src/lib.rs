@@ -156,7 +156,7 @@ impl WorkloadSpec {
             let mut host_rng = rng.fork(src as u64);
             let mut t = Time::ZERO;
             for _ in 0..per_host {
-                t = t + host_rng.exp_duration(mean_gap);
+                t += host_rng.exp_duration(mean_gap);
                 let mut dst = host_rng.range(0, self.hosts as u64 - 1) as u32;
                 if dst >= src {
                     dst += 1; // skip self
@@ -198,7 +198,11 @@ pub fn incast(
     senders
         .into_iter()
         .map(|raw| {
-            let src = if (raw as u32) >= dst { raw as u32 + 1 } else { raw as u32 };
+            let src = if (raw as u32) >= dst {
+                raw as u32 + 1
+            } else {
+                raw as u32
+            };
             FlowSpec {
                 src,
                 dst,
@@ -231,7 +235,10 @@ mod tests {
         }
         let fs = small as f64 / n as f64;
         let fl = large as f64 / n as f64;
-        assert!((fs - 0.50).abs() < 0.02, "§4.1: ~50% single-packet, got {fs}");
+        assert!(
+            (fs - 0.50).abs() < 0.02,
+            "§4.1: ~50% single-packet, got {fs}"
+        );
         assert!((fl - 0.15).abs() < 0.02, "§4.1: ~15% large flows, got {fl}");
     }
 
@@ -316,10 +323,7 @@ mod tests {
         let b = spec.generate();
         assert_eq!(a, b, "same seed ⇒ same workload");
         assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
-        let spec2 = WorkloadSpec {
-            seed: 43,
-            ..spec
-        };
+        let spec2 = WorkloadSpec { seed: 43, ..spec };
         assert_ne!(a, spec2.generate());
     }
 

@@ -59,9 +59,7 @@ fn irn_handles_spraying_better_than_go_back_n() {
         irn.summary.avg_fct,
         gbn.summary.avg_fct
     );
-    assert!(
-        irn.transport.retransmission_rate() < gbn.transport.retransmission_rate(),
-    );
+    assert!(irn.transport.retransmission_rate() < gbn.transport.retransmission_rate(),);
 }
 
 #[test]

@@ -1,0 +1,324 @@
+//! A hermetic, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the surface the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), integer/float range strategies, `prop::bool::ANY`, tuple
+//! strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Unlike upstream, failing cases are **not shrunk** — the failing input
+//! is printed as-is. Case generation is deterministic: the RNG is seeded
+//! from the test name, so CI failures reproduce locally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator handed to strategies; wraps the vendored `SmallRng`.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic per-test generator: seeded from the test's name so
+    /// every run (local or CI) explores the same cases.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name: stable across platforms and releases.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    /// Next raw `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator. Upstream's `Strategy` also carries shrinking
+/// machinery; this subset only generates.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+/// Strategy for a fixed value (upstream's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A vector of values from `element`, with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.0.random_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Named strategy constants, mirroring upstream's `prop` module paths.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform boolean strategy type.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Uniform boolean strategy (`prop::bool::ANY`).
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a property; on failure the whole case's
+/// inputs are reported by the harness. (This subset panics directly.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            *l,
+            *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", *l, *r);
+    }};
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn my_property(x in 0u32..100, flips in prop::bool::ANY) { .. }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $(let $arg = $arg.clone();)+ $body })
+                    );
+                    if let Err(err) = result {
+                        let msg = err
+                            .downcast_ref::<String>()
+                            .map(|s| s.as_str())
+                            .or_else(|| err.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!(
+                            "property {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            msg,
+                            format!(
+                                concat!($(stringify!($arg), " = {:?}  ",)+),
+                                $($arg),+
+                            ),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(10u32..20), &mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = Strategy::generate(&crate::collection::vec(0usize..5, 1..10), &mut rng);
+            assert!((1..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: multiple args, tuples, vec, bool.
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec((0usize..8, prop::bool::ANY), 1..20),
+            k in 1u32..5,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((1..5).contains(&k));
+            for (i, b) in xs {
+                prop_assert!(i < 8);
+                let _ = b;
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Derive macro for the vendored `serde` subset: emits an empty
+//! `impl serde::Serialize` for the annotated type. Hand-rolled token
+//! scanning (no `syn`/`quote`) keeps the build dependency-free.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derive the `Serialize` marker impl for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+    // Scan for the `struct`/`enum`/`union` keyword, then take the name
+    // and any generic parameter list that follows it.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): no type name found");
+    let generics = collect_generics(tokens);
+    let (params, args) = split_generics(&generics);
+    format!("impl{params} ::serde::Serialize for {name}{args} {{}}")
+        .parse()
+        .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Collect the raw `<...>` generic tokens following the type name, if
+/// any, stopping at the body/where-clause.
+fn collect_generics(tokens: impl Iterator<Item = TokenTree>) -> String {
+    let mut out = String::new();
+    let mut depth = 0i32;
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                out.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                out.push('>');
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '\'' => out.push('\''),
+            _ => {
+                out.push_str(&tt.to_string());
+                out.push(' ');
+            }
+        }
+    }
+    out
+}
+
+/// From raw generics like `<'a, T: Clone, const N: usize>`, build the
+/// impl parameter list (as-is) and the type argument list (names only).
+fn split_generics(generics: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let inner = generics
+        .trim_start_matches('<')
+        .trim_end_matches('>')
+        .trim();
+    let mut args = Vec::new();
+    for param in split_top_level(inner) {
+        let param = param.trim();
+        if param.is_empty() {
+            continue;
+        }
+        let head = param.split(':').next().unwrap_or(param).trim();
+        let name = head.strip_prefix("const ").map(str::trim).unwrap_or(head);
+        args.push(name.to_string());
+    }
+    (generics.to_string(), format!("<{}>", args.join(", ")))
+}
+
+/// Split on commas not nested inside `<>`/`()`/`[]`.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
