@@ -340,8 +340,11 @@ mod tests {
         assert_eq!(ones, vec![3, 17, 40, 63]);
     }
 
+    // The bounds check is a debug_assert, so it only fires without
+    // optimizations; release builds skip this test.
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)]
     fn offset_beyond_capacity_panics_in_debug() {
         let b = RingBitmap::new(32);
         let _ = b.get(32);

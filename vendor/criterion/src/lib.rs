@@ -1,0 +1,366 @@
+//! A hermetic, API-compatible subset of the `criterion` crate.
+//!
+//! Implements the benchmark surface the workspace uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros —
+//! with honest wall-clock measurement (warmup + N samples, reporting
+//! min/mean) and plain-text output. No plotting, no statistics beyond
+//! the summary, no `target/criterion` reports.
+//!
+//! `--bench` and a name filter on `argv` are honoured so `cargo bench`
+//! and `cargo bench -- <filter>` behave as expected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (reported per-iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per measured call in
+/// [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine output; batch many per setup.
+    SmallInput,
+    /// Medium routine output.
+    MediumInput,
+    /// Large routine output; one per setup.
+    LargeInput,
+}
+
+impl BatchSize {
+    /// Routine calls timed per sample window; the recorded sample is
+    /// the window divided by this, so nanosecond-scale routines are not
+    /// swamped by `Instant` overhead (one now()/elapsed() pair costs
+    /// tens of ns — more than some benched routines).
+    fn iters_per_sample(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::MediumInput => 16,
+            BatchSize::LargeInput => 1,
+        }
+    }
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `routine`. Each sample times a calibrated block of calls in
+    /// one `Instant` window and divides by the block size, so sub-µs
+    /// routines are not dominated by timer overhead/resolution. The
+    /// calibration pass doubles as warmup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const TARGET_WINDOW: Duration = Duration::from_micros(10);
+        const MAX_ITERS: u64 = 1 << 20;
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            if start.elapsed() >= TARGET_WINDOW || iters >= MAX_ITERS {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(Duration::from_secs_f64(
+                elapsed.as_secs_f64() / iters as f64,
+            ));
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from measurement. Each sample pre-builds a batch of
+    /// inputs (sized by `size`), times the whole batch in one `Instant`
+    /// window and divides by the batch size.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let batch = size.iters_per_sample();
+        black_box(routine(setup())); // warmup + forces compilation of the path
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(Duration::from_secs_f64(
+                elapsed.as_secs_f64() / batch as f64,
+            ));
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mut line = format!(
+        "{name:<40} time: [min {} mean {}] ({} samples)",
+        format_duration(min),
+        format_duration(mean),
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: {:.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager: owns CLI filtering and default settings.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; `--bench`/`--test` flags come from the harness.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream reads CLI options here; the subset already did in
+    /// `default()`, so this is identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the default number of measured samples per benchmark
+    /// (builder form, used by `criterion_group!`'s `config = ..`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        if self.matches(id) {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b);
+            report(id, &b.samples, None);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if self.criterion.matches(&full) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            let mut b = Bencher::new(n);
+            f(&mut b);
+            report(&full, &b.samples, self.throughput);
+        }
+        self
+    }
+
+    /// Finish the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function from target functions. Both the
+/// short form and the `name/config/targets` long form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+    (
+        name = $group:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // Calibration (>= 1 call) + 3 samples of >= 1 call each; the
+        // exact count depends on how far calibration scales the block.
+        assert!(runs >= 4, "expected at least 4 runs, got {runs}");
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 10,
+        };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).throughput(Throughput::Elements(5));
+            g.bench_function("inner", |b| {
+                b.iter_batched(
+                    || 1u64,
+                    |x| {
+                        runs += 1;
+                        x + 1
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+            g.finish();
+        }
+        // 1 warmup + 2 samples x one SmallInput batch each.
+        let batch = BatchSize::SmallInput.iters_per_sample() as u32;
+        assert_eq!(runs, 1 + 2 * batch);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            sample_size: 3,
+        };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -122,18 +122,23 @@ pub mod collection {
     }
 
     /// A vector of values from `element`, with length in `len`.
+    ///
+    /// Panics on an empty `len` range, matching upstream proptest (which
+    /// rejects it) rather than silently reinterpreting it as a fixed length.
     pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            len.start < len.end,
+            "proptest::collection::vec: empty length range {}..{}",
+            len.start,
+            len.end
+        );
         VecStrategy { element, len }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            let n = if self.len.start >= self.len.end {
-                self.len.start
-            } else {
-                rng.0.random_range(self.len.clone())
-            };
+            let n = rng.0.random_range(self.len.clone());
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
@@ -238,7 +243,10 @@ macro_rules! __proptest_impl {
         $($arg:ident in $strat:expr),+ $(,)?
     ) $body:block)*) => {
         $(
-            #[test]
+            // Re-emit the user's attributes verbatim (upstream behavior):
+            // properties write `#[test]` themselves, and extras like
+            // `#[ignore]` or `#[cfg(..)]` must survive expansion.
+            $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 let mut rng = $crate::TestRng::for_test(concat!(
