@@ -1,0 +1,36 @@
+//! How the `irn-harness` executor scales one fixed cell batch across
+//! worker counts. The batch is the Figure 4-shaped matrix (2 variants ×
+//! 3 CC schemes) at bench scale; on a multi-core machine `jobs=4`
+//! should finish the batch measurably faster than `jobs=1`, with
+//! byte-identical results (asserted by the integration tests, not
+//! here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::bench_cfg;
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use irn_harness::{Harness, SweepGrid, Variant};
+use std::hint::black_box;
+
+const FLOWS: usize = 100;
+
+fn bench(c: &mut Criterion) {
+    let cells = SweepGrid::new(bench_cfg(FLOWS))
+        .variants([
+            Variant::new("IRN", TransportKind::Irn, false),
+            Variant::new("RoCE (PFC)", TransportKind::Roce, true),
+        ])
+        .ccs([CcKind::None, CcKind::Timely, CcKind::Dcqcn])
+        .build();
+    let mut g = c.benchmark_group("harness");
+    g.sample_size(10);
+    for jobs in [1usize, 4] {
+        g.bench_function(format!("six_cell_batch_jobs{jobs}"), |b| {
+            b.iter(|| black_box(Harness::new(jobs).run(&cells)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

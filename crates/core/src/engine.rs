@@ -88,7 +88,11 @@ impl Simulation {
         let n = flows.len();
 
         Simulation {
-            queue: EventQueue::with_capacity(4096),
+            // Every flow arrival is pushed up front (see `run`), so the
+            // queue holds at least `n` events before the first pop;
+            // pre-size for them plus in-flight fabric/timer headroom to
+            // avoid repeated reallocation on full-scale runs.
+            queue: EventQueue::with_capacity(2 * n + 1024),
             fabric,
             flows,
             incast_from,

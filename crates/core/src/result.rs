@@ -3,9 +3,10 @@
 use irn_metrics::{MetricsCollector, Summary};
 use irn_net::FabricStats;
 use irn_sim::{Duration, Time};
+use serde::Serialize;
 
 /// Transport-layer counters aggregated over every flow in a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct TransportTotals {
     /// Data packets transmitted (including retransmissions).
     pub sent: u64,
@@ -31,7 +32,7 @@ impl TransportTotals {
 }
 
 /// Everything a finished run reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct RunResult {
     /// §4.1 headline metrics over the primary flow population (the
     /// background workload when an incast rides on cross-traffic).

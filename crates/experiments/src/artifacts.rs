@@ -1,0 +1,254 @@
+//! The artifact registry: every figure/table the `repro` binary can
+//! regenerate, as data.
+//!
+//! One source of truth for artifact names keeps the CLI, the JSON
+//! emitter, the CI verifier, and the determinism tests agreeing on what
+//! exists — a misspelled name is a hard error everywhere instead of
+//! silent empty output.
+
+use irn_harness::Harness;
+use serde::json::{self, Value};
+use serde::Serialize;
+
+use crate::report::Report;
+use crate::runners;
+use crate::scale::Scale;
+
+/// Version stamp of the JSON artifact envelope.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One reproducible evaluation artifact (a figure or table).
+pub struct Artifact {
+    /// CLI name and JSON file stem, e.g. `"fig1"`.
+    pub name: &'static str,
+    /// False for the CPU-timing substitutes (`table1`/`table2`), whose
+    /// numbers are wall-clock measurements and therefore not
+    /// run-to-run reproducible; true for everything simulation-backed.
+    pub deterministic: bool,
+    runner: fn(Scale, &Harness) -> Report,
+}
+
+impl Artifact {
+    /// Regenerate this artifact.
+    pub fn run(&self, scale: Scale, harness: &Harness) -> Report {
+        (self.runner)(scale, harness)
+    }
+}
+
+/// Every artifact, in presentation order (the order `repro all` prints).
+pub static ARTIFACTS: &[Artifact] = &[
+    Artifact {
+        name: "fig1",
+        deterministic: true,
+        runner: runners::fig1,
+    },
+    Artifact {
+        name: "fig2",
+        deterministic: true,
+        runner: runners::fig2,
+    },
+    Artifact {
+        name: "fig3",
+        deterministic: true,
+        runner: runners::fig3,
+    },
+    Artifact {
+        name: "fig4",
+        deterministic: true,
+        runner: runners::fig4,
+    },
+    Artifact {
+        name: "fig5",
+        deterministic: true,
+        runner: runners::fig5,
+    },
+    Artifact {
+        name: "fig6",
+        deterministic: true,
+        runner: runners::fig6,
+    },
+    Artifact {
+        name: "fig7",
+        deterministic: true,
+        runner: runners::fig7,
+    },
+    Artifact {
+        name: "fig8",
+        deterministic: true,
+        runner: runners::fig8,
+    },
+    Artifact {
+        name: "fig9",
+        deterministic: true,
+        runner: runners::fig9,
+    },
+    Artifact {
+        name: "incast-cross",
+        deterministic: true,
+        runner: runners::incast_cross,
+    },
+    Artifact {
+        name: "fig10",
+        deterministic: true,
+        runner: runners::fig10,
+    },
+    Artifact {
+        name: "fig11",
+        deterministic: true,
+        runner: runners::fig11,
+    },
+    Artifact {
+        name: "fig12",
+        deterministic: true,
+        runner: runners::fig12,
+    },
+    Artifact {
+        name: "table1",
+        deterministic: false,
+        runner: |_, _| runners::table1(),
+    },
+    Artifact {
+        name: "table2",
+        deterministic: false,
+        runner: |_, _| runners::table2(),
+    },
+    Artifact {
+        name: "table3",
+        deterministic: true,
+        runner: runners::table3,
+    },
+    Artifact {
+        name: "table4",
+        deterministic: true,
+        runner: runners::table4,
+    },
+    Artifact {
+        name: "table5",
+        deterministic: true,
+        runner: runners::table5,
+    },
+    Artifact {
+        name: "table6",
+        deterministic: true,
+        runner: runners::table6,
+    },
+    Artifact {
+        name: "table7",
+        deterministic: true,
+        runner: runners::table7,
+    },
+    Artifact {
+        name: "table8",
+        deterministic: true,
+        runner: runners::table8,
+    },
+    Artifact {
+        name: "table9",
+        deterministic: true,
+        runner: runners::table9,
+    },
+    Artifact {
+        name: "state-budget",
+        deterministic: true,
+        runner: |_, _| runners::state_budget_report(),
+    },
+];
+
+/// Look an artifact up by CLI name.
+pub fn find(name: &str) -> Option<&'static Artifact> {
+    ARTIFACTS.iter().find(|a| a.name == name)
+}
+
+/// The names from `wanted` that name no artifact (and are not `all`).
+pub fn unknown_names<'a>(wanted: &[&'a str]) -> Vec<&'a str> {
+    wanted
+        .iter()
+        .filter(|n| **n != "all" && find(n).is_none())
+        .copied()
+        .collect()
+}
+
+/// Serialize one artifact as its JSON envelope (pretty-printed, with a
+/// trailing newline). The envelope deliberately excludes job counts and
+/// timings so the bytes depend only on `(artifact, scale, report)` —
+/// `--jobs 1` and `--jobs 64` must emit identical files.
+pub fn artifact_json(name: &str, scale: &str, report: &Report) -> String {
+    let envelope = Value::Object(vec![
+        ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
+        ("artifact".to_string(), name.to_json()),
+        ("scale".to_string(), scale.to_json()),
+        ("report".to_string(), report.to_json()),
+    ]);
+    let mut text = json::to_string_pretty(&envelope);
+    text.push('\n');
+    text
+}
+
+/// Validate one artifact's JSON text: parse it and check the envelope
+/// shape. Returns a human-readable error on failure.
+pub fn verify_artifact_json(name: &str, text: &str) -> Result<(), String> {
+    let v = json::from_str(text).map_err(|e| format!("{name}: {e}"))?;
+    if v.get("schema_version").and_then(Value::as_u64) != Some(SCHEMA_VERSION) {
+        return Err(format!("{name}: missing or wrong schema_version"));
+    }
+    if v.get("artifact").and_then(Value::as_str) != Some(name) {
+        return Err(format!("{name}: 'artifact' field does not match file name"));
+    }
+    let Some(report) = v.get("report") else {
+        return Err(format!("{name}: no 'report' object"));
+    };
+    let Some(rows) = report.get("rows").and_then(Value::as_array) else {
+        return Err(format!("{name}: report has no 'rows' array"));
+    };
+    if rows.is_empty() {
+        return Err(format!("{name}: report has zero rows"));
+    }
+    for row in rows {
+        if row.get("label").and_then(Value::as_str).is_none() {
+            return Err(format!("{name}: row without a label"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Row;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for a in ARTIFACTS {
+            assert!(std::ptr::eq(find(a.name).unwrap(), a));
+        }
+        let mut names: Vec<&str> = ARTIFACTS.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ARTIFACTS.len());
+    }
+
+    #[test]
+    fn unknown_names_flags_only_misspellings() {
+        assert!(unknown_names(&["fig1", "all", "table9"]).is_empty());
+        assert_eq!(
+            unknown_names(&["fig13", "fig1", "tabel3"]),
+            ["fig13", "tabel3"]
+        );
+    }
+
+    #[test]
+    fn envelope_round_trips_and_verifies() {
+        let mut rep = Report::new("Figure 1", "t", "p");
+        rep.add(Row::new("IRN").push("avg_slowdown", 2.5));
+        let text = artifact_json("fig1", "quick", &rep);
+        verify_artifact_json("fig1", &text).unwrap();
+        // Round-trip at the value level: parse → re-render → re-parse.
+        let v = json::from_str(&text).unwrap();
+        assert_eq!(json::from_str(&json::to_string(&v)).unwrap(), v);
+        // Mismatched name, broken text, empty rows all fail.
+        assert!(verify_artifact_json("fig2", &text).is_err());
+        assert!(verify_artifact_json("fig1", "{").is_err());
+        let empty = artifact_json("fig1", "quick", &Report::new("f", "t", "p"));
+        assert!(verify_artifact_json("fig1", &empty).is_err());
+    }
+}

@@ -1,66 +1,189 @@
 //! `repro` — regenerate the paper's figures and tables.
 //!
 //! ```text
-//! repro [--full] <artifact>...
-//! repro all                  # every artifact at quick scale
-//! repro --full fig1 table3   # selected artifacts at paper scale
+//! repro [--full] [--jobs N] [--json DIR] <artifact>... | all
+//! repro --list                # print every artifact name
+//! repro --verify-json DIR     # validate an emitted JSON directory
 //! ```
 //!
 //! Quick scale runs a k=4 fat-tree (16 hosts) with hundreds of flows —
 //! seconds per artifact. `--full` runs the paper's k=6/54-host default
-//! with thousands of flows (minutes for the sweeps).
+//! with thousands of flows. Each artifact's cells run in parallel
+//! across `--jobs` workers (default: all cores); report output is
+//! byte-identical at any job count. `--json DIR` additionally writes
+//! one schema-versioned JSON file per artifact.
+//!
+//! Exit codes: 0 success, 1 verification failure, 2 usage error
+//! (including unknown artifact names).
 
-use irn_experiments::{runners, Report, Scale};
+use irn_experiments::artifacts::{self, ARTIFACTS};
+use irn_experiments::{Harness, Scale};
+use std::path::{Path, PathBuf};
+
+struct Args {
+    full: bool,
+    jobs: Option<usize>,
+    json_dir: Option<PathBuf>,
+    list: bool,
+    verify_dir: Option<PathBuf>,
+    wanted: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--full] [--jobs N] [--json DIR] <artifact>... | all");
+    eprintln!("       repro --list");
+    eprintln!("       repro --verify-json DIR");
+    eprintln!("artifacts:");
+    for chunk in ARTIFACTS.chunks(8) {
+        let names: Vec<&str> = chunk.iter().map(|a| a.name).collect();
+        eprintln!("  {}", names.join(" "));
+    }
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        full: false,
+        jobs: None,
+        json_dir: None,
+        list: false,
+        verify_dir: None,
+        wanted: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => args.full = true,
+            "--list" => args.list = true,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => args.jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs needs a positive integer");
+                    usage();
+                }
+            },
+            "--json" => match it.next() {
+                Some(dir) => args.json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --json needs a directory");
+                    usage();
+                }
+            },
+            "--verify-json" => match it.next() {
+                Some(dir) => args.verify_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --verify-json needs a directory");
+                    usage();
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag '{flag}'");
+                usage();
+            }
+            name => args.wanted.push(name.to_string()),
+        }
+    }
+    args
+}
+
+/// Check that every artifact exists in `dir` as parsable,
+/// schema-conforming JSON. Prints one line per problem.
+fn verify_json_dir(dir: &Path) -> i32 {
+    let mut failures = 0;
+    for artifact in ARTIFACTS {
+        let path = dir.join(format!("{}.json", artifact.name));
+        let outcome = match std::fs::read_to_string(&path) {
+            Err(e) => Err(format!(
+                "{}: cannot read {}: {e}",
+                artifact.name,
+                path.display()
+            )),
+            Ok(text) => artifacts::verify_artifact_json(artifact.name, &text),
+        };
+        match outcome {
+            Ok(()) => println!("ok   {}", path.display()),
+            Err(msg) => {
+                println!("FAIL {msg}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} artifact(s) missing or unparsable in {}",
+            dir.display()
+        );
+        1
+    } else {
+        0
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::full() } else { Scale::quick() };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let args = parse_args();
 
-    if wanted.is_empty() {
-        eprintln!("usage: repro [--full] <artifact>... | all");
-        eprintln!("artifacts: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12");
-        eprintln!("           incast-cross table1 table2 table3 table4 table5 table6 table7");
-        eprintln!("           table8 table9 state-budget");
-        std::process::exit(2);
+    if args.list {
+        for a in ARTIFACTS {
+            println!("{}", a.name);
+        }
+        return;
+    }
+    if let Some(dir) = &args.verify_dir {
+        std::process::exit(verify_json_dir(dir));
+    }
+    if args.wanted.is_empty() {
+        usage();
     }
 
-    let all = wanted.contains(&"all");
-    let run = |name: &str, f: &dyn Fn() -> Report| {
-        if all || wanted.contains(&name) {
-            let t = std::time::Instant::now();
-            let rep = f();
-            print!("{}", rep.render());
-            println!("   [{} in {:.1?}]\n", name, t.elapsed());
+    // Fail loudly on misspelled artifact names instead of silently
+    // printing nothing.
+    let wanted: Vec<&str> = args.wanted.iter().map(String::as_str).collect();
+    let unknown = artifacts::unknown_names(&wanted);
+    if !unknown.is_empty() {
+        for name in &unknown {
+            eprintln!("error: unknown artifact '{name}'");
         }
-    };
+        usage();
+    }
 
-    run("fig1", &|| runners::fig1(scale));
-    run("fig2", &|| runners::fig2(scale));
-    run("fig3", &|| runners::fig3(scale));
-    run("fig4", &|| runners::fig4(scale));
-    run("fig5", &|| runners::fig5(scale));
-    run("fig6", &|| runners::fig6(scale));
-    run("fig7", &|| runners::fig7(scale));
-    run("fig8", &|| runners::fig8(scale));
-    run("fig9", &|| runners::fig9(scale));
-    run("incast-cross", &|| runners::incast_cross(scale));
-    run("fig10", &|| runners::fig10(scale));
-    run("fig11", &|| runners::fig11(scale));
-    run("fig12", &|| runners::fig12(scale));
-    run("table1", &|| runners::table1());
-    run("table2", &|| runners::table2());
-    run("table3", &|| runners::table3(scale));
-    run("table4", &|| runners::table4(scale));
-    run("table5", &|| runners::table5(scale));
-    run("table6", &|| runners::table6(scale));
-    run("table7", &|| runners::table7(scale));
-    run("table8", &|| runners::table8(scale));
-    run("table9", &|| runners::table9(scale));
-    run("state-budget", &|| runners::state_budget_report());
+    let scale = if args.full {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let harness = args.jobs.map_or_else(Harness::auto, Harness::new);
+    let all = wanted.contains(&"all");
+
+    if let Some(dir) = &args.json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    for artifact in ARTIFACTS {
+        if !(all || wanted.contains(&artifact.name)) {
+            continue;
+        }
+        let t = std::time::Instant::now();
+        let rep = artifact.run(scale, &harness);
+        // Reports go to stdout; progress/timing to stderr so stdout
+        // stays byte-identical run to run (for deterministic artifacts).
+        print!("{}", rep.render());
+        println!();
+        eprintln!(
+            "   [{} in {:.1?}, jobs={}]",
+            artifact.name,
+            t.elapsed(),
+            harness.jobs()
+        );
+        if let Some(dir) = &args.json_dir {
+            let text = artifacts::artifact_json(artifact.name, scale.label(), &rep);
+            let path = dir.join(format!("{}.json", artifact.name));
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

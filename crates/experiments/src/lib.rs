@@ -6,12 +6,20 @@
 //! [`Report`] that prints rows shaped like the paper's (and that tests
 //! can assert directional claims against).
 //!
+//! Each simulation-backed runner submits its whole experiment matrix to
+//! the [`irn_harness`] executor as one batch of labeled cells, so
+//! independent cells run in parallel while reports render
+//! byte-identically at any job count.
+//!
 //! Run them through the `repro` binary:
 //!
 //! ```text
-//! repro fig1            # quick scale (k=4 fat-tree, 16 hosts)
-//! repro --full fig1     # paper scale (k=6 fat-tree, 54 hosts)
-//! repro all             # everything
+//! repro fig1                     # quick scale (k=4 fat-tree, 16 hosts)
+//! repro --full fig1              # paper scale (k=6 fat-tree, 54 hosts)
+//! repro all --jobs 8             # everything, 8 simulation workers
+//! repro all --json out/          # also persist one JSON file per artifact
+//! repro --list                   # artifact names, one per line
+//! repro --verify-json out/       # validate a previously emitted JSON dir
 //! ```
 //!
 //! Absolute numbers will not match the paper — the substrate is a clean
@@ -23,10 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod report;
 pub mod runners;
 pub mod scale;
 
+pub use artifacts::{Artifact, ARTIFACTS};
+pub use irn_harness::Harness;
 pub use report::{Report, Row};
 pub use runners::*;
 pub use scale::Scale;

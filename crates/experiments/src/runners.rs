@@ -1,10 +1,20 @@
 //! One runner per figure/table of the paper's evaluation.
+//!
+//! Every simulation-backed runner expresses its experiment matrix as a
+//! batch of [`Cell`]s submitted to the [`Harness`] in one shot, so the
+//! independent cells run in parallel across `--jobs` workers. Results
+//! come back in submission order, which keeps report assembly — and
+//! therefore the rendered output — byte-identical at any job count.
+//! Only `table1`/`table2` run inline: they *time* packet-processing
+//! paths on the CPU, and sharing cores would skew the measurement.
 
 use irn_core::sim::Duration;
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{run, ExperimentConfig, RunResult, Workload};
+use irn_core::{ExperimentConfig, RunResult, Workload};
+use irn_harness::sweep::cc_suffix;
+use irn_harness::{Cell, Harness, Replicate, Stats, SweepGrid, Variant};
 use irn_rdma::modules::{self, QpContext, ReceiverMode};
 use irn_rdma::state_budget::{bitmap_bits_for, irn_state_budget};
 
@@ -20,194 +30,175 @@ fn metrics_row(label: impl Into<String>, r: &RunResult) -> Row {
         .push("p99_fct_ms", r.summary.p99_fct.as_millis_f64())
 }
 
-fn cell(base: &ExperimentConfig, t: TransportKind, pfc: bool, cc: CcKind) -> RunResult {
-    run(base.clone().with_transport(t).with_pfc(pfc).with_cc(cc))
-}
-
-fn cc_label(cc: CcKind) -> String {
-    match cc {
-        CcKind::None => String::new(),
-        other => format!(" + {}", other.label()),
+/// Run a batch and append one [`metrics_row`] per cell, labeled by the
+/// cell, in submission order.
+fn add_metrics_rows(rep: &mut Report, cells: Vec<Cell>, h: &Harness) {
+    let results = h.run(&cells);
+    for (cell, r) in cells.iter().zip(&results) {
+        rep.add(metrics_row(cell.label.clone(), r));
     }
 }
 
+/// The `IRN` variant (selective repeat, no PFC).
+fn irn() -> Variant {
+    Variant::new("IRN", TransportKind::Irn, false)
+}
+
+/// The `RoCE (PFC)` variant (go-back-N behind a lossless fabric).
+fn roce_pfc() -> Variant {
+    Variant::new("RoCE (PFC)", TransportKind::Roce, true)
+}
+
 /// Figure 1: IRN (without PFC) vs RoCE (with PFC), no explicit CC.
-pub fn fig1(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig1(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 1",
         "Comparing IRN and RoCE's performance",
         "IRN is 2.8-3.7x better than RoCE across all three metrics",
     );
-    rep.add(metrics_row(
-        "IRN",
-        &cell(&base, TransportKind::Irn, false, CcKind::None),
-    ));
-    rep.add(metrics_row(
-        "RoCE (PFC)",
-        &cell(&base, TransportKind::Roce, true, CcKind::None),
-    ));
+    let cells = SweepGrid::new(scale.base())
+        .variants([irn(), roce_pfc()])
+        .build();
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 2: impact of enabling PFC with IRN.
-pub fn fig2(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig2(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 2",
         "Impact of enabling PFC with IRN",
         "PFC degrades IRN by ~1.5-2x (congestion spreading); IRN does not need PFC",
     );
-    rep.add(metrics_row(
-        "IRN + PFC",
-        &cell(&base, TransportKind::Irn, true, CcKind::None),
-    ));
-    rep.add(metrics_row(
-        "IRN",
-        &cell(&base, TransportKind::Irn, false, CcKind::None),
-    ));
+    let cells = SweepGrid::new(scale.base())
+        .variants([Variant::new("IRN + PFC", TransportKind::Irn, true), irn()])
+        .build();
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 3: impact of disabling PFC with RoCE.
-pub fn fig3(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig3(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 3",
         "Impact of disabling PFC with RoCE",
         "disabling PFC degrades RoCE by 1.5-3x (go-back-N retransmission storms)",
     );
-    rep.add(metrics_row(
-        "RoCE (PFC)",
-        &cell(&base, TransportKind::Roce, true, CcKind::None),
-    ));
-    rep.add(metrics_row(
-        "RoCE no PFC",
-        &cell(&base, TransportKind::Roce, false, CcKind::None),
-    ));
+    let cells = SweepGrid::new(scale.base())
+        .variants([
+            roce_pfc(),
+            Variant::new("RoCE no PFC", TransportKind::Roce, false),
+        ])
+        .build();
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 4: IRN vs RoCE with explicit congestion control.
-pub fn fig4(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig4(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 4",
         "IRN vs RoCE with Timely and DCQCN",
         "IRN remains 1.5-2.2x better than RoCE under both CC schemes",
     );
-    for cc in [CcKind::Timely, CcKind::Dcqcn] {
-        rep.add(metrics_row(
-            format!("IRN{}", cc_label(cc)),
-            &cell(&base, TransportKind::Irn, false, cc),
-        ));
-        rep.add(metrics_row(
-            format!("RoCE (PFC){}", cc_label(cc)),
-            &cell(&base, TransportKind::Roce, true, cc),
-        ));
-    }
+    let cells = SweepGrid::new(scale.base())
+        .variants([irn(), roce_pfc()])
+        .ccs([CcKind::Timely, CcKind::Dcqcn])
+        .build();
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 5: IRN with/without PFC under explicit congestion control.
-pub fn fig5(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig5(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 5",
         "Impact of enabling PFC with IRN under Timely/DCQCN",
         "largely unaffected: improvement <1%, worst degradation ~3.4%",
     );
-    for cc in [CcKind::Timely, CcKind::Dcqcn] {
-        rep.add(metrics_row(
-            format!("IRN + PFC{}", cc_label(cc)),
-            &cell(&base, TransportKind::Irn, true, cc),
-        ));
-        rep.add(metrics_row(
-            format!("IRN{}", cc_label(cc)),
-            &cell(&base, TransportKind::Irn, false, cc),
-        ));
-    }
+    let cells = SweepGrid::new(scale.base())
+        .variants([Variant::new("IRN + PFC", TransportKind::Irn, true), irn()])
+        .ccs([CcKind::Timely, CcKind::Dcqcn])
+        .build();
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 6: RoCE with/without PFC under explicit congestion control.
-pub fn fig6(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig6(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 6",
         "Impact of disabling PFC with RoCE under Timely/DCQCN",
         "RoCE still needs PFC: enabling it improves 1.35-3.5x (no-PFC+DCQCN = Resilient RoCE)",
     );
-    for cc in [CcKind::Timely, CcKind::Dcqcn] {
-        rep.add(metrics_row(
-            format!("RoCE (PFC){}", cc_label(cc)),
-            &cell(&base, TransportKind::Roce, true, cc),
-        ));
-        rep.add(metrics_row(
-            format!("RoCE no PFC{}", cc_label(cc)),
-            &cell(&base, TransportKind::Roce, false, cc),
-        ));
-    }
+    let cells = SweepGrid::new(scale.base())
+        .variants([
+            roce_pfc(),
+            Variant::new("RoCE no PFC", TransportKind::Roce, false),
+        ])
+        .ccs([CcKind::Timely, CcKind::Dcqcn])
+        .build();
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 7: factor analysis — IRN vs IRN+go-back-N vs IRN−BDP-FC.
-pub fn fig7(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig7(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 7",
         "Factor analysis of IRN (avg FCT)",
         "go-back-N hurts more than removing BDP-FC; both hurt vs full IRN",
     );
-    for cc in [CcKind::None, CcKind::Timely, CcKind::Dcqcn] {
-        for (label, t) in [
-            ("IRN", TransportKind::Irn),
-            ("IRN w/ GBN", TransportKind::IrnGoBackN),
-            ("IRN w/o BDP-FC", TransportKind::IrnNoBdpFc),
-        ] {
-            let r = cell(&base, t, false, cc);
-            rep.add(
-                Row::new(format!("{label}{}", cc_label(cc)))
-                    .push("avg_fct_ms", r.summary.avg_fct.as_millis_f64()),
-            );
-        }
+    let cells = SweepGrid::new(scale.base())
+        .variants([
+            irn(),
+            Variant::new("IRN w/ GBN", TransportKind::IrnGoBackN, false),
+            Variant::new("IRN w/o BDP-FC", TransportKind::IrnNoBdpFc, false),
+        ])
+        .ccs([CcKind::None, CcKind::Timely, CcKind::Dcqcn])
+        .build();
+    let results = h.run(&cells);
+    for (cell, r) in cells.iter().zip(&results) {
+        rep.add(Row::new(cell.label.clone()).push("avg_fct_ms", r.summary.avg_fct.as_millis_f64()));
     }
     rep
 }
 
 /// Figure 8: tail latency CDF (90-99.9%ile) of single-packet messages.
-pub fn fig8(scale: Scale) -> Report {
-    let base = scale.base();
+pub fn fig8(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Figure 8",
         "Tail latency of single-packet messages (ms)",
         "IRN (no PFC) has the best tail across all CC schemes (RTO_low recovery)",
     );
-    for cc in [CcKind::None, CcKind::Timely, CcKind::Dcqcn] {
-        for (label, t, pfc) in [
-            ("RoCE (PFC)", TransportKind::Roce, true),
-            ("IRN + PFC", TransportKind::Irn, true),
-            ("IRN", TransportKind::Irn, false),
-        ] {
-            let r = cell(&base, t, pfc, cc);
-            let sp = r.metrics.single_packet_messages();
-            if sp.is_empty() {
-                continue;
-            }
-            rep.add(
-                Row::new(format!("{label}{}", cc_label(cc)))
-                    .push("p90_ms", sp.percentile_fct(0.90).as_millis_f64())
-                    .push("p99_ms", sp.percentile_fct(0.99).as_millis_f64())
-                    .push("p99.9_ms", sp.percentile_fct(0.999).as_millis_f64()),
-            );
+    let cells = SweepGrid::new(scale.base())
+        .variants([
+            roce_pfc(),
+            Variant::new("IRN + PFC", TransportKind::Irn, true),
+            irn(),
+        ])
+        .ccs([CcKind::None, CcKind::Timely, CcKind::Dcqcn])
+        .build();
+    let results = h.run(&cells);
+    for (cell, r) in cells.iter().zip(&results) {
+        let sp = r.metrics.single_packet_messages();
+        if sp.is_empty() {
+            continue;
         }
+        rep.add(
+            Row::new(cell.label.clone())
+                .push("p90_ms", sp.percentile_fct(0.90).as_millis_f64())
+                .push("p99_ms", sp.percentile_fct(0.99).as_millis_f64())
+                .push("p99.9_ms", sp.percentile_fct(0.999).as_millis_f64()),
+        );
     }
     rep
 }
 
 /// Figure 9: incast RCT ratio (IRN without PFC over RoCE with PFC) for
-/// varying fan-in M, without cross-traffic.
-pub fn fig9(scale: Scale) -> Report {
+/// varying fan-in M, averaged over [`Scale::incast_reps`] seeds via the
+/// [`Replicate`] layer.
+pub fn fig9(scale: Scale, h: &Harness) -> Report {
     let base = scale.base();
     let hosts = base.topology.hosts();
     let ms: Vec<usize> = if hosts >= 54 {
@@ -220,42 +211,70 @@ pub fn fig9(scale: Scale) -> Report {
         "Incast: RCT ratio IRN/RoCE vs fan-in M",
         "ratio stays within ~2.5% of 1.0 (incast without cross-traffic is PFC's best case)",
     );
+
+    // Pair an IRN replicate with a RoCE replicate per (cc, M); merge
+    // every per-seed cell into one flat batch for maximum parallelism.
+    let mut pairs: Vec<(String, Replicate, Replicate)> = Vec::new();
     for cc in [CcKind::None, CcKind::Dcqcn, CcKind::Timely] {
         for &m in &ms {
-            let mut ratios = Vec::new();
-            for rep_i in 0..scale.incast_reps {
-                let wl = Workload::Incast {
-                    m,
-                    total_bytes: scale.incast_bytes,
-                };
-                let seed = base.seed + rep_i as u64 * 101;
-                let irn = run(base
-                    .clone()
-                    .with_workload(wl.clone())
-                    .with_seed(seed)
-                    .with_transport(TransportKind::Irn)
-                    .with_pfc(false)
-                    .with_cc(cc));
-                let roce = run(base
-                    .clone()
-                    .with_workload(wl)
-                    .with_seed(seed)
-                    .with_transport(TransportKind::Roce)
-                    .with_pfc(true)
-                    .with_cc(cc));
-                ratios.push(irn.rct().as_nanos() as f64 / roce.rct().as_nanos() as f64);
-            }
-            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-            rep.add(
-                Row::new(format!("M={m}{}", cc_label(cc))).push("rct_ratio_irn_over_roce", mean),
-            );
+            let wl = Workload::Incast {
+                m,
+                total_bytes: scale.incast_bytes,
+            };
+            let fanout = |t, pfc| {
+                Replicate::strided(
+                    Cell::tpc(
+                        "incast",
+                        &base.clone().with_workload(wl.clone()),
+                        t,
+                        pfc,
+                        cc,
+                    ),
+                    base.seed,
+                    scale.incast_reps,
+                    101,
+                )
+            };
+            pairs.push((
+                format!("M={m}{}", cc_suffix(cc)),
+                fanout(TransportKind::Irn, false),
+                fanout(TransportKind::Roce, true),
+            ));
         }
+    }
+    let mut cells = Vec::new();
+    for (_, irn, roce) in &pairs {
+        cells.extend(irn.cells());
+        cells.extend(roce.cells());
+    }
+    let mut results = h.run(&cells).into_iter();
+    let mut take = |n: usize| -> Vec<RunResult> { results.by_ref().take(n).collect() };
+
+    for (label, irn, roce) in &pairs {
+        let irn_res = irn.collect(take(irn.seeds().len()));
+        let roce_res = roce.collect(take(roce.seeds().len()));
+        // Seed-aligned per-repetition ratios, then the aggregate.
+        let ratios: Vec<f64> = irn_res
+            .runs
+            .iter()
+            .zip(&roce_res.runs)
+            .map(|((sa, a), (sb, b))| {
+                debug_assert_eq!(sa, sb, "replicates must align by seed");
+                a.rct().as_nanos() as f64 / b.rct().as_nanos() as f64
+            })
+            .collect();
+        let stats = Stats::from_values(&ratios);
+        let mut row = Row::new(label.clone()).push("rct_ratio_irn_over_roce", stats.mean);
+        if stats.n > 1 {
+            row = row.push("ci95", stats.ci95);
+        }
+        rep.add(row);
     }
     rep
 }
 
 /// §4.4.3 (text): incast with cross-traffic.
-pub fn incast_cross(scale: Scale) -> Report {
+pub fn incast_cross(scale: Scale, h: &Harness) -> Report {
     let base = scale.base();
     let hosts = base.topology.hosts();
     let m = if hosts >= 54 { 30 } else { 8 };
@@ -264,6 +283,7 @@ pub fn incast_cross(scale: Scale) -> Report {
         "Incast (M striped) with 50%-load cross-traffic",
         "IRN RCT 4-30% lower than RoCE; background flows 32-87% better with IRN",
     );
+    let mut cells = Vec::new();
     for cc in [CcKind::None, CcKind::Timely, CcKind::Dcqcn] {
         let wl = Workload::IncastWithCross {
             m,
@@ -272,97 +292,110 @@ pub fn incast_cross(scale: Scale) -> Report {
             sizes: SizeDistribution::HeavyTailed,
             flow_count: scale.flows / 2,
         };
-        let irn = run(base
-            .clone()
-            .with_workload(wl.clone())
-            .with_transport(TransportKind::Irn)
-            .with_pfc(false)
-            .with_cc(cc));
-        let roce = run(base
-            .clone()
-            .with_workload(wl)
-            .with_transport(TransportKind::Roce)
-            .with_pfc(true)
-            .with_cc(cc));
-        rep.add(
-            metrics_row(format!("IRN{}", cc_label(cc)), &irn)
-                .push("incast_rct_ms", irn.rct().as_millis_f64()),
-        );
-        rep.add(
-            metrics_row(format!("RoCE (PFC){}", cc_label(cc)), &roce)
-                .push("incast_rct_ms", roce.rct().as_millis_f64()),
-        );
+        let with_wl = base.clone().with_workload(wl);
+        cells.push(Cell::tpc(
+            format!("IRN{}", cc_suffix(cc)),
+            &with_wl,
+            TransportKind::Irn,
+            false,
+            cc,
+        ));
+        cells.push(Cell::tpc(
+            format!("RoCE (PFC){}", cc_suffix(cc)),
+            &with_wl,
+            TransportKind::Roce,
+            true,
+            cc,
+        ));
+    }
+    let results = h.run(&cells);
+    for (cell, r) in cells.iter().zip(&results) {
+        rep.add(metrics_row(cell.label.clone(), r).push("incast_rct_ms", r.rct().as_millis_f64()));
     }
     rep
 }
 
 /// Figure 10: Resilient RoCE (RoCE + DCQCN, no PFC) vs IRN (no CC).
-pub fn fig10(scale: Scale) -> Report {
+pub fn fig10(scale: Scale, h: &Harness) -> Report {
     let base = scale.base();
     let mut rep = Report::new(
         "Figure 10",
         "Resilient RoCE vs IRN",
         "IRN, even without CC, significantly beats Resilient RoCE",
     );
-    rep.add(metrics_row(
-        "Resilient RoCE",
-        &cell(&base, TransportKind::Roce, false, CcKind::Dcqcn),
-    ));
-    rep.add(metrics_row(
-        "IRN",
-        &cell(&base, TransportKind::Irn, false, CcKind::None),
-    ));
+    let cells = vec![
+        Cell::tpc(
+            "Resilient RoCE",
+            &base,
+            TransportKind::Roce,
+            false,
+            CcKind::Dcqcn,
+        ),
+        Cell::tpc("IRN", &base, TransportKind::Irn, false, CcKind::None),
+    ];
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 11: iWARP (full TCP stack) vs IRN.
-pub fn fig11(scale: Scale) -> Report {
+pub fn fig11(scale: Scale, h: &Harness) -> Report {
     let base = scale.base();
     let mut rep = Report::new(
         "Figure 11",
         "iWARP's transport (TCP stack) vs IRN",
         "IRN: ~21% better slowdown (no slow start), comparable FCTs; IRN+AIMD beats iWARP",
     );
-    rep.add(metrics_row(
-        "iWARP (TCP)",
-        &cell(&base, TransportKind::IwarpTcp, false, CcKind::None),
-    ));
-    rep.add(metrics_row(
-        "IRN",
-        &cell(&base, TransportKind::Irn, false, CcKind::None),
-    ));
-    rep.add(metrics_row(
-        "IRN + AIMD",
-        &cell(&base, TransportKind::Irn, false, CcKind::Aimd),
-    ));
+    let cells = vec![
+        Cell::tpc(
+            "iWARP (TCP)",
+            &base,
+            TransportKind::IwarpTcp,
+            false,
+            CcKind::None,
+        ),
+        Cell::tpc("IRN", &base, TransportKind::Irn, false, CcKind::None),
+        Cell::tpc("IRN + AIMD", &base, TransportKind::Irn, false, CcKind::Aimd),
+    ];
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
 /// Figure 12: IRN with worst-case implementation overheads.
-pub fn fig12(scale: Scale) -> Report {
+pub fn fig12(scale: Scale, h: &Harness) -> Report {
     let base = scale.base();
+    let mut worst = base.clone();
+    worst.extra_header = 16;
+    worst.retx_fetch_delay = Duration::micros(2);
     let mut rep = Report::new(
         "Figure 12",
         "IRN worst-case overheads (+16B header/packet, 2us retx fetch)",
         "overheads cost only 4-7%; IRN stays 35-63% better than RoCE+PFC",
     );
+    let mut cells = Vec::new();
     for cc in [CcKind::None, CcKind::Timely, CcKind::Dcqcn] {
-        rep.add(metrics_row(
-            format!("RoCE (PFC){}", cc_label(cc)),
-            &cell(&base, TransportKind::Roce, true, cc),
+        cells.push(Cell::tpc(
+            format!("RoCE (PFC){}", cc_suffix(cc)),
+            &base,
+            TransportKind::Roce,
+            true,
+            cc,
         ));
-        rep.add(metrics_row(
-            format!("IRN{}", cc_label(cc)),
-            &cell(&base, TransportKind::Irn, false, cc),
+        cells.push(Cell::tpc(
+            format!("IRN{}", cc_suffix(cc)),
+            &base,
+            TransportKind::Irn,
+            false,
+            cc,
         ));
-        let mut worst = base.clone();
-        worst.extra_header = 16;
-        worst.retx_fetch_delay = Duration::micros(2);
-        rep.add(metrics_row(
-            format!("IRN worst-case{}", cc_label(cc)),
-            &cell(&worst, TransportKind::Irn, false, cc),
+        cells.push(Cell::tpc(
+            format!("IRN worst-case{}", cc_suffix(cc)),
+            &worst,
+            TransportKind::Irn,
+            false,
+            cc,
         ));
     }
+    add_metrics_rows(&mut rep, cells, h);
     rep
 }
 
@@ -370,20 +403,33 @@ pub fn fig12(scale: Scale) -> Report {
 // Tables
 // ---------------------------------------------------------------------
 
-/// The appendix-table layout: IRN absolute + two ratios, per CC scheme.
-fn appendix_rows(rep: &mut Report, variant: &str, base: &ExperimentConfig) {
-    for cc in [CcKind::None, CcKind::Timely, CcKind::Dcqcn] {
-        let irn = cell(base, TransportKind::Irn, false, cc);
-        let irn_pfc = cell(base, TransportKind::Irn, true, cc);
-        let roce_pfc = cell(base, TransportKind::Roce, true, cc);
+const APPENDIX_CCS: [CcKind; 3] = [CcKind::None, CcKind::Timely, CcKind::Dcqcn];
+
+/// The appendix-table layout: IRN absolute + two ratios, per CC scheme,
+/// across a sweep of variant base configs. All cells of the whole table
+/// go to the harness as a single batch.
+fn appendix_report(rep: &mut Report, bases: &[(String, ExperimentConfig)], h: &Harness) {
+    let mut keys = Vec::new();
+    let mut cells = Vec::new();
+    for (variant, base) in bases {
+        for cc in APPENDIX_CCS {
+            keys.push((variant.as_str(), cc));
+            cells.push(Cell::tpc("irn", base, TransportKind::Irn, false, cc));
+            cells.push(Cell::tpc("irn+pfc", base, TransportKind::Irn, true, cc));
+            cells.push(Cell::tpc("roce+pfc", base, TransportKind::Roce, true, cc));
+        }
+    }
+    let results = h.run(&cells);
+    for ((variant, cc), chunk) in keys.iter().zip(results.chunks_exact(3)) {
+        let (irn, irn_pfc, roce_pfc) = (&chunk[0], &chunk[1], &chunk[2]);
         rep.add(
-            Row::new(format!("{variant}{} IRN", cc_label(cc)))
+            Row::new(format!("{variant}{} IRN", cc_suffix(*cc)))
                 .push("avg_slowdown", irn.summary.avg_slowdown)
                 .push("avg_fct_ms", irn.summary.avg_fct.as_millis_f64())
                 .push("p99_fct_ms", irn.summary.p99_fct.as_millis_f64()),
         );
         rep.add(
-            Row::new(format!("{variant}{} IRN/IRN+PFC", cc_label(cc)))
+            Row::new(format!("{variant}{} IRN/IRN+PFC", cc_suffix(*cc)))
                 .push(
                     "avg_slowdown",
                     irn.summary.avg_slowdown / irn_pfc.summary.avg_slowdown,
@@ -392,7 +438,7 @@ fn appendix_rows(rep: &mut Report, variant: &str, base: &ExperimentConfig) {
                 .push("p99_fct_ms", irn.summary.p99_fct / irn_pfc.summary.p99_fct),
         );
         rep.add(
-            Row::new(format!("{variant}{} IRN/RoCE+PFC", cc_label(cc)))
+            Row::new(format!("{variant}{} IRN/RoCE+PFC", cc_suffix(*cc)))
                 .push(
                     "avg_slowdown",
                     irn.summary.avg_slowdown / roce_pfc.summary.avg_slowdown,
@@ -404,44 +450,52 @@ fn appendix_rows(rep: &mut Report, variant: &str, base: &ExperimentConfig) {
 }
 
 /// Table 3: link-utilization sweep (30-90%).
-pub fn table3(scale: Scale) -> Report {
+pub fn table3(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Table 3",
         "Robustness to link utilization (30/50/70/90%)",
         "higher load -> PFC hurts more; ratios fall with load",
     );
-    for load in [0.3, 0.5, 0.7, 0.9] {
-        let mut base = scale.base();
-        base.workload = Workload::Poisson {
-            load,
-            sizes: SizeDistribution::HeavyTailed,
-            flow_count: scale.flows,
-        };
-        appendix_rows(&mut rep, &format!("{}%", (load * 100.0) as u32), &base);
-    }
+    let bases: Vec<(String, ExperimentConfig)> = [0.3, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&load| {
+            let mut base = scale.base();
+            base.workload = Workload::Poisson {
+                load,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: scale.flows,
+            };
+            (format!("{}%", (load * 100.0) as u32), base)
+        })
+        .collect();
+    appendix_report(&mut rep, &bases, h);
     rep
 }
 
 /// Table 4: bandwidth sweep (10/40/100 Gbps).
-pub fn table4(scale: Scale) -> Report {
+pub fn table4(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Table 4",
         "Robustness to link bandwidth (10/40/100 Gbps)",
         "higher bandwidth -> relative cost of loss recovery rises, gap narrows",
     );
-    for gbps in [10u64, 40, 100] {
-        let mut base = scale.base();
-        base.bandwidth = irn_core::net::Bandwidth::from_gbps(gbps);
-        // Buffers stay 2x the (bandwidth-dependent) BDP as in §4.1.
-        let diameter = 6;
-        base.buffer_bytes = 2 * base.bdp_bytes(diameter).max(10_000);
-        appendix_rows(&mut rep, &format!("{gbps}G"), &base);
-    }
+    let bases: Vec<(String, ExperimentConfig)> = [10u64, 40, 100]
+        .iter()
+        .map(|&gbps| {
+            let mut base = scale.base();
+            base.bandwidth = irn_core::net::Bandwidth::from_gbps(gbps);
+            // Buffers stay 2x the (bandwidth-dependent) BDP as in §4.1.
+            let diameter = 6;
+            base.buffer_bytes = 2 * base.bdp_bytes(diameter).max(10_000);
+            (format!("{gbps}G"), base)
+        })
+        .collect();
+    appendix_report(&mut rep, &bases, h);
     rep
 }
 
 /// Table 5: topology scale sweep.
-pub fn table5(scale: Scale) -> Report {
+pub fn table5(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Table 5",
         "Robustness to fat-tree scale",
@@ -452,25 +506,31 @@ pub fn table5(scale: Scale) -> Report {
     } else {
         vec![4, 6]
     };
-    for k in ks {
-        let mut base = scale.base();
-        base.topology = irn_core::TopologySpec::FatTree(k);
-        appendix_rows(&mut rep, &format!("k={k}"), &base);
-    }
+    let bases: Vec<(String, ExperimentConfig)> = ks
+        .iter()
+        .map(|&k| {
+            let mut base = scale.base();
+            base.topology = irn_core::TopologySpec::FatTree(k);
+            (format!("k={k}"), base)
+        })
+        .collect();
+    appendix_report(&mut rep, &bases, h);
     rep
 }
 
 /// Table 6: workload-pattern sweep.
-pub fn table6(scale: Scale) -> Report {
+pub fn table6(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Table 6",
         "Robustness to workload (heavy-tailed vs uniform 500KB-5MB)",
         "key trends hold for the uniform storage-style workload too",
     );
-    for (label, sizes) in [
+    let bases: Vec<(String, ExperimentConfig)> = [
         ("heavy", SizeDistribution::HeavyTailed),
         ("uniform", SizeDistribution::Uniform500KbTo5Mb),
-    ] {
+    ]
+    .iter()
+    .map(|&(label, sizes)| {
         let mut base = scale.base();
         // Uniform flows are ~16x larger on average; scale the count down
         // to keep run times comparable at equal load.
@@ -484,53 +544,67 @@ pub fn table6(scale: Scale) -> Report {
             sizes,
             flow_count: flows,
         };
-        appendix_rows(&mut rep, label, &base);
-    }
+        (label.to_string(), base)
+    })
+    .collect();
+    appendix_report(&mut rep, &bases, h);
     rep
 }
 
 /// Table 7: buffer-size sweep (60-480 KB per port).
-pub fn table7(scale: Scale) -> Report {
+pub fn table7(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Table 7",
         "Robustness to per-port buffer size",
         "smaller buffers -> more pauses, PFC hurts more; larger -> differences shrink",
     );
-    for kb in [60u64, 120, 240, 480] {
-        let mut base = scale.base();
-        base.buffer_bytes = kb * 1000;
-        appendix_rows(&mut rep, &format!("{kb}KB"), &base);
-    }
+    let bases: Vec<(String, ExperimentConfig)> = [60u64, 120, 240, 480]
+        .iter()
+        .map(|&kb| {
+            let mut base = scale.base();
+            base.buffer_bytes = kb * 1000;
+            (format!("{kb}KB"), base)
+        })
+        .collect();
+    appendix_report(&mut rep, &bases, h);
     rep
 }
 
 /// Table 8: RTO_high sweep (1x/2x/4x of ~320 µs).
-pub fn table8(scale: Scale) -> Report {
+pub fn table8(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Table 8",
         "Robustness to RTO_high over-estimation",
         "IRN is insensitive to RTO_high (320/640/1280 us)",
     );
-    for mult in [1u64, 2, 4] {
-        let mut base = scale.base();
-        base.rto_high = Some(Duration::micros(320 * mult));
-        appendix_rows(&mut rep, &format!("{}us", 320 * mult), &base);
-    }
+    let bases: Vec<(String, ExperimentConfig)> = [1u64, 2, 4]
+        .iter()
+        .map(|&mult| {
+            let mut base = scale.base();
+            base.rto_high = Some(Duration::micros(320 * mult));
+            (format!("{}us", 320 * mult), base)
+        })
+        .collect();
+    appendix_report(&mut rep, &bases, h);
     rep
 }
 
 /// Table 9: N (RTO_low threshold) sweep.
-pub fn table9(scale: Scale) -> Report {
+pub fn table9(scale: Scale, h: &Harness) -> Report {
     let mut rep = Report::new(
         "Table 9",
         "Robustness to N (RTO_low in-flight threshold)",
         "IRN is insensitive to N (3/10/15)",
     );
-    for n in [3u32, 10, 15] {
-        let mut base = scale.base();
-        base.rto_low_n = n;
-        appendix_rows(&mut rep, &format!("N={n}"), &base);
-    }
+    let bases: Vec<(String, ExperimentConfig)> = [3u32, 10, 15]
+        .iter()
+        .map(|&n| {
+            let mut base = scale.base();
+            base.rto_low_n = n;
+            (format!("N={n}"), base)
+        })
+        .collect();
+    appendix_report(&mut rep, &bases, h);
     rep
 }
 
@@ -545,7 +619,8 @@ pub fn table9(scale: Scale) -> Report {
 /// MCX416A); we cannot buy NICs, so this reproduces the *architectural*
 /// claim — the TCP stack does more per-packet work — by timing the two
 /// stacks' packet-processing paths in this reproduction. The paper's
-/// hardware numbers are quoted in EXPERIMENTS.md alongside.
+/// hardware numbers are quoted in EXPERIMENTS.md alongside. Runs
+/// inline (never on the worker pool): it measures wall-clock ns/packet.
 pub fn table1() -> Report {
     use irn_core::net::{FlowId, HostId, Packet};
     use irn_core::sim::Time;
@@ -675,7 +750,8 @@ pub fn table1() -> Report {
 }
 
 /// Table 2 substitute: the four packet-processing modules timed on the
-/// CPU, plus the §6.1 state accounting.
+/// CPU, plus the §6.1 state accounting. Runs inline (never on the
+/// worker pool): it measures wall-clock ns/op.
 pub fn table2() -> Report {
     let mut rep = Report::new(
         "Table 2 (substitute)",

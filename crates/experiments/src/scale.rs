@@ -37,6 +37,18 @@ impl Scale {
         }
     }
 
+    /// Display name for artifact metadata: `"quick"`/`"full"` when the
+    /// scale matches a preset, `"custom"` otherwise.
+    pub fn label(&self) -> &'static str {
+        if *self == Scale::quick() {
+            "quick"
+        } else if *self == Scale::full() {
+            "full"
+        } else {
+            "custom"
+        }
+    }
+
     /// The §4.1 default-case config at this scale.
     pub fn base(&self) -> ExperimentConfig {
         ExperimentConfig {

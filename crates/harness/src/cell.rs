@@ -1,0 +1,52 @@
+//! One labeled experiment configuration.
+
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use irn_core::ExperimentConfig;
+
+/// One cell of an experiment matrix: a labeled [`ExperimentConfig`].
+///
+/// The label is display-facing (it becomes a report row label or a
+/// sweep coordinate); the config fully determines the simulation, so
+/// two cells with equal configs produce identical results no matter
+/// when or where they run.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Display label, e.g. `"IRN"` or `"RoCE (PFC) + Timely"`.
+    pub label: String,
+    /// The full experiment configuration.
+    pub cfg: ExperimentConfig,
+}
+
+impl Cell {
+    /// Build a cell.
+    pub fn new(label: impl Into<String>, cfg: ExperimentConfig) -> Cell {
+        Cell {
+            label: label.into(),
+            cfg,
+        }
+    }
+
+    /// The common (transport, pfc, cc) cell shape used throughout the
+    /// paper's figures.
+    pub fn tpc(
+        label: impl Into<String>,
+        base: &ExperimentConfig,
+        t: TransportKind,
+        pfc: bool,
+        cc: CcKind,
+    ) -> Cell {
+        Cell::new(
+            label,
+            base.clone().with_transport(t).with_pfc(pfc).with_cc(cc),
+        )
+    }
+
+    /// Same cell re-keyed to a different seed (for [`crate::Replicate`]).
+    pub fn with_seed(&self, seed: u64) -> Cell {
+        Cell {
+            label: self.label.clone(),
+            cfg: self.cfg.clone().with_seed(seed),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The parallel executor: a self-scheduling worker pool over
+//! `std::thread` + channels.
+//!
+//! Cells are independent and the engine is a pure function of its
+//! config, so scheduling cannot change any result — only wall-clock
+//! time. Workers pull the next unclaimed index from a shared atomic
+//! cursor (work-stealing degenerates to this when every task lives in
+//! one shared queue), ship `(index, result)` pairs back over an mpsc
+//! channel, and the collector reassembles them **in submission order**.
+//! `jobs = 1` bypasses the pool entirely and runs inline, so serial
+//! output is the definitional baseline the parallel path must match.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use irn_core::RunResult;
+
+use crate::cell::Cell;
+
+/// A parallel experiment executor with a fixed job count.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    jobs: usize,
+}
+
+impl Harness {
+    /// An executor with `jobs` workers (0 is clamped to 1).
+    pub fn new(jobs: usize) -> Harness {
+        Harness { jobs: jobs.max(1) }
+    }
+
+    /// A serial executor (`jobs = 1`).
+    pub fn serial() -> Harness {
+        Harness::new(1)
+    }
+
+    /// One worker per available core.
+    pub fn auto() -> Harness {
+        Harness::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run every cell and return results in submission order:
+    /// `results[i]` belongs to `cells[i]`, at any job count.
+    pub fn run(&self, cells: &[Cell]) -> Vec<RunResult> {
+        self.run_indexed(cells.len(), |i| irn_core::run(cells[i].cfg.clone()))
+    }
+
+    /// The underlying primitive: evaluate `f(0..n)` across the pool and
+    /// return the outputs in index order. `f` must be a pure function
+    /// of its index for the order guarantee to be meaningful.
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // The collector outlives the workers; a send can
+                    // only fail if it panicked, in which case the scope
+                    // is already unwinding.
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, v) in rx {
+                debug_assert!(slots[i].is_none(), "index {i} delivered twice");
+                slots[i] = Some(v);
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("cell {i} produced no result")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Skewed work so completion order differs from submission order.
+        let h = Harness::new(4);
+        let out = h.run_indexed(64, |i| {
+            let spins = if i % 7 == 0 { 200_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        assert_eq!(
+            Harness::serial().run_indexed(33, f),
+            Harness::new(8).run_indexed(33, f)
+        );
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Harness::new(0).jobs(), 1);
+        assert_eq!(Harness::new(0).run_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<usize> = Harness::new(4).run_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! # irn-harness — parallel, sweep-oriented experiment orchestration
+//!
+//! The paper's evaluation (§4) is a large matrix of *independent*
+//! simulation cells — transports × {PFC on/off} × CC schemes ×
+//! workloads, with incast numbers averaged over many repetitions. The
+//! engine is a pure function of its [`irn_core::ExperimentConfig`],
+//! which makes that matrix embarrassingly parallel. This crate owns the
+//! orchestration layer that exploits it:
+//!
+//! - [`Cell`] — one labeled experiment configuration (one bar of a
+//!   figure, one line of a table).
+//! - [`SweepGrid`] — a builder for cartesian parameter sweeps
+//!   (transport/PFC variants × CC schemes × offered loads × seeds) that
+//!   expands into an ordered batch of cells.
+//! - [`Harness`] — a self-scheduling thread-pool executor
+//!   (`std::thread` + channels, no external deps) that runs a batch and
+//!   returns results **in submission order** regardless of completion
+//!   order, so downstream reports render byte-identically at any job
+//!   count.
+//! - [`Replicate`] — fans one cell out over N seeds and aggregates
+//!   mean / std-dev / 95% CI, independent of seed order.
+//!
+//! ```
+//! use irn_core::ExperimentConfig;
+//! use irn_harness::{Cell, Harness};
+//!
+//! let base = ExperimentConfig::quick(60);
+//! let cells = vec![
+//!     Cell::new("irn", base.clone().with_pfc(false)),
+//!     Cell::new("irn+pfc", base.with_pfc(true)),
+//! ];
+//! let results = Harness::new(2).run(&cells);
+//! assert_eq!(results.len(), 2); // results[i] belongs to cells[i]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod exec;
+pub mod replicate;
+pub mod stats;
+pub mod sweep;
+
+pub use cell::Cell;
+pub use exec::Harness;
+pub use replicate::{Replicate, ReplicateResult};
+pub use stats::Stats;
+pub use sweep::{SweepGrid, Variant};

@@ -1,0 +1,134 @@
+//! Multi-seed replication: fan one cell out over N seeds, aggregate.
+//!
+//! The paper averages incast results over up to 100 repetitions; this
+//! layer makes that a first-class operation. Seeds are canonicalized
+//! (sorted, deduplicated) at construction, so the per-seed runs — and
+//! every aggregate computed from them — are **independent of the order
+//! the seeds were supplied or the runs completed in**.
+
+use irn_core::RunResult;
+
+use crate::cell::Cell;
+use crate::exec::Harness;
+use crate::stats::Stats;
+
+/// One cell fanned out over a set of seeds.
+#[derive(Debug, Clone)]
+pub struct Replicate {
+    cell: Cell,
+    seeds: Vec<u64>,
+}
+
+impl Replicate {
+    /// Replicate `cell` over `seeds` (sorted and deduplicated; the
+    /// cell's own seed is ignored in favor of the explicit set).
+    pub fn new(cell: Cell, seeds: impl IntoIterator<Item = u64>) -> Replicate {
+        let mut seeds: Vec<u64> = seeds.into_iter().collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert!(!seeds.is_empty(), "replicate needs at least one seed");
+        Replicate { cell, seeds }
+    }
+
+    /// Replicate over `n` strided seeds: `base_seed + i·stride`.
+    pub fn strided(cell: Cell, base_seed: u64, n: usize, stride: u64) -> Replicate {
+        Replicate::new(cell, (0..n as u64).map(|i| base_seed + i * stride))
+    }
+
+    /// The canonical (sorted) seed set.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// The per-seed cells, in canonical seed order. Use this to merge
+    /// several replicates into one flat harness batch (maximum
+    /// parallelism), then rebuild results with
+    /// [`Replicate::collect`].
+    pub fn cells(&self) -> Vec<Cell> {
+        self.seeds.iter().map(|&s| self.cell.with_seed(s)).collect()
+    }
+
+    /// Run the whole fan-out on `harness`.
+    pub fn run(&self, harness: &Harness) -> ReplicateResult {
+        self.collect(harness.run(&self.cells()))
+    }
+
+    /// Pair externally-run results (in [`Replicate::cells`] order) back
+    /// with their seeds.
+    pub fn collect(&self, runs: Vec<RunResult>) -> ReplicateResult {
+        assert_eq!(runs.len(), self.seeds.len(), "one result per seed");
+        ReplicateResult {
+            label: self.cell.label.clone(),
+            runs: self.seeds.iter().copied().zip(runs).collect(),
+        }
+    }
+}
+
+/// The outcome of a replicated cell: per-seed runs in canonical seed
+/// order, plus aggregate queries.
+#[derive(Debug, Clone)]
+pub struct ReplicateResult {
+    /// The replicated cell's label.
+    pub label: String,
+    /// `(seed, result)` pairs, sorted by seed.
+    pub runs: Vec<(u64, RunResult)>,
+}
+
+impl ReplicateResult {
+    /// Aggregate `metric` over every run. Because runs are held in
+    /// canonical seed order and [`Stats`] sorts its samples, the result
+    /// does not depend on seed supply order or completion order.
+    pub fn stats(&self, metric: impl Fn(&RunResult) -> f64) -> Stats {
+        let values: Vec<f64> = self.runs.iter().map(|(_, r)| metric(r)).collect();
+        Stats::from_values(&values)
+    }
+
+    /// The run for one seed.
+    pub fn run_for(&self, seed: u64) -> Option<&RunResult> {
+        self.runs.iter().find(|(s, _)| *s == seed).map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irn_core::ExperimentConfig;
+
+    fn cell() -> Cell {
+        Cell::new("incast", ExperimentConfig::quick(40))
+    }
+
+    #[test]
+    fn seeds_are_canonicalized() {
+        let r = Replicate::new(cell(), [9, 3, 3, 7]);
+        assert_eq!(r.seeds(), &[3, 7, 9]);
+        let cells = r.cells();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].cfg.seed, 3);
+        assert_eq!(cells[2].cfg.seed, 9);
+    }
+
+    #[test]
+    fn strided_seeds() {
+        let r = Replicate::strided(cell(), 100, 3, 101);
+        assert_eq!(r.seeds(), &[100, 201, 302]);
+    }
+
+    #[test]
+    fn aggregation_ignores_seed_supply_order() {
+        // Tiny real runs: the same seed set supplied in opposite orders
+        // must aggregate to bit-identical statistics.
+        let h = Harness::new(2);
+        let a = Replicate::new(cell(), [11, 5, 8]).run(&h);
+        let b = Replicate::new(cell(), [8, 11, 5]).run(&h);
+        let (sa, sb) = (
+            a.stats(|r| r.summary.avg_slowdown),
+            b.stats(|r| r.summary.avg_slowdown),
+        );
+        assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
+        assert_eq!(sa.ci95.to_bits(), sb.ci95.to_bits());
+        assert_eq!(a.runs.len(), 3);
+        assert!(a.run_for(8).is_some());
+        assert!(a.run_for(4).is_none());
+    }
+}

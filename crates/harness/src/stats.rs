@@ -1,0 +1,87 @@
+//! Order-independent aggregate statistics over replicate samples.
+
+use serde::Serialize;
+
+/// Mean / spread summary of one metric over N replicated runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Stats {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 when n < 2).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval for the mean
+    /// (normal approximation, `1.96·σ/√n`; 0 when n < 2).
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Aggregate `values`. The input is sorted internally, so the
+    /// result is **independent of sample order** — floating-point
+    /// accumulation happens in one canonical order no matter how the
+    /// samples were produced or scheduled.
+    pub fn from_values(values: &[f64]) -> Stats {
+        assert!(!values.is_empty(), "no samples to aggregate");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            1.96 * std_dev / (n as f64).sqrt()
+        };
+        Stats {
+            n,
+            mean,
+            std_dev,
+            ci95,
+            min: sorted[0],
+            max: sorted[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Stats::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn order_independent_to_the_bit() {
+        let a = [0.1, 0.2, 0.3, 1e15, -1e15, 7.7];
+        let mut b = a;
+        b.reverse();
+        let (sa, sb) = (Stats::from_values(&a), Stats::from_values(&b));
+        assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
+        assert_eq!(sa.std_dev.to_bits(), sb.std_dev.to_bits());
+        assert_eq!(sa.ci95.to_bits(), sb.ci95.to_bits());
+    }
+
+    #[test]
+    fn single_sample_has_no_spread() {
+        let s = Stats::from_values(&[3.25]);
+        assert_eq!((s.mean, s.std_dev, s.ci95), (3.25, 0.0, 0.0));
+        assert_eq!((s.min, s.max), (3.25, 3.25));
+    }
+}

@@ -1,0 +1,265 @@
+//! Cartesian sweep grids: the paper's experiment matrices as data.
+//!
+//! A [`SweepGrid`] expands a base config across up to four axes —
+//! transport/PFC variants, congestion-control schemes, offered loads,
+//! and seeds — into an ordered batch of [`Cell`]s. Expansion order is
+//! fixed (load → cc → variant → seed, outermost first) so a grid
+//! always yields the same cells in the same order, which is what lets
+//! reports built from grid batches render identically at any job count.
+
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use irn_core::{ExperimentConfig, Workload};
+
+use crate::cell::Cell;
+
+/// One transport/PFC pairing with its display name, e.g.
+/// `("RoCE (PFC)", Roce, pfc=true)`. The paper never sweeps transport
+/// and PFC independently — each compared configuration is such a pair.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Display name, e.g. `"IRN"` or `"RoCE (PFC)"`.
+    pub name: String,
+    /// Transport preset.
+    pub transport: TransportKind,
+    /// Whether PFC is enabled in the fabric.
+    pub pfc: bool,
+}
+
+impl Variant {
+    /// Build a variant.
+    pub fn new(name: impl Into<String>, transport: TransportKind, pfc: bool) -> Variant {
+        Variant {
+            name: name.into(),
+            transport,
+            pfc,
+        }
+    }
+}
+
+/// The figure-label suffix for a CC scheme: empty for [`CcKind::None`],
+/// `" + Timely"` style otherwise (matches the paper's row labels).
+pub fn cc_suffix(cc: CcKind) -> String {
+    match cc {
+        CcKind::None => String::new(),
+        other => format!(" + {}", other.label()),
+    }
+}
+
+/// A cartesian sweep over variants × cc × load × seed.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    base: ExperimentConfig,
+    variants: Vec<Variant>,
+    ccs: Vec<CcKind>,
+    loads: Vec<f64>,
+    seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// A grid over `base`. Until axes are added, the grid is a single
+    /// cell running `base` unchanged.
+    pub fn new(base: ExperimentConfig) -> SweepGrid {
+        SweepGrid {
+            base,
+            variants: Vec::new(),
+            ccs: Vec::new(),
+            loads: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Sweep transport/PFC variants.
+    pub fn variants(mut self, variants: impl IntoIterator<Item = Variant>) -> SweepGrid {
+        self.variants = variants.into_iter().collect();
+        self
+    }
+
+    /// Sweep congestion-control schemes.
+    pub fn ccs(mut self, ccs: impl IntoIterator<Item = CcKind>) -> SweepGrid {
+        self.ccs = ccs.into_iter().collect();
+        self
+    }
+
+    /// Sweep offered load (requires a Poisson base workload).
+    pub fn loads(mut self, loads: impl IntoIterator<Item = f64>) -> SweepGrid {
+        self.loads = loads.into_iter().collect();
+        self
+    }
+
+    /// Sweep workload seeds.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> SweepGrid {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Number of cells [`SweepGrid::build`] will produce.
+    pub fn len(&self) -> usize {
+        [
+            self.loads.len(),
+            self.ccs.len(),
+            self.variants.len(),
+            self.seeds.len(),
+        ]
+        .iter()
+        .map(|&n| n.max(1))
+        .product()
+    }
+
+    /// True when the grid would produce no cells (never: an empty axis
+    /// means "don't sweep it", so the minimum grid is one cell).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Expand into cells, ordered load → cc → variant → seed
+    /// (outermost first). Labels name the variant and CC like the
+    /// paper's rows, and append `load=`/`seed=` coordinates only for
+    /// axes actually swept (more than one value).
+    pub fn build(&self) -> Vec<Cell> {
+        let loads: Vec<Option<f64>> = axis(&self.loads);
+        let ccs: Vec<Option<CcKind>> = axis(&self.ccs);
+        let variants: Vec<Option<&Variant>> = axis_ref(&self.variants);
+        let seeds: Vec<Option<u64>> = axis(&self.seeds);
+
+        let mut cells = Vec::with_capacity(self.len());
+        for &load in &loads {
+            for &cc in &ccs {
+                for &variant in &variants {
+                    for &seed in &seeds {
+                        let mut cfg = self.base.clone();
+                        if let Some(load) = load {
+                            cfg.workload = with_load(&cfg.workload, load);
+                        }
+                        if let Some(cc) = cc {
+                            cfg = cfg.with_cc(cc);
+                        }
+                        if let Some(v) = variant {
+                            cfg = cfg.with_transport(v.transport).with_pfc(v.pfc);
+                        }
+                        if let Some(seed) = seed {
+                            cfg = cfg.with_seed(seed);
+                        }
+
+                        let mut label = variant.map_or_else(String::new, |v| v.name.clone());
+                        if let Some(cc) = cc {
+                            label.push_str(&cc_suffix(cc));
+                        }
+                        if self.loads.len() > 1 {
+                            label.push_str(&format!(
+                                "/load={}%",
+                                (load.unwrap() * 100.0).round() as u32
+                            ));
+                        }
+                        if self.seeds.len() > 1 {
+                            label.push_str(&format!("/seed={}", seed.unwrap()));
+                        }
+                        if label.is_empty() {
+                            label.push_str("base");
+                        }
+                        cells.push(Cell::new(label, cfg));
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// An axis: empty means "hold at base" (one `None` pass-through).
+fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().copied().map(Some).collect()
+    }
+}
+
+fn axis_ref<T>(values: &[T]) -> Vec<Option<&T>> {
+    if values.is_empty() {
+        vec![None]
+    } else {
+        values.iter().map(Some).collect()
+    }
+}
+
+/// Re-target a Poisson workload at a different offered load.
+fn with_load(workload: &Workload, load: f64) -> Workload {
+    match workload {
+        Workload::Poisson {
+            sizes, flow_count, ..
+        } => Workload::Poisson {
+            load,
+            sizes: *sizes,
+            flow_count: *flow_count,
+        },
+        other => panic!("load axis requires a Poisson base workload, got {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig::quick(50)
+    }
+
+    #[test]
+    fn grid_is_cartesian_in_declared_order() {
+        let cells = SweepGrid::new(base())
+            .variants([
+                Variant::new("IRN", TransportKind::Irn, false),
+                Variant::new("RoCE (PFC)", TransportKind::Roce, true),
+            ])
+            .ccs([CcKind::None, CcKind::Timely])
+            .build();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["IRN", "RoCE (PFC)", "IRN + Timely", "RoCE (PFC) + Timely"]
+        );
+        assert_eq!(cells[1].cfg.transport, TransportKind::Roce);
+        assert!(cells[1].cfg.pfc);
+        assert_eq!(cells[2].cfg.cc, CcKind::Timely);
+    }
+
+    #[test]
+    fn len_matches_build_and_labels_are_unique() {
+        let grid = SweepGrid::new(base())
+            .variants([
+                Variant::new("A", TransportKind::Irn, false),
+                Variant::new("B", TransportKind::Roce, true),
+                Variant::new("C", TransportKind::Irn, true),
+            ])
+            .ccs([CcKind::None, CcKind::Timely, CcKind::Dcqcn])
+            .loads([0.3, 0.5, 0.7, 0.9])
+            .seeds([1, 2]);
+        let cells = grid.build();
+        assert_eq!(cells.len(), grid.len());
+        assert_eq!(cells.len(), 3 * 3 * 4 * 2);
+        let mut labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), cells.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn unswept_axes_leave_base_untouched() {
+        let cells = SweepGrid::new(base()).build();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].label, "base");
+        assert_eq!(cells[0].cfg.seed, base().seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson")]
+    fn load_axis_rejects_non_poisson() {
+        let mut cfg = base();
+        cfg.workload = Workload::Incast {
+            m: 4,
+            total_bytes: 1000,
+        };
+        let _ = SweepGrid::new(cfg).loads([0.5, 0.7]).build();
+    }
+}

@@ -16,9 +16,10 @@
 #![warn(missing_docs)]
 
 use irn_sim::{Duration, Time};
+use serde::Serialize;
 
 /// One completed flow's measurements.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FlowRecord {
     /// Flow index.
     pub flow: u32,
@@ -73,8 +74,16 @@ pub struct MetricsCollector {
     records: Vec<FlowRecord>,
 }
 
+impl Serialize for MetricsCollector {
+    /// Wire form: the raw per-flow records (full fidelity; summaries
+    /// are recomputable from them).
+    fn to_json(&self) -> serde::json::Value {
+        self.records.to_json()
+    }
+}
+
 /// The three headline metrics of §4.1 plus context.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Summary {
     /// Mean slowdown (dominated by latency-sensitive short flows).
     pub avg_slowdown: f64,

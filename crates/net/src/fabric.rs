@@ -167,7 +167,7 @@ pub enum FabricOutput {
 }
 
 /// Aggregated fabric counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct FabricStats {
     /// Packets dropped to buffer overflow (all switches).
     pub buffer_drops: u64,

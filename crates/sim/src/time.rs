@@ -130,6 +130,13 @@ impl Div<Duration> for Duration {
     }
 }
 
+impl serde::Serialize for Duration {
+    /// Wire form: whole nanoseconds, so JSON carries exact virtual time.
+    fn to_json(&self) -> serde::json::Value {
+        serde::Serialize::to_json(&self.0)
+    }
+}
+
 impl fmt::Debug for Duration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)
@@ -211,6 +218,13 @@ impl Sub<Time> for Time {
     type Output = Duration;
     fn sub(self, rhs: Time) -> Duration {
         self.since(rhs)
+    }
+}
+
+impl serde::Serialize for Time {
+    /// Wire form: nanoseconds since simulation start.
+    fn to_json(&self) -> serde::json::Value {
+        serde::Serialize::to_json(&self.0)
     }
 }
 

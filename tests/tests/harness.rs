@@ -1,0 +1,133 @@
+//! Determinism suite for the `irn-harness` orchestration layer.
+//!
+//! The tentpole guarantee: a report assembled from a harness batch —
+//! and the JSON artifact serialized from it — is **byte-identical** at
+//! any `--jobs` value, and multi-seed aggregation does not depend on
+//! seed order. These tests run a deliberately small scale (the point is
+//! scheduling, not statistics).
+
+use irn_experiments::{artifacts, runners, Scale};
+use irn_harness::{Cell, Harness, Replicate};
+use serde::json;
+use serde::Serialize;
+
+/// Smaller than `Scale::quick()`: these tests also run under the debug
+/// profile in CI, where the simulator is ~10x slower.
+fn tiny() -> Scale {
+    Scale {
+        fat_tree_k: 4,
+        flows: 120,
+        incast_reps: 2,
+        incast_bytes: 2_000_000,
+    }
+}
+
+/// The representative figure: fig4 exercises the sweep grid (variants ×
+/// cc), batched submission, and metrics-row assembly. It is run through
+/// the registry, and must be flagged deterministic there — that flag is
+/// the registry's promise this byte-identity test relies on.
+#[test]
+fn report_render_is_byte_identical_across_job_counts() {
+    let scale = tiny();
+    let artifact = artifacts::find("fig4").unwrap();
+    assert!(artifact.deterministic, "fig4 must be simulation-backed");
+    let serial = artifact.run(scale, &Harness::new(1));
+    let parallel = artifact.run(scale, &Harness::new(8));
+    assert_eq!(
+        serial.render(),
+        parallel.render(),
+        "jobs=1 and jobs=8 must render byte-identically"
+    );
+}
+
+/// Only the CPU-timing substitutes may opt out of determinism; any new
+/// artifact must either be simulation-backed (pure function of its
+/// config) or be added to this explicit allowlist.
+#[test]
+fn only_timing_tables_are_non_deterministic() {
+    let non_det: Vec<&str> = artifacts::ARTIFACTS
+        .iter()
+        .filter(|a| !a.deterministic)
+        .map(|a| a.name)
+        .collect();
+    assert_eq!(non_det, ["table1", "table2"]);
+}
+
+/// The JSON artifact path must be byte-stable across job counts too,
+/// and the emitted text must satisfy the CI verifier.
+#[test]
+fn json_artifact_is_byte_identical_across_job_counts() {
+    let scale = tiny();
+    let serial = artifacts::artifact_json(
+        "fig4",
+        scale.label(),
+        &runners::fig4(scale, &Harness::new(1)),
+    );
+    let parallel = artifacts::artifact_json(
+        "fig4",
+        scale.label(),
+        &runners::fig4(scale, &Harness::new(8)),
+    );
+    assert_eq!(serial, parallel);
+    artifacts::verify_artifact_json("fig4", &serial).unwrap();
+    // Full value-level round-trip through the vendored serde.
+    let v = json::from_str(&serial).unwrap();
+    assert_eq!(json::from_str(&json::to_string(&v)).unwrap(), v);
+}
+
+/// Replicate aggregation over an incast workload: the order seeds are
+/// supplied in must not change any aggregate bit.
+#[test]
+fn replicate_aggregation_is_seed_order_independent() {
+    let base = irn_core::ExperimentConfig {
+        topology: irn_core::TopologySpec::FatTree(4),
+        workload: irn_core::Workload::Incast {
+            m: 6,
+            total_bytes: 2_000_000,
+        },
+        ..irn_core::ExperimentConfig::paper_default(6)
+    };
+    let h = Harness::new(4);
+    let forward = Replicate::new(Cell::new("incast", base.clone()), [1, 102, 203]).run(&h);
+    let shuffled = Replicate::new(Cell::new("incast", base), [203, 1, 102]).run(&h);
+    let f = forward.stats(|r| r.rct().as_nanos() as f64);
+    let s = shuffled.stats(|r| r.rct().as_nanos() as f64);
+    assert_eq!(f.mean.to_bits(), s.mean.to_bits());
+    assert_eq!(f.std_dev.to_bits(), s.std_dev.to_bits());
+    assert_eq!(f.ci95.to_bits(), s.ci95.to_bits());
+    assert_eq!(f.n, 3);
+}
+
+/// A full RunResult round-trips through the vendored serde at the
+/// JSON-value level.
+#[test]
+fn run_result_round_trips_through_serde() {
+    let r = irn_core::run(irn_core::ExperimentConfig::quick(40));
+    let v = r.to_json();
+    let text = json::to_string(&v);
+    let parsed = json::from_str(&text).unwrap();
+    assert_eq!(parsed, v);
+    // Spot-check the wire shape: summary metrics and fabric counters.
+    assert_eq!(
+        parsed
+            .get("summary")
+            .and_then(|s| s.get("flows"))
+            .and_then(json::Value::as_u64),
+        Some(40)
+    );
+    assert!(parsed.get("fabric").is_some_and(json::Value::is_object));
+    assert_eq!(
+        parsed.get("events").and_then(json::Value::as_u64),
+        Some(r.events)
+    );
+}
+
+/// The registry drives the repro CLI: every simulation-backed artifact
+/// must be discoverable, and misspellings must be rejected.
+#[test]
+fn artifact_registry_rejects_unknown_names() {
+    assert!(artifacts::find("fig9").is_some());
+    assert!(artifacts::find("fig13").is_none());
+    assert_eq!(artifacts::unknown_names(&["all", "fig1"]), [""; 0]);
+    assert_eq!(artifacts::unknown_names(&["fig13"]), ["fig13"]);
+}

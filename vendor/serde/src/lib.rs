@@ -1,10 +1,17 @@
-//! A hermetic, API-compatible subset of the `serde` crate.
+//! A hermetic, API-compatible subset of the `serde` ecosystem.
 //!
-//! Provides the [`Serialize`] marker trait and its derive macro so
-//! report types keep their upstream-shaped annotations. No data formats
-//! are vendored; rendering in this workspace goes through hand-written
-//! text/JSON emitters. Swapping the workspace dependency back to real
-//! `serde` requires no source changes.
+//! Upstream `serde` separates the data model (the `Serialize` trait)
+//! from data formats (`serde_json` et al.). This vendored subset fuses
+//! the two into the one format the workspace needs: [`Serialize`]
+//! converts a value into the JSON data model ([`json::Value`]), and
+//! [`json`] renders/parses that model as text. The derive macro in
+//! `serde_derive` generates real field-walking impls, so `#[derive(Serialize)]`
+//! annotations keep their upstream shape.
+//!
+//! Swapping back to registry crates when online: replace the
+//! `[workspace.dependencies]` entry with real `serde` (+ `serde_json`),
+//! and change `serde::json::to_string(&v)` call sites to
+//! `serde_json::to_string(&v)` — the derive annotations need no edits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,37 +20,225 @@
 // inside this crate's own tests too.
 extern crate self as serde;
 
-/// Marker for serializable types. The derive emits an empty impl; the
-/// trait exists so bounds like `T: Serialize` compile unchanged.
-pub trait Serialize {}
+pub mod json;
+
+/// Types that can be converted into the JSON data model.
+///
+/// Derivable for structs and enums via `#[derive(Serialize)]`; manual
+/// impls are the escape hatch for types whose wire form differs from
+/// their field layout (e.g. nanosecond newtypes).
+pub trait Serialize {
+    /// Convert `self` into a [`json::Value`] tree.
+    fn to_json(&self) -> json::Value;
+}
 
 pub use serde_derive::Serialize;
 
+// ---------------------------------------------------------------------
+// Blanket impls for std types.
+// ---------------------------------------------------------------------
+
+use json::{Number, Value};
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            // Canonical form matches the parser (which yields U64 for
+            // any non-negative literal): without this, a serialized
+            // `i64` of 5 would compare unequal to its own parse.
+            fn to_json(&self) -> Value {
+                if *self >= 0 {
+                    Value::Number(Number::U64(*self as u64))
+                } else {
+                    Value::Number(Number::I64(*self as i64))
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::json::{Number, Value};
     use super::Serialize;
 
     #[derive(Serialize)]
     struct Named {
-        _a: u32,
-        _b: String,
+        a: u32,
+        b: String,
     }
 
     #[derive(Serialize)]
-    struct Tuple(#[allow(dead_code)] u8, #[allow(dead_code)] u8);
+    struct Newtype(u8);
+
+    #[derive(Serialize)]
+    struct Pair(u8, u8);
 
     #[derive(Serialize)]
     enum Kind {
-        _A,
-        _B(u32),
+        A,
+        B(u32),
+        C { x: u8 },
     }
 
-    fn assert_serialize<T: Serialize>() {}
+    #[test]
+    fn derive_walks_named_fields() {
+        let v = Named {
+            a: 7,
+            b: "hi".into(),
+        }
+        .to_json();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("a".into(), Value::Number(Number::U64(7))),
+                ("b".into(), Value::String("hi".into())),
+            ])
+        );
+    }
 
     #[test]
-    fn derive_implements_the_marker() {
-        assert_serialize::<Named>();
-        assert_serialize::<Tuple>();
-        assert_serialize::<Kind>();
+    fn derive_handles_tuples_and_enums() {
+        assert_eq!(Newtype(3).to_json(), Value::Number(Number::U64(3)));
+        assert_eq!(
+            Pair(1, 2).to_json(),
+            Value::Array(vec![
+                Value::Number(Number::U64(1)),
+                Value::Number(Number::U64(2))
+            ])
+        );
+        assert_eq!(Kind::A.to_json(), Value::String("A".into()));
+        assert_eq!(
+            Kind::B(9).to_json(),
+            Value::Object(vec![("B".into(), Value::Number(Number::U64(9)))])
+        );
+        assert_eq!(
+            Kind::C { x: 1 }.to_json(),
+            Value::Object(vec![(
+                "C".into(),
+                Value::Object(vec![("x".into(), Value::Number(Number::U64(1)))])
+            )])
+        );
+    }
+
+    #[test]
+    fn signed_integers_round_trip_by_value() {
+        // Non-negative signed values canonicalize to U64, matching the
+        // parser, so serialize → parse compares equal at value level.
+        for v in [-3i64, 0, 5, i64::MAX, i64::MIN] {
+            let val = v.to_json();
+            let text = crate::json::to_string(&val);
+            assert_eq!(crate::json::from_str(&text).unwrap(), val, "for {v}");
+        }
+    }
+
+    #[test]
+    fn std_impls_compose() {
+        let v = vec![(String::from("k"), 1.5f64)].to_json();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::Array(vec![
+                Value::String("k".into()),
+                Value::Number(Number::F64(1.5)),
+            ])])
+        );
+        assert_eq!(Option::<u32>::None.to_json(), Value::Null);
     }
 }

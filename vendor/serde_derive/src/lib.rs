@@ -1,44 +1,271 @@
-//! Derive macro for the vendored `serde` subset: emits an empty
-//! `impl serde::Serialize` for the annotated type. Hand-rolled token
-//! scanning (no `syn`/`quote`) keeps the build dependency-free.
+//! Derive macro for the vendored `serde` subset: generates a real
+//! field-walking `impl serde::Serialize` (to the JSON data model) for
+//! structs and enums. Hand-rolled token scanning (no `syn`/`quote`)
+//! keeps the build dependency-free.
+//!
+//! Mapping (mirrors `serde_json`'s defaults):
+//! - named-field struct → object in declaration order
+//! - newtype struct → the inner value
+//! - tuple struct → array
+//! - unit struct → `null`
+//! - unit enum variant → the variant name as a string
+//! - data-carrying variant → externally tagged: `{"Variant": ...}`
 
 #![warn(missing_docs)]
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Derive the `Serialize` marker impl for a struct or enum.
+/// Derive `serde::Serialize` for a struct or enum.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let mut tokens = input.into_iter();
-    // Scan for the `struct`/`enum`/`union` keyword, then take the name
-    // and any generic parameter list that follows it.
-    let mut name = None;
-    while let Some(tt) = tokens.next() {
-        if let TokenTree::Ident(id) = &tt {
-            let kw = id.to_string();
-            if kw == "struct" || kw == "enum" || kw == "union" {
-                if let Some(TokenTree::Ident(n)) = tokens.next() {
-                    name = Some(n.to_string());
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility, find `struct`/`enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    i += 1;
+                    break kw;
                 }
-                break;
+                if kw == "union" {
+                    panic!("derive(Serialize): unions are not supported");
+                }
+                i += 1;
             }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): no type definition found"),
         }
-    }
-    let name = name.expect("derive(Serialize): no type name found");
-    let generics = collect_generics(tokens);
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(n)) => n.to_string(),
+        _ => panic!("derive(Serialize): no type name found"),
+    };
+    i += 1;
+
+    let (generics, after_generics) = collect_generics(&tokens, i);
     let (params, args) = split_generics(&generics);
-    format!("impl{params} ::serde::Serialize for {name}{args} {{}}")
-        .parse()
-        .expect("derive(Serialize): generated impl must parse")
+    i = after_generics;
+
+    let body = match kind.as_str() {
+        "struct" => struct_body(&tokens[i..]),
+        _ => enum_body(&name, &tokens[i..]),
+    };
+
+    format!(
+        "impl{params} ::serde::Serialize for {name}{args} {{\n\
+         \x20   fn to_json(&self) -> ::serde::json::Value {{\n\
+         {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
 }
 
-/// Collect the raw `<...>` generic tokens following the type name, if
-/// any, stopping at the body/where-clause.
-fn collect_generics(tokens: impl Iterator<Item = TokenTree>) -> String {
+/// Body for a struct definition (everything after name + generics).
+/// A tuple struct's parens come right away; a named body's brace group
+/// may sit behind a `where` clause, so scan for it.
+fn struct_body(rest: &[TokenTree]) -> String {
+    let named = rest
+        .iter()
+        .find(|tt| matches!(tt, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace));
+    match named.or(rest.first()) {
+        // Named fields: { a: T, b: U } → ordered object.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_fields(g.stream());
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))"))
+                .collect();
+            format!(
+                "        ::serde::json::Value::Object(vec![{}])",
+                pairs.join(", ")
+            )
+        }
+        // Tuple struct: newtype serializes transparently, larger as array.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = top_level_chunks(g.stream())
+                .iter()
+                .filter(|c| !c.is_empty())
+                .count();
+            match n {
+                0 => "        ::serde::json::Value::Null".to_string(),
+                1 => "        ::serde::Serialize::to_json(&self.0)".to_string(),
+                n => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                        .collect();
+                    format!(
+                        "        ::serde::json::Value::Array(vec![{}])",
+                        items.join(", ")
+                    )
+                }
+            }
+        }
+        // Unit struct.
+        _ => "        ::serde::json::Value::Null".to_string(),
+    }
+}
+
+/// Body for an enum definition: a match over the variants.
+fn enum_body(name: &str, rest: &[TokenTree]) -> String {
+    let Some(TokenTree::Group(g)) = rest.first() else {
+        panic!("derive(Serialize): enum without a body");
+    };
+    let mut arms = Vec::new();
+    for chunk in top_level_chunks(g.stream()) {
+        let Some(variant) = parse_variant(&chunk) else {
+            continue;
+        };
+        let arm = match variant.shape {
+            VariantShape::Unit => format!(
+                "{name}::{v} => ::serde::json::Value::String(\"{v}\".to_string()),",
+                v = variant.name
+            ),
+            VariantShape::Tuple(1) => format!(
+                "{name}::{v}(f0) => ::serde::json::Value::Object(vec![(\"{v}\".to_string(), \
+                 ::serde::Serialize::to_json(f0))]),",
+                v = variant.name
+            ),
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_json({b})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({binds}) => ::serde::json::Value::Object(vec![(\"{v}\"\
+                     .to_string(), ::serde::json::Value::Array(vec![{items}]))]),",
+                    v = variant.name,
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            VariantShape::Struct(ref fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::json::Value::Object(vec![(\"{v}\"\
+                     .to_string(), ::serde::json::Value::Object(vec![{pairs}]))]),",
+                    v = variant.name,
+                    binds = fields.join(", "),
+                    pairs = pairs.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "        match self {{\n            {}\n        }}",
+        arms.join("\n            ")
+    )
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// Parse one enum-variant chunk: attrs, name, optional payload.
+fn parse_variant(chunk: &[TokenTree]) -> Option<Variant> {
+    let mut i = skip_attrs(chunk, 0);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+    let shape = match chunk.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = top_level_chunks(g.stream())
+                .iter()
+                .filter(|c| !c.is_empty())
+                .count();
+            if n == 0 {
+                VariantShape::Unit
+            } else {
+                VariantShape::Tuple(n)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantShape::Struct(named_fields(g.stream()))
+        }
+        // Bare name or `= discriminant`.
+        _ => VariantShape::Unit,
+    };
+    Some(Variant { name, shape })
+}
+
+/// Field names of a named-field body, in declaration order.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    top_level_chunks(stream)
+        .iter()
+        .filter_map(|chunk| {
+            let mut i = skip_attrs(chunk, 0);
+            // Skip visibility: `pub`, optionally `pub(...)`.
+            if matches!(chunk.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+                i += 1;
+                if matches!(chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Advance past `#[...]` attribute groups.
+fn skip_attrs(chunk: &[TokenTree], mut i: usize) -> usize {
+    while matches!(chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+        && matches!(chunk.get(i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Split a token stream into chunks at top-level commas.
+fn top_level_chunks(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Collect the raw `<...>` generic tokens at `tokens[start..]`, if any.
+/// Returns the generics text and the index just past them.
+fn collect_generics(tokens: &[TokenTree], start: usize) -> (String, usize) {
     let mut out = String::new();
     let mut depth = 0i32;
-    for tt in tokens {
-        match &tt {
+    let mut i = start;
+    while let Some(tt) = tokens.get(i) {
+        match tt {
             TokenTree::Punct(p) if p.as_char() == '<' => {
                 depth += 1;
                 out.push('<');
@@ -47,6 +274,7 @@ fn collect_generics(tokens: impl Iterator<Item = TokenTree>) -> String {
                 depth -= 1;
                 out.push('>');
                 if depth == 0 {
+                    i += 1;
                     break;
                 }
             }
@@ -57,12 +285,14 @@ fn collect_generics(tokens: impl Iterator<Item = TokenTree>) -> String {
                 out.push(' ');
             }
         }
+        i += 1;
     }
-    out
+    (out, i)
 }
 
 /// From raw generics like `<'a, T: Clone, const N: usize>`, build the
-/// impl parameter list (as-is) and the type argument list (names only).
+/// impl parameter list (type params gain a `::serde::Serialize` bound)
+/// and the type argument list (names only).
 fn split_generics(generics: &str) -> (String, String) {
     if generics.is_empty() {
         return (String::new(), String::new());
@@ -71,6 +301,7 @@ fn split_generics(generics: &str) -> (String, String) {
         .trim_start_matches('<')
         .trim_end_matches('>')
         .trim();
+    let mut params = Vec::new();
     let mut args = Vec::new();
     for param in split_top_level(inner) {
         let param = param.trim();
@@ -78,10 +309,23 @@ fn split_generics(generics: &str) -> (String, String) {
             continue;
         }
         let head = param.split(':').next().unwrap_or(param).trim();
-        let name = head.strip_prefix("const ").map(str::trim).unwrap_or(head);
-        args.push(name.to_string());
+        if param.starts_with('\'') || param.starts_with("const ") {
+            let name = head.strip_prefix("const ").map(str::trim).unwrap_or(head);
+            args.push(name.to_string());
+            params.push(param.to_string());
+        } else {
+            args.push(head.to_string());
+            if param.contains(':') {
+                params.push(format!("{param} + ::serde::Serialize"));
+            } else {
+                params.push(format!("{param}: ::serde::Serialize"));
+            }
+        }
     }
-    (generics.to_string(), format!("<{}>", args.join(", ")))
+    (
+        format!("<{}>", params.join(", ")),
+        format!("<{}>", args.join(", ")),
+    )
 }
 
 /// Split on commas not nested inside `<>`/`()`/`[]`.
