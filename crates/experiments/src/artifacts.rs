@@ -1,156 +1,186 @@
 //! The artifact registry: every figure/table the `repro` binary can
 //! regenerate, as data.
 //!
-//! One source of truth for artifact names keeps the CLI, the JSON
-//! emitter, the CI verifier, and the determinism tests agreeing on what
-//! exists — a misspelled name is a hard error everywhere instead of
-//! silent empty output.
+//! One source of truth for artifact names, determinism classes, and
+//! seed counts keeps the CLI, the JSON emitter, the CI verifier, and
+//! the determinism tests agreeing on what exists — a misspelled name is
+//! a hard error everywhere instead of silent empty output.
+//!
+//! Simulation-backed artifacts expose a [`Plan`] (cells + deferred
+//! assembly), which is what lets [`run_batched`] splice every requested
+//! artifact's cells into **one** globally interleaved batch: the worker
+//! pool never drains between artifacts, so a small artifact queued
+//! after a big one no longer waits for a fresh batch. Output stays
+//! byte-identical to sequential runs at any job count because results
+//! come back in submission order and each assembly is pure.
 
+use irn_core::RunResult;
 use irn_harness::Harness;
 use serde::json::{self, Value};
 use serde::Serialize;
 
+use crate::plan::Plan;
 use crate::report::Report;
 use crate::runners;
 use crate::scale::Scale;
 
-/// Version stamp of the JSON artifact envelope.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version stamp of the JSON artifact envelope. Version 2 added the
+/// `seeds` and `determinism` fields and the `<metric>_ci95` row
+/// columns; see `docs/SCHEMA.md` for the field-by-field reference and
+/// the v1 → v2 migration table.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// How an artifact's numbers behave across runs and seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Random-workload simulation replicated over seeds: rows report
+    /// mean ± ci95 aggregates. Byte-reproducible run to run (the seed
+    /// set is derived from the config), and sensitive to `--seeds`.
+    Replicated,
+    /// Pure function of the config with seed-independent output
+    /// (analytical accounting): byte-reproducible and unaffected by
+    /// `--seeds`.
+    Deterministic,
+    /// CPU wall-clock timing substitute: numbers legitimately vary run
+    /// to run and never enter a parallel batch.
+    Timing,
+}
+
+impl Determinism {
+    /// The class name as it appears in `--list` output and the JSON
+    /// envelope's `determinism` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Determinism::Replicated => "replicated",
+            Determinism::Deterministic => "deterministic",
+            Determinism::Timing => "timing",
+        }
+    }
+}
+
+/// How an artifact is produced.
+enum Kind {
+    /// Simulation-backed: expands to a [`Plan`] whose cells can join a
+    /// global batch.
+    Sim(fn(Scale) -> Plan),
+    /// Computed inline (CPU-timing substitutes, analytical accounting);
+    /// never scheduled on the worker pool.
+    Inline(fn() -> Report),
+}
 
 /// One reproducible evaluation artifact (a figure or table).
 pub struct Artifact {
     /// CLI name and JSON file stem, e.g. `"fig1"`.
     pub name: &'static str,
-    /// False for the CPU-timing substitutes (`table1`/`table2`), whose
-    /// numbers are wall-clock measurements and therefore not
-    /// run-to-run reproducible; true for everything simulation-backed.
-    pub deterministic: bool,
-    runner: fn(Scale, &Harness) -> Report,
+    /// Determinism class (see [`Determinism`]).
+    pub determinism: Determinism,
+    kind: Kind,
+    seeds: fn(&Scale) -> usize,
 }
 
 impl Artifact {
-    /// Regenerate this artifact.
+    /// True unless this is a CPU-timing substitute — i.e. re-running
+    /// with the same config produces byte-identical output.
+    pub fn deterministic(&self) -> bool {
+        self.determinism != Determinism::Timing
+    }
+
+    /// Seed replicates behind each of this artifact's reported values
+    /// at `scale` (1 for seed-independent and timing artifacts).
+    pub fn seed_count(&self, scale: &Scale) -> usize {
+        (self.seeds)(scale)
+    }
+
+    /// The artifact's schedulable plan, or `None` for inline artifacts.
+    pub fn plan(&self, scale: Scale) -> Option<Plan> {
+        match self.kind {
+            Kind::Sim(f) => Some(f(scale)),
+            Kind::Inline(_) => None,
+        }
+    }
+
+    /// Regenerate this artifact on its own (the single-artifact path;
+    /// `repro` uses [`run_batched`] so multiple artifacts share one
+    /// batch).
     pub fn run(&self, scale: Scale, harness: &Harness) -> Report {
-        (self.runner)(scale, harness)
+        match self.kind {
+            Kind::Sim(f) => f(scale).run(harness),
+            Kind::Inline(f) => f(),
+        }
+    }
+}
+
+/// The scale's Poisson seed-replicate count (registry metadata hook).
+fn scale_seeds(s: &Scale) -> usize {
+    s.seeds
+}
+
+/// The scale's incast repetition count (fig9's replicate count).
+fn incast_reps(s: &Scale) -> usize {
+    s.incast_reps
+}
+
+/// Seed count for artifacts that never replicate.
+fn one_seed(_: &Scale) -> usize {
+    1
+}
+
+/// Replicated simulation artifact driven by the scale's seed count.
+const fn sim(name: &'static str, runner: fn(Scale) -> Plan) -> Artifact {
+    Artifact {
+        name,
+        determinism: Determinism::Replicated,
+        kind: Kind::Sim(runner),
+        seeds: scale_seeds,
     }
 }
 
 /// Every artifact, in presentation order (the order `repro all` prints).
 pub static ARTIFACTS: &[Artifact] = &[
-    Artifact {
-        name: "fig1",
-        deterministic: true,
-        runner: runners::fig1,
-    },
-    Artifact {
-        name: "fig2",
-        deterministic: true,
-        runner: runners::fig2,
-    },
-    Artifact {
-        name: "fig3",
-        deterministic: true,
-        runner: runners::fig3,
-    },
-    Artifact {
-        name: "fig4",
-        deterministic: true,
-        runner: runners::fig4,
-    },
-    Artifact {
-        name: "fig5",
-        deterministic: true,
-        runner: runners::fig5,
-    },
-    Artifact {
-        name: "fig6",
-        deterministic: true,
-        runner: runners::fig6,
-    },
-    Artifact {
-        name: "fig7",
-        deterministic: true,
-        runner: runners::fig7,
-    },
-    Artifact {
-        name: "fig8",
-        deterministic: true,
-        runner: runners::fig8,
-    },
+    sim("fig1", runners::fig1),
+    sim("fig2", runners::fig2),
+    sim("fig3", runners::fig3),
+    sim("fig4", runners::fig4),
+    sim("fig5", runners::fig5),
+    sim("fig6", runners::fig6),
+    sim("fig7", runners::fig7),
+    sim("fig8", runners::fig8),
     Artifact {
         name: "fig9",
-        deterministic: true,
-        runner: runners::fig9,
+        determinism: Determinism::Replicated,
+        kind: Kind::Sim(runners::fig9),
+        // Incast averaging predates the Poisson replication and keeps
+        // its own repetition count (paper: up to 100).
+        seeds: incast_reps,
     },
-    Artifact {
-        name: "incast-cross",
-        deterministic: true,
-        runner: runners::incast_cross,
-    },
-    Artifact {
-        name: "fig10",
-        deterministic: true,
-        runner: runners::fig10,
-    },
-    Artifact {
-        name: "fig11",
-        deterministic: true,
-        runner: runners::fig11,
-    },
-    Artifact {
-        name: "fig12",
-        deterministic: true,
-        runner: runners::fig12,
-    },
+    sim("incast-cross", runners::incast_cross),
+    sim("fig10", runners::fig10),
+    sim("fig11", runners::fig11),
+    sim("fig12", runners::fig12),
     Artifact {
         name: "table1",
-        deterministic: false,
-        runner: |_, _| runners::table1(),
+        determinism: Determinism::Timing,
+        kind: Kind::Inline(runners::table1),
+        seeds: one_seed,
     },
     Artifact {
         name: "table2",
-        deterministic: false,
-        runner: |_, _| runners::table2(),
+        determinism: Determinism::Timing,
+        kind: Kind::Inline(runners::table2),
+        seeds: one_seed,
     },
-    Artifact {
-        name: "table3",
-        deterministic: true,
-        runner: runners::table3,
-    },
-    Artifact {
-        name: "table4",
-        deterministic: true,
-        runner: runners::table4,
-    },
-    Artifact {
-        name: "table5",
-        deterministic: true,
-        runner: runners::table5,
-    },
-    Artifact {
-        name: "table6",
-        deterministic: true,
-        runner: runners::table6,
-    },
-    Artifact {
-        name: "table7",
-        deterministic: true,
-        runner: runners::table7,
-    },
-    Artifact {
-        name: "table8",
-        deterministic: true,
-        runner: runners::table8,
-    },
-    Artifact {
-        name: "table9",
-        deterministic: true,
-        runner: runners::table9,
-    },
+    sim("table3", runners::table3),
+    sim("table4", runners::table4),
+    sim("table5", runners::table5),
+    sim("table6", runners::table6),
+    sim("table7", runners::table7),
+    sim("table8", runners::table8),
+    sim("table9", runners::table9),
     Artifact {
         name: "state-budget",
-        deterministic: true,
-        runner: |_, _| runners::state_budget_report(),
+        determinism: Determinism::Deterministic,
+        kind: Kind::Inline(runners::state_budget_report),
+        seeds: one_seed,
     },
 ];
 
@@ -168,15 +198,77 @@ pub fn unknown_names<'a>(wanted: &[&'a str]) -> Vec<&'a str> {
         .collect()
 }
 
+/// The outcome of [`run_batched`].
+pub struct BatchRun {
+    /// One report per selected artifact, in selection order.
+    pub reports: Vec<Report>,
+    /// Cells the global batch submitted to the executor.
+    pub cell_count: usize,
+    /// Wall-clock time of the executor pass alone. Inline artifacts
+    /// (the CPU-timing tables) run *after* the batch and are excluded,
+    /// so this is the number to judge `--jobs` scaling against.
+    pub batch_time: std::time::Duration,
+}
+
+/// Run `selected` artifacts through **one** globally interleaved batch:
+/// every simulation-backed artifact is planned first, all planned cells
+/// are concatenated in selection order into a single submission-ordered
+/// batch, the executor runs it once, and each artifact assembles its
+/// own slice of the results. Inline artifacts run at their position in
+/// the output order, after the batch (so CPU-timing substitutes never
+/// share cores with simulation workers).
+///
+/// The reports are byte-identical to running each artifact alone, at
+/// any job count: the executor returns results in submission order,
+/// each cell is a pure function of its config, and each assembly is a
+/// pure function of its result slice.
+pub fn run_batched(selected: &[&Artifact], scale: Scale, harness: &Harness) -> BatchRun {
+    let mut plans: Vec<Option<Plan>> = selected.iter().map(|a| a.plan(scale)).collect();
+    let mut batch = Vec::new();
+    for plan in plans.iter_mut().flatten() {
+        batch.append(&mut plan.take_cells());
+    }
+    let cell_count = batch.len();
+    let t = std::time::Instant::now();
+    let mut results = harness.run(&batch).into_iter();
+    let batch_time = t.elapsed();
+    let reports = selected
+        .iter()
+        .zip(plans.iter_mut())
+        .map(|(artifact, plan)| match plan.take() {
+            Some(plan) => {
+                let n = plan.cell_count();
+                let slice: Vec<RunResult> = results.by_ref().take(n).collect();
+                plan.assemble(slice)
+            }
+            None => artifact.run(scale, harness),
+        })
+        .collect();
+    BatchRun {
+        reports,
+        cell_count,
+        batch_time,
+    }
+}
+
 /// Serialize one artifact as its JSON envelope (pretty-printed, with a
 /// trailing newline). The envelope deliberately excludes job counts and
 /// timings so the bytes depend only on `(artifact, scale, report)` —
-/// `--jobs 1` and `--jobs 64` must emit identical files.
-pub fn artifact_json(name: &str, scale: &str, report: &Report) -> String {
+/// `--jobs 1` and `--jobs 64` must emit identical files. The full
+/// format is documented in `docs/SCHEMA.md`.
+pub fn artifact_json(artifact: &Artifact, scale: &Scale, report: &Report) -> String {
     let envelope = Value::Object(vec![
         ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
-        ("artifact".to_string(), name.to_json()),
-        ("scale".to_string(), scale.to_json()),
+        ("artifact".to_string(), artifact.name.to_json()),
+        ("scale".to_string(), scale.label().to_json()),
+        (
+            "seeds".to_string(),
+            (artifact.seed_count(scale) as u64).to_json(),
+        ),
+        (
+            "determinism".to_string(),
+            artifact.determinism.as_str().to_json(),
+        ),
         ("report".to_string(), report.to_json()),
     ]);
     let mut text = json::to_string_pretty(&envelope);
@@ -184,28 +276,90 @@ pub fn artifact_json(name: &str, scale: &str, report: &Report) -> String {
     text
 }
 
+/// A verification failure message that points the reader at the schema
+/// reference.
+fn schema_err(name: &str, msg: impl std::fmt::Display) -> String {
+    format!("{name}: {msg} (see docs/SCHEMA.md)")
+}
+
 /// Validate one artifact's JSON text: parse it and check the envelope
-/// shape. Returns a human-readable error on failure.
+/// shape against schema version [`SCHEMA_VERSION`]. Returns a
+/// human-readable error — referencing `docs/SCHEMA.md` — on failure.
 pub fn verify_artifact_json(name: &str, text: &str) -> Result<(), String> {
-    let v = json::from_str(text).map_err(|e| format!("{name}: {e}"))?;
-    if v.get("schema_version").and_then(Value::as_u64) != Some(SCHEMA_VERSION) {
-        return Err(format!("{name}: missing or wrong schema_version"));
+    let v = json::from_str(text).map_err(|e| schema_err(name, e))?;
+    match v.get("schema_version").and_then(Value::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(found) => {
+            return Err(schema_err(
+                name,
+                format!(
+                    "schema_version {found}, expected {SCHEMA_VERSION} — \
+                     v1 envelopes predate seed metadata; regenerate or migrate"
+                ),
+            ));
+        }
+        None => return Err(schema_err(name, "missing numeric schema_version")),
     }
     if v.get("artifact").and_then(Value::as_str) != Some(name) {
-        return Err(format!("{name}: 'artifact' field does not match file name"));
+        return Err(schema_err(
+            name,
+            "'artifact' field does not match file name",
+        ));
+    }
+    let Some(seeds) = v.get("seeds").and_then(Value::as_u64) else {
+        return Err(schema_err(name, "missing numeric 'seeds' field"));
+    };
+    if seeds == 0 {
+        return Err(schema_err(name, "'seeds' must be >= 1"));
+    }
+    let Some(class) = v.get("determinism").and_then(Value::as_str) else {
+        return Err(schema_err(name, "missing 'determinism' field"));
+    };
+    if !["replicated", "deterministic", "timing"].contains(&class) {
+        return Err(schema_err(name, format!("unknown determinism '{class}'")));
+    }
+    if let Some(artifact) = find(name) {
+        if class != artifact.determinism.as_str() {
+            return Err(schema_err(
+                name,
+                format!(
+                    "determinism '{class}' does not match the registry's '{}'",
+                    artifact.determinism.as_str()
+                ),
+            ));
+        }
     }
     let Some(report) = v.get("report") else {
-        return Err(format!("{name}: no 'report' object"));
+        return Err(schema_err(name, "no 'report' object"));
     };
     let Some(rows) = report.get("rows").and_then(Value::as_array) else {
-        return Err(format!("{name}: report has no 'rows' array"));
+        return Err(schema_err(name, "report has no 'rows' array"));
     };
     if rows.is_empty() {
-        return Err(format!("{name}: report has zero rows"));
+        return Err(schema_err(name, "report has zero rows"));
     }
     for row in rows {
         if row.get("label").and_then(Value::as_str).is_none() {
-            return Err(format!("{name}: row without a label"));
+            return Err(schema_err(name, "row without a label"));
+        }
+        // ci95 semantics: every `<metric>_ci95` column must accompany
+        // its `<metric>` mean in the same row.
+        let Some(values) = row.get("values").and_then(Value::as_array) else {
+            continue;
+        };
+        let names: Vec<&str> = values
+            .iter()
+            .filter_map(|pair| pair.as_array()?.first()?.as_str())
+            .collect();
+        for n in &names {
+            if let Some(base) = n.strip_suffix("_ci95") {
+                if !names.contains(&base) {
+                    return Err(schema_err(
+                        name,
+                        format!("row has '{n}' without its '{base}' mean"),
+                    ));
+                }
+            }
         }
     }
     Ok(())
@@ -237,18 +391,95 @@ mod tests {
     }
 
     #[test]
+    fn seed_counts_follow_the_scale() {
+        let scale = Scale::quick().with_seeds(7);
+        assert_eq!(find("fig1").unwrap().seed_count(&scale), 7);
+        assert_eq!(find("table3").unwrap().seed_count(&scale), 7);
+        assert_eq!(
+            find("fig9").unwrap().seed_count(&scale),
+            scale.incast_reps,
+            "fig9 keeps its incast repetition count"
+        );
+        assert_eq!(find("table1").unwrap().seed_count(&scale), 1);
+        assert_eq!(find("state-budget").unwrap().seed_count(&scale), 1);
+    }
+
+    #[test]
+    fn determinism_classes_partition_the_registry() {
+        let timing: Vec<&str> = ARTIFACTS
+            .iter()
+            .filter(|a| a.determinism == Determinism::Timing)
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(timing, ["table1", "table2"]);
+        let det: Vec<&str> = ARTIFACTS
+            .iter()
+            .filter(|a| a.determinism == Determinism::Deterministic)
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(det, ["state-budget"]);
+        for a in ARTIFACTS {
+            assert_eq!(a.deterministic(), a.determinism != Determinism::Timing);
+            // Inline ⇔ no plan; planned ⇔ replicated here.
+            let planned = a.plan(Scale::quick().with_seeds(1)).is_some();
+            assert_eq!(planned, a.determinism == Determinism::Replicated);
+        }
+    }
+
+    #[test]
     fn envelope_round_trips_and_verifies() {
+        let scale = Scale::quick();
         let mut rep = Report::new("Figure 1", "t", "p");
         rep.add(Row::new("IRN").push("avg_slowdown", 2.5));
-        let text = artifact_json("fig1", "quick", &rep);
+        let fig1 = find("fig1").unwrap();
+        let text = artifact_json(fig1, &scale, &rep);
         verify_artifact_json("fig1", &text).unwrap();
         // Round-trip at the value level: parse → re-render → re-parse.
         let v = json::from_str(&text).unwrap();
         assert_eq!(json::from_str(&json::to_string(&v)).unwrap(), v);
-        // Mismatched name, broken text, empty rows all fail.
+        assert_eq!(v.get("schema_version").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            v.get("seeds").and_then(Value::as_u64),
+            Some(scale.seeds as u64)
+        );
+        assert_eq!(
+            v.get("determinism").and_then(Value::as_str),
+            Some("replicated")
+        );
+        // Mismatched name, broken text, empty rows all fail, and the
+        // errors point at the schema reference.
         assert!(verify_artifact_json("fig2", &text).is_err());
         assert!(verify_artifact_json("fig1", "{").is_err());
-        let empty = artifact_json("fig1", "quick", &Report::new("f", "t", "p"));
-        assert!(verify_artifact_json("fig1", &empty).is_err());
+        let empty = artifact_json(fig1, &scale, &Report::new("f", "t", "p"));
+        let err = verify_artifact_json("fig1", &empty).unwrap_err();
+        assert!(
+            err.contains("docs/SCHEMA.md"),
+            "error must cite the schema doc: {err}"
+        );
+    }
+
+    #[test]
+    fn verifier_rejects_v1_envelopes_and_orphan_ci95() {
+        // A v1-shaped envelope (no seeds/determinism, old version).
+        let v1 = r#"{"schema_version": 1, "artifact": "fig1", "scale": "quick",
+                     "report": {"rows": [{"label": "IRN", "values": [["m", 1.0]]}]}}"#;
+        let err = verify_artifact_json("fig1", v1).unwrap_err();
+        assert!(err.contains("schema_version 1"), "{err}");
+        assert!(err.contains("docs/SCHEMA.md"), "{err}");
+        // ci95 column without its mean.
+        let orphan = format!(
+            r#"{{"schema_version": {SCHEMA_VERSION}, "artifact": "fig1", "scale": "quick",
+                "seeds": 5, "determinism": "replicated",
+                "report": {{"rows": [{{"label": "IRN", "values": [["m_ci95", 0.1]]}}]}}}}"#
+        );
+        let err = verify_artifact_json("fig1", &orphan).unwrap_err();
+        assert!(err.contains("without its"), "{err}");
+        // Determinism contradicting the registry.
+        let wrong_class = format!(
+            r#"{{"schema_version": {SCHEMA_VERSION}, "artifact": "fig1", "scale": "quick",
+                "seeds": 5, "determinism": "timing",
+                "report": {{"rows": [{{"label": "IRN", "values": [["m", 1.0]]}}]}}}}"#
+        );
+        assert!(verify_artifact_json("fig1", &wrong_class).is_err());
     }
 }

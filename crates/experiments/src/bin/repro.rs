@@ -1,17 +1,23 @@
 //! `repro` — regenerate the paper's figures and tables.
 //!
 //! ```text
-//! repro [--full] [--jobs N] [--json DIR] <artifact>... | all
-//! repro --list                # print every artifact name
-//! repro --verify-json DIR     # validate an emitted JSON directory
+//! repro [--full] [--seeds N] [--jobs N] [--json DIR] <artifact>... | all
+//! repro [--full] [--seeds N] --list     # registry: name, class, seeds, cells
+//! repro --verify-json DIR               # validate an emitted JSON directory
 //! ```
 //!
 //! Quick scale runs a k=4 fat-tree (16 hosts) with hundreds of flows —
 //! seconds per artifact. `--full` runs the paper's k=6/54-host default
-//! with thousands of flows. Each artifact's cells run in parallel
-//! across `--jobs` workers (default: all cores); report output is
-//! byte-identical at any job count. `--json DIR` additionally writes
-//! one schema-versioned JSON file per artifact.
+//! with thousands of flows. Poisson-workload artifacts replicate every
+//! cell over `--seeds` seeds (default 5) and report mean ± ci95.
+//!
+//! All requested artifacts are scheduled as **one global batch**: every
+//! simulation cell of every artifact goes to the `--jobs` workers
+//! (default: all cores) in a single submission-ordered queue, so the
+//! pool never drains between artifacts. Reports still print in
+//! presentation order and are byte-identical at any job count.
+//! `--json DIR` additionally writes one schema-versioned JSON file per
+//! artifact (format: docs/SCHEMA.md).
 //!
 //! Exit codes: 0 success, 1 verification failure, 2 usage error
 //! (including unknown artifact names).
@@ -22,6 +28,7 @@ use std::path::{Path, PathBuf};
 
 struct Args {
     full: bool,
+    seeds: Option<usize>,
     jobs: Option<usize>,
     json_dir: Option<PathBuf>,
     list: bool,
@@ -30,8 +37,8 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--full] [--jobs N] [--json DIR] <artifact>... | all");
-    eprintln!("       repro --list");
+    eprintln!("usage: repro [--full] [--seeds N] [--jobs N] [--json DIR] <artifact>... | all");
+    eprintln!("       repro [--full] [--seeds N] --list");
     eprintln!("       repro --verify-json DIR");
     eprintln!("artifacts:");
     for chunk in ARTIFACTS.chunks(8) {
@@ -44,6 +51,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         full: false,
+        seeds: None,
         jobs: None,
         json_dir: None,
         list: false,
@@ -59,6 +67,13 @@ fn parse_args() -> Args {
                 Some(n) if n >= 1 => args.jobs = Some(n),
                 _ => {
                     eprintln!("error: --jobs needs a positive integer");
+                    usage();
+                }
+            },
+            "--seeds" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => args.seeds = Some(n),
+                _ => {
+                    eprintln!("error: --seeds needs a positive integer");
                     usage();
                 }
             },
@@ -87,7 +102,8 @@ fn parse_args() -> Args {
 }
 
 /// Check that every artifact exists in `dir` as parsable,
-/// schema-conforming JSON. Prints one line per problem.
+/// schema-conforming JSON. Prints one line per problem; failure
+/// messages reference docs/SCHEMA.md.
 fn verify_json_dir(dir: &Path) -> i32 {
     let mut failures = 0;
     for artifact in ARTIFACTS {
@@ -110,7 +126,8 @@ fn verify_json_dir(dir: &Path) -> i32 {
     }
     if failures > 0 {
         eprintln!(
-            "{failures} artifact(s) missing or unparsable in {}",
+            "{failures} artifact(s) missing, unparsable, or schema-mismatched in {} \
+             (schema reference: docs/SCHEMA.md)",
             dir.display()
         );
         1
@@ -119,17 +136,50 @@ fn verify_json_dir(dir: &Path) -> i32 {
     }
 }
 
+/// The registry as a table: name, determinism class, seed count, and
+/// batch cell count at the active scale.
+fn list_artifacts(scale: Scale) {
+    println!(
+        "{:<14} {:<14} {:>5}  {:>6}   (scale: {})",
+        "artifact",
+        "class",
+        "seeds",
+        "cells",
+        scale.label()
+    );
+    for a in ARTIFACTS {
+        let cells = a
+            .plan(scale)
+            .map_or_else(|| "-".to_string(), |p| p.cell_count().to_string());
+        println!(
+            "{:<14} {:<14} {:>5}  {:>6}",
+            a.name,
+            a.determinism.as_str(),
+            a.seed_count(&scale),
+            cells
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
 
-    if args.list {
-        for a in ARTIFACTS {
-            println!("{}", a.name);
-        }
-        return;
-    }
     if let Some(dir) = &args.verify_dir {
         std::process::exit(verify_json_dir(dir));
+    }
+
+    let mut scale = if args.full {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    if let Some(seeds) = args.seeds {
+        scale = scale.with_seeds(seeds);
+    }
+
+    if args.list {
+        list_artifacts(scale);
+        return;
     }
     if args.wanted.is_empty() {
         usage();
@@ -146,13 +196,12 @@ fn main() {
         usage();
     }
 
-    let scale = if args.full {
-        Scale::full()
-    } else {
-        Scale::quick()
-    };
     let harness = args.jobs.map_or_else(Harness::auto, Harness::new);
     let all = wanted.contains(&"all");
+    let selected: Vec<&artifacts::Artifact> = ARTIFACTS
+        .iter()
+        .filter(|a| all || wanted.contains(&a.name))
+        .collect();
 
     if let Some(dir) = &args.json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -161,24 +210,35 @@ fn main() {
         }
     }
 
-    for artifact in ARTIFACTS {
-        if !(all || wanted.contains(&artifact.name)) {
-            continue;
-        }
-        let t = std::time::Instant::now();
-        let rep = artifact.run(scale, &harness);
+    // One global batch across every selected artifact: all simulation
+    // cells interleave on the worker pool, then reports assemble and
+    // print in presentation order (byte-identical to sequential runs).
+    let t = std::time::Instant::now();
+    let batch = artifacts::run_batched(&selected, scale, &harness);
+    // Batch time covers the executor pass only; the total additionally
+    // includes the inline CPU-timing artifacts and report assembly.
+    eprintln!(
+        "   [global batch: {} cells across {} artifact(s): batch {:.1?}, total {:.1?}, jobs={}]",
+        batch.cell_count,
+        selected.len(),
+        batch.batch_time,
+        t.elapsed(),
+        harness.jobs()
+    );
+
+    for (artifact, rep) in selected.iter().zip(&batch.reports) {
         // Reports go to stdout; progress/timing to stderr so stdout
         // stays byte-identical run to run (for deterministic artifacts).
         print!("{}", rep.render());
         println!();
         eprintln!(
-            "   [{} in {:.1?}, jobs={}]",
+            "   [{}: {} over {} seed(s)]",
             artifact.name,
-            t.elapsed(),
-            harness.jobs()
+            artifact.determinism.as_str(),
+            artifact.seed_count(&scale)
         );
         if let Some(dir) = &args.json_dir {
-            let text = artifacts::artifact_json(artifact.name, scale.label(), &rep);
+            let text = artifacts::artifact_json(artifact, &scale, rep);
             let path = dir.join(format!("{}.json", artifact.name));
             if let Err(e) = std::fs::write(&path, text) {
                 eprintln!("error: cannot write {}: {e}", path.display());

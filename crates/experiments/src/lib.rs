@@ -6,19 +6,25 @@
 //! [`Report`] that prints rows shaped like the paper's (and that tests
 //! can assert directional claims against).
 //!
-//! Each simulation-backed runner submits its whole experiment matrix to
-//! the [`irn_harness`] executor as one batch of labeled cells, so
-//! independent cells run in parallel while reports render
-//! byte-identically at any job count.
+//! Each simulation-backed runner expresses its experiment matrix as a
+//! [`Plan`] — cells plus a deferred assembly — with every
+//! Poisson-workload cell fanned out over [`Scale::seeds`] seed
+//! replicates, so each reported metric carries a mean and a
+//! `<metric>_ci95` confidence half-width. `repro` splices the plans of
+//! every requested artifact into **one** globally interleaved batch
+//! ([`artifacts::run_batched`]): independent cells run in parallel
+//! across artifacts while reports render byte-identically at any job
+//! count.
 //!
 //! Run them through the `repro` binary:
 //!
 //! ```text
 //! repro fig1                     # quick scale (k=4 fat-tree, 16 hosts)
 //! repro --full fig1              # paper scale (k=6 fat-tree, 54 hosts)
-//! repro all --jobs 8             # everything, 8 simulation workers
+//! repro all --jobs 8             # everything, one global batch, 8 workers
+//! repro all --seeds 3            # 3 seed replicates per Poisson cell
 //! repro all --json out/          # also persist one JSON file per artifact
-//! repro --list                   # artifact names, one per line
+//! repro --list                   # names + determinism class + seed counts
 //! repro --verify-json out/       # validate a previously emitted JSON dir
 //! ```
 //!
@@ -32,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod plan;
 pub mod report;
 pub mod runners;
 pub mod scale;
 
-pub use artifacts::{Artifact, ARTIFACTS};
+pub use artifacts::{Artifact, Determinism, ARTIFACTS};
 pub use irn_harness::Harness;
+pub use plan::Plan;
 pub use report::{Report, Row};
 pub use runners::*;
 pub use scale::Scale;

@@ -1,0 +1,128 @@
+//! Two-phase artifacts: *plan* (expand a figure into cells) then
+//! *assemble* (fold results back into a [`Report`]).
+//!
+//! Splitting every simulation-backed runner this way is what enables
+//! cross-artifact scheduling: `repro all` concatenates the planned
+//! cells of every requested artifact into **one** submission-ordered
+//! batch, runs it on the executor once, and hands each artifact back
+//! its own slice of the results. Because the executor returns results
+//! in submission order and each assemble step is a pure function of its
+//! slice, the rendered output is byte-identical to running the
+//! artifacts sequentially — at any `--jobs` value — while the worker
+//! pool never drains between artifacts (small artifacts no longer wait
+//! for a fresh batch after a big one; the only tail is the global one).
+
+use irn_core::RunResult;
+use irn_harness::{Cell, Harness};
+
+use crate::report::Report;
+
+/// One artifact's schedulable half: the cells it needs run, plus the
+/// deferred assembly that turns their results into its [`Report`].
+pub struct Plan {
+    cells: Vec<Cell>,
+    /// Planned cell count, fixed at construction — stays valid after
+    /// [`Plan::take_cells`] moves the cells into a global batch.
+    cell_count: usize,
+    assemble: Box<dyn FnOnce(Vec<RunResult>) -> Report + Send>,
+}
+
+impl Plan {
+    /// Build a plan. `assemble` receives exactly one [`RunResult`] per
+    /// planned cell, in cell order, and must be a pure function of them
+    /// (byte-identical output across job counts relies on it).
+    pub fn new(
+        cells: Vec<Cell>,
+        assemble: impl FnOnce(Vec<RunResult>) -> Report + Send + 'static,
+    ) -> Plan {
+        Plan {
+            cell_count: cells.len(),
+            cells,
+            assemble: Box::new(assemble),
+        }
+    }
+
+    /// The planned cells, in submission order (empty once `take_cells`
+    /// has moved them into a batch).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Move the cells out for splicing into a larger batch, without
+    /// cloning. [`Plan::cell_count`] — and the arity check in
+    /// [`Plan::assemble`] — keep reflecting the planned count.
+    pub(crate) fn take_cells(&mut self) -> Vec<Cell> {
+        std::mem::take(&mut self.cells)
+    }
+
+    /// How many cells this plan contributes to a batch.
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Fold externally-run results (one per cell, in cell order) into
+    /// the report.
+    pub fn assemble(self, results: Vec<RunResult>) -> Report {
+        assert_eq!(
+            results.len(),
+            self.cell_count,
+            "plan needs one result per cell"
+        );
+        (self.assemble)(results)
+    }
+
+    /// Run this plan alone on `harness` (the single-artifact path).
+    pub fn run(self, harness: &Harness) -> Report {
+        let results = harness.run(&self.cells);
+        self.assemble(results)
+    }
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("cells", &self.cell_count)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Row;
+    use irn_core::ExperimentConfig;
+
+    fn toy_plan(n: usize) -> Plan {
+        let cells: Vec<Cell> = (0..n)
+            .map(|i| {
+                Cell::new(
+                    format!("c{i}"),
+                    ExperimentConfig::quick(30).with_seed(i as u64),
+                )
+            })
+            .collect();
+        Plan::new(cells, move |results| {
+            let mut rep = Report::new("toy", "t", "p");
+            for (i, r) in results.iter().enumerate() {
+                rep.add(Row::new(format!("c{i}")).push("events", r.events as f64));
+            }
+            rep
+        })
+    }
+
+    #[test]
+    fn run_equals_manual_assemble() {
+        let h = Harness::new(2);
+        let a = toy_plan(3).run(&h);
+        let plan = toy_plan(3);
+        let results = h.run(plan.cells());
+        let b = plan.assemble(results);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per cell")]
+    fn assemble_rejects_wrong_arity() {
+        let _ = toy_plan(2).assemble(Vec::new());
+    }
+}

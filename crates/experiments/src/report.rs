@@ -1,6 +1,7 @@
 //! Report structures: rows of named values, printed like the paper's
 //! tables and consumable by tests.
 
+use irn_harness::Stats;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -25,6 +26,18 @@ impl Row {
     /// Append a metric.
     pub fn push(mut self, name: &str, value: f64) -> Row {
         self.values.push((name.to_string(), value));
+        self
+    }
+
+    /// Append a replicated metric: the mean under `name`, and — when
+    /// the aggregate spans more than one seed — the 95% confidence
+    /// half-width under `<name>_ci95`. Single-seed runs get no ci95
+    /// column, so their rows keep the pre-replication shape.
+    pub fn push_stats(mut self, name: &str, stats: &Stats) -> Row {
+        self = self.push(name, stats.mean);
+        if stats.n > 1 {
+            self = self.push(&format!("{name}_ci95"), stats.ci95);
+        }
         self
     }
 

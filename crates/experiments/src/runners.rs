@@ -1,12 +1,21 @@
 //! One runner per figure/table of the paper's evaluation.
 //!
 //! Every simulation-backed runner expresses its experiment matrix as a
-//! batch of [`Cell`]s submitted to the [`Harness`] in one shot, so the
-//! independent cells run in parallel across `--jobs` workers. Results
-//! come back in submission order, which keeps report assembly — and
-//! therefore the rendered output — byte-identical at any job count.
-//! Only `table1`/`table2` run inline: they *time* packet-processing
-//! paths on the CPU, and sharing cores would skew the measurement.
+//! [`Plan`]: a batch of [`Cell`]s plus a deferred assembly step that
+//! folds the results into a [`Report`]. Poisson-workload artifacts fan
+//! every logical cell out over [`Scale::seeds`] seed-shifted replicates
+//! (stride [`SEED_STRIDE`], matching Figure 9's incast averaging), so
+//! each reported metric row carries `mean` and — when more than one
+//! seed ran — a `<metric>_ci95` companion column. Ratio rows (Figure 9,
+//! the appendix tables) pair IRN and RoCE runs **seed by seed** before
+//! aggregating, so common workload noise differences out of the ratio.
+//!
+//! Plans from several artifacts can be spliced into one global batch
+//! (see [`crate::artifacts::run_batched`]); results come back in
+//! submission order, which keeps report assembly — and therefore the
+//! rendered output — byte-identical at any job count. Only
+//! `table1`/`table2` run inline: they *time* packet-processing paths on
+//! the CPU, and sharing cores would skew the measurement.
 
 use irn_core::sim::Duration;
 use irn_core::transport::cc::CcKind;
@@ -14,29 +23,88 @@ use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
 use irn_core::{ExperimentConfig, RunResult, Workload};
 use irn_harness::sweep::cc_suffix;
-use irn_harness::{Cell, Harness, Replicate, Stats, SweepGrid, Variant};
+use irn_harness::{Cell, Replicate, ReplicateResult, ReplicateSet, Stats, SweepGrid, Variant};
 use irn_rdma::modules::{self, QpContext, ReceiverMode};
 use irn_rdma::state_budget::{bitmap_bits_for, irn_state_budget};
 
+use crate::plan::Plan;
 use crate::report::{Report, Row};
 use crate::scale::Scale;
 
-/// The three §4.1 metrics as row entries (times in milliseconds, as the
+/// Seed stride between replicates of one cell. Strided (rather than
+/// consecutive) seeds keep replicate seed sets disjoint from the small
+/// integers used as explicit seeds elsewhere.
+pub const SEED_STRIDE: u64 = 101;
+
+/// A named metric extracted from one run.
+type Metric = (&'static str, fn(&RunResult) -> f64);
+
+/// The three §4.1 headline metrics (times in milliseconds, as the
 /// paper's figures report them).
-fn metrics_row(label: impl Into<String>, r: &RunResult) -> Row {
-    Row::new(label)
-        .push("avg_slowdown", r.summary.avg_slowdown)
-        .push("avg_fct_ms", r.summary.avg_fct.as_millis_f64())
-        .push("p99_fct_ms", r.summary.p99_fct.as_millis_f64())
+const FCT_METRICS: [Metric; 3] = [
+    ("avg_slowdown", |r| r.summary.avg_slowdown),
+    ("avg_fct_ms", |r| r.summary.avg_fct.as_millis_f64()),
+    ("p99_fct_ms", |r| r.summary.p99_fct.as_millis_f64()),
+];
+
+/// Figure 7 reports average FCT only.
+const AVG_FCT_METRIC: [Metric; 1] = [("avg_fct_ms", |r| r.summary.avg_fct.as_millis_f64())];
+
+/// §4.4.3 adds the incast RCT to the headline metrics.
+const INCAST_METRICS: [Metric; 4] = [
+    ("avg_slowdown", |r| r.summary.avg_slowdown),
+    ("avg_fct_ms", |r| r.summary.avg_fct.as_millis_f64()),
+    ("p99_fct_ms", |r| r.summary.p99_fct.as_millis_f64()),
+    ("incast_rct_ms", |r| r.rct().as_millis_f64()),
+];
+
+/// Fan each logical cell out over the scale's seed set (the cell's own
+/// seed is the base of the strided set).
+fn replicate_cells(cells: Vec<Cell>, scale: Scale) -> ReplicateSet {
+    ReplicateSet::new(
+        cells
+            .into_iter()
+            .map(|c| {
+                let base_seed = c.cfg.seed;
+                Replicate::strided(c, base_seed, scale.seeds, SEED_STRIDE)
+            })
+            .collect(),
+    )
 }
 
-/// Run a batch and append one [`metrics_row`] per cell, labeled by the
-/// cell, in submission order.
-fn add_metrics_rows(rep: &mut Report, cells: Vec<Cell>, h: &Harness) {
-    let results = h.run(&cells);
-    for (cell, r) in cells.iter().zip(&results) {
-        rep.add(metrics_row(cell.label.clone(), r));
-    }
+/// The common figure shape: one row per logical cell, each metric
+/// aggregated over the seed replicates as mean (± ci95 when n > 1).
+fn metrics_plan(rep: Report, cells: Vec<Cell>, scale: Scale, metrics: &'static [Metric]) -> Plan {
+    let set = replicate_cells(cells, scale);
+    let flat = set.cells();
+    Plan::new(flat, move |results| {
+        let mut rep = rep;
+        for rr in set.collect(results) {
+            let mut row = Row::new(rr.label.clone());
+            for (name, f) in metrics {
+                row = row.push_stats(name, &rr.stats(*f));
+            }
+            rep.add(row);
+        }
+        rep
+    })
+}
+
+/// Seed-aligned ratio aggregate: `f(num_i) / f(den_i)` per seed, then
+/// [`Stats`] over the per-seed ratios. Pairing by seed differences the
+/// common workload realization out of the ratio — exactly the pairing
+/// Figure 9 uses for IRN/RoCE.
+fn ratio_stats(num: &ReplicateResult, den: &ReplicateResult, f: fn(&RunResult) -> f64) -> Stats {
+    let ratios: Vec<f64> = num
+        .runs
+        .iter()
+        .zip(&den.runs)
+        .map(|((sa, a), (sb, b))| {
+            debug_assert_eq!(sa, sb, "ratio replicates must align by seed");
+            f(a) / f(b)
+        })
+        .collect();
+    Stats::from_values(&ratios)
 }
 
 /// The `IRN` variant (selective repeat, no PFC).
@@ -50,8 +118,8 @@ fn roce_pfc() -> Variant {
 }
 
 /// Figure 1: IRN (without PFC) vs RoCE (with PFC), no explicit CC.
-pub fn fig1(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn fig1(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 1",
         "Comparing IRN and RoCE's performance",
         "IRN is 2.8-3.7x better than RoCE across all three metrics",
@@ -59,13 +127,12 @@ pub fn fig1(scale: Scale, h: &Harness) -> Report {
     let cells = SweepGrid::new(scale.base())
         .variants([irn(), roce_pfc()])
         .build();
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 2: impact of enabling PFC with IRN.
-pub fn fig2(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn fig2(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 2",
         "Impact of enabling PFC with IRN",
         "PFC degrades IRN by ~1.5-2x (congestion spreading); IRN does not need PFC",
@@ -73,13 +140,12 @@ pub fn fig2(scale: Scale, h: &Harness) -> Report {
     let cells = SweepGrid::new(scale.base())
         .variants([Variant::new("IRN + PFC", TransportKind::Irn, true), irn()])
         .build();
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 3: impact of disabling PFC with RoCE.
-pub fn fig3(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn fig3(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 3",
         "Impact of disabling PFC with RoCE",
         "disabling PFC degrades RoCE by 1.5-3x (go-back-N retransmission storms)",
@@ -90,13 +156,12 @@ pub fn fig3(scale: Scale, h: &Harness) -> Report {
             Variant::new("RoCE no PFC", TransportKind::Roce, false),
         ])
         .build();
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 4: IRN vs RoCE with explicit congestion control.
-pub fn fig4(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn fig4(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 4",
         "IRN vs RoCE with Timely and DCQCN",
         "IRN remains 1.5-2.2x better than RoCE under both CC schemes",
@@ -105,13 +170,12 @@ pub fn fig4(scale: Scale, h: &Harness) -> Report {
         .variants([irn(), roce_pfc()])
         .ccs([CcKind::Timely, CcKind::Dcqcn])
         .build();
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 5: IRN with/without PFC under explicit congestion control.
-pub fn fig5(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn fig5(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 5",
         "Impact of enabling PFC with IRN under Timely/DCQCN",
         "largely unaffected: improvement <1%, worst degradation ~3.4%",
@@ -120,13 +184,12 @@ pub fn fig5(scale: Scale, h: &Harness) -> Report {
         .variants([Variant::new("IRN + PFC", TransportKind::Irn, true), irn()])
         .ccs([CcKind::Timely, CcKind::Dcqcn])
         .build();
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 6: RoCE with/without PFC under explicit congestion control.
-pub fn fig6(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn fig6(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 6",
         "Impact of disabling PFC with RoCE under Timely/DCQCN",
         "RoCE still needs PFC: enabling it improves 1.35-3.5x (no-PFC+DCQCN = Resilient RoCE)",
@@ -138,13 +201,12 @@ pub fn fig6(scale: Scale, h: &Harness) -> Report {
         ])
         .ccs([CcKind::Timely, CcKind::Dcqcn])
         .build();
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 7: factor analysis — IRN vs IRN+go-back-N vs IRN−BDP-FC.
-pub fn fig7(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn fig7(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 7",
         "Factor analysis of IRN (avg FCT)",
         "go-back-N hurts more than removing BDP-FC; both hurt vs full IRN",
@@ -157,16 +219,15 @@ pub fn fig7(scale: Scale, h: &Harness) -> Report {
         ])
         .ccs([CcKind::None, CcKind::Timely, CcKind::Dcqcn])
         .build();
-    let results = h.run(&cells);
-    for (cell, r) in cells.iter().zip(&results) {
-        rep.add(Row::new(cell.label.clone()).push("avg_fct_ms", r.summary.avg_fct.as_millis_f64()));
-    }
-    rep
+    metrics_plan(rep, cells, scale, &AVG_FCT_METRIC)
 }
 
 /// Figure 8: tail latency CDF (90-99.9%ile) of single-packet messages.
-pub fn fig8(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+/// Percentiles are computed per seed, then aggregated; seeds whose run
+/// produced no single-packet messages are excluded from that row's
+/// aggregate (and the row is dropped if no seed produced any).
+pub fn fig8(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Figure 8",
         "Tail latency of single-packet messages (ms)",
         "IRN (no PFC) has the best tail across all CC schemes (RTO_low recovery)",
@@ -179,26 +240,40 @@ pub fn fig8(scale: Scale, h: &Harness) -> Report {
         ])
         .ccs([CcKind::None, CcKind::Timely, CcKind::Dcqcn])
         .build();
-    let results = h.run(&cells);
-    for (cell, r) in cells.iter().zip(&results) {
-        let sp = r.metrics.single_packet_messages();
-        if sp.is_empty() {
-            continue;
+    let set = replicate_cells(cells, scale);
+    let flat = set.cells();
+    Plan::new(flat, move |results| {
+        let mut rep = rep;
+        for rr in set.collect(results) {
+            let mut row = Row::new(rr.label.clone());
+            let mut any = false;
+            for (name, q) in [("p90_ms", 0.90), ("p99_ms", 0.99), ("p99.9_ms", 0.999)] {
+                let values: Vec<f64> = rr
+                    .runs
+                    .iter()
+                    .filter_map(|(_, r)| {
+                        let sp = r.metrics.single_packet_messages();
+                        (!sp.is_empty()).then(|| sp.percentile_fct(q).as_millis_f64())
+                    })
+                    .collect();
+                if values.is_empty() {
+                    continue;
+                }
+                any = true;
+                row = row.push_stats(name, &Stats::from_values(&values));
+            }
+            if any {
+                rep.add(row);
+            }
         }
-        rep.add(
-            Row::new(cell.label.clone())
-                .push("p90_ms", sp.percentile_fct(0.90).as_millis_f64())
-                .push("p99_ms", sp.percentile_fct(0.99).as_millis_f64())
-                .push("p99.9_ms", sp.percentile_fct(0.999).as_millis_f64()),
-        );
-    }
-    rep
+        rep
+    })
 }
 
 /// Figure 9: incast RCT ratio (IRN without PFC over RoCE with PFC) for
-/// varying fan-in M, averaged over [`Scale::incast_reps`] seeds via the
-/// [`Replicate`] layer.
-pub fn fig9(scale: Scale, h: &Harness) -> Report {
+/// varying fan-in M, averaged over [`Scale::incast_reps`] seed-aligned
+/// replicate pairs.
+pub fn fig9(scale: Scale) -> Plan {
     let base = scale.base();
     let hosts = base.topology.hosts();
     let ms: Vec<usize> = if hosts >= 54 {
@@ -206,15 +281,16 @@ pub fn fig9(scale: Scale, h: &Harness) -> Report {
     } else {
         vec![4, 8, 12]
     };
-    let mut rep = Report::new(
+    let rep = Report::new(
         "Figure 9",
         "Incast: RCT ratio IRN/RoCE vs fan-in M",
         "ratio stays within ~2.5% of 1.0 (incast without cross-traffic is PFC's best case)",
     );
 
-    // Pair an IRN replicate with a RoCE replicate per (cc, M); merge
-    // every per-seed cell into one flat batch for maximum parallelism.
-    let mut pairs: Vec<(String, Replicate, Replicate)> = Vec::new();
+    // Pair an IRN replicate with a RoCE replicate per (cc, M); the
+    // ReplicateSet merges every per-seed cell into one flat batch.
+    let mut labels = Vec::new();
+    let mut reps = Vec::new();
     for cc in [CcKind::None, CcKind::Dcqcn, CcKind::Timely] {
         for &m in &ms {
             let wl = Workload::Incast {
@@ -232,53 +308,33 @@ pub fn fig9(scale: Scale, h: &Harness) -> Report {
                     ),
                     base.seed,
                     scale.incast_reps,
-                    101,
+                    SEED_STRIDE,
                 )
             };
-            pairs.push((
-                format!("M={m}{}", cc_suffix(cc)),
-                fanout(TransportKind::Irn, false),
-                fanout(TransportKind::Roce, true),
-            ));
+            labels.push(format!("M={m}{}", cc_suffix(cc)));
+            reps.push(fanout(TransportKind::Irn, false));
+            reps.push(fanout(TransportKind::Roce, true));
         }
     }
-    let mut cells = Vec::new();
-    for (_, irn, roce) in &pairs {
-        cells.extend(irn.cells());
-        cells.extend(roce.cells());
-    }
-    let mut results = h.run(&cells).into_iter();
-    let mut take = |n: usize| -> Vec<RunResult> { results.by_ref().take(n).collect() };
-
-    for (label, irn, roce) in &pairs {
-        let irn_res = irn.collect(take(irn.seeds().len()));
-        let roce_res = roce.collect(take(roce.seeds().len()));
-        // Seed-aligned per-repetition ratios, then the aggregate.
-        let ratios: Vec<f64> = irn_res
-            .runs
-            .iter()
-            .zip(&roce_res.runs)
-            .map(|((sa, a), (sb, b))| {
-                debug_assert_eq!(sa, sb, "replicates must align by seed");
-                a.rct().as_nanos() as f64 / b.rct().as_nanos() as f64
-            })
-            .collect();
-        let stats = Stats::from_values(&ratios);
-        let mut row = Row::new(label.clone()).push("rct_ratio_irn_over_roce", stats.mean);
-        if stats.n > 1 {
-            row = row.push("ci95", stats.ci95);
+    let set = ReplicateSet::new(reps);
+    let flat = set.cells();
+    Plan::new(flat, move |results| {
+        let mut rep = rep;
+        let collected = set.collect(results);
+        for (label, pair) in labels.iter().zip(collected.chunks_exact(2)) {
+            let stats = ratio_stats(&pair[0], &pair[1], |r| r.rct().as_nanos() as f64);
+            rep.add(Row::new(label.clone()).push_stats("rct_ratio_irn_over_roce", &stats));
         }
-        rep.add(row);
-    }
-    rep
+        rep
+    })
 }
 
 /// §4.4.3 (text): incast with cross-traffic.
-pub fn incast_cross(scale: Scale, h: &Harness) -> Report {
+pub fn incast_cross(scale: Scale) -> Plan {
     let base = scale.base();
     let hosts = base.topology.hosts();
     let m = if hosts >= 54 { 30 } else { 8 };
-    let mut rep = Report::new(
+    let rep = Report::new(
         "§4.4.3",
         "Incast (M striped) with 50%-load cross-traffic",
         "IRN RCT 4-30% lower than RoCE; background flows 32-87% better with IRN",
@@ -308,17 +364,13 @@ pub fn incast_cross(scale: Scale, h: &Harness) -> Report {
             cc,
         ));
     }
-    let results = h.run(&cells);
-    for (cell, r) in cells.iter().zip(&results) {
-        rep.add(metrics_row(cell.label.clone(), r).push("incast_rct_ms", r.rct().as_millis_f64()));
-    }
-    rep
+    metrics_plan(rep, cells, scale, &INCAST_METRICS)
 }
 
 /// Figure 10: Resilient RoCE (RoCE + DCQCN, no PFC) vs IRN (no CC).
-pub fn fig10(scale: Scale, h: &Harness) -> Report {
+pub fn fig10(scale: Scale) -> Plan {
     let base = scale.base();
-    let mut rep = Report::new(
+    let rep = Report::new(
         "Figure 10",
         "Resilient RoCE vs IRN",
         "IRN, even without CC, significantly beats Resilient RoCE",
@@ -333,14 +385,13 @@ pub fn fig10(scale: Scale, h: &Harness) -> Report {
         ),
         Cell::tpc("IRN", &base, TransportKind::Irn, false, CcKind::None),
     ];
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 11: iWARP (full TCP stack) vs IRN.
-pub fn fig11(scale: Scale, h: &Harness) -> Report {
+pub fn fig11(scale: Scale) -> Plan {
     let base = scale.base();
-    let mut rep = Report::new(
+    let rep = Report::new(
         "Figure 11",
         "iWARP's transport (TCP stack) vs IRN",
         "IRN: ~21% better slowdown (no slow start), comparable FCTs; IRN+AIMD beats iWARP",
@@ -356,17 +407,16 @@ pub fn fig11(scale: Scale, h: &Harness) -> Report {
         Cell::tpc("IRN", &base, TransportKind::Irn, false, CcKind::None),
         Cell::tpc("IRN + AIMD", &base, TransportKind::Irn, false, CcKind::Aimd),
     ];
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 /// Figure 12: IRN with worst-case implementation overheads.
-pub fn fig12(scale: Scale, h: &Harness) -> Report {
+pub fn fig12(scale: Scale) -> Plan {
     let base = scale.base();
     let mut worst = base.clone();
     worst.extra_header = 16;
     worst.retx_fetch_delay = Duration::micros(2);
-    let mut rep = Report::new(
+    let rep = Report::new(
         "Figure 12",
         "IRN worst-case overheads (+16B header/packet, 2us retx fetch)",
         "overheads cost only 4-7%; IRN stays 35-63% better than RoCE+PFC",
@@ -395,8 +445,7 @@ pub fn fig12(scale: Scale, h: &Harness) -> Report {
             cc,
         ));
     }
-    add_metrics_rows(&mut rep, cells, h);
-    rep
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
 }
 
 // ---------------------------------------------------------------------
@@ -406,52 +455,57 @@ pub fn fig12(scale: Scale, h: &Harness) -> Report {
 const APPENDIX_CCS: [CcKind; 3] = [CcKind::None, CcKind::Timely, CcKind::Dcqcn];
 
 /// The appendix-table layout: IRN absolute + two ratios, per CC scheme,
-/// across a sweep of variant base configs. All cells of the whole table
-/// go to the harness as a single batch.
-fn appendix_report(rep: &mut Report, bases: &[(String, ExperimentConfig)], h: &Harness) {
+/// across a sweep of variant base configs. Every per-seed cell of the
+/// whole table goes to the harness as a single batch; absolute rows
+/// aggregate per metric over seeds, ratio rows pair the numerator and
+/// denominator runs seed by seed (see [`ratio_stats`]).
+fn appendix_plan(rep: Report, bases: Vec<(String, ExperimentConfig)>, scale: Scale) -> Plan {
     let mut keys = Vec::new();
-    let mut cells = Vec::new();
-    for (variant, base) in bases {
+    let mut reps = Vec::new();
+    for (variant, base) in &bases {
         for cc in APPENDIX_CCS {
-            keys.push((variant.as_str(), cc));
-            cells.push(Cell::tpc("irn", base, TransportKind::Irn, false, cc));
-            cells.push(Cell::tpc("irn+pfc", base, TransportKind::Irn, true, cc));
-            cells.push(Cell::tpc("roce+pfc", base, TransportKind::Roce, true, cc));
+            keys.push(format!("{variant}{}", cc_suffix(cc)));
+            for (label, t, pfc) in [
+                ("irn", TransportKind::Irn, false),
+                ("irn+pfc", TransportKind::Irn, true),
+                ("roce+pfc", TransportKind::Roce, true),
+            ] {
+                reps.push(Replicate::strided(
+                    Cell::tpc(label, base, t, pfc, cc),
+                    base.seed,
+                    scale.seeds,
+                    SEED_STRIDE,
+                ));
+            }
         }
     }
-    let results = h.run(&cells);
-    for ((variant, cc), chunk) in keys.iter().zip(results.chunks_exact(3)) {
-        let (irn, irn_pfc, roce_pfc) = (&chunk[0], &chunk[1], &chunk[2]);
-        rep.add(
-            Row::new(format!("{variant}{} IRN", cc_suffix(*cc)))
-                .push("avg_slowdown", irn.summary.avg_slowdown)
-                .push("avg_fct_ms", irn.summary.avg_fct.as_millis_f64())
-                .push("p99_fct_ms", irn.summary.p99_fct.as_millis_f64()),
-        );
-        rep.add(
-            Row::new(format!("{variant}{} IRN/IRN+PFC", cc_suffix(*cc)))
-                .push(
-                    "avg_slowdown",
-                    irn.summary.avg_slowdown / irn_pfc.summary.avg_slowdown,
-                )
-                .push("avg_fct_ms", irn.summary.avg_fct / irn_pfc.summary.avg_fct)
-                .push("p99_fct_ms", irn.summary.p99_fct / irn_pfc.summary.p99_fct),
-        );
-        rep.add(
-            Row::new(format!("{variant}{} IRN/RoCE+PFC", cc_suffix(*cc)))
-                .push(
-                    "avg_slowdown",
-                    irn.summary.avg_slowdown / roce_pfc.summary.avg_slowdown,
-                )
-                .push("avg_fct_ms", irn.summary.avg_fct / roce_pfc.summary.avg_fct)
-                .push("p99_fct_ms", irn.summary.p99_fct / roce_pfc.summary.p99_fct),
-        );
-    }
+    let set = ReplicateSet::new(reps);
+    let flat = set.cells();
+    Plan::new(flat, move |results| {
+        let mut rep = rep;
+        let collected = set.collect(results);
+        for (key, chunk) in keys.iter().zip(collected.chunks_exact(3)) {
+            let (irn, irn_pfc, roce_pfc) = (&chunk[0], &chunk[1], &chunk[2]);
+            let mut row = Row::new(format!("{key} IRN"));
+            for (name, f) in &FCT_METRICS {
+                row = row.push_stats(name, &irn.stats(*f));
+            }
+            rep.add(row);
+            for (suffix, denom) in [("IRN/IRN+PFC", irn_pfc), ("IRN/RoCE+PFC", roce_pfc)] {
+                let mut row = Row::new(format!("{key} {suffix}"));
+                for (name, f) in &FCT_METRICS {
+                    row = row.push_stats(name, &ratio_stats(irn, denom, *f));
+                }
+                rep.add(row);
+            }
+        }
+        rep
+    })
 }
 
 /// Table 3: link-utilization sweep (30-90%).
-pub fn table3(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn table3(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Table 3",
         "Robustness to link utilization (30/50/70/90%)",
         "higher load -> PFC hurts more; ratios fall with load",
@@ -468,13 +522,12 @@ pub fn table3(scale: Scale, h: &Harness) -> Report {
             (format!("{}%", (load * 100.0) as u32), base)
         })
         .collect();
-    appendix_report(&mut rep, &bases, h);
-    rep
+    appendix_plan(rep, bases, scale)
 }
 
 /// Table 4: bandwidth sweep (10/40/100 Gbps).
-pub fn table4(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn table4(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Table 4",
         "Robustness to link bandwidth (10/40/100 Gbps)",
         "higher bandwidth -> relative cost of loss recovery rises, gap narrows",
@@ -490,13 +543,12 @@ pub fn table4(scale: Scale, h: &Harness) -> Report {
             (format!("{gbps}G"), base)
         })
         .collect();
-    appendix_report(&mut rep, &bases, h);
-    rep
+    appendix_plan(rep, bases, scale)
 }
 
 /// Table 5: topology scale sweep.
-pub fn table5(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn table5(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Table 5",
         "Robustness to fat-tree scale",
         "trends stay roughly constant as the topology scales out",
@@ -514,13 +566,12 @@ pub fn table5(scale: Scale, h: &Harness) -> Report {
             (format!("k={k}"), base)
         })
         .collect();
-    appendix_report(&mut rep, &bases, h);
-    rep
+    appendix_plan(rep, bases, scale)
 }
 
 /// Table 6: workload-pattern sweep.
-pub fn table6(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn table6(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Table 6",
         "Robustness to workload (heavy-tailed vs uniform 500KB-5MB)",
         "key trends hold for the uniform storage-style workload too",
@@ -547,13 +598,12 @@ pub fn table6(scale: Scale, h: &Harness) -> Report {
         (label.to_string(), base)
     })
     .collect();
-    appendix_report(&mut rep, &bases, h);
-    rep
+    appendix_plan(rep, bases, scale)
 }
 
 /// Table 7: buffer-size sweep (60-480 KB per port).
-pub fn table7(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn table7(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Table 7",
         "Robustness to per-port buffer size",
         "smaller buffers -> more pauses, PFC hurts more; larger -> differences shrink",
@@ -566,13 +616,12 @@ pub fn table7(scale: Scale, h: &Harness) -> Report {
             (format!("{kb}KB"), base)
         })
         .collect();
-    appendix_report(&mut rep, &bases, h);
-    rep
+    appendix_plan(rep, bases, scale)
 }
 
 /// Table 8: RTO_high sweep (1x/2x/4x of ~320 µs).
-pub fn table8(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn table8(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Table 8",
         "Robustness to RTO_high over-estimation",
         "IRN is insensitive to RTO_high (320/640/1280 us)",
@@ -585,13 +634,12 @@ pub fn table8(scale: Scale, h: &Harness) -> Report {
             (format!("{}us", 320 * mult), base)
         })
         .collect();
-    appendix_report(&mut rep, &bases, h);
-    rep
+    appendix_plan(rep, bases, scale)
 }
 
 /// Table 9: N (RTO_low threshold) sweep.
-pub fn table9(scale: Scale, h: &Harness) -> Report {
-    let mut rep = Report::new(
+pub fn table9(scale: Scale) -> Plan {
+    let rep = Report::new(
         "Table 9",
         "Robustness to N (RTO_low in-flight threshold)",
         "IRN is insensitive to N (3/10/15)",
@@ -604,8 +652,7 @@ pub fn table9(scale: Scale, h: &Harness) -> Report {
             (format!("N={n}"), base)
         })
         .collect();
-    appendix_report(&mut rep, &bases, h);
-    rep
+    appendix_plan(rep, bases, scale)
 }
 
 // ---------------------------------------------------------------------

@@ -14,7 +14,15 @@ pub struct Scale {
     pub incast_reps: usize,
     /// Incast total response bytes (paper: 150 MB).
     pub incast_bytes: u64,
+    /// Seed replicates per cell for Poisson-workload artifacts
+    /// (fig1–fig8, fig10–fig12, incast-cross, the appendix tables).
+    /// Every reported metric is aggregated as mean ± ci95 over this
+    /// many seed-shifted runs; `repro --seeds N` overrides it.
+    pub seeds: usize,
 }
+
+/// The default seed-replicate count for Poisson-workload artifacts.
+pub const DEFAULT_SEEDS: usize = 5;
 
 impl Scale {
     /// CI/bench scale: k=4 (16 hosts), hundreds of flows, small incast.
@@ -24,6 +32,7 @@ impl Scale {
             flows: 400,
             incast_reps: 3,
             incast_bytes: 15_000_000,
+            seeds: DEFAULT_SEEDS,
         }
     }
 
@@ -34,15 +43,31 @@ impl Scale {
             flows: 3000,
             incast_reps: 10,
             incast_bytes: 150_000_000,
+            seeds: DEFAULT_SEEDS,
         }
     }
 
+    /// This scale with a different seed-replicate count (the
+    /// `repro --seeds N` override).
+    pub fn with_seeds(mut self, seeds: usize) -> Scale {
+        assert!(seeds >= 1, "need at least one seed");
+        self.seeds = seeds;
+        self
+    }
+
     /// Display name for artifact metadata: `"quick"`/`"full"` when the
-    /// scale matches a preset, `"custom"` otherwise.
+    /// scale matches a preset, `"custom"` otherwise. The seed count is
+    /// deliberately ignored — it is reported separately in the JSON
+    /// envelope's `seeds` field, so `--seeds 3` at quick scale is still
+    /// `"quick"`.
     pub fn label(&self) -> &'static str {
-        if *self == Scale::quick() {
+        let sized = |preset: Scale| Scale {
+            seeds: self.seeds,
+            ..preset
+        };
+        if *self == sized(Scale::quick()) {
             "quick"
-        } else if *self == Scale::full() {
+        } else if *self == sized(Scale::full()) {
             "full"
         } else {
             "custom"
@@ -60,5 +85,26 @@ impl Scale {
             },
             ..ExperimentConfig::paper_default(self.flows)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_ignores_seed_count() {
+        assert_eq!(Scale::quick().label(), "quick");
+        assert_eq!(Scale::quick().with_seeds(3).label(), "quick");
+        assert_eq!(Scale::full().with_seeds(1).label(), "full");
+        let mut custom = Scale::quick();
+        custom.flows += 1;
+        assert_eq!(custom.label(), "custom");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let _ = Scale::quick().with_seeds(0);
     }
 }

@@ -19,6 +19,10 @@
 //!   count.
 //! - [`Replicate`] — fans one cell out over N seeds and aggregates
 //!   mean / std-dev / 95% CI, independent of seed order.
+//! - [`ReplicateSet`] — flattens many replicates into **one** batch
+//!   (no per-replicate barrier) and demuxes the flat result vector back
+//!   per replicate; the building block for multi-seed figures and for
+//!   splicing several artifacts' cells into one global batch.
 //!
 //! ```
 //! use irn_core::ExperimentConfig;
@@ -34,7 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cell;
 pub mod exec;
@@ -44,6 +48,6 @@ pub mod sweep;
 
 pub use cell::Cell;
 pub use exec::Harness;
-pub use replicate::{Replicate, ReplicateResult};
+pub use replicate::{Replicate, ReplicateResult, ReplicateSet};
 pub use stats::Stats;
 pub use sweep::{SweepGrid, Variant};

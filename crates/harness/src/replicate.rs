@@ -89,6 +89,62 @@ impl ReplicateResult {
     }
 }
 
+/// Many [`Replicate`]s flattened into **one** harness batch.
+///
+/// This is the demux layer behind multi-seed figures: every per-seed
+/// cell of every replicate is submitted in one flat batch (maximum
+/// parallelism — no per-replicate barrier), and the results are sliced
+/// back into one [`ReplicateResult`] per replicate, in the order the
+/// replicates were supplied. Because the executor returns results in
+/// submission order, the demux — and everything rendered from it — is
+/// independent of the job count.
+#[derive(Debug, Clone)]
+pub struct ReplicateSet {
+    reps: Vec<Replicate>,
+}
+
+impl ReplicateSet {
+    /// Bundle `reps` into one schedulable set.
+    pub fn new(reps: Vec<Replicate>) -> ReplicateSet {
+        ReplicateSet { reps }
+    }
+
+    /// The replicates, in supply order.
+    pub fn replicates(&self) -> &[Replicate] {
+        &self.reps
+    }
+
+    /// Total cell count across every replicate.
+    pub fn cell_count(&self) -> usize {
+        self.reps.iter().map(|r| r.seeds.len()).sum()
+    }
+
+    /// Every per-seed cell of every replicate, concatenated in
+    /// replicate-supply order (each replicate's cells in canonical seed
+    /// order). Submit this to a [`Harness`] — or splice it into a
+    /// larger cross-artifact batch — then demux with
+    /// [`ReplicateSet::collect`].
+    pub fn cells(&self) -> Vec<Cell> {
+        self.reps.iter().flat_map(|r| r.cells()).collect()
+    }
+
+    /// Slice a flat result vector (in [`ReplicateSet::cells`] order)
+    /// back into one [`ReplicateResult`] per replicate.
+    pub fn collect(&self, runs: Vec<RunResult>) -> Vec<ReplicateResult> {
+        assert_eq!(runs.len(), self.cell_count(), "one result per cell");
+        let mut it = runs.into_iter();
+        self.reps
+            .iter()
+            .map(|r| r.collect(it.by_ref().take(r.seeds.len()).collect()))
+            .collect()
+    }
+
+    /// Run the whole set on `harness` as one flat batch.
+    pub fn run(&self, harness: &Harness) -> Vec<ReplicateResult> {
+        self.collect(harness.run(&self.cells()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +168,31 @@ mod tests {
     fn strided_seeds() {
         let r = Replicate::strided(cell(), 100, 3, 101);
         assert_eq!(r.seeds(), &[100, 201, 302]);
+    }
+
+    #[test]
+    fn replicate_set_demuxes_by_replicate() {
+        let set = ReplicateSet::new(vec![
+            Replicate::new(cell(), [1, 2]),
+            Replicate::new(cell(), [10, 20, 30]),
+        ]);
+        assert_eq!(set.cell_count(), 5);
+        let cells = set.cells();
+        assert_eq!(cells.len(), 5);
+        assert_eq!(cells[1].cfg.seed, 2);
+        assert_eq!(cells[4].cfg.seed, 30);
+        // Demuxing a flat batch must agree with running each replicate
+        // on its own.
+        let h = Harness::new(2);
+        let merged = set.run(&h);
+        assert_eq!(merged.len(), 2);
+        let solo = set.replicates()[1].run(&h);
+        assert_eq!(merged[1].runs.len(), 3);
+        for ((sa, a), (sb, b)) in merged[1].runs.iter().zip(&solo.runs) {
+            assert_eq!(sa, sb);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.finished_at, b.finished_at);
+        }
     }
 
     #[test]

@@ -11,8 +11,11 @@ pub struct Stats {
     pub mean: f64,
     /// Sample standard deviation (n−1 denominator; 0 when n < 2).
     pub std_dev: f64,
-    /// Half-width of the 95% confidence interval for the mean
-    /// (normal approximation, `1.96·σ/√n`; 0 when n < 2).
+    /// Half-width of the 95% confidence interval for the mean:
+    /// `t(0.975, n−1)·σ/√n`, using the Student-t quantile so small
+    /// replicate counts (the common case — 3 or 5 seeds) are not
+    /// anti-conservative; 0 when n < 2. Converges to the normal
+    /// `1.96·σ/√n` as n grows.
     pub ci95: f64,
     /// Smallest sample.
     pub min: f64,
@@ -40,7 +43,7 @@ impl Stats {
         let ci95 = if n < 2 {
             0.0
         } else {
-            1.96 * std_dev / (n as f64).sqrt()
+            t95(n - 1) * std_dev / (n as f64).sqrt()
         };
         Stats {
             n,
@@ -50,6 +53,22 @@ impl Stats {
             min: sorted[0],
             max: sorted[n - 1],
         }
+    }
+}
+
+/// Two-sided 95% Student-t quantile for `df` degrees of freedom.
+/// Tabulated for df ≤ 30 (replicate counts are single digits in
+/// practice); the asymptotic normal value beyond.
+fn t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => 0.0,
+        d if d <= TABLE.len() => TABLE[d - 1],
+        _ => 1.96,
     }
 }
 
@@ -76,6 +95,23 @@ mod tests {
         assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
         assert_eq!(sa.std_dev.to_bits(), sb.std_dev.to_bits());
         assert_eq!(sa.ci95.to_bits(), sb.ci95.to_bits());
+    }
+
+    #[test]
+    fn ci95_uses_student_t_at_small_n() {
+        // n=5, df=4: half-width must be t(0.975,4)=2.776 standard
+        // errors, not the normal 1.96 (42% anti-conservative at n=5).
+        let s = Stats::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let se = s.std_dev / 5.0f64.sqrt();
+        assert!((s.ci95 - 2.776 * se).abs() < 1e-12);
+        // n=3, df=2: 4.303 standard errors.
+        let s3 = Stats::from_values(&[1.0, 2.0, 3.0]);
+        let se3 = s3.std_dev / 3.0f64.sqrt();
+        assert!((s3.ci95 - 4.303 * se3).abs() < 1e-12);
+        // Large n converges to the normal quantile.
+        let big: Vec<f64> = (0..100).map(f64::from).collect();
+        let sb = Stats::from_values(&big);
+        assert!((sb.ci95 - 1.96 * sb.std_dev / 10.0).abs() < 1e-12);
     }
 
     #[test]

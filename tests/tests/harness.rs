@@ -6,31 +6,40 @@
 //! seed order. These tests run a deliberately small scale (the point is
 //! scheduling, not statistics).
 
-use irn_experiments::{artifacts, runners, Scale};
+use irn_experiments::artifacts::{self, Determinism};
+use irn_experiments::{runners, Scale};
 use irn_harness::{Cell, Harness, Replicate};
 use serde::json;
 use serde::Serialize;
 
 /// Smaller than `Scale::quick()`: these tests also run under the debug
-/// profile in CI, where the simulator is ~10x slower.
+/// profile in CI, where the simulator is ~10x slower. Two seed
+/// replicates keep the multi-seed machinery engaged without doubling
+/// the runtime again.
 fn tiny() -> Scale {
     Scale {
         fat_tree_k: 4,
         flows: 120,
         incast_reps: 2,
         incast_bytes: 2_000_000,
+        seeds: 2,
     }
 }
 
 /// The representative figure: fig4 exercises the sweep grid (variants ×
-/// cc), batched submission, and metrics-row assembly. It is run through
-/// the registry, and must be flagged deterministic there — that flag is
-/// the registry's promise this byte-identity test relies on.
+/// cc), seed replication, batched submission, and metrics-row assembly.
+/// It is run through the registry, and must be flagged replicated there
+/// — that class is the registry's promise this byte-identity test
+/// relies on.
 #[test]
 fn report_render_is_byte_identical_across_job_counts() {
     let scale = tiny();
     let artifact = artifacts::find("fig4").unwrap();
-    assert!(artifact.deterministic, "fig4 must be simulation-backed");
+    assert_eq!(
+        artifact.determinism,
+        Determinism::Replicated,
+        "fig4 must be a replicated simulation artifact"
+    );
     let serial = artifact.run(scale, &Harness::new(1));
     let parallel = artifact.run(scale, &Harness::new(8));
     assert_eq!(
@@ -40,39 +49,30 @@ fn report_render_is_byte_identical_across_job_counts() {
     );
 }
 
-/// Only the CPU-timing substitutes may opt out of determinism; any new
-/// artifact must either be simulation-backed (pure function of its
-/// config) or be added to this explicit allowlist.
-#[test]
-fn only_timing_tables_are_non_deterministic() {
-    let non_det: Vec<&str> = artifacts::ARTIFACTS
-        .iter()
-        .filter(|a| !a.deterministic)
-        .map(|a| a.name)
-        .collect();
-    assert_eq!(non_det, ["table1", "table2"]);
-}
-
 /// The JSON artifact path must be byte-stable across job counts too,
-/// and the emitted text must satisfy the CI verifier.
+/// and the emitted text must satisfy the CI verifier (schema v2:
+/// seeds + determinism metadata alongside the report).
 #[test]
 fn json_artifact_is_byte_identical_across_job_counts() {
     let scale = tiny();
-    let serial = artifacts::artifact_json(
-        "fig4",
-        scale.label(),
-        &runners::fig4(scale, &Harness::new(1)),
-    );
-    let parallel = artifacts::artifact_json(
-        "fig4",
-        scale.label(),
-        &runners::fig4(scale, &Harness::new(8)),
-    );
+    let fig4 = artifacts::find("fig4").unwrap();
+    let serial =
+        artifacts::artifact_json(fig4, &scale, &runners::fig4(scale).run(&Harness::new(1)));
+    let parallel =
+        artifacts::artifact_json(fig4, &scale, &runners::fig4(scale).run(&Harness::new(8)));
     assert_eq!(serial, parallel);
     artifacts::verify_artifact_json("fig4", &serial).unwrap();
     // Full value-level round-trip through the vendored serde.
     let v = json::from_str(&serial).unwrap();
     assert_eq!(json::from_str(&json::to_string(&v)).unwrap(), v);
+    assert_eq!(
+        v.get("schema_version").and_then(json::Value::as_u64),
+        Some(artifacts::SCHEMA_VERSION)
+    );
+    assert_eq!(
+        v.get("seeds").and_then(json::Value::as_u64),
+        Some(tiny().seeds as u64)
+    );
 }
 
 /// Replicate aggregation over an incast workload: the order seeds are

@@ -1,0 +1,170 @@
+//! Seed-count sensitivity and global-scheduler equivalence.
+//!
+//! Two promises from the replicate-everywhere layer are pinned here:
+//!
+//! 1. **Seed semantics.** Raising `--seeds` on a Poisson artifact adds
+//!    `<metric>_ci95` columns with genuinely nonzero run-to-run
+//!    variance, while seed-independent artifacts (and the single-seed
+//!    shape of every artifact) are completely unaffected.
+//! 2. **Scheduling is invisible.** `repro all`'s global interleaved
+//!    batch produces byte-identical reports to running each artifact
+//!    sequentially, at any job count.
+
+use irn_experiments::artifacts::{self, Artifact};
+use irn_experiments::{Harness, Scale};
+
+/// Debug-profile-friendly scale (CI runs these tests unoptimized too).
+fn tiny() -> Scale {
+    Scale {
+        fat_tree_k: 4,
+        flows: 120,
+        incast_reps: 2,
+        incast_bytes: 2_000_000,
+        seeds: 1,
+    }
+}
+
+fn select(names: &[&str]) -> Vec<&'static Artifact> {
+    names
+        .iter()
+        .map(|n| artifacts::find(n).expect("known artifact"))
+        .collect()
+}
+
+/// fig1 at `--seeds 1` has the classic single-value rows (no ci95
+/// columns); at `--seeds 5` every metric gains a ci95 companion that is
+/// nonzero — Poisson workload realizations genuinely differ by seed.
+/// The per-metric *means* move between the two seed counts (they
+/// average different run sets), but the row labels and metric names
+/// stay fixed.
+#[test]
+fn poisson_artifact_gains_nonzero_ci95_with_seeds() {
+    let h = Harness::new(4);
+    let one = artifacts::find("fig1").unwrap().run(tiny(), &h);
+    let five = artifacts::find("fig1")
+        .unwrap()
+        .run(tiny().with_seeds(5), &h);
+
+    assert_eq!(one.rows.len(), five.rows.len());
+    for (r1, r5) in one.rows.iter().zip(&five.rows) {
+        assert_eq!(r1.label, r5.label);
+        // seeds=1: no ci95 columns at all.
+        assert!(
+            r1.values.iter().all(|(n, _)| !n.ends_with("_ci95")),
+            "single-seed rows must not carry ci95 columns: {r1:?}"
+        );
+        // seeds=5: every metric has a ci95 companion, and at least one
+        // is strictly positive (Poisson noise exists).
+        for (name, _) in &r1.values {
+            assert!(
+                r5.values.iter().any(|(n, _)| n == &format!("{name}_ci95")),
+                "metric {name} lost its ci95 companion at seeds=5"
+            );
+        }
+        let max_ci = r5
+            .values
+            .iter()
+            .filter(|(n, _)| n.ends_with("_ci95"))
+            .map(|(_, v)| *v)
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_ci > 0.0,
+            "row '{}' reports zero variance over 5 Poisson seeds",
+            r5.label
+        );
+    }
+}
+
+/// The replicated mean over N seeds includes the seed-1 run: at
+/// `--seeds 1` the mean *is* that run's value, so the two seed counts
+/// agree only when the artifact is seed-independent. state-budget is —
+/// its bytes must not move at all.
+#[test]
+fn deterministic_artifact_is_seed_count_invariant() {
+    let h = Harness::new(2);
+    let budget = artifacts::find("state-budget").unwrap();
+    let one = budget.run(tiny(), &h).render();
+    let five = budget.run(tiny().with_seeds(5), &h).render();
+    assert_eq!(one, five, "state-budget must ignore --seeds entirely");
+}
+
+/// The global interleaved batch is pure scheduling: for a mixed
+/// selection (small figures, an appendix table, an inline artifact),
+/// `run_batched` must render byte-identically to one-artifact-at-a-time
+/// runs, and byte-identically between jobs=1 and jobs=8.
+#[test]
+fn global_batch_matches_sequential_at_any_job_count() {
+    let scale = tiny().with_seeds(2);
+    let names = ["fig1", "fig3", "table9", "state-budget"];
+    let selected = select(&names);
+
+    let render_all = |reports: Vec<irn_experiments::Report>| -> String {
+        reports
+            .iter()
+            .map(|r| r.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // Sequential baseline: each artifact runs alone on a serial harness.
+    let sequential: String = render_all(
+        selected
+            .iter()
+            .map(|a| a.run(scale, &Harness::new(1)))
+            .collect(),
+    );
+    let batched_serial =
+        render_all(artifacts::run_batched(&selected, scale, &Harness::new(1)).reports);
+    let batched_parallel =
+        render_all(artifacts::run_batched(&selected, scale, &Harness::new(8)).reports);
+
+    assert_eq!(
+        sequential, batched_serial,
+        "global batching at jobs=1 must be invisible in the output"
+    );
+    assert_eq!(
+        batched_serial, batched_parallel,
+        "global batch output must be byte-identical at jobs=1 vs jobs=8"
+    );
+}
+
+/// The batch really is global: the cell count `run_batched` reports is
+/// the sum of the per-artifact plans, and demux hands every artifact
+/// exactly its own slice (spot-checked by comparing against the
+/// single-artifact path above).
+#[test]
+fn batch_cell_count_sums_per_artifact_plans() {
+    let scale = tiny().with_seeds(2);
+    let names = ["fig1", "fig2", "fig9", "state-budget"];
+    let selected = select(&names);
+    let batch = artifacts::run_batched(&selected, scale, &Harness::new(8));
+    assert_eq!(batch.reports.len(), selected.len());
+    let total = batch.cell_count;
+    let per_artifact: usize = selected
+        .iter()
+        .filter_map(|a| a.plan(scale))
+        .map(|p| p.cell_count())
+        .sum();
+    assert_eq!(total, per_artifact);
+    // fig1 = 2 variants × 2 seeds, fig2 likewise; fig9 = 3cc × 3M × 2
+    // transports × 2 reps; state-budget contributes nothing.
+    assert_eq!(total, 4 + 4 + 36);
+}
+
+/// `--seeds` flows through the JSON envelope: the `seeds` field tracks
+/// the override while the scale label stays a preset name.
+#[test]
+fn seeds_override_lands_in_envelope_not_scale_label() {
+    let scale = Scale::quick().with_seeds(3);
+    assert_eq!(scale.label(), "quick");
+    let fig1 = artifacts::find("fig1").unwrap();
+    let mut rep = irn_experiments::Report::new("Figure 1", "t", "p");
+    rep.add(irn_experiments::Row::new("IRN").push("avg_slowdown", 1.0));
+    let text = artifacts::artifact_json(fig1, &scale, &rep);
+    let v = serde::json::from_str(&text).unwrap();
+    assert_eq!(v.get("seeds").and_then(serde::json::Value::as_u64), Some(3));
+    assert_eq!(
+        v.get("scale").and_then(serde::json::Value::as_str),
+        Some("quick")
+    );
+}
