@@ -1,0 +1,152 @@
+//! Scheduler throughput: the ladder-queue `Scheduler` against the
+//! binary-heap `EventQueue` reference, on the access patterns the
+//! engine actually produces, plus an end-to-end engine run whose
+//! events/sec is the number `repro`'s timing output tracks.
+//!
+//! Three patterns:
+//!
+//! * **hold churn** — steady-state pop-one/push-one at a bounded
+//!   lookahead, the shape of fabric events (TxDone/Arrive) in flight;
+//!   the heap pays O(log n) per op, the ladder O(1).
+//! * **timer churn** — arm/supersede/fire cycles. The heap must
+//!   schedule every superseded generation and pop-and-discard it later
+//!   (the old `TimerSlot` pattern); the scheduler cancels in O(1) and
+//!   never surfaces the corpse.
+//! * **engine end-to-end** — a full `irn_core::run` at bench scale:
+//!   the integrated events/sec the BENCH trajectory wants to trend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irn_bench::bench_cfg;
+use irn_sim::{Duration, EventQueue, Scheduler, Time, TimerSlot};
+use std::hint::black_box;
+
+/// Steady-state population of in-flight events.
+const HELD: u64 = 4096;
+/// Operations measured per iteration.
+const OPS: u64 = 100_000;
+
+/// Deterministic "next gap" sequence: a cheap LCG over realistic
+/// packet-event spacings (0..~8.2 µs).
+fn gap(state: &mut u64) -> Duration {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+    Duration::nanos((*state >> 51) + 1)
+}
+
+fn hold_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_hold_churn");
+    g.sample_size(10);
+    g.bench_function("ladder_scheduler", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u64> = Scheduler::new();
+            let mut rng = 1u64;
+            let mut now = Time::ZERO;
+            for i in 0..HELD {
+                s.push(now + gap(&mut rng), i);
+            }
+            for i in 0..OPS {
+                let (t, e) = s.pop().unwrap();
+                now = t;
+                black_box(e);
+                s.push(now + gap(&mut rng), i);
+            }
+            black_box(s.len())
+        })
+    });
+    g.bench_function("binary_heap_reference", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut rng = 1u64;
+            let mut now = Time::ZERO;
+            for i in 0..HELD {
+                q.push(now + gap(&mut rng), i);
+            }
+            for i in 0..OPS {
+                let (t, e) = q.pop().unwrap();
+                now = t;
+                black_box(e);
+                q.push(now + gap(&mut rng), i);
+            }
+            black_box(q.len())
+        })
+    });
+    g.finish();
+}
+
+/// Retransmission-timer shape: each "ACK" supersedes the pending
+/// deadline (re-arm further out); every RTTs-worth of re-arms, the
+/// timer finally fires. The reference must push every generation and
+/// filter the stale ones at pop.
+const TIMERS: usize = 256;
+const REARMS: u64 = 2_000;
+
+fn timer_churn(c: &mut Criterion) {
+    let rto = Duration::micros(320);
+    let step = Duration::nanos(210);
+    let mut g = c.benchmark_group("sched_timer_churn");
+    g.sample_size(10);
+    g.bench_function("ladder_cancellable_timers", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<usize> = Scheduler::new();
+            let ids: Vec<_> = (0..TIMERS).map(|_| s.timer_create()).collect();
+            let mut fired = 0u64;
+            for round in 0..REARMS {
+                let now = Time::ZERO + step * round;
+                for (k, id) in ids.iter().enumerate() {
+                    s.timer_arm(*id, now + rto, k);
+                }
+                // Fire anything due (none until the arms stop moving).
+                while s.peek_time().is_some_and(|t| t <= now) {
+                    s.pop();
+                    fired += 1;
+                }
+            }
+            // Drain the final generation.
+            while s.pop().is_some() {
+                fired += 1;
+            }
+            black_box(fired)
+        })
+    });
+    g.bench_function("heap_plus_generation_filter", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<(usize, u64)> = EventQueue::new();
+            let mut slots = vec![TimerSlot::new(); TIMERS];
+            let mut fired = 0u64;
+            for round in 0..REARMS {
+                let now = Time::ZERO + step * round;
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    let generation = slot.arm(now + rto);
+                    q.push(now + rto, (k, generation));
+                }
+                while q.peek_time().is_some_and(|t| t <= now) {
+                    let (_, (k, generation)) = q.pop().unwrap();
+                    if slots[k].fires(generation) {
+                        fired += 1;
+                    }
+                }
+            }
+            while let Some((_, (k, generation))) = q.pop() {
+                if slots[k].fires(generation) {
+                    fired += 1;
+                }
+            }
+            black_box(fired)
+        })
+    });
+    g.finish();
+}
+
+fn engine_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_engine");
+    g.sample_size(10);
+    g.bench_function("quick_run_events", |b| {
+        b.iter(|| {
+            let r = irn_core::run(bench_cfg(120));
+            black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hold_churn, timer_churn, engine_end_to_end);
+criterion_main!(benches);

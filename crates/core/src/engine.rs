@@ -1,45 +1,67 @@
 //! The simulation engine: fabric + transports + workload + metrics under
 //! one deterministic event loop.
 //!
-//! The loop owns a single [`EventQueue`] over [`Event`]; every subsystem
-//! is a passive state machine (the smoltcp idiom): the fabric consumes
-//! [`FabricEvent`]s and reports deliveries, senders/receivers are polled
-//! and fed packets, and timers flow through generation-validated events.
-//! Nothing blocks, nothing is hidden — a run is a pure function of its
-//! [`ExperimentConfig`].
+//! The loop owns a single ladder-queue [`Scheduler`] over [`Event`];
+//! every subsystem is a passive state machine (the smoltcp idiom): the
+//! fabric consumes [`FabricEvent`]s (scheduling its own follow-ups
+//! straight into the typed queue via `From<FabricEvent> for Event`) and
+//! reports deliveries; senders/receivers are polled and fed packets;
+//! retransmission timers and NIC pacing wake-ups are first-class
+//! scheduler timers, so a cancelled or re-armed deadline is removed in
+//! O(1) and **never surfaces** — the engine sees no stale timer events.
+//! Flow arrivals are not queue events at all: they stream from the
+//! (sorted-once) flow list, so queue occupancy tracks in-flight work,
+//! not workload size. Nothing blocks, nothing is hidden — a run is a
+//! pure function of its [`ExperimentConfig`].
+//!
+//! ## Ordering parity with the heap-based loop
+//!
+//! The ladder queue preserves the reference `EventQueue` contract
+//! (nondecreasing time, FIFO among simultaneous events), and arrivals
+//! win ties against queue events — exactly the order the previous
+//! engine produced by pushing every arrival up front with the smallest
+//! sequence numbers. Artifact output was verified byte-identical
+//! across the scheduler swap when it landed; what the suite pins
+//! continuously is jobs=1 vs jobs=8 byte-equality for every
+//! deterministic artifact (`tests/tests/seeds.rs`). Note the same
+//! change also fixed a timeout-race transmit bug in `SenderQp`, which
+//! intentionally moved numbers for the cells that hit it (see
+//! CHANGES.md) — that drift is the bugfix, not the scheduler.
 
 use irn_metrics::{ideal_fct, FlowRecord, MetricsCollector};
 use irn_net::{Fabric, FabricEvent, FabricOutput, FlowId, HostId, Packet, PacketKind};
-use irn_sim::{EventQueue, Time, TimerSlot};
+use irn_sim::{Scheduler, Time, TimerId};
 use irn_transport::config::TransportKind;
 use irn_transport::tcp::{TcpReceiver, TcpSender};
-use irn_transport::{HostNic, NicPoll, ReceiverQp, SenderPoll, SenderQp};
+use irn_transport::{HostNic, NicPoll, ReceiverQp, SenderPoll, SenderQp, TimerCmd};
 use irn_workload::{incast, FlowSpec, WorkloadSpec};
 
 use crate::config::{ExperimentConfig, Workload};
-use crate::result::{RunResult, TransportTotals};
+use crate::result::{RunResult, SchedCounters, TransportTotals};
 
-/// Events driving the simulation.
+/// Events driving the simulation. Timer events carry no generation
+/// tokens: the scheduler's cancellable timers guarantee only live
+/// expiries are delivered.
 #[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// Network-internal event (arrivals, transmit completions, PFC).
     Fabric(FabricEvent),
-    /// Flow `i` begins.
-    FlowArrival(u32),
-    /// A sender's retransmission timer expires.
+    /// A sender's retransmission timer expired (live).
     QpTimer {
         /// Flow index.
         flow: u32,
-        /// Generation token (stale expiries are ignored).
-        generation: u64,
     },
-    /// A host NIC's pacing wake-up.
+    /// A host NIC's pacing wake-up (live).
     NicWake {
         /// Host index.
         host: u32,
-        /// Generation token.
-        generation: u64,
     },
+}
+
+impl From<FabricEvent> for Event {
+    fn from(fe: FabricEvent) -> Event {
+        Event::Fabric(fe)
+    }
 }
 
 /// Sender variants (RDMA transports vs the iWARP TCP stack). The size
@@ -60,18 +82,27 @@ enum FlowReceiver {
 /// One experiment in flight.
 pub struct Simulation {
     cfg: ExperimentConfig,
-    queue: EventQueue<Event>,
+    sched: Scheduler<Event>,
     fabric: Fabric,
     flows: Vec<FlowSpec>,
+    /// Flow indices sorted by arrival time (stably, so simultaneous
+    /// arrivals keep their flow-list order); streamed lazily instead of
+    /// pre-pushed into the queue.
+    arrival_order: Vec<u32>,
+    next_arrival: usize,
     /// Index of the first incast flow, when the workload has one.
     incast_from: Option<usize>,
     senders: Vec<Option<FlowSender>>,
     receivers: Vec<Option<FlowReceiver>>,
+    /// Per-flow retransmission timer (created at flow arrival).
+    qp_timer: Vec<Option<TimerId>>,
     nics: Vec<HostNic>,
-    nic_wake: Vec<TimerSlot>,
+    /// Per-host NIC pacing timer.
+    nic_wake: Vec<TimerId>,
     metrics: MetricsCollector,
     incast_metrics: MetricsCollector,
     totals: TransportTotals,
+    counters: SchedCounters,
     completed: usize,
     finished_at: Time,
 }
@@ -87,22 +118,31 @@ impl Simulation {
         assert!(!flows.is_empty(), "workload generated no flows");
         let n = flows.len();
 
+        // Arrival stream: indices sorted by time; the stable sort keeps
+        // flow-list order among simultaneous arrivals, matching the
+        // FIFO tie-break of the old push-everything-up-front scheme.
+        let mut arrival_order: Vec<u32> = (0..n as u32).collect();
+        arrival_order.sort_by_key(|&i| flows[i as usize].at);
+
+        let mut sched = Scheduler::new();
+        let nic_wake: Vec<TimerId> = (0..hosts).map(|_| sched.timer_create()).collect();
+
         Simulation {
-            // Every flow arrival is pushed up front (see `run`), so the
-            // queue holds at least `n` events before the first pop;
-            // pre-size for them plus in-flight fabric/timer headroom to
-            // avoid repeated reallocation on full-scale runs.
-            queue: EventQueue::with_capacity(2 * n + 1024),
+            sched,
             fabric,
             flows,
+            arrival_order,
+            next_arrival: 0,
             incast_from,
             senders: (0..n).map(|_| None).collect(),
             receivers: (0..n).map(|_| None).collect(),
+            qp_timer: vec![None; n],
             nics: (0..hosts).map(|_| HostNic::new()).collect(),
-            nic_wake: vec![TimerSlot::new(); hosts],
+            nic_wake,
             metrics: MetricsCollector::new(),
             incast_metrics: MetricsCollector::new(),
             totals: TransportTotals::default(),
+            counters: SchedCounters::default(),
             completed: 0,
             finished_at: Time::ZERO,
             cfg,
@@ -111,28 +151,58 @@ impl Simulation {
 
     /// Run to completion (all flows delivered) and report.
     pub fn run(mut self) -> RunResult {
-        // Schedule every arrival up front: the flow list is not
-        // necessarily sorted (incast bursts are appended after their
-        // cross-traffic), and the heap handles the ordering.
-        for (i, f) in self.flows.iter().enumerate() {
-            self.queue.push(f.at, Event::FlowArrival(i as u32));
-        }
-
         let mut events: u64 = 0;
-        while let Some((now, ev)) = self.queue.pop() {
+        loop {
+            // Interleave the lazily streamed arrivals with the queue;
+            // arrivals win ties (parity with the old engine, where every
+            // arrival carried a smaller sequence number than any event
+            // pushed while running).
+            let arrival_at = self
+                .arrival_order
+                .get(self.next_arrival)
+                .map(|&i| self.flows[i as usize].at);
+            let queue_at = self.sched.peek_time();
+            let take_arrival = match (arrival_at, queue_at) {
+                (Some(a), Some(q)) => a <= q,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            // The time of the event about to be processed (not the
+            // stale last-pop time — a livelock report must point at the
+            // right instant).
+            let at = if take_arrival {
+                arrival_at.expect("arrival taken")
+            } else {
+                queue_at.expect("queue event taken")
+            };
             events += 1;
             assert!(
                 events <= self.cfg.max_events,
-                "event budget exceeded at {now} with {}/{} flows complete — livelock?",
+                "event budget exceeded at {at} with {}/{} flows complete — livelock?",
                 self.completed,
                 self.flows.len()
             );
-            match ev {
-                Event::FlowArrival(i) => self.on_flow_arrival(now, i as usize),
-                Event::Fabric(fe) => self.on_fabric(now, fe),
-                Event::QpTimer { flow, generation } => self.on_qp_timer(now, flow, generation),
-                Event::NicWake { host, generation } => {
-                    if self.nic_wake[host as usize].fires(generation) {
+            if take_arrival {
+                let i = self.arrival_order[self.next_arrival] as usize;
+                self.next_arrival += 1;
+                let now = self.flows[i].at;
+                self.sched.advance_to(now);
+                self.counters.flow_arrivals += 1;
+                self.on_flow_arrival(now, i);
+            } else {
+                let (now, ev) = self.sched.pop().expect("peeked nonempty");
+                match ev {
+                    Event::Fabric(fe) => {
+                        self.counters.fabric_events += 1;
+                        self.on_fabric(now, fe);
+                    }
+                    Event::QpTimer { flow } => {
+                        self.counters.qp_timer_events += 1;
+                        self.on_qp_timer(now, flow);
+                    }
+                    Event::NicWake { host } => {
+                        self.counters.nic_wake_events += 1;
                         self.try_send(now, HostId(host));
                     }
                 }
@@ -162,6 +232,12 @@ impl Simulation {
             Some(_) => (self.metrics, Some(self.incast_metrics)),
         };
 
+        let sstats = self.sched.stats();
+        self.counters.past_clamps = sstats.past_clamps;
+        self.counters.timer_arms = sstats.timer_arms;
+        self.counters.timer_cancels = sstats.timer_cancels;
+        self.counters.stale_timer_reclaims = sstats.stale_skips;
+
         RunResult {
             summary: primary.summary(),
             metrics: primary,
@@ -169,6 +245,7 @@ impl Simulation {
             fabric: self.fabric.stats(),
             transport: self.totals,
             events,
+            sched: self.counters,
             finished_at: self.finished_at,
         }
     }
@@ -197,8 +274,8 @@ impl Simulation {
     }
 
     fn on_fabric(&mut self, now: Time, fe: FabricEvent) {
-        let (fabric, queue) = (&mut self.fabric, &mut self.queue);
-        let out = fabric.handle(now, fe, &mut |t, e| queue.push(t, Event::Fabric(e)));
+        let (fabric, sched) = (&mut self.fabric, &mut self.sched);
+        let out = fabric.handle(now, fe, sched);
         match out {
             None => {}
             Some(FabricOutput::HostTxReady { host }) => self.try_send(now, host),
@@ -260,23 +337,28 @@ impl Simulation {
         }
     }
 
-    fn on_qp_timer(&mut self, now: Time, flow: u32, generation: u64) {
+    fn on_qp_timer(&mut self, now: Time, flow: u32) {
         let idx = flow as usize;
         let Some(sender) = self.senders[idx].as_mut() else {
-            return; // flow finished; stale timer
+            // Structurally impossible: completion cancels the timer in
+            // the scheduler. Counted (and asserted zero in the
+            // integration suite) rather than silently tolerated.
+            self.counters.stale_timer_events += 1;
+            return;
         };
-        let fired = match sender {
-            FlowSender::Rdma(s) => s.on_timer(now, generation),
-            FlowSender::Tcp(s) => s.on_timer(now, generation),
+        let acted = match sender {
+            FlowSender::Rdma(s) => s.on_timer(now),
+            FlowSender::Tcp(s) => s.on_timer(now),
         };
-        if fired {
+        if acted {
             self.drain_timer(idx);
             let src = HostId(self.flows[idx].src);
             self.try_send(now, src);
         }
     }
 
-    /// Schedule any timer-arm request the sender produced.
+    /// Apply any timer request the sender produced to the flow's
+    /// scheduler timer.
     fn drain_timer(&mut self, idx: usize) {
         let Some(sender) = self.senders[idx].as_mut() else {
             return;
@@ -285,14 +367,25 @@ impl Simulation {
             FlowSender::Rdma(s) => s.take_timer_request(),
             FlowSender::Tcp(s) => s.take_timer_request(),
         };
-        if let Some(op) = req {
-            self.queue.push(
-                op.deadline,
-                Event::QpTimer {
-                    flow: idx as u32,
-                    generation: op.generation,
-                },
-            );
+        match req {
+            None => {}
+            Some(TimerCmd::Arm(deadline)) => {
+                let id = match self.qp_timer[idx] {
+                    Some(id) => id,
+                    None => {
+                        let id = self.sched.timer_create();
+                        self.qp_timer[idx] = Some(id);
+                        id
+                    }
+                };
+                self.sched
+                    .timer_arm(id, deadline, Event::QpTimer { flow: idx as u32 });
+            }
+            Some(TimerCmd::Cancel) => {
+                if let Some(id) = self.qp_timer[idx] {
+                    self.sched.timer_cancel(id);
+                }
+            }
         }
     }
 
@@ -312,9 +405,8 @@ impl Simulation {
             match poll {
                 NicPoll::Packet(pkt) => {
                     let flow_idx = pkt.flow.idx();
-                    let (fabric, queue) = (&mut self.fabric, &mut self.queue);
-                    fabric
-                        .host_start_tx(now, host, pkt, &mut |t, e| queue.push(t, Event::Fabric(e)));
+                    let (fabric, sched) = (&mut self.fabric, &mut self.sched);
+                    fabric.host_start_tx(now, host, pkt, sched);
                     // The sender may have armed its timer in poll().
                     self.drain_timer(flow_idx);
                 }
@@ -328,18 +420,14 @@ impl Simulation {
     }
 
     /// Deduplicated NIC wake-up scheduling: keep only the earliest.
+    /// Re-arming supersedes the later deadline in O(1) — the old wake
+    /// event is gone, not filtered at pop.
     fn schedule_wake(&mut self, host: HostId, at: Time) {
-        let slot = &mut self.nic_wake[host.idx()];
-        let better = slot.deadline().is_none_or(|d| at < d);
+        let id = self.nic_wake[host.idx()];
+        let better = self.sched.timer_deadline(id).is_none_or(|d| at < d);
         if better {
-            let generation = slot.arm(at);
-            self.queue.push(
-                at,
-                Event::NicWake {
-                    host: host.0,
-                    generation,
-                },
-            );
+            self.sched
+                .timer_arm(id, at, Event::NicWake { host: host.0 });
         }
     }
 
@@ -391,8 +479,9 @@ fn accumulate(t: &mut TransportTotals, s: &FlowSender) {
     }
 }
 
-/// Materialize the workload into a sorted flow list; returns the index
-/// of the first incast flow when there is one.
+/// Materialize the workload into a flow list; returns the index of the
+/// first incast flow when there is one. The list need not be sorted —
+/// the engine derives a stable arrival order itself.
 fn build_flows(cfg: &ExperimentConfig, hosts: usize) -> (Vec<FlowSpec>, Option<usize>) {
     match &cfg.workload {
         Workload::Poisson {
@@ -435,9 +524,9 @@ fn build_flows(cfg: &ExperimentConfig, hosts: usize) -> (Vec<FlowSpec>, Option<u
             let mid = flows[boundary / 2].at;
             let mut burst = incast(hosts, *m, 0, *total_bytes, mid, cfg.seed ^ 0x1CA57);
             flows.append(&mut burst);
-            // Incast flows stay appended (the engine schedules every
-            // arrival up front, so ordering in the list is irrelevant);
-            // the boundary index separates the two metric populations.
+            // Incast flows stay appended: the engine's stable arrival
+            // sort interleaves them by time while the boundary index
+            // separates the two metric populations.
             (flows, Some(boundary))
         }
         Workload::Explicit(flows) => (flows.clone(), None),

@@ -38,7 +38,7 @@ pub mod result;
 
 pub use config::{ExperimentConfig, TopologySpec, Workload};
 pub use engine::Simulation;
-pub use result::{RunResult, TransportTotals};
+pub use result::{RunResult, SchedCounters, TransportTotals};
 
 // Re-export the sub-crates under stable names so downstream users (and
 // the examples) need only one dependency.

@@ -31,6 +31,39 @@ impl TransportTotals {
     }
 }
 
+/// Event-loop health counters: per-event-kind totals plus the
+/// scheduler's invariant violations. All values are deterministic
+/// functions of the config (they count simulation events, not wall
+/// clock), so they are safe to compare across runs and job counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SchedCounters {
+    /// Flow arrivals streamed into the loop.
+    pub flow_arrivals: u64,
+    /// Fabric events (packet arrivals, transmit completions, PFC).
+    pub fabric_events: u64,
+    /// Live retransmission-timer expiries delivered.
+    pub qp_timer_events: u64,
+    /// Live NIC pacing wake-ups delivered.
+    pub nic_wake_events: u64,
+    /// Timer arms applied to the scheduler.
+    pub timer_arms: u64,
+    /// Timer cancellations that removed a pending deadline.
+    pub timer_cancels: u64,
+    /// Cancelled/superseded deadlines reclaimed inside the scheduler.
+    /// These were *removed*, not delivered — the pre-scheduler engine
+    /// popped and discarded an event for each of them.
+    pub stale_timer_reclaims: u64,
+    /// Timer events that surfaced for an already-finished flow. The
+    /// scheduler's cancel-on-completion makes this structurally zero;
+    /// asserted in the integration suite.
+    pub stale_timer_events: u64,
+    /// Past-scheduled events clamped to "now" (release builds). A
+    /// nonzero count means a model scheduled backwards in time — a bug
+    /// the old engine silently hid. Asserted zero in the integration
+    /// suite.
+    pub past_clamps: u64,
+}
+
 /// Everything a finished run reports.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunResult {
@@ -47,8 +80,13 @@ pub struct RunResult {
     pub fabric: FabricStats,
     /// Transport counters.
     pub transport: TransportTotals,
-    /// Events processed by the simulation loop.
+    /// Events processed by the simulation loop (arrivals + deliveries
+    /// of live queue events; cancelled timers never surface, so they
+    /// are not counted).
     pub events: u64,
+    /// Event-loop health counters (per-kind totals, stale/clamp
+    /// violations).
+    pub sched: SchedCounters,
     /// Virtual time of the last flow completion.
     pub finished_at: Time,
 }

@@ -198,6 +198,39 @@ pub fn unknown_names<'a>(wanted: &[&'a str]) -> Vec<&'a str> {
         .collect()
 }
 
+/// Per-artifact throughput observations from a batched run. Everything
+/// here is wall-clock instrumentation — determinism class `timing` — so
+/// it is reported on stderr and in the bench-trajectory JSON, never in
+/// the schema-v2 artifact envelopes.
+pub struct ArtifactTiming {
+    /// Artifact name (registry key).
+    pub name: &'static str,
+    /// Simulation cells the artifact contributed to the batch (0 for
+    /// inline artifacts).
+    pub cells: usize,
+    /// Simulation events processed across those cells (deterministic).
+    pub events: u64,
+    /// Summed per-cell wall-clock execution time on the workers. With
+    /// more jobs than cores this includes time-sharing wait, so
+    /// compare runs at equal `jobs` (recorded alongside it in the
+    /// timing JSON).
+    pub cell_wall: std::time::Duration,
+}
+
+impl ArtifactTiming {
+    /// Events per summed cell-second across this artifact's cells —
+    /// the scheduler-throughput figure the BENCH trend line tracks
+    /// (jobs-sensitive; see [`ArtifactTiming::cell_wall`]).
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.cell_wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The outcome of [`run_batched`].
 pub struct BatchRun {
     /// One report per selected artifact, in selection order.
@@ -208,6 +241,23 @@ pub struct BatchRun {
     /// (the CPU-timing tables) run *after* the batch and are excluded,
     /// so this is the number to judge `--jobs` scaling against.
     pub batch_time: std::time::Duration,
+    /// Simulation events processed across the whole batch.
+    pub total_events: u64,
+    /// Per-artifact cell/event/CPU-time observations, in selection
+    /// order (aligned with `reports`).
+    pub timing: Vec<ArtifactTiming>,
+}
+
+impl BatchRun {
+    /// Batch-wide events per wall-clock second (all workers combined).
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.batch_time.as_secs_f64();
+        if s > 0.0 {
+            self.total_events as f64 / s
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Run `selected` artifacts through **one** globally interleaved batch:
@@ -230,25 +280,102 @@ pub fn run_batched(selected: &[&Artifact], scale: Scale, harness: &Harness) -> B
     }
     let cell_count = batch.len();
     let t = std::time::Instant::now();
-    let mut results = harness.run(&batch).into_iter();
+    let mut results = harness.run_timed(&batch).into_iter();
     let batch_time = t.elapsed();
+    let mut total_events = 0u64;
+    let mut timing = Vec::with_capacity(selected.len());
     let reports = selected
         .iter()
         .zip(plans.iter_mut())
         .map(|(artifact, plan)| match plan.take() {
             Some(plan) => {
                 let n = plan.cell_count();
-                let slice: Vec<RunResult> = results.by_ref().take(n).collect();
+                let mut events = 0u64;
+                let mut cell_wall = std::time::Duration::ZERO;
+                let slice: Vec<RunResult> = results
+                    .by_ref()
+                    .take(n)
+                    .map(|(r, dt)| {
+                        events += r.events;
+                        cell_wall += dt;
+                        r
+                    })
+                    .collect();
+                total_events += events;
+                timing.push(ArtifactTiming {
+                    name: artifact.name,
+                    cells: n,
+                    events,
+                    cell_wall,
+                });
                 plan.assemble(slice)
             }
-            None => artifact.run(scale, harness),
+            None => {
+                timing.push(ArtifactTiming {
+                    name: artifact.name,
+                    cells: 0,
+                    events: 0,
+                    cell_wall: std::time::Duration::ZERO,
+                });
+                artifact.run(scale, harness)
+            }
         })
         .collect();
     BatchRun {
         reports,
         cell_count,
         batch_time,
+        total_events,
+        timing,
     }
+}
+
+/// Serialize a batch's throughput observations as the
+/// `bench-trajectory` JSON (pretty-printed, trailing newline): one
+/// record per artifact (cells, events, summed per-cell wall seconds,
+/// events/sec) plus batch-wide totals. Determinism class `timing`:
+/// the numbers legitimately vary run to run, which is exactly why this
+/// file is separate from the schema-v2 artifact envelopes (and why
+/// `--verify-json` ignores it). The CI uploads one of these per run —
+/// the points of the ROADMAP's BENCH trend line.
+pub fn timing_json(batch: &BatchRun, scale: &Scale, jobs: usize) -> String {
+    let artifacts: Vec<Value> = batch
+        .timing
+        .iter()
+        .map(|t| {
+            Value::Object(vec![
+                ("artifact".to_string(), t.name.to_json()),
+                ("cells".to_string(), (t.cells as u64).to_json()),
+                ("events".to_string(), t.events.to_json()),
+                (
+                    "cell_wall_s".to_string(),
+                    t.cell_wall.as_secs_f64().to_json(),
+                ),
+                ("events_per_sec".to_string(), t.events_per_sec().to_json()),
+            ])
+        })
+        .collect();
+    let envelope = Value::Object(vec![
+        ("schema".to_string(), "bench-trajectory-v1".to_json()),
+        ("determinism".to_string(), "timing".to_json()),
+        ("scale".to_string(), scale.label().to_json()),
+        ("seeds".to_string(), (scale.seeds as u64).to_json()),
+        ("jobs".to_string(), (jobs as u64).to_json()),
+        ("cells".to_string(), (batch.cell_count as u64).to_json()),
+        ("total_events".to_string(), batch.total_events.to_json()),
+        (
+            "batch_wall_s".to_string(),
+            batch.batch_time.as_secs_f64().to_json(),
+        ),
+        (
+            "events_per_sec".to_string(),
+            batch.events_per_sec().to_json(),
+        ),
+        ("artifacts".to_string(), Value::Array(artifacts)),
+    ]);
+    let mut text = json::to_string_pretty(&envelope);
+    text.push('\n');
+    text
 }
 
 /// Serialize one artifact as its JSON envelope (pretty-printed, with a

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's figures and tables.
 //!
 //! ```text
-//! repro [--full] [--seeds N] [--jobs N] [--json DIR] <artifact>... | all
+//! repro [--full] [--seeds N] [--jobs N] [--json DIR] [--timing-json FILE] <artifact>... | all
 //! repro [--full] [--seeds N] --list     # registry: name, class, seeds, cells
 //! repro --verify-json DIR               # validate an emitted JSON directory
 //! ```
@@ -19,6 +19,12 @@
 //! `--json DIR` additionally writes one schema-versioned JSON file per
 //! artifact (format: docs/SCHEMA.md).
 //!
+//! Timing is determinism-class `timing` and stays out of the artifact
+//! envelopes: per-artifact and batch-wide events/sec go to **stderr**,
+//! and `--timing-json FILE` writes the same observations as a
+//! `bench-trajectory-v1` JSON (per-artifact cells/events/CPU-seconds/
+//! events-per-sec) for the CI's BENCH trend line.
+//!
 //! Exit codes: 0 success, 1 verification failure, 2 usage error
 //! (including unknown artifact names).
 
@@ -31,13 +37,17 @@ struct Args {
     seeds: Option<usize>,
     jobs: Option<usize>,
     json_dir: Option<PathBuf>,
+    timing_json: Option<PathBuf>,
     list: bool,
     verify_dir: Option<PathBuf>,
     wanted: Vec<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--full] [--seeds N] [--jobs N] [--json DIR] <artifact>... | all");
+    eprintln!(
+        "usage: repro [--full] [--seeds N] [--jobs N] [--json DIR] [--timing-json FILE] \
+         <artifact>... | all"
+    );
     eprintln!("       repro [--full] [--seeds N] --list");
     eprintln!("       repro --verify-json DIR");
     eprintln!("artifacts:");
@@ -54,6 +64,7 @@ fn parse_args() -> Args {
         seeds: None,
         jobs: None,
         json_dir: None,
+        timing_json: None,
         list: false,
         verify_dir: None,
         wanted: Vec::new(),
@@ -81,6 +92,13 @@ fn parse_args() -> Args {
                 Some(dir) => args.json_dir = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("error: --json needs a directory");
+                    usage();
+                }
+            },
+            "--timing-json" => match it.next() {
+                Some(file) => args.timing_json = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("error: --timing-json needs a file path");
                     usage();
                 }
             },
@@ -164,6 +182,13 @@ fn list_artifacts(scale: Scale) {
 fn main() {
     let args = parse_args();
 
+    // Timing output only exists for artifact runs; accepting the flag
+    // in --list/--verify-json modes would silently never write it.
+    if args.timing_json.is_some() && (args.list || args.verify_dir.is_some()) {
+        eprintln!("error: --timing-json requires running artifacts (not --list/--verify-json)");
+        usage();
+    }
+
     if let Some(dir) = &args.verify_dir {
         std::process::exit(verify_json_dir(dir));
     }
@@ -217,26 +242,56 @@ fn main() {
     let batch = artifacts::run_batched(&selected, scale, &harness);
     // Batch time covers the executor pass only; the total additionally
     // includes the inline CPU-timing artifacts and report assembly.
+    // The events/sec figure is the scheduler-throughput number the
+    // BENCH trend line tracks (wall-clock class: stderr only).
     eprintln!(
-        "   [global batch: {} cells across {} artifact(s): batch {:.1?}, total {:.1?}, jobs={}]",
+        "   [global batch: {} cells across {} artifact(s): batch {:.1?}, total {:.1?}, jobs={}, \
+         {} events, {:.2} Mev/s]",
         batch.cell_count,
         selected.len(),
         batch.batch_time,
         t.elapsed(),
-        harness.jobs()
+        harness.jobs(),
+        batch.total_events,
+        batch.events_per_sec() / 1e6,
     );
+    if let Some(file) = &args.timing_json {
+        if let Some(dir) = file.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+        let text = artifacts::timing_json(&batch, &scale, harness.jobs());
+        if let Err(e) = std::fs::write(file, text) {
+            eprintln!("error: cannot write {}: {e}", file.display());
+            std::process::exit(1);
+        }
+    }
 
-    for (artifact, rep) in selected.iter().zip(&batch.reports) {
+    for ((artifact, rep), timing) in selected.iter().zip(&batch.reports).zip(&batch.timing) {
         // Reports go to stdout; progress/timing to stderr so stdout
         // stays byte-identical run to run (for deterministic artifacts).
         print!("{}", rep.render());
         println!();
-        eprintln!(
-            "   [{}: {} over {} seed(s)]",
-            artifact.name,
-            artifact.determinism.as_str(),
-            artifact.seed_count(&scale)
-        );
+        if timing.cells > 0 {
+            eprintln!(
+                "   [{}: {} over {} seed(s); {} cells, {} events, {:.2} Mev/s]",
+                artifact.name,
+                artifact.determinism.as_str(),
+                artifact.seed_count(&scale),
+                timing.cells,
+                timing.events,
+                timing.events_per_sec() / 1e6,
+            );
+        } else {
+            eprintln!(
+                "   [{}: {} over {} seed(s)]",
+                artifact.name,
+                artifact.determinism.as_str(),
+                artifact.seed_count(&scale)
+            );
+        }
         if let Some(dir) = &args.json_dir {
             let text = artifacts::artifact_json(artifact, &scale, rep);
             let path = dir.join(format!("{}.json", artifact.name));

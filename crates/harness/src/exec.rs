@@ -51,6 +51,22 @@ impl Harness {
         self.run_indexed(cells.len(), |i| irn_core::run(cells[i].cfg.clone()))
     }
 
+    /// Like [`Harness::run`], additionally measuring each cell's
+    /// **wall-clock** execution time on its worker. The results are
+    /// bit-identical to `run`'s (timing is observed, never fed back).
+    /// With more jobs than cores the workers time-share, so a cell's
+    /// duration includes preemption wait — consumers comparing
+    /// throughput across runs should hold `jobs` (recorded in the
+    /// timing JSON) constant. The durations are instrumentation for
+    /// events/sec reporting and must not enter deterministic output.
+    pub fn run_timed(&self, cells: &[Cell]) -> Vec<(RunResult, std::time::Duration)> {
+        self.run_indexed(cells.len(), |i| {
+            let start = std::time::Instant::now();
+            let result = irn_core::run(cells[i].cfg.clone());
+            (result, start.elapsed())
+        })
+    }
+
     /// The underlying primitive: evaluate `f(0..n)` across the pool and
     /// return the outputs in index order. `f` must be a pure function
     /// of its index for the order guarantee to be meaningful.

@@ -8,9 +8,12 @@
 //! * [`Fabric::handle`] — process one [`FabricEvent`] popped from the
 //!   global queue; may return a packet delivery or a "host may transmit
 //!   again" notification;
-//! * scheduling closure — the fabric never owns the event queue; it emits
-//!   `(Time, FabricEvent)` pairs through a caller-provided closure so the
-//!   embedding simulation can interleave its own transport events.
+//! * schedule port — the fabric never owns the event queue; it emits
+//!   `(Time, FabricEvent)` pairs through a caller-provided
+//!   [`SchedulePort`] (in production, the embedding simulation's
+//!   `Scheduler` itself: its event enum has a `From<FabricEvent>` impl,
+//!   so fabric events land directly in the typed queue alongside the
+//!   transport's own events — no closure threading).
 //!
 //! ## Model fidelity notes
 //!
@@ -25,7 +28,7 @@
 //!   mid-serialization lets the in-flight frame finish (the headroom in
 //!   [`PfcConfig::for_buffer`](crate::PfcConfig::for_buffer) absorbs it).
 
-use irn_sim::{Duration, SimRng, Time};
+use irn_sim::{Duration, SchedulePort, SimRng, Time};
 
 use crate::packet::{HostId, Packet};
 use crate::routing::{PortMap, Routes};
@@ -329,7 +332,7 @@ impl Fabric {
         now: Time,
         host: HostId,
         mut pkt: Packet,
-        sched: &mut impl FnMut(Time, FabricEvent),
+        port: &mut impl SchedulePort<FabricEvent>,
     ) {
         let link_id = self.host_uplink[host.idx()];
         let link = &mut self.links[link_id as usize];
@@ -340,8 +343,8 @@ impl Fabric {
         link.busy = true;
         pkt.sent_at = if pkt.is_data() { now } else { pkt.sent_at };
         let ser = self.cfg.bandwidth.serialize(pkt.wire_bytes as u64);
-        sched(now + ser, FabricEvent::TxDone { link: link_id });
-        sched(
+        port.schedule(now + ser, FabricEvent::TxDone { link: link_id });
+        port.schedule(
             now + ser + self.cfg.prop_delay,
             FabricEvent::Arrive { link: link_id, pkt },
         );
@@ -352,12 +355,12 @@ impl Fabric {
         &mut self,
         now: Time,
         ev: FabricEvent,
-        sched: &mut impl FnMut(Time, FabricEvent),
+        port: &mut impl SchedulePort<FabricEvent>,
     ) -> Option<FabricOutput> {
         match ev {
-            FabricEvent::Arrive { link, pkt } => self.on_arrive(now, link, pkt, sched),
-            FabricEvent::TxDone { link } => self.on_tx_done(now, link, sched),
-            FabricEvent::PfcArrive { link, xoff } => self.on_pfc(now, link, xoff, sched),
+            FabricEvent::Arrive { link, pkt } => self.on_arrive(now, link, pkt, port),
+            FabricEvent::TxDone { link } => self.on_tx_done(now, link, port),
+            FabricEvent::PfcArrive { link, xoff } => self.on_pfc(now, link, xoff, port),
         }
     }
 
@@ -366,7 +369,7 @@ impl Fabric {
         now: Time,
         link_id: u32,
         pkt: Packet,
-        sched: &mut impl FnMut(Time, FabricEvent),
+        port: &mut impl SchedulePort<FabricEvent>,
     ) -> Option<FabricOutput> {
         match self.links[link_id as usize].dst {
             Endpoint::Host(h) => {
@@ -377,7 +380,7 @@ impl Fabric {
                     pkt,
                 })
             }
-            Endpoint::SwitchPort { sw, port } => {
+            Endpoint::SwitchPort { sw, port: in_port } => {
                 // Fault injection: a failing hop silently eats the frame.
                 if self.cfg.loss_injection > 0.0
                     && pkt.is_data()
@@ -399,12 +402,12 @@ impl Fabric {
                             .out_port_spray(swi, pkt.dst.idx(), pkt.ecmp_seed, nonce)
                     }
                 };
-                match self.switches[swi].enqueue(port, out, pkt, &mut self.rng) {
+                match self.switches[swi].enqueue(in_port, out, pkt, &mut self.rng) {
                     Enqueue::Dropped => {}
                     Enqueue::Queued { send_xoff } => {
                         if send_xoff {
                             // Pause the transmitter feeding this input.
-                            sched(
+                            port.schedule(
                                 now + self.cfg.prop_delay,
                                 FabricEvent::PfcArrive {
                                     link: link_id,
@@ -412,7 +415,7 @@ impl Fabric {
                                 },
                             );
                         }
-                        self.try_switch_tx(now, swi, out, sched);
+                        self.try_switch_tx(now, swi, out, port);
                     }
                 }
                 None
@@ -424,7 +427,7 @@ impl Fabric {
         &mut self,
         now: Time,
         link_id: u32,
-        sched: &mut impl FnMut(Time, FabricEvent),
+        port: &mut impl SchedulePort<FabricEvent>,
     ) -> Option<FabricOutput> {
         let link = &mut self.links[link_id as usize];
         link.busy = false;
@@ -433,8 +436,8 @@ impl Fabric {
         }
         match link.src {
             Endpoint::Host(h) => Some(FabricOutput::HostTxReady { host: HostId(h) }),
-            Endpoint::SwitchPort { sw, port } => {
-                self.try_switch_tx(now, sw as usize, port, sched);
+            Endpoint::SwitchPort { sw, port: p } => {
+                self.try_switch_tx(now, sw as usize, p, port);
                 None
             }
         }
@@ -445,7 +448,7 @@ impl Fabric {
         now: Time,
         link_id: u32,
         xoff: bool,
-        sched: &mut impl FnMut(Time, FabricEvent),
+        port: &mut impl SchedulePort<FabricEvent>,
     ) -> Option<FabricOutput> {
         let link = &mut self.links[link_id as usize];
         link.paused = xoff;
@@ -459,23 +462,23 @@ impl Fabric {
         }
         match link.src {
             Endpoint::Host(h) => Some(FabricOutput::HostTxReady { host: HostId(h) }),
-            Endpoint::SwitchPort { sw, port } => {
-                self.try_switch_tx(now, sw as usize, port, sched);
+            Endpoint::SwitchPort { sw, port: p } => {
+                self.try_switch_tx(now, sw as usize, p, port);
                 None
             }
         }
     }
 
-    /// Start the transmitter of switch `sw` output `port` if it is idle,
+    /// Start the transmitter of switch `sw` output `out_port` if it is idle,
     /// unpaused, and has queued traffic.
     fn try_switch_tx(
         &mut self,
         now: Time,
         sw: usize,
-        port: u16,
-        sched: &mut impl FnMut(Time, FabricEvent),
+        out_port: u16,
+        port: &mut impl SchedulePort<FabricEvent>,
     ) {
-        let out_link_id = self.switch_out_link[sw][port as usize];
+        let out_link_id = self.switch_out_link[sw][out_port as usize];
         let link = &self.links[out_link_id as usize];
         if link.busy || link.paused {
             return;
@@ -484,13 +487,13 @@ impl Fabric {
             pkt,
             in_port,
             send_xon,
-        }) = self.switches[sw].dequeue(port)
+        }) = self.switches[sw].dequeue(out_port)
         else {
             return;
         };
         if send_xon {
             let in_link = self.switch_in_link[sw][in_port as usize];
-            sched(
+            port.schedule(
                 now + self.cfg.prop_delay,
                 FabricEvent::PfcArrive {
                     link: in_link,
@@ -500,8 +503,8 @@ impl Fabric {
         }
         self.links[out_link_id as usize].busy = true;
         let ser = self.cfg.bandwidth.serialize(pkt.wire_bytes as u64);
-        sched(now + ser, FabricEvent::TxDone { link: out_link_id });
-        sched(
+        port.schedule(now + ser, FabricEvent::TxDone { link: out_link_id });
+        port.schedule(
             now + ser + self.cfg.prop_delay,
             FabricEvent::Arrive {
                 link: out_link_id,
@@ -556,8 +559,8 @@ mod tests {
         let mut delivered = Vec::new();
         let mut ready = Vec::new();
         while let Some((now, ev)) = queue.pop() {
-            let mut pending = Vec::new();
-            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+            let out = fabric.handle(now, ev, &mut pending);
             for (t, e) in pending {
                 queue.push(t, e);
             }
@@ -581,8 +584,8 @@ mod tests {
     ) {
         let mut pkt = Packet::data(FlowId(src), HostId(src), HostId(dst), psn, bytes);
         pkt.ecmp_seed = src;
-        let mut pending = Vec::new();
-        fabric.host_start_tx(now, HostId(src), pkt, &mut |t, e| pending.push((t, e)));
+        let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+        fabric.host_start_tx(now, HostId(src), pkt, &mut pending);
         for (t, e) in pending {
             queue.push(t, e);
         }
@@ -661,8 +664,8 @@ mod tests {
         let per_sender = 60u32;
         let mut delivered = 0u64;
         while let Some((now, ev)) = q.pop() {
-            let mut pending = Vec::new();
-            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+            let out = fabric.handle(now, ev, &mut pending);
             for (t, e) in pending {
                 q.push(t, e);
             }
@@ -700,8 +703,8 @@ mod tests {
         let per_sender = 60u32;
         let mut delivered = 0u64;
         while let Some((now, ev)) = q.pop() {
-            let mut pending = Vec::new();
-            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+            let out = fabric.handle(now, ev, &mut pending);
             for (t, e) in pending {
                 q.push(t, e);
             }
@@ -750,8 +753,8 @@ mod tests {
         let mut saw_pause = false;
         let mut budget = 400u32;
         while let Some((now, ev)) = q.pop() {
-            let mut pending = Vec::new();
-            let out = fabric.handle(now, ev, &mut |t, e| pending.push((t, e)));
+            let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+            let out = fabric.handle(now, ev, &mut pending);
             for (t, e) in pending {
                 q.push(t, e);
             }
@@ -783,8 +786,8 @@ mod tests {
             pkt.ecmp_seed = f;
             // Inject sequentially: wait for uplink to free between sends.
             if fabric.host_tx_idle(HostId(0)) {
-                let mut pending = Vec::new();
-                fabric.host_start_tx(q.now(), HostId(0), pkt, &mut |t, e| pending.push((t, e)));
+                let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+                fabric.host_start_tx(q.now(), HostId(0), pkt, &mut pending);
                 for (t, e) in pending {
                     q.push(t, e);
                 }
@@ -817,8 +820,8 @@ mod tests {
         let mut fabric = Fabric::new(&topo, cfg);
         let mut q = EventQueue::new();
         let ack = Packet::control(PacketKind::Ack, FlowId(0), HostId(0), HostId(1), 3, 64);
-        let mut pending = Vec::new();
-        fabric.host_start_tx(Time::ZERO, HostId(0), ack, &mut |t, e| pending.push((t, e)));
+        let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+        fabric.host_start_tx(Time::ZERO, HostId(0), ack, &mut pending);
         for (t, e) in pending {
             q.push(t, e);
         }
@@ -834,8 +837,8 @@ mod tests {
         let mut fabric = Fabric::new(&topo, small_cfg());
         let mut q = EventQueue::new();
         let ack = Packet::control(PacketKind::Ack, FlowId(0), HostId(0), HostId(1), 3, 0);
-        let mut pending = Vec::new();
-        fabric.host_start_tx(Time::ZERO, HostId(0), ack, &mut |t, e| pending.push((t, e)));
+        let mut pending: Vec<(Time, FabricEvent)> = Vec::new();
+        fabric.host_start_tx(Time::ZERO, HostId(0), ack, &mut pending);
         for (t, e) in pending {
             q.push(t, e);
         }

@@ -1,5 +1,11 @@
-//! The central event queue: a priority queue over virtual time with
+//! The reference event queue: a binary heap over virtual time with
 //! deterministic FIFO ordering of simultaneous events.
+//!
+//! The production event loop runs on the ladder-queue
+//! [`Scheduler`](crate::Scheduler) (amortized O(1) per op, cancellable
+//! timers); this heap is the obviously-correct O(log n) model it is
+//! differentially tested against, and remains a fine queue for small
+//! drivers and unit tests.
 //!
 //! Determinism matters: the paper's results hinge on packet-level races
 //! (which VOQ a round-robin arbiter visits first, whether a PAUSE frame
@@ -108,6 +114,11 @@ impl<E> EventQueue<E> {
     /// The timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// The next event (time and payload) without popping it.
+    pub fn peek(&self) -> Option<(Time, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
     }
 
     /// Number of pending events.

@@ -1,9 +1,12 @@
 //! # irn-sim — deterministic discrete-event simulation kernel
 //!
 //! This crate is the substrate every other crate in the workspace builds
-//! on: a virtual clock with nanosecond resolution, an event queue with
-//! deterministic FIFO tie-breaking, a seeded random-number generator, and
-//! lazily-cancellable timers.
+//! on: a virtual clock with nanosecond resolution, a ladder-queue
+//! [`Scheduler`] with deterministic FIFO tie-breaking and O(1)
+//! cancellable timers, a seeded random-number generator — plus the
+//! binary-heap [`EventQueue`] and generation-filtered [`TimerSlot`]
+//! kept as the simple reference model the scheduler is differentially
+//! tested against.
 //!
 //! The paper's evaluation ("Revisiting Network Support for RDMA",
 //! SIGCOMM 2018) ran on a vendor-internal OMNET++/INET model. This crate
@@ -34,10 +37,12 @@
 
 mod event_queue;
 mod rng;
+mod scheduler;
 mod time;
 mod timer;
 
 pub use event_queue::EventQueue;
 pub use rng::SimRng;
+pub use scheduler::{SchedStats, SchedulePort, Scheduler, TimerId};
 pub use time::{Duration, Time};
 pub use timer::TimerSlot;

@@ -1,0 +1,700 @@
+//! The production event scheduler: a calendar/ladder queue with
+//! amortized O(1) push/pop and first-class cancellable timers.
+//!
+//! [`EventQueue`](crate::EventQueue) (a binary heap) costs O(log n) per
+//! operation and has no random-access removal, which forces the layers
+//! above to *filter* stale timer expiries at pop time (the
+//! [`TimerSlot`](crate::TimerSlot) generation trick): every re-armed
+//! retransmission timer leaves a dead event in the heap that is
+//! scheduled, sifted, popped, and discarded. At packet-simulation rates
+//! that is a measurable slice of the event budget. [`Scheduler`]
+//! replaces both halves:
+//!
+//! * **Ladder buckets.** Events land in a ring of fixed-width time
+//!   buckets (`2^BUCKET_SHIFT` ns each). Pushing is an append; popping
+//!   sorts one small bucket at a time as the cursor reaches it. Events
+//!   beyond the ring's horizon wait in an unsorted overflow level and
+//!   cascade into the ring when the clock approaches them — the classic
+//!   calendar/ladder-queue design, amortized O(1) per operation for the
+//!   dense event populations a packet simulation produces.
+//! * **First-class timers.** [`Scheduler::timer_arm`] /
+//!   [`Scheduler::timer_cancel`] give O(1) cancellation: a cancelled or
+//!   superseded deadline is invalidated immediately and **never
+//!   surfaces from [`Scheduler::pop`]** — the owner no longer sees (or
+//!   has to filter) stale expiries. The tombstoned entry is reclaimed
+//!   in O(1) when its bucket drains, counted in
+//!   [`SchedStats::stale_skips`].
+//!
+//! ## Determinism contract
+//!
+//! The scheduler preserves [`EventQueue`](crate::EventQueue)'s contract
+//! *exactly*: pops are nondecreasing in time, and events scheduled for
+//! the same instant pop in strict push order (every push — including a
+//! timer arm — is stamped with a monotonically increasing sequence
+//! number; internal layout never participates in ordering). The
+//! differential property suite in `tests/tests/scheduler.rs` pins this
+//! against the binary-heap reference over random push/pop/arm/cancel
+//! interleavings.
+
+use crate::event_queue::EventQueue;
+use crate::Time;
+
+/// Number of buckets in the ring (power of two).
+const NUM_BUCKETS: usize = 4096;
+/// Bucket width in nanoseconds is `2^BUCKET_SHIFT`: 256 ns, roughly one
+/// MTU serialization time at 40 Gbps, so back-to-back packet events
+/// spread over neighbouring buckets instead of piling into one. The
+/// ring horizon is ~1 ms — wider than an RTT, narrower than RTO_high,
+/// so traffic events stay in the ring and only long timers overflow.
+const BUCKET_SHIFT: u32 = 8;
+
+/// Handle to one logical, cancellable timer owned by a [`Scheduler`].
+///
+/// Created with [`Scheduler::timer_create`]; valid for the scheduler's
+/// lifetime. Arming twice replaces the previous deadline; cancelling
+/// guarantees the pending expiry never pops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(u32);
+
+/// Internal per-timer state: the live generation and deadline mirror.
+#[derive(Debug, Clone, Copy)]
+struct TimerState {
+    /// Bumped on every arm/cancel; an entry whose stamped generation
+    /// lags this is a tombstone.
+    generation: u64,
+    /// Deadline of the live entry, if armed.
+    deadline: Option<Time>,
+}
+
+/// Operation counters, exposed for instrumentation and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events pushed (including timer arms).
+    pub pushes: u64,
+    /// Live events popped.
+    pub pops: u64,
+    /// Timer arms (each is also a push).
+    pub timer_arms: u64,
+    /// Timer cancellations that invalidated a live deadline.
+    pub timer_cancels: u64,
+    /// Tombstoned (cancelled / superseded) entries reclaimed while
+    /// draining buckets. These never surface from [`Scheduler::pop`].
+    pub stale_skips: u64,
+    /// Past-scheduled events clamped to "now". A nonzero count means a
+    /// model scheduled backwards in time — a logic error that release
+    /// builds would otherwise hide (debug builds panic).
+    pub past_clamps: u64,
+    /// Overflow-level cascades (bucket opened from the overflow).
+    pub cascades: u64,
+}
+
+/// A destination for scheduled events.
+///
+/// Layers that *emit* events without owning the queue (the fabric emits
+/// `FabricEvent`s from inside its handlers) take
+/// `&mut impl SchedulePort<F>` instead of a closure. A [`Scheduler<E>`]
+/// (or the reference [`EventQueue<E>`](crate::EventQueue)) is a port
+/// for any event type `F` that its own `E` has a `From` impl for, so an
+/// embedding simulation with `enum Event { Fabric(FabricEvent), .. }`
+/// passes its scheduler straight through — no closure threading, no
+/// intermediate buffer.
+pub trait SchedulePort<F> {
+    /// Schedule `ev` to fire at absolute time `at`.
+    fn schedule(&mut self, at: Time, ev: F);
+}
+
+impl<F, E: From<F>> SchedulePort<F> for Scheduler<E> {
+    fn schedule(&mut self, at: Time, ev: F) {
+        self.push(at, E::from(ev));
+    }
+}
+
+impl<F, E: From<F>> SchedulePort<F> for EventQueue<E> {
+    fn schedule(&mut self, at: Time, ev: F) {
+        self.push(at, E::from(ev));
+    }
+}
+
+/// Collection sink for tests: records `(time, event)` pairs in emission
+/// order.
+impl<F> SchedulePort<F> for Vec<(Time, F)> {
+    fn schedule(&mut self, at: Time, ev: F) {
+        self.push((at, ev));
+    }
+}
+
+/// One scheduled occurrence.
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    /// `Some((timer, generation))` when this entry is a timer expiry;
+    /// it is live only while the generation matches the timer's.
+    timer: Option<(TimerId, u64)>,
+    event: E,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (Time, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// A deterministic future-event list with amortized O(1) operations and
+/// cancellable timers. See the module docs for the design and the
+/// determinism contract.
+pub struct Scheduler<E> {
+    /// Sorted *descending* by `(time, seq)`; `pop` takes from the back.
+    /// Holds the contents of every bucket the cursor has opened.
+    due: Vec<Entry<E>>,
+    /// The ring: slot `b % NUM_BUCKETS` holds absolute bucket `b` for
+    /// `cursor < b < cursor + NUM_BUCKETS`, unsorted.
+    ring: Vec<Vec<Entry<E>>>,
+    /// Entries (live + tombstoned) currently in the ring.
+    ring_len: usize,
+    /// Unsorted events at or beyond the ring horizon.
+    overflow: Vec<Entry<E>>,
+    /// Minimum timestamp present in `overflow` (tombstones included).
+    overflow_min: Option<Time>,
+    /// Absolute index of the most recently opened bucket. Everything at
+    /// bucket ≤ cursor lives in `due`.
+    cursor: u64,
+    next_seq: u64,
+    /// Live (non-tombstoned) pending events.
+    live: usize,
+    /// The time of the most recent pop (or external advance).
+    now: Time,
+    timers: Vec<TimerState>,
+    stats: SchedStats,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler positioned at `Time::ZERO`.
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            due: Vec::new(),
+            ring: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            overflow: Vec::new(),
+            overflow_min: None,
+            cursor: 0,
+            next_seq: 0,
+            live: 0,
+            now: Time::ZERO,
+            timers: Vec::new(),
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Absolute bucket index covering `t`.
+    fn bucket_of(t: Time) -> u64 {
+        t.as_nanos() >> BUCKET_SHIFT
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The scheduler's "now": the latest pop or [`Scheduler::advance_to`].
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Advance the clock without popping (the embedding loop consumed
+    /// an event from outside the queue, e.g. a lazily streamed flow
+    /// arrival). Time never runs backwards; an earlier `t` is a no-op.
+    pub fn advance_to(&mut self, t: Time) {
+        self.now = self.now.max(t);
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past (before "now") is a logic error in the
+    /// caller: debug builds panic; release builds clamp the event to
+    /// "now" **and count the clamp** in [`SchedStats::past_clamps`] so
+    /// the violation stays observable (`RunResult` surfaces it).
+    pub fn push(&mut self, at: Time, event: E) {
+        self.insert(at, event, None);
+    }
+
+    /// Create a fresh, unarmed timer.
+    pub fn timer_create(&mut self) -> TimerId {
+        let id = TimerId(self.timers.len() as u32);
+        self.timers.push(TimerState {
+            generation: 0,
+            deadline: None,
+        });
+        id
+    }
+
+    /// Arm (or re-arm) `timer` to deliver `event` at `deadline`. A
+    /// previously armed deadline is cancelled in O(1) — its entry will
+    /// never pop.
+    pub fn timer_arm(&mut self, timer: TimerId, deadline: Time, event: E) {
+        let idx = timer.0 as usize;
+        self.timers[idx].generation += 1;
+        if self.timers[idx].deadline.take().is_some() {
+            self.live -= 1; // the superseded entry is now a tombstone
+        }
+        // Mirror the deadline the entry will actually fire at: a past
+        // deadline is clamped (and counted) by `insert`, and the mirror
+        // must agree or deadline-based dedup would compare against a
+        // phantom time that never pops.
+        self.timers[idx].deadline = Some(deadline.max(self.now));
+        let generation = self.timers[idx].generation;
+        self.stats.timer_arms += 1;
+        self.insert(deadline, event, Some((timer, generation)));
+    }
+
+    /// Cancel whatever is armed on `timer` in O(1). A no-op (beyond the
+    /// generation bump) if the timer is not armed.
+    pub fn timer_cancel(&mut self, timer: TimerId) {
+        let idx = timer.0 as usize;
+        self.timers[idx].generation += 1;
+        if self.timers[idx].deadline.take().is_some() {
+            self.live -= 1;
+            self.stats.timer_cancels += 1;
+        }
+    }
+
+    /// The live deadline of `timer`, if armed.
+    pub fn timer_deadline(&self, timer: TimerId) -> Option<Time> {
+        self.timers[timer.0 as usize].deadline
+    }
+
+    /// True while an expiry is pending for `timer`.
+    pub fn timer_is_armed(&self, timer: TimerId) -> bool {
+        self.timer_deadline(timer).is_some()
+    }
+
+    fn insert(&mut self, at: Time, event: E, timer: Option<(TimerId, u64)>) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
+        let at = if at < self.now {
+            self.stats.past_clamps += 1;
+            self.now
+        } else {
+            at
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.pushes += 1;
+        self.live += 1;
+        let entry = Entry {
+            time: at,
+            seq,
+            timer,
+            event,
+        };
+        let bucket = Self::bucket_of(at);
+        if bucket <= self.cursor {
+            // The cursor already opened this bucket: merge into the
+            // sorted due run (descending; the new entry has the largest
+            // seq so it lands after same-time entries in pop order).
+            let key = entry.key();
+            let idx = self.due.partition_point(|e| e.key() > key);
+            self.due.insert(idx, entry);
+        } else if bucket - self.cursor < NUM_BUCKETS as u64 {
+            self.ring[(bucket as usize) & (NUM_BUCKETS - 1)].push(entry);
+            self.ring_len += 1;
+        } else {
+            self.overflow_min = Some(self.overflow_min.map_or(at, |m| m.min(at)));
+            self.overflow.push(entry);
+        }
+    }
+
+    /// True if `entry` is a cancelled/superseded timer expiry.
+    fn is_stale(&self, entry: &Entry<E>) -> bool {
+        match entry.timer {
+            Some((id, generation)) => self.timers[id.0 as usize].generation != generation,
+            None => false,
+        }
+    }
+
+    /// Drop tombstones at the head and refill `due` from the ring /
+    /// overflow until a live entry is at the back. Returns `false` when
+    /// no live events remain.
+    fn settle(&mut self) -> bool {
+        loop {
+            match self.due.last() {
+                Some(e) if self.is_stale(e) => {
+                    self.due.pop();
+                    self.stats.stale_skips += 1;
+                    continue;
+                }
+                Some(_) => return true,
+                None => {}
+            }
+            if self.live == 0 {
+                // Only tombstones (if anything) remain; reclaim in bulk.
+                let dropped = self.ring_len + self.overflow.len();
+                if dropped > 0 {
+                    self.ring.iter_mut().for_each(Vec::clear);
+                    self.ring_len = 0;
+                    self.overflow.clear();
+                    self.stats.stale_skips += dropped as u64;
+                }
+                self.overflow_min = None;
+                return false;
+            }
+            self.open_next_bucket();
+        }
+    }
+
+    /// Open the earliest occupied bucket into `due`: the nearest
+    /// occupied ring slot or the overflow minimum, whichever holds the
+    /// earlier bucket (ties merge both sources so FIFO order is global).
+    fn open_next_bucket(&mut self) {
+        const MASK: usize = NUM_BUCKETS - 1;
+        let b_ring: Option<u64> = if self.ring_len > 0 {
+            // Scan to the next occupied slot. Each slot is crossed once
+            // per ring revolution, so the scan amortizes over the
+            // revolution's events.
+            let mut b = self.cursor + 1;
+            while self.ring[(b as usize) & MASK].is_empty() {
+                b += 1;
+            }
+            Some(b)
+        } else {
+            None
+        };
+        let b_over: Option<u64> = self.overflow_min.map(Self::bucket_of);
+        let (bucket, cascade) = match (b_ring, b_over) {
+            (Some(r), Some(o)) if o <= r => (o, true),
+            (Some(r), _) => (r, false),
+            (None, Some(o)) => (o, true),
+            (None, None) => unreachable!("live events exist but no bucket holds them"),
+        };
+
+        // Take the ring slot only when it is exactly this bucket (a
+        // cascade can target a bucket at or behind the cursor, whose
+        // slot — if any — belongs to a future ring revolution).
+        let mut batch: Vec<Entry<E>> = if b_ring == Some(bucket) {
+            let taken = std::mem::take(&mut self.ring[(bucket as usize) & MASK]);
+            self.ring_len -= taken.len();
+            taken
+        } else {
+            Vec::new()
+        };
+        self.cursor = self.cursor.max(bucket);
+
+        if cascade {
+            self.stats.cascades += 1;
+            self.overflow_min = None;
+            let mut rest = Vec::new();
+            for entry in std::mem::take(&mut self.overflow) {
+                let eb = Self::bucket_of(entry.time);
+                if eb <= bucket {
+                    batch.push(entry);
+                } else if eb - self.cursor < NUM_BUCKETS as u64 {
+                    // Spill the newly reachable window into the ring so
+                    // the next cascades shrink.
+                    self.ring[(eb as usize) & MASK].push(entry);
+                    self.ring_len += 1;
+                } else {
+                    self.overflow_min =
+                        Some(self.overflow_min.map_or(entry.time, |m| m.min(entry.time)));
+                    rest.push(entry);
+                }
+            }
+            self.overflow = rest;
+        }
+
+        batch.sort_unstable_by_key(|e| e.key());
+        batch.reverse();
+        debug_assert!(self.due.is_empty());
+        self.due = batch;
+    }
+
+    /// The timestamp of the next **live** event without popping it.
+    ///
+    /// Takes `&mut self` because tombstoned entries ahead of the live
+    /// head are reclaimed on the way (they must not be reported — a
+    /// cancelled deadline is gone).
+    pub fn peek_time(&mut self) -> Option<Time> {
+        if self.settle() {
+            self.due.last().map(|e| e.time)
+        } else {
+            None
+        }
+    }
+
+    /// Remove and return the earliest live event, advancing "now".
+    /// Cancelled timer deadlines never surface here.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        if !self.settle() {
+            return None;
+        }
+        let entry = self.due.pop()?;
+        self.now = entry.time;
+        self.live -= 1;
+        self.stats.pops += 1;
+        if let Some((id, _)) = entry.timer {
+            // A live expiry consumes its arming.
+            self.timers[id.0 as usize].deadline = None;
+        }
+        Some((entry.time, entry.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    fn drain<E>(s: &mut Scheduler<E>) -> Vec<(Time, E)> {
+        std::iter::from_fn(|| s.pop()).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.push(Time::from_nanos(30), "c");
+        s.push(Time::from_nanos(10), "a");
+        s.push(Time::from_nanos(20), "b");
+        let order: Vec<_> = drain(&mut s).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut s = Scheduler::new();
+        let t = Time::from_nanos(5);
+        for i in 0..100 {
+            s.push(t, i);
+        }
+        let order: Vec<_> = drain(&mut s).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_holds_across_bucket_boundaries_and_overflow() {
+        // Same instant, pushed at very different structural positions:
+        // into the far overflow, then into the ring after the horizon
+        // moved, then into the due run after a cascade.
+        let mut s = Scheduler::new();
+        let far = Time::from_nanos((NUM_BUCKETS as u64) << (BUCKET_SHIFT + 2));
+        s.push(far, 0);
+        s.push(Time::from_nanos(1), 100);
+        s.push(far, 1);
+        assert_eq!(s.pop().unwrap().1, 100);
+        assert_eq!(s.peek_time(), Some(far));
+        s.push(far, 2);
+        let order: Vec<_> = drain(&mut s).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut s = Scheduler::new();
+        s.push(Time::from_nanos(10), 1);
+        s.push(Time::from_nanos(20), 2);
+        assert_eq!(s.pop().unwrap().1, 1);
+        s.push(Time::from_nanos(20), 3);
+        assert_eq!(s.pop().unwrap().1, 2);
+        assert_eq!(s.pop().unwrap().1, 3);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_never_overtaken_by_ring_traffic() {
+        // Regression shape: a far event parks in the overflow, then the
+        // ring window creeps past it via a chain of nearer events. The
+        // overflow event must still pop in time order.
+        let mut s = Scheduler::new();
+        let width = 1u64 << BUCKET_SHIFT;
+        let far = (NUM_BUCKETS as u64 + 10) * width + 7; // just past horizon
+        s.push(Time::from_nanos(far), u64::MAX);
+        // March the window forward one bucket at a time past `far`,
+        // interleaving pushes with pops so the horizon creeps.
+        let mut next = width;
+        s.push(Time::from_nanos(next), 0);
+        let mut last = Time::ZERO;
+        let mut saw_overflow_at = None;
+        while let Some((t, e)) = s.pop() {
+            assert!(t >= last, "time went backwards: {t} after {last}");
+            last = t;
+            if e == u64::MAX {
+                saw_overflow_at = Some(t);
+            } else if next < far + 20 * width {
+                next += width;
+                s.push(Time::from_nanos(next), e + 1);
+            }
+        }
+        assert_eq!(saw_overflow_at, Some(Time::from_nanos(far)));
+    }
+
+    #[test]
+    fn cancelled_timer_never_surfaces() {
+        let mut s = Scheduler::new();
+        let t = s.timer_create();
+        s.timer_arm(t, Time::from_nanos(100), "expiry");
+        s.push(Time::from_nanos(100), "data");
+        s.timer_cancel(t);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.peek_time(), Some(Time::from_nanos(100)));
+        let all = drain(&mut s);
+        assert_eq!(all, vec![(Time::from_nanos(100), "data")]);
+        assert_eq!(s.stats().stale_skips, 1);
+        assert_eq!(s.stats().timer_cancels, 1);
+    }
+
+    #[test]
+    fn rearm_supersedes_previous_deadline() {
+        let mut s = Scheduler::new();
+        let t = s.timer_create();
+        s.timer_arm(t, Time::from_nanos(100), 1);
+        s.timer_arm(t, Time::from_nanos(50), 2);
+        assert_eq!(s.timer_deadline(t), Some(Time::from_nanos(50)));
+        assert_eq!(s.len(), 1);
+        let all: Vec<_> = drain(&mut s);
+        assert_eq!(all, vec![(Time::from_nanos(50), 2)]);
+        assert!(!s.timer_is_armed(t), "a popped expiry consumes the arm");
+    }
+
+    #[test]
+    fn fired_timer_can_rearm() {
+        let mut s = Scheduler::new();
+        let t = s.timer_create();
+        s.timer_arm(t, Time::from_nanos(10), 1);
+        assert_eq!(s.pop().unwrap().1, 1);
+        s.timer_arm(t, Time::from_nanos(20), 2);
+        assert_eq!(s.pop().unwrap().1, 2);
+        assert_eq!(s.stats().stale_skips, 0, "no tombstones were created");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_harmless() {
+        let mut s = Scheduler::new();
+        let t = s.timer_create();
+        s.timer_arm(t, Time::from_nanos(10), 1);
+        assert!(s.pop().is_some());
+        s.timer_cancel(t);
+        assert_eq!(s.stats().timer_cancels, 0, "nothing live was cancelled");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        // The cancelled earliest deadline must not be reported by peek:
+        // an embedding loop uses peek to order queue events against
+        // externally streamed ones.
+        let mut s = Scheduler::new();
+        let t = s.timer_create();
+        s.timer_arm(t, Time::from_nanos(10), "dead");
+        s.push(Time::from_nanos(500), "live");
+        s.timer_cancel(t);
+        assert_eq!(s.peek_time(), Some(Time::from_nanos(500)));
+        assert_eq!(s.pop().unwrap().1, "live");
+    }
+
+    #[test]
+    fn now_tracks_pops_and_external_advance() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.now(), Time::ZERO);
+        s.push(Time::from_nanos(42), ());
+        s.pop();
+        assert_eq!(s.now(), Time::from_nanos(42));
+        s.advance_to(Time::from_nanos(100));
+        assert_eq!(s.now(), Time::from_nanos(100));
+        s.advance_to(Time::from_nanos(7)); // never backwards
+        assert_eq!(s.now(), Time::from_nanos(100));
+    }
+
+    #[test]
+    fn past_push_clamps_and_counts_in_release() {
+        // The debug build panics (covered by the should_panic test); in
+        // release the clamp must be counted, not silent.
+        if cfg!(debug_assertions) {
+            return;
+        }
+        let mut s = Scheduler::new();
+        s.push(Time::from_nanos(100), 1);
+        s.pop();
+        s.push(Time::from_nanos(50), 2);
+        assert_eq!(s.stats().past_clamps, 1);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!((t, e), (Time::from_nanos(100), 2), "clamped to now");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut s = Scheduler::new();
+        s.push(Time::from_nanos(100), ());
+        s.pop();
+        s.push(Time::from_nanos(50), ());
+    }
+
+    #[test]
+    fn sparse_far_future_events_cascade_correctly() {
+        let mut s = Scheduler::new();
+        // Widely separated events, each far beyond the ring horizon of
+        // the previous: every pop needs a cascade.
+        let times: Vec<Time> = (1..6u64)
+            .map(|i| Time::ZERO + Duration::millis(i * 50))
+            .collect();
+        for (i, &t) in times.iter().enumerate().rev() {
+            s.push(t, i);
+        }
+        let got = drain(&mut s);
+        let want: Vec<_> = times.iter().copied().zip(0..5).collect();
+        assert_eq!(got, want);
+        assert!(s.stats().cascades >= 1);
+    }
+
+    #[test]
+    fn len_counts_live_only() {
+        let mut s = Scheduler::new();
+        assert!(s.is_empty());
+        let t = s.timer_create();
+        s.timer_arm(t, Time::from_nanos(10), ());
+        s.push(Time::from_nanos(20), ());
+        assert_eq!(s.len(), 2);
+        s.timer_cancel(t);
+        assert_eq!(s.len(), 1);
+        s.pop();
+        assert!(s.is_empty());
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn port_trait_routes_through_from_impl() {
+        #[derive(Debug, PartialEq)]
+        struct Wrapped(u32);
+        impl From<u32> for Wrapped {
+            fn from(v: u32) -> Wrapped {
+                Wrapped(v)
+            }
+        }
+        fn emit(port: &mut impl SchedulePort<u32>) {
+            port.schedule(Time::from_nanos(5), 7);
+        }
+        let mut s: Scheduler<Wrapped> = Scheduler::new();
+        emit(&mut s);
+        assert_eq!(s.pop(), Some((Time::from_nanos(5), Wrapped(7))));
+        let mut sink: Vec<(Time, u32)> = Vec::new();
+        emit(&mut sink);
+        assert_eq!(sink, vec![(Time::from_nanos(5), 7)]);
+    }
+}

@@ -1,4 +1,11 @@
-//! Lazily-cancellable timers.
+//! Lazily-cancellable timers (the reference model).
+//!
+//! Production code uses the [`Scheduler`](crate::Scheduler)'s
+//! first-class timers ([`Scheduler::timer_arm`](crate::Scheduler) /
+//! `timer_cancel`), which remove cancelled deadlines in O(1) instead of
+//! scheduling, popping, and discarding them. `TimerSlot` remains as the
+//! simple generation-filtering technique the scheduler is
+//! differentially tested against.
 //!
 //! The event queue has no random-access removal, so cancelling a timer by
 //! deleting its event would be O(n). Instead each logical timer owns a

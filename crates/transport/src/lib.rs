@@ -39,4 +39,4 @@ pub mod tcp;
 pub use config::{AckMode, LossRecovery, TransportConfig, TransportKind};
 pub use nic::{HostNic, NicPoll};
 pub use receiver::{ReceiverQp, RecvOutcome};
-pub use sender::{SenderPoll, SenderQp, TimerOp};
+pub use sender::{SenderPoll, SenderQp, TimerCmd};

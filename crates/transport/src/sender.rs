@@ -15,12 +15,15 @@
 //!
 //! The interface is poll-based: the NIC asks for the next packet when
 //! the uplink frees ([`SenderQp::poll`]); ACK/NACK/CNP arrivals and
-//! timer expirations are fed in; timer (re-)arm requests are drained via
-//! [`SenderQp::take_timer_request`].
+//! timer expirations are fed in; timer arm/cancel requests are drained
+//! via [`SenderQp::take_timer_request`] and applied by the embedding
+//! simulation to its scheduler's cancellable timer for this flow — a
+//! cancelled deadline is removed in O(1) and [`SenderQp::on_timer`] is
+//! only ever invoked for live expiries (no generation filtering).
 
 use irn_net::{FlowId, HostId, Packet, PacketKind};
 use irn_rdma::modules::{self, QpContext, TimeoutOut, TxFreeOut};
-use irn_sim::{Duration, Time, TimerSlot};
+use irn_sim::{Duration, Time};
 
 use crate::cc::{CcKind, CcState};
 use crate::config::{LossRecovery, TransportConfig};
@@ -40,13 +43,25 @@ pub enum SenderPoll {
     Done,
 }
 
-/// A timer (re-)arm request the embedding simulation must schedule.
+/// A retransmission-timer request the embedding simulation must apply
+/// to its scheduler (one cancellable timer per flow).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TimerOp {
-    /// Absolute expiry time.
-    pub deadline: Time,
-    /// Generation token to pass back into [`SenderQp::on_timer`].
-    pub generation: u64,
+pub enum TimerCmd {
+    /// Arm (or re-arm) the flow's timer to expire at the given absolute
+    /// time, superseding any pending deadline.
+    Arm(Time),
+    /// Cancel the pending deadline; the expiry must never be delivered.
+    Cancel,
+}
+
+impl TimerCmd {
+    /// The armed deadline, if this is an arm request (test helper).
+    pub fn deadline(self) -> Option<Time> {
+        match self {
+            TimerCmd::Arm(t) => Some(t),
+            TimerCmd::Cancel => None,
+        }
+    }
 }
 
 /// Per-flow sender statistics.
@@ -90,9 +105,10 @@ pub struct SenderQp {
     /// Pending head retransmission forced by a timeout (§3.1: timeout
     /// retransmits from the cumulative ack even without SACKs).
     force_head_retx: bool,
-    /// Retransmission timer.
-    timer: TimerSlot,
-    pending_timer: Option<TimerOp>,
+    /// Deadline mirror of the flow's scheduler timer (`Some` while an
+    /// expiry is pending out in the simulation).
+    timer_deadline: Option<Time>,
+    pending_timer: Option<TimerCmd>,
     /// Last acknowledgement progress; timer expiries earlier than
     /// `last_progress + RTO` re-arm instead of firing (the standard
     /// lazy-reset optimization — avoids scheduling an event per ACK).
@@ -139,7 +155,7 @@ impl SenderQp {
             next_allowed: Time::ZERO,
             retx_ready_at: Time::ZERO,
             force_head_retx: false,
-            timer: TimerSlot::new(),
+            timer_deadline: None,
             pending_timer: None,
             last_progress: now,
             cc_loss_reported: false,
@@ -200,7 +216,15 @@ impl SenderQp {
             }
             self.force_head_retx = false;
             let psn = self.ctx.cum_acked;
-            if psn < self.total_packets {
+            // Only an *outstanding* packet may go out through the retx
+            // path. A timeout can race a fully acknowledged window
+            // (in-flight 0 with unsent data still gated by pacing);
+            // head-"retransmitting" psn == next_to_send here would ship
+            // new data without advancing the send cursor, and the ack
+            // for it would push cum_acked past next_to_send —
+            // underflowing in_flight() and wedging the window
+            // accounting. Fall through to regular transmission instead.
+            if psn < self.ctx.next_to_send {
                 return SenderPoll::Packet(self.make_packet(now, psn));
             }
         }
@@ -270,7 +294,7 @@ impl SenderQp {
         self.cc.on_send(now, wire as u64);
 
         // Make sure a retransmission timer is running.
-        if self.cfg.timeouts_enabled && !self.timer.is_armed() {
+        if self.cfg.timeouts_enabled && self.timer_deadline.is_none() {
             self.last_progress = now;
             self.arm_timer(now);
         }
@@ -288,16 +312,13 @@ impl SenderQp {
             self.cfg.rto_high
         };
         self.ctx.rto_low_armed = low;
-        let generation = self.timer.arm(now + dur);
-        self.pending_timer = Some(TimerOp {
-            deadline: now + dur,
-            generation,
-        });
+        self.timer_deadline = Some(now + dur);
+        self.pending_timer = Some(TimerCmd::Arm(now + dur));
     }
 
     /// Drain the timer request produced by the last call, if any. The
-    /// embedding simulation schedules a timer event for it.
-    pub fn take_timer_request(&mut self) -> Option<TimerOp> {
+    /// embedding simulation applies it to this flow's scheduler timer.
+    pub fn take_timer_request(&mut self) -> Option<TimerCmd> {
         self.pending_timer.take()
     }
 
@@ -356,17 +377,18 @@ impl SenderQp {
         let rtt = now.saturating_since(pkt.sent_at);
         self.cc.on_ack(now, out.newly_acked, rtt, pkt.ecn_echo);
 
-        // Timer discipline: progress re-arms, completion cancels.
+        // Timer discipline: progress re-arms, completion cancels (the
+        // scheduler removes the pending deadline in O(1) — it will
+        // never pop).
         if self.ctx.cum_acked >= self.total_packets {
-            self.timer.cancel();
-            self.pending_timer = None;
+            self.pending_timer = self.timer_deadline.take().map(|_| TimerCmd::Cancel);
             self.done = true;
             return true;
         }
         if out.newly_acked > 0 {
             // Lazy timer reset: the expiry handler defers against this.
             self.last_progress = now;
-            if self.cfg.timeouts_enabled && !self.timer.is_armed() {
+            if self.cfg.timeouts_enabled && self.timer_deadline.is_none() {
                 self.arm_timer(now);
             }
         }
@@ -386,12 +408,15 @@ impl SenderQp {
         self.cc.on_cnp(now);
     }
 
-    /// A scheduled timer event fired. Returns `true` if it was live (and
-    /// acted on), `false` if stale.
-    pub fn on_timer(&mut self, now: Time, generation: u64) -> bool {
-        if self.done || !self.timer.fires(generation) {
+    /// The flow's (live) retransmission timer expired. The embedding
+    /// simulation's scheduler guarantees cancelled or superseded
+    /// deadlines never reach here. Returns `true` if the sender acted
+    /// (fired or re-armed) — i.e. a follow-up poll/drain is warranted.
+    pub fn on_timer(&mut self, now: Time) -> bool {
+        if self.done {
             return false;
         }
+        self.timer_deadline = None; // the pending expiry was consumed
         if self.ctx.in_flight() == 0 && self.ctx.next_to_send >= self.total_packets {
             return false; // nothing outstanding; quiescent
         }
@@ -407,11 +432,8 @@ impl SenderQp {
         let effective_deadline = self.last_progress + rto_now;
         if effective_deadline > now {
             self.ctx.rto_low_armed = rto_now == self.cfg.rto_low;
-            let generation = self.timer.arm(effective_deadline);
-            self.pending_timer = Some(TimerOp {
-                deadline: effective_deadline,
-                generation,
-            });
+            self.timer_deadline = Some(effective_deadline);
+            self.pending_timer = Some(TimerCmd::Arm(effective_deadline));
             return true;
         }
         match self.cfg.recovery {
@@ -419,12 +441,9 @@ impl SenderQp {
                 match modules::timeout(&mut self.ctx, self.cfg.rto_low_n) {
                     TimeoutOut::ExtendToHigh => {
                         // Re-arm with the long timeout; no action (§6.2).
-                        let generation = self.timer.arm(now + self.cfg.rto_high);
                         self.ctx.rto_low_armed = false;
-                        self.pending_timer = Some(TimerOp {
-                            deadline: now + self.cfg.rto_high,
-                            generation,
-                        });
+                        self.timer_deadline = Some(now + self.cfg.rto_high);
+                        self.pending_timer = Some(TimerCmd::Arm(now + self.cfg.rto_high));
                         return true;
                     }
                     TimeoutOut::Fired { .. } => {
@@ -577,10 +596,11 @@ mod tests {
         let pkts = drain(&mut s, Time::ZERO);
         assert_eq!(pkts.len(), 2);
         let req = s.take_timer_request().expect("timer armed on send");
-        assert_eq!(req.deadline, Time::ZERO + Duration::micros(100), "RTO_low");
-        assert!(s.on_timer(req.deadline, req.generation));
+        let deadline = req.deadline().expect("arm, not cancel");
+        assert_eq!(deadline, Time::ZERO + Duration::micros(100), "RTO_low");
+        assert!(s.on_timer(deadline));
         assert_eq!(s.stats.timeouts, 1);
-        let retx = drain(&mut s, req.deadline);
+        let retx = drain(&mut s, deadline);
         assert_eq!(retx[0].psn, 0, "§3.1: timeout retransmits the cum. ack");
         assert!(retx[0].is_retx);
     }
@@ -590,38 +610,56 @@ mod tests {
         let mut s = irn_sender(200_000); // 200 packets
         drain(&mut s, Time::ZERO);
         // Timer armed at the first send while in-flight was 0 → RTO_low.
-        let req = s.take_timer_request().unwrap();
-        assert_eq!(req.deadline, Time::ZERO + Duration::micros(100));
+        let deadline = s.take_timer_request().unwrap().deadline().unwrap();
+        assert_eq!(deadline, Time::ZERO + Duration::micros(100));
         // At expiry 110 packets are in flight (≥ N): must extend to
         // RTO_high (measured from the arming point), not fire.
-        assert!(s.on_timer(req.deadline, req.generation));
+        assert!(s.on_timer(deadline));
         assert_eq!(s.stats.timeouts, 0, "no spurious timeout");
         let req2 = s.take_timer_request().expect("re-armed with RTO_high");
         assert_eq!(
-            req2.deadline,
+            req2.deadline().unwrap(),
             Time::ZERO + Duration::micros(320),
             "extended to RTO_high"
         );
     }
 
     #[test]
-    fn ack_progress_defers_timeout_and_stale_generations_ignored() {
+    fn ack_progress_defers_timeout() {
         let mut s = irn_sender(5_000);
         drain(&mut s, Time::ZERO);
-        let r1 = s.take_timer_request().unwrap();
+        let d1 = s.take_timer_request().unwrap().deadline().unwrap();
         // Progress at 5 µs: the expiry at the original deadline must
         // defer (re-arm), not fire a timeout.
         s.on_ack_packet(Time::ZERO + Duration::micros(5), &ack(2, Time::ZERO));
-        assert!(s.on_timer(r1.deadline, r1.generation), "live but deferred");
+        assert!(s.on_timer(d1), "live but deferred");
         assert_eq!(s.stats.timeouts, 0);
-        let r2 = s.take_timer_request().expect("deferred re-arm");
-        assert!(r2.deadline > r1.deadline);
-        assert_ne!(r1.generation, r2.generation);
-        // The consumed generation is stale now.
-        assert!(!s.on_timer(r2.deadline, r1.generation));
-        // The live generation eventually fires for real.
-        assert!(s.on_timer(r2.deadline, r2.generation));
+        let d2 = s
+            .take_timer_request()
+            .expect("deferred re-arm")
+            .deadline()
+            .expect("arm");
+        assert!(d2 > d1);
+        // The deferred deadline eventually fires for real.
+        assert!(s.on_timer(d2));
         assert_eq!(s.stats.timeouts, 1);
+    }
+
+    #[test]
+    fn completion_requests_timer_cancel() {
+        let mut s = irn_sender(2_000);
+        drain(&mut s, Time::ZERO);
+        assert!(matches!(
+            s.take_timer_request(),
+            Some(TimerCmd::Arm(_)),
+            // armed on first send
+        ));
+        assert!(s.on_ack_packet(Time::from_nanos(5_000), &ack(2, Time::ZERO)));
+        assert_eq!(
+            s.take_timer_request(),
+            Some(TimerCmd::Cancel),
+            "completion must cancel the pending deadline in the scheduler"
+        );
     }
 
     #[test]
@@ -758,7 +796,7 @@ mod tests {
         assert_eq!(pkts.len(), 1);
         let req = s.take_timer_request().unwrap();
         assert_eq!(
-            req.deadline,
+            req.deadline().unwrap(),
             Time::ZERO + Duration::micros(100),
             "§3.1: short messages recover via RTO_low"
         );

@@ -18,10 +18,10 @@
 
 use irn_net::{FlowId, HostId, Packet, PacketKind};
 use irn_rdma::modules::{self, AckEmit, QpContext, ReceiverMode};
-use irn_sim::{Duration, Time, TimerSlot};
+use irn_sim::{Duration, Time};
 
 use crate::config::TransportConfig;
-use crate::sender::{SenderPoll, TimerOp};
+use crate::sender::{SenderPoll, TimerCmd};
 
 /// TCP sender congestion state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,8 +83,10 @@ pub struct TcpSender {
     /// the window.
     tainted_until: u32,
 
-    timer: TimerSlot,
-    pending_timer: Option<TimerOp>,
+    /// Deadline mirror of the flow's scheduler timer (`Some` while an
+    /// expiry is pending out in the simulation).
+    timer_deadline: Option<Time>,
+    pending_timer: Option<TimerCmd>,
     /// Lazy timer reset: expiries before `last_progress + rto` re-arm.
     last_progress: Time,
     done: bool,
@@ -122,7 +124,7 @@ impl TcpSender {
             rttvar_ns: 0.0,
             rto: MIN_RTO,
             tainted_until: 0,
-            timer: TimerSlot::new(),
+            timer_deadline: None,
             pending_timer: None,
             last_progress: Time::ZERO,
             done: false,
@@ -180,7 +182,7 @@ impl TcpSender {
         }
         self.highest_sent = self.highest_sent.max(psn + 1);
         self.stats.sent += 1;
-        if !self.timer.is_armed() {
+        if self.timer_deadline.is_none() {
             self.last_progress = now;
             self.arm_timer(now);
         }
@@ -188,15 +190,12 @@ impl TcpSender {
     }
 
     fn arm_timer(&mut self, now: Time) {
-        let generation = self.timer.arm(now + self.rto);
-        self.pending_timer = Some(TimerOp {
-            deadline: now + self.rto,
-            generation,
-        });
+        self.timer_deadline = Some(now + self.rto);
+        self.pending_timer = Some(TimerCmd::Arm(now + self.rto));
     }
 
-    /// Drain a pending timer-arm request.
-    pub fn take_timer_request(&mut self) -> Option<TimerOp> {
+    /// Drain a pending timer arm/cancel request.
+    pub fn take_timer_request(&mut self) -> Option<TimerCmd> {
         self.pending_timer.take()
     }
 
@@ -241,13 +240,12 @@ impl TcpSender {
             }
 
             if self.cum_acked >= self.total_packets {
-                self.timer.cancel();
-                self.pending_timer = None;
+                self.pending_timer = self.timer_deadline.take().map(|_| TimerCmd::Cancel);
                 self.done = true;
                 return true;
             }
             self.last_progress = now;
-            if !self.timer.is_armed() {
+            if self.timer_deadline.is_none() {
                 self.arm_timer(now);
             }
         } else if cum == self.cum_acked && self.highest_sent > cum {
@@ -291,22 +289,21 @@ impl TcpSender {
         self.rto = Duration::nanos(rto_ns as u64).max(MIN_RTO).min(MAX_RTO);
     }
 
-    /// A scheduled timer fired. Returns `true` if live.
-    pub fn on_timer(&mut self, now: Time, generation: u64) -> bool {
-        if self.done || !self.timer.fires(generation) {
+    /// The connection's (live) retransmission timer expired; cancelled
+    /// deadlines never reach here. Returns `true` if the sender acted.
+    pub fn on_timer(&mut self, now: Time) -> bool {
+        if self.done {
             return false;
         }
+        self.timer_deadline = None; // the pending expiry was consumed
         if self.cum_acked >= self.highest_sent {
             return false; // nothing outstanding
         }
         // Lazy reset: defer if acknowledgements arrived since arming.
         let effective_deadline = self.last_progress + self.rto;
         if effective_deadline > now {
-            let generation = self.timer.arm(effective_deadline);
-            self.pending_timer = Some(TimerOp {
-                deadline: effective_deadline,
-                generation,
-            });
+            self.timer_deadline = Some(effective_deadline);
+            self.pending_timer = Some(TimerCmd::Arm(effective_deadline));
             return true;
         }
         self.last_progress = now;
@@ -484,11 +481,11 @@ mod tests {
     fn rto_collapses_to_slow_start() {
         let mut s = sender(50_000);
         drain(&mut s, Time::ZERO);
-        let req = s.take_timer_request().unwrap();
-        assert!(s.on_timer(req.deadline, req.generation));
+        let deadline = s.take_timer_request().unwrap().deadline().unwrap();
+        assert!(s.on_timer(deadline));
         assert_eq!(s.stats.timeouts, 1);
         assert_eq!(s.cwnd_packets(), 1, "RTO ⇒ loss window of 1");
-        let retx = drain(&mut s, req.deadline);
+        let retx = drain(&mut s, deadline);
         assert_eq!(retx.len(), 1, "cwnd=1 allows exactly the head");
         assert_eq!(retx[0].psn, 0);
     }
@@ -497,13 +494,10 @@ mod tests {
     fn rto_backs_off_exponentially() {
         let mut s = sender(50_000);
         drain(&mut s, Time::ZERO);
-        let r1 = s.take_timer_request().unwrap();
-        s.on_timer(r1.deadline, r1.generation);
-        let r2 = s.take_timer_request().unwrap();
-        assert!(
-            r2.deadline.since(r1.deadline) >= MIN_RTO * 2,
-            "backoff must double the RTO"
-        );
+        let d1 = s.take_timer_request().unwrap().deadline().unwrap();
+        s.on_timer(d1);
+        let d2 = s.take_timer_request().unwrap().deadline().unwrap();
+        assert!(d2.since(d1) >= MIN_RTO * 2, "backoff must double the RTO");
     }
 
     #[test]
@@ -562,11 +556,8 @@ mod tests {
         let pkts = drain(&mut s, Time::ZERO);
         let done = s.on_ack_packet(Time::from_nanos(5_000), &ack_at(1, pkts[0].sent_at));
         assert!(done);
-        let req = s.take_timer_request();
-        // The last arm request may still be pending from the send, but
-        // its generation is cancelled:
-        if let Some(r) = req {
-            assert!(!s.on_timer(r.deadline, r.generation));
-        }
+        // Completion supersedes the arm from the send with a cancel, so
+        // the embedding scheduler removes the deadline outright.
+        assert_eq!(s.take_timer_request(), Some(TimerCmd::Cancel));
     }
 }

@@ -120,6 +120,23 @@ fn run_result_round_trips_through_serde() {
         parsed.get("events").and_then(json::Value::as_u64),
         Some(r.events)
     );
+    // The scheduler counters ride along (and the per-kind counts
+    // partition the event total).
+    let sched = parsed.get("sched").expect("sched counters serialized");
+    let kind_sum: u64 = [
+        "flow_arrivals",
+        "fabric_events",
+        "qp_timer_events",
+        "nic_wake_events",
+    ]
+    .iter()
+    .map(|k| sched.get(k).and_then(json::Value::as_u64).unwrap())
+    .sum();
+    assert_eq!(kind_sum, r.events);
+    assert_eq!(
+        sched.get("past_clamps").and_then(json::Value::as_u64),
+        Some(0)
+    );
 }
 
 /// The registry drives the repro CLI: every simulation-backed artifact

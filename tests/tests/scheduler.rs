@@ -1,0 +1,354 @@
+//! Differential suite for the ladder-queue `Scheduler`.
+//!
+//! The scheduler's determinism contract — nondecreasing pop times,
+//! strict FIFO among simultaneous events, cancelled timers never
+//! surfacing — is pinned against the obviously-correct reference: a
+//! binary-heap `EventQueue` whose timer expiries carry generation
+//! tokens that are filtered at pop (exactly the `TimerSlot` mechanism
+//! the engine used before the swap). Random interleavings of
+//! push/pop/arm/cancel/peek must produce identical delivered sequences
+//! on both implementations.
+//!
+//! The integration half asserts the engine-level guarantees the
+//! scheduler buys: steady-state runs deliver **zero** stale timer
+//! events, and nothing in the workspace schedules into the past
+//! (`past_clamps == 0` — the observable counter release builds keep in
+//! place of the debug panic).
+
+use irn_core::transport::cc::CcKind;
+use irn_core::transport::config::TransportKind;
+use irn_core::workload::SizeDistribution;
+use irn_core::{run, ExperimentConfig, TopologySpec, Workload};
+use irn_sim::{Duration, EventQueue, Scheduler, Time, TimerId, TimerSlot};
+use proptest::prelude::*;
+
+const TIMERS: usize = 4;
+
+/// The reference: a binary heap of `(tag, Option<(timer, generation)>)`
+/// events with stale generations filtered at pop — the pre-scheduler
+/// engine's exact discipline.
+struct Reference {
+    queue: EventQueue<(u64, Option<(usize, u64)>)>,
+    generations: [u64; TIMERS],
+    armed: [Option<Time>; TIMERS],
+}
+
+impl Reference {
+    fn new() -> Reference {
+        Reference {
+            queue: EventQueue::new(),
+            generations: [0; TIMERS],
+            armed: [None; TIMERS],
+        }
+    }
+
+    fn push(&mut self, at: Time, tag: u64) {
+        self.queue.push(at, (tag, None));
+    }
+
+    fn arm(&mut self, k: usize, deadline: Time, tag: u64) {
+        self.generations[k] += 1;
+        self.armed[k] = Some(deadline);
+        self.queue
+            .push(deadline, (tag, Some((k, self.generations[k]))));
+    }
+
+    fn cancel(&mut self, k: usize) {
+        self.generations[k] += 1;
+        self.armed[k] = None;
+    }
+
+    fn is_stale(&self, timer: Option<(usize, u64)>) -> bool {
+        match timer {
+            Some((k, generation)) => self.generations[k] != generation,
+            None => false,
+        }
+    }
+
+    /// Drop stale heads; the heap's front is then the next live event.
+    fn settle(&mut self) {
+        while let Some((_, &(_, timer))) = self.queue.peek() {
+            if self.is_stale(timer) {
+                self.queue.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek_live(&mut self) -> Option<Time> {
+        self.settle();
+        self.queue.peek_time()
+    }
+
+    fn pop_live(&mut self) -> Option<(Time, u64)> {
+        self.settle();
+        let (t, (tag, timer)) = self.queue.pop()?;
+        if let Some((k, _)) = timer {
+            self.armed[k] = None; // a delivered expiry consumes the arm
+        }
+        Some((t, tag))
+    }
+}
+
+/// Both queues driven in lockstep. `ops` is a flat op stream:
+/// `(selector, timer index, time gap)`.
+fn run_differential(ops: &[(usize, usize, u64)]) {
+    let mut sched: Scheduler<u64> = Scheduler::new();
+    let ids: Vec<TimerId> = (0..TIMERS).map(|_| sched.timer_create()).collect();
+    let mut reference = Reference::new();
+    // Times only move forward from the frontier: the latest time either
+    // implementation has reported. This mirrors the engine contract
+    // (handlers schedule relative to the popped "now") and keeps the
+    // reference heap's past-clamp out of play.
+    let mut frontier = Time::ZERO;
+    let mut tag = 0u64;
+
+    for &(sel, k, gap) in ops {
+        let at = frontier + Duration::nanos(gap);
+        match sel {
+            // Plain push.
+            0 => {
+                tag += 1;
+                sched.push(at, tag);
+                reference.push(at, tag);
+            }
+            // Arm (supersede) timer k.
+            1 => {
+                tag += 1;
+                sched.timer_arm(ids[k], at, tag);
+                reference.arm(k, at, tag);
+                assert_eq!(sched.timer_deadline(ids[k]), Some(at));
+            }
+            // Cancel timer k.
+            2 => {
+                sched.timer_cancel(ids[k]);
+                reference.cancel(k);
+                assert_eq!(sched.timer_deadline(ids[k]), None);
+            }
+            // Pop one delivered event.
+            3 => {
+                let got = sched.pop();
+                let want = reference.pop_live();
+                assert_eq!(got, want, "pop diverged");
+                if let Some((t, _)) = got {
+                    frontier = frontier.max(t);
+                }
+            }
+            // Peek the next live timestamp.
+            _ => {
+                let got = sched.peek_time();
+                let want = reference.peek_live();
+                assert_eq!(got, want, "peek diverged");
+                if let Some(t) = got {
+                    frontier = frontier.max(t);
+                }
+            }
+        }
+        // The reference heap's clock advances over the *stale* entries
+        // it drains (pre-scheduler engine semantics: stale expiries
+        // were delivered and discarded, moving time). Keep the frontier
+        // at or past it so generated times are legal for both sides —
+        // the engine's own schedules always derive from a delivered
+        // event's time, which satisfies this by construction.
+        frontier = frontier.max(reference.queue.now());
+        // The live-event count must track the reference's armed state
+        // exactly (cheap invariant; full equality is checked by the
+        // drain below).
+        for (idx, id) in ids.iter().enumerate() {
+            assert_eq!(
+                sched.timer_deadline(*id),
+                reference.armed[idx],
+                "armed-deadline mirror diverged for timer {idx}"
+            );
+        }
+    }
+
+    // Full drain: every remaining live event must match, in order.
+    loop {
+        let got = sched.pop();
+        let want = reference.pop_live();
+        assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert!(sched.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random push/pop/arm/cancel/peek interleavings: the ladder queue
+    /// and the heap+generation reference must deliver identical event
+    /// sequences (times, payloads, and FIFO tie-breaks).
+    #[test]
+    fn scheduler_matches_heap_reference(
+        ops in proptest::collection::vec((0usize..5, 0usize..TIMERS, 0u64..3_000), 1..400),
+    ) {
+        run_differential(&ops);
+    }
+
+    /// Tie-heavy variant: tiny gap range forces many simultaneous
+    /// events, exercising the FIFO tie-break across bucket sorts,
+    /// due-run merges, and the heap's sequence numbers.
+    #[test]
+    fn scheduler_matches_reference_under_heavy_ties(
+        ops in proptest::collection::vec((0usize..5, 0usize..TIMERS, 0u64..3), 1..400),
+    ) {
+        run_differential(&ops);
+    }
+
+    /// Far-horizon variant: gaps past the ring horizon (~1 ms) park
+    /// events in the overflow level, exercising cascades against the
+    /// reference.
+    #[test]
+    fn scheduler_matches_reference_across_cascades(
+        ops in proptest::collection::vec((0usize..5, 0usize..TIMERS, 0u64..3_000_000), 1..200),
+    ) {
+        run_differential(&ops);
+    }
+}
+
+/// A cancelled deadline never surfaces, even when re-arms raced it
+/// through bucket boundaries (the unit-level guarantee the proptest
+/// covers statistically, pinned deterministically here).
+#[test]
+fn cancelled_deadlines_never_surface() {
+    let mut s: Scheduler<&'static str> = Scheduler::new();
+    let t = s.timer_create();
+    // Arm, supersede across the ring horizon, cancel, re-arm nearby.
+    s.timer_arm(t, Time::from_nanos(100), "gen1");
+    s.timer_arm(t, Time::ZERO + Duration::millis(50), "gen2-overflow");
+    s.timer_cancel(t);
+    s.timer_arm(t, Time::from_nanos(300), "gen3");
+    s.push(Time::from_nanos(200), "data");
+    let delivered: Vec<_> = std::iter::from_fn(|| s.pop()).collect();
+    assert_eq!(
+        delivered,
+        vec![
+            (Time::from_nanos(200), "data"),
+            (Time::from_nanos(300), "gen3"),
+        ]
+    );
+    assert_eq!(s.stats().stale_skips, 2, "both dead generations reclaimed");
+}
+
+/// The legacy `TimerSlot` reference semantics themselves (arm → stale
+/// generation filtered) still hold — the differential suite depends on
+/// the reference being right.
+#[test]
+fn timer_slot_reference_filters_stale_generations() {
+    let mut slot = TimerSlot::new();
+    let g1 = slot.arm(Time::from_nanos(10));
+    let g2 = slot.arm(Time::from_nanos(20));
+    assert!(!slot.fires(g1));
+    assert!(slot.fires(g2));
+}
+
+// ---------------------------------------------------------------------
+// Engine-level guarantees (the integration half).
+// ---------------------------------------------------------------------
+
+fn poisson_cfg(transport: TransportKind, pfc: bool, cc: CcKind) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologySpec::FatTree(4),
+        workload: Workload::Poisson {
+            load: 0.8,
+            sizes: SizeDistribution::HeavyTailed,
+            flow_count: 150,
+        },
+        ..ExperimentConfig::paper_default(150)
+    }
+    .with_transport(transport)
+    .with_pfc(pfc)
+    .with_cc(cc)
+}
+
+/// Steady-state runs pop zero stale timer events and clamp zero
+/// past-scheduled events — across every transport family, with and
+/// without losses (no-PFC runs retransmit heavily, churning timers).
+#[test]
+fn runs_deliver_no_stale_timers_and_no_past_clamps() {
+    let matrix = [
+        (TransportKind::Irn, false, CcKind::None),
+        (TransportKind::Irn, true, CcKind::Timely),
+        (TransportKind::Roce, false, CcKind::None),
+        (TransportKind::Roce, true, CcKind::Dcqcn),
+        (TransportKind::IwarpTcp, false, CcKind::None),
+    ];
+    for (transport, pfc, cc) in matrix {
+        let r = run(poisson_cfg(transport, pfc, cc));
+        assert_eq!(r.summary.flows, 150, "{transport:?} pfc={pfc}");
+        assert_eq!(
+            r.sched.stale_timer_events, 0,
+            "{transport:?} pfc={pfc}: stale timer events must never surface"
+        );
+        assert_eq!(
+            r.sched.past_clamps, 0,
+            "{transport:?} pfc={pfc}: a model scheduled into the past"
+        );
+        // Per-kind counters partition the event total exactly.
+        let sum = r.sched.flow_arrivals
+            + r.sched.fabric_events
+            + r.sched.qp_timer_events
+            + r.sched.nic_wake_events;
+        assert_eq!(sum, r.events, "{transport:?} pfc={pfc}: counter partition");
+        assert_eq!(r.sched.flow_arrivals, 150);
+        // Timer hygiene: fires never exceed arms; cancels never exceed
+        // arms.
+        assert!(r.sched.qp_timer_events + r.sched.nic_wake_events <= r.sched.timer_arms);
+        assert!(r.sched.timer_cancels <= r.sched.timer_arms);
+    }
+}
+
+/// Lossy runs churn retransmission timers hard: the scheduler must be
+/// reclaiming superseded deadlines (the events the old engine scheduled,
+/// popped, and discarded) without ever delivering one.
+#[test]
+fn lossy_run_reclaims_superseded_timers_internally() {
+    let cfg = ExperimentConfig {
+        topology: TopologySpec::FatTree(4),
+        workload: Workload::Poisson {
+            load: 0.9,
+            sizes: SizeDistribution::HeavyTailed,
+            flow_count: 300,
+        },
+        buffer_bytes: 60_000, // small buffers to force drops
+        ..ExperimentConfig::paper_default(300)
+    }
+    .with_transport(TransportKind::Irn)
+    .with_pfc(false);
+    let r = run(cfg);
+    assert!(
+        r.transport.retransmitted > 0,
+        "no-PFC with tiny buffers at 90% load must retransmit"
+    );
+    assert!(r.sched.timer_arms > 0, "retransmission timers were armed");
+    assert!(
+        r.sched.stale_timer_reclaims > 0,
+        "superseded deadlines should be reclaimed internally, \
+         not scheduled-and-filtered"
+    );
+    assert_eq!(r.sched.stale_timer_events, 0);
+}
+
+/// The incast path (fig9's workload) exercises cancel-on-completion for
+/// hundreds of synchronized flows; none of those cancels may surface.
+#[test]
+fn incast_run_is_stale_free() {
+    let cfg = ExperimentConfig {
+        topology: TopologySpec::FatTree(4),
+        workload: Workload::Incast {
+            m: 8,
+            total_bytes: 4_000_000,
+        },
+        ..ExperimentConfig::paper_default(8)
+    }
+    .with_transport(TransportKind::Irn)
+    .with_pfc(false);
+    let r = run(cfg);
+    assert_eq!(r.summary.flows, 8);
+    assert_eq!(r.sched.stale_timer_events, 0);
+    assert_eq!(r.sched.past_clamps, 0);
+}

@@ -151,6 +151,46 @@ fn batch_cell_count_sums_per_artifact_plans() {
     assert_eq!(total, 4 + 4 + 36);
 }
 
+/// The scheduler-swap pin: **every** registered deterministic artifact
+/// — the full `repro all` surface minus the two CPU-timing substitutes
+/// — renders byte-identical stdout and byte-identical schema-v2 JSON
+/// at jobs=1 vs jobs=8, through the global batch. This is the
+/// acceptance gate that lets the event-scheduler implementation change
+/// underneath the artifacts: any drift in event order (tie-breaks,
+/// timer delivery, arrival streaming) shows up here as a byte diff.
+#[test]
+fn every_deterministic_artifact_is_byte_stable_across_job_counts() {
+    // Debug-profile budget: this runs the whole registry twice (jobs=1
+    // and jobs=8), so the scale is the smallest that still exercises
+    // every artifact's full cell matrix.
+    let scale = Scale {
+        flows: 60,
+        incast_bytes: 1_000_000,
+        ..tiny()
+    };
+    let selected: Vec<&'static Artifact> = artifacts::ARTIFACTS
+        .iter()
+        .filter(|a| a.deterministic())
+        .collect();
+    assert!(selected.len() >= 20, "registry unexpectedly shrank");
+
+    let render = |jobs: usize| -> Vec<(String, String)> {
+        let batch = artifacts::run_batched(&selected, scale, &Harness::new(jobs));
+        selected
+            .iter()
+            .zip(&batch.reports)
+            .map(|(a, rep)| (rep.render(), artifacts::artifact_json(a, &scale, rep)))
+            .collect()
+    };
+    let serial = render(1);
+    let parallel = render(8);
+    for ((a, (s_txt, s_json)), (p_txt, p_json)) in selected.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(s_txt, p_txt, "{}: stdout differs jobs=1 vs jobs=8", a.name);
+        assert_eq!(s_json, p_json, "{}: JSON differs jobs=1 vs jobs=8", a.name);
+        artifacts::verify_artifact_json(a.name, s_json).unwrap();
+    }
+}
+
 /// `--seeds` flows through the JSON envelope: the `seeds` field tracks
 /// the override while the scale label stays a preset name.
 #[test]
