@@ -4,14 +4,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use irn_bench::bench_cfg;
 use irn_core::transport::config::TransportKind;
-use irn_core::Workload;
+use irn_core::TrafficModel;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_incast");
     g.sample_size(10);
     for m in [4usize, 8] {
-        let wl = Workload::Incast {
+        let wl = TrafficModel::Incast {
             m,
             total_bytes: 4_000_000,
         };
@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 black_box(irn_core::run(
                     bench_cfg(m)
-                        .with_workload(wl.clone())
+                        .with_traffic(wl.clone())
                         .with_transport(TransportKind::Irn)
                         .with_pfc(false),
                 ))
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 black_box(irn_core::run(
                     bench_cfg(m)
-                        .with_workload(wl.clone())
+                        .with_traffic(wl.clone())
                         .with_transport(TransportKind::Roce)
                         .with_pfc(true),
                 ))

@@ -8,7 +8,7 @@ use irn_core::net::Bandwidth;
 use irn_core::sim::Duration;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{TopologySpec, Workload};
+use irn_core::{TopologySpec, TrafficModel};
 use std::hint::black_box;
 
 const FLOWS: usize = 120;
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("table3_load90", |b| {
         b.iter(|| {
             let mut cfg = bench_cfg(FLOWS);
-            cfg.workload = Workload::Poisson {
+            cfg.traffic = TrafficModel::Poisson {
                 load: 0.9,
                 sizes: SizeDistribution::HeavyTailed,
                 flow_count: FLOWS,
@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("table6_uniform", |b| {
         b.iter(|| {
             let mut cfg = bench_cfg(30);
-            cfg.workload = Workload::Poisson {
+            cfg.traffic = TrafficModel::Poisson {
                 load: 0.7,
                 sizes: SizeDistribution::Uniform500KbTo5Mb,
                 flow_count: 30,

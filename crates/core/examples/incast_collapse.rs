@@ -11,7 +11,7 @@
 //! ```
 
 use irn_core::transport::config::TransportKind;
-use irn_core::{run, ExperimentConfig, Workload};
+use irn_core::{run, ExperimentConfig, TrafficModel};
 
 fn main() {
     println!("Incast: striped response to one aggregator (§4.4.3)\n");
@@ -20,16 +20,16 @@ fn main() {
         "M", "IRN RCT", "RoCE+PFC RCT", "ratio"
     );
     for m in [4usize, 8, 12] {
-        let workload = Workload::Incast {
+        let workload = TrafficModel::Incast {
             m,
             total_bytes: 15_000_000, // 15 MB striped (quick-scale 150 MB)
         };
         let irn = run(ExperimentConfig::quick(m)
-            .with_workload(workload.clone())
+            .with_traffic(workload.clone())
             .with_transport(TransportKind::Irn)
             .with_pfc(false));
         let roce = run(ExperimentConfig::quick(m)
-            .with_workload(workload)
+            .with_traffic(workload)
             .with_transport(TransportKind::Roce)
             .with_pfc(true));
         let (i, r) = (irn.rct(), roce.rct());

@@ -12,16 +12,16 @@
 
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{run, ExperimentConfig, Workload};
+use irn_core::{run, ExperimentConfig, TrafficModel};
 
 fn main() {
-    let base = ExperimentConfig::quick(80).with_workload(Workload::Poisson {
+    let base = ExperimentConfig::quick(80).with_traffic(TrafficModel::Poisson {
         load: 0.7,
         sizes: SizeDistribution::Uniform500KbTo5Mb,
         flow_count: 80,
     });
 
-    println!("Storage workload: uniform 500KB-5MB flows at 70% load (Table 6 pattern)\n");
+    println!("Storage traffic: uniform 500KB-5MB flows at 70% load (Table 6 pattern)\n");
     println!(
         "{:<14} {:>13} {:>12} {:>12} {:>8} {:>14}",
         "config", "avg slowdown", "avg FCT", "p99 FCT", "drops", "retransmitted"

@@ -6,7 +6,7 @@ use irn_net::{Bandwidth, PfcConfig};
 use irn_sim::Duration;
 use irn_transport::cc::CcKind;
 use irn_transport::config::{TransportConfig, TransportKind};
-use irn_workload::SizeDistribution;
+use irn_workload::{SizeDistribution, TrafficModel};
 
 /// Which network to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,55 +30,20 @@ impl TopologySpec {
         }
     }
 
-    /// Host count without building.
+    /// Host count without building. Derived from the same definitions
+    /// the builders use ([`irn_net::fat_tree_hosts`] for fat-trees), so
+    /// the prediction cannot drift from `build().hosts`.
     pub fn hosts(self) -> usize {
         match self {
-            TopologySpec::FatTree(k) => k * k * k / 4,
+            TopologySpec::FatTree(k) => irn_net::fat_tree_hosts(k),
             TopologySpec::SingleSwitch(n) => n,
             TopologySpec::Dumbbell(l, r) => l + r,
         }
     }
 }
 
-/// The traffic driving one run.
-#[derive(Debug, Clone)]
-pub enum Workload {
-    /// Open-loop Poisson arrivals (§4.1's default).
-    Poisson {
-        /// Target utilization of each host's access link.
-        load: f64,
-        /// Flow-size distribution.
-        sizes: SizeDistribution,
-        /// Number of flows to simulate.
-        flow_count: usize,
-    },
-    /// §4.4.3 incast: `total_bytes` striped over `m` senders to host 0.
-    Incast {
-        /// Fan-in degree M.
-        m: usize,
-        /// Total striped response size (150 MB in the paper).
-        total_bytes: u64,
-    },
-    /// Incast on top of Poisson cross-traffic (§4.4.3's second
-    /// experiment: M=30 with the default workload at 50 % load).
-    IncastWithCross {
-        /// Fan-in degree M.
-        m: usize,
-        /// Total striped response size.
-        total_bytes: u64,
-        /// Cross-traffic load.
-        load: f64,
-        /// Cross-traffic size distribution.
-        sizes: SizeDistribution,
-        /// Cross-traffic flow count.
-        flow_count: usize,
-    },
-    /// An explicit flow list (tests, examples).
-    Explicit(Vec<irn_workload::FlowSpec>),
-}
-
 /// Everything needed to run one experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Network shape.
     pub topology: TopologySpec,
@@ -94,8 +59,8 @@ pub struct ExperimentConfig {
     pub transport: TransportKind,
     /// Congestion control.
     pub cc: CcKind,
-    /// Traffic.
-    pub workload: Workload,
+    /// Traffic model (see [`irn_workload::model`]).
+    pub traffic: TrafficModel,
     /// Master seed (workload, ECN coins, ECMP salt).
     pub seed: u64,
     /// MTU payload bytes.
@@ -137,7 +102,7 @@ impl ExperimentConfig {
             pfc: false,
             transport: TransportKind::Irn,
             cc: CcKind::None,
-            workload: Workload::Poisson {
+            traffic: TrafficModel::Poisson {
                 load: 0.7,
                 sizes: SizeDistribution::HeavyTailed,
                 flow_count,
@@ -183,9 +148,9 @@ impl ExperimentConfig {
         self
     }
 
-    /// Replace the workload.
-    pub fn with_workload(mut self, w: Workload) -> ExperimentConfig {
-        self.workload = w;
+    /// Replace the traffic model.
+    pub fn with_traffic(mut self, t: TrafficModel) -> ExperimentConfig {
+        self.traffic = t;
         self
     }
 
@@ -298,6 +263,24 @@ mod tests {
         assert_eq!(TopologySpec::FatTree(10).hosts(), 250);
         assert_eq!(TopologySpec::SingleSwitch(9).hosts(), 9);
         assert_eq!(TopologySpec::Dumbbell(3, 4).hosts(), 7);
+    }
+
+    /// The predicted host count and the built topology's host count
+    /// come from one definition; pin the agreement across the whole
+    /// sweep range (paper k=6, Table 5 k=8/10, beyond-paper k=12).
+    #[test]
+    fn fat_tree_hosts_prediction_matches_build() {
+        for k in [4usize, 6, 8, 10, 12] {
+            let spec = TopologySpec::FatTree(k);
+            assert_eq!(
+                spec.hosts(),
+                spec.build().hosts,
+                "hosts() must equal build().hosts for k={k}"
+            );
+        }
+        for spec in [TopologySpec::SingleSwitch(5), TopologySpec::Dumbbell(2, 6)] {
+            assert_eq!(spec.hosts(), spec.build().hosts);
+        }
     }
 
     #[test]

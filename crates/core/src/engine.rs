@@ -34,9 +34,9 @@ use irn_sim::{Scheduler, Time, TimerId};
 use irn_transport::config::TransportKind;
 use irn_transport::tcp::{TcpReceiver, TcpSender};
 use irn_transport::{HostNic, NicPoll, ReceiverQp, SenderPoll, SenderQp, TimerCmd};
-use irn_workload::{incast, FlowSpec, WorkloadSpec};
+use irn_workload::{FlowSpec, TrafficCtx};
 
-use crate::config::{ExperimentConfig, Workload};
+use crate::config::ExperimentConfig;
 use crate::result::{RunResult, SchedCounters, TransportTotals};
 
 /// Events driving the simulation. Timer events carry no generation
@@ -479,56 +479,14 @@ fn accumulate(t: &mut TransportTotals, s: &FlowSender) {
     }
 }
 
-/// Materialize the workload into a flow list; returns the index of the
-/// first incast flow when there is one. The list need not be sorted —
-/// the engine derives a stable arrival order itself.
+/// Materialize the traffic model into a flow list; returns the index of
+/// the first incast-population flow when there is one. The list need
+/// not be sorted — the engine derives a stable arrival order itself.
 fn build_flows(cfg: &ExperimentConfig, hosts: usize) -> (Vec<FlowSpec>, Option<usize>) {
-    match &cfg.workload {
-        Workload::Poisson {
-            load,
-            sizes,
-            flow_count,
-        } => {
-            let spec = WorkloadSpec {
-                hosts,
-                load: *load,
-                line_rate_bps: cfg.bandwidth.as_bps_f64(),
-                sizes: *sizes,
-                flow_count: *flow_count,
-                seed: cfg.seed,
-            };
-            (spec.generate(), None)
-        }
-        Workload::Incast { m, total_bytes } => {
-            let flows = incast(hosts, *m, 0, *total_bytes, Time::ZERO, cfg.seed);
-            (flows, Some(0))
-        }
-        Workload::IncastWithCross {
-            m,
-            total_bytes,
-            load,
-            sizes,
-            flow_count,
-        } => {
-            let spec = WorkloadSpec {
-                hosts,
-                load: *load,
-                line_rate_bps: cfg.bandwidth.as_bps_f64(),
-                sizes: *sizes,
-                flow_count: *flow_count,
-                seed: cfg.seed,
-            };
-            let mut flows = spec.generate();
-            let boundary = flows.len();
-            // The incast fires mid-workload so cross-traffic is warm.
-            let mid = flows[boundary / 2].at;
-            let mut burst = incast(hosts, *m, 0, *total_bytes, mid, cfg.seed ^ 0x1CA57);
-            flows.append(&mut burst);
-            // Incast flows stay appended: the engine's stable arrival
-            // sort interleaves them by time while the boundary index
-            // separates the two metric populations.
-            (flows, Some(boundary))
-        }
-        Workload::Explicit(flows) => (flows.clone(), None),
-    }
+    let stream = cfg.traffic.generate(&TrafficCtx {
+        hosts,
+        line_rate_bps: cfg.bandwidth.as_bps_f64(),
+        seed: cfg.seed,
+    });
+    (stream.flows, stream.incast_from)
 }

@@ -9,7 +9,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use irn_core::{ExperimentConfig, Simulation, TopologySpec, Workload};
+//! use irn_core::{ExperimentConfig, Simulation, TopologySpec, TrafficModel};
 //! use irn_core::transport::TransportKind;
 //! use irn_workload::SizeDistribution;
 //!
@@ -35,10 +35,13 @@
 pub mod config;
 pub mod engine;
 pub mod result;
+pub mod scenario;
 
-pub use config::{ExperimentConfig, TopologySpec, Workload};
+pub use config::{ExperimentConfig, TopologySpec};
 pub use engine::Simulation;
+pub use irn_workload::{Component, Population, Start, TrafficCtx, TrafficError, TrafficModel};
 pub use result::{RunResult, SchedCounters, TransportTotals};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SCENARIO_SCHEMA};
 
 // Re-export the sub-crates under stable names so downstream users (and
 // the examples) need only one dependency.
@@ -68,7 +71,7 @@ mod tests {
     fn one_flow_completes_with_sane_fct() {
         let cfg = ExperimentConfig {
             topology: TopologySpec::SingleSwitch(2),
-            workload: Workload::Explicit(vec![FlowSpec {
+            traffic: TrafficModel::Explicit(vec![FlowSpec {
                 src: 0,
                 dst: 1,
                 bytes: 100_000,
@@ -102,7 +105,7 @@ mod tests {
             for pfc in [false, true] {
                 let cfg = ExperimentConfig {
                     topology: TopologySpec::SingleSwitch(4),
-                    workload: Workload::Poisson {
+                    traffic: TrafficModel::Poisson {
                         load: 0.5,
                         sizes: SizeDistribution::HeavyTailed,
                         flow_count: 60,
@@ -132,7 +135,7 @@ mod tests {
         ] {
             let cfg = ExperimentConfig {
                 topology: TopologySpec::SingleSwitch(4),
-                workload: Workload::Poisson {
+                traffic: TrafficModel::Poisson {
                     load: 0.5,
                     sizes: SizeDistribution::HeavyTailed,
                     flow_count: 50,
@@ -150,7 +153,7 @@ mod tests {
     fn runs_are_deterministic() {
         let mk = || ExperimentConfig {
             topology: TopologySpec::FatTree(4),
-            workload: Workload::Poisson {
+            traffic: TrafficModel::Poisson {
                 load: 0.6,
                 sizes: SizeDistribution::HeavyTailed,
                 flow_count: 150,
@@ -170,7 +173,7 @@ mod tests {
     fn pfc_is_lossless_no_pfc_drops() {
         let base = ExperimentConfig {
             topology: TopologySpec::FatTree(4),
-            workload: Workload::Poisson {
+            traffic: TrafficModel::Poisson {
                 load: 0.9,
                 sizes: SizeDistribution::HeavyTailed,
                 flow_count: 300,
@@ -195,7 +198,7 @@ mod tests {
     fn incast_reports_rct() {
         let cfg = ExperimentConfig {
             topology: TopologySpec::FatTree(4),
-            workload: Workload::Incast {
+            traffic: TrafficModel::Incast {
                 m: 8,
                 total_bytes: 8_000_000,
             },

@@ -1,0 +1,1181 @@
+//! `Scenario` — the declarative, validated, JSON-round-trippable
+//! experiment description.
+//!
+//! A scenario is the *data* form of an experiment: everything an
+//! [`ExperimentConfig`] pins down, plus a display name, expressible as
+//! a `scenario-v1` JSON document (see `docs/SCENARIOS.md` for the field
+//! reference). The type upholds one invariant: **a `Scenario` that
+//! exists is valid**. Both constructors — [`Scenario::from_config`] and
+//! [`Scenario::from_json_str`] — run the full validation and return a
+//! typed [`ScenarioError`] instead of letting a bad parameter panic
+//! mid-run, which is what lets the `repro` CLI surface config mistakes
+//! as `exit(2)` with a message naming the offending field.
+//!
+//! Round-trip contract: `serialize → parse → serialize` is
+//! byte-identical (canonical field order, shortest-round-trip floats,
+//! full form with defaults materialized), and a parsed scenario's
+//! config equals the original — so a scenario file, or a serialized
+//! harness cell shipped to a remote worker, reproduces bit-identical
+//! results.
+
+use crate::config::ExperimentConfig;
+use crate::TopologySpec;
+use irn_net::LoadBalancing;
+use irn_sim::{Duration, Time};
+use irn_transport::cc::CcKind;
+use irn_transport::config::TransportKind;
+use irn_workload::{
+    Component, FlowSpec, Population, SizeDistribution, Start, TrafficError, TrafficModel,
+};
+use serde::json::{self, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+/// The schema identifier every scenario document carries.
+pub const SCENARIO_SCHEMA: &str = "scenario-v1";
+
+/// A named, validated experiment description.
+///
+/// Construction always validates; see the module docs for the
+/// invariant. The config is exposed read-only ([`Scenario::config`]) so
+/// the only ways to obtain a `Scenario` keep it valid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    cfg: ExperimentConfig,
+}
+
+impl Scenario {
+    /// Wrap a config under a display name, validating every parameter.
+    pub fn from_config(
+        name: impl Into<String>,
+        cfg: ExperimentConfig,
+    ) -> Result<Scenario, ScenarioError> {
+        let name = name.into();
+        validate(&name, &cfg)?;
+        Ok(Scenario { name, cfg })
+    }
+
+    /// Start a builder from the paper's §4.1 defaults.
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            cfg: ExperimentConfig::paper_default(1000),
+        }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Unwrap into the config.
+    pub fn into_config(self) -> ExperimentConfig {
+        self.cfg
+    }
+
+    /// This scenario re-keyed to a different seed (a seed swap cannot
+    /// invalidate a valid scenario).
+    pub fn with_seed(&self, seed: u64) -> Scenario {
+        Scenario {
+            name: self.name.clone(),
+            cfg: self.cfg.clone().with_seed(seed),
+        }
+    }
+
+    /// This scenario under a different display name (the config is
+    /// unchanged, so only the name needs re-validating).
+    pub fn with_name(&self, name: impl Into<String>) -> Result<Scenario, ScenarioError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ScenarioError::EmptyName);
+        }
+        Ok(Scenario {
+            name,
+            cfg: self.cfg.clone(),
+        })
+    }
+
+    /// A filesystem-safe version of the name: lowercase alphanumerics,
+    /// `.`, `_` and `-`, with every other run of characters collapsed
+    /// to a single `-`.
+    pub fn slug(&self) -> String {
+        slugify(&self.name)
+    }
+
+    /// Parse and validate a `scenario-v1` JSON document.
+    pub fn from_json_str(text: &str) -> Result<Scenario, ScenarioError> {
+        let v = json::from_str(text).map_err(|e| ScenarioError::Parse(e.to_string()))?;
+        Scenario::from_json_value(&v)
+    }
+
+    /// Parse and validate a `scenario-v1` value tree.
+    pub fn from_json_value(v: &Value) -> Result<Scenario, ScenarioError> {
+        parse_scenario(v)
+    }
+
+    /// Serialize to the canonical `scenario-v1` value tree (full form:
+    /// every field present, defaults materialized, fixed order).
+    pub fn to_json_value(&self) -> Value {
+        let cfg = &self.cfg;
+        Value::Object(vec![
+            ("schema".into(), SCENARIO_SCHEMA.to_json()),
+            ("name".into(), self.name.to_json()),
+            ("topology".into(), topology_to_json(cfg.topology)),
+            ("bandwidth_mbps".into(), cfg.bandwidth.as_mbps().to_json()),
+            ("prop_delay_ns".into(), cfg.prop_delay.as_nanos().to_json()),
+            ("buffer_bytes".into(), cfg.buffer_bytes.to_json()),
+            ("pfc".into(), cfg.pfc.to_json()),
+            ("transport".into(), transport_name(cfg.transport).to_json()),
+            ("cc".into(), cc_name(cfg.cc).to_json()),
+            ("traffic".into(), traffic_to_json(&cfg.traffic)),
+            ("seed".into(), cfg.seed.to_json()),
+            ("mtu".into(), cfg.mtu.to_json()),
+            (
+                "rto_high_ns".into(),
+                cfg.rto_high.map(|d| d.as_nanos()).to_json(),
+            ),
+            ("rto_low_ns".into(), cfg.rto_low.as_nanos().to_json()),
+            ("rto_low_n".into(), cfg.rto_low_n.to_json()),
+            ("extra_header".into(), cfg.extra_header.to_json()),
+            (
+                "retx_fetch_delay_ns".into(),
+                cfg.retx_fetch_delay.as_nanos().to_json(),
+            ),
+            ("loss_injection".into(), cfg.loss_injection.to_json()),
+            (
+                "load_balancing".into(),
+                lb_name(cfg.load_balancing).to_json(),
+            ),
+            ("nack_threshold".into(), cfg.nack_threshold.to_json()),
+            ("max_events".into(), cfg.max_events.to_json()),
+        ])
+    }
+
+    /// Serialize to pretty-printed JSON text with a trailing newline
+    /// (the on-disk scenario-file form).
+    pub fn to_json_string(&self) -> String {
+        let mut text = json::to_string_pretty(&self.to_json_value());
+        text.push('\n');
+        text
+    }
+}
+
+impl Serialize for Scenario {
+    fn to_json(&self) -> Value {
+        self.to_json_value()
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_json(v: &Value) -> Result<Scenario, DeError> {
+        Scenario::from_json_value(v).map_err(|e| DeError::new(e.to_string()))
+    }
+}
+
+/// Why a scenario cannot describe a runnable experiment. Every
+/// user-reachable configuration mistake surfaces as one of these (and
+/// as `exit(2)` at the CLI) instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The document is not valid JSON.
+    Parse(String),
+    /// A field is missing, has the wrong type, or is out of range for
+    /// its primitive type (path included).
+    Field(DeError),
+    /// The document's `schema` field is not [`SCENARIO_SCHEMA`].
+    UnknownSchema {
+        /// What the document declared.
+        found: String,
+    },
+    /// An object carries a field the schema does not define.
+    UnknownField {
+        /// Dotted path of the unknown field.
+        field: String,
+    },
+    /// An enum-like field names an unknown alternative.
+    UnknownName {
+        /// Dotted path of the field.
+        field: String,
+        /// The unrecognized name.
+        found: String,
+        /// The accepted names.
+        expected: &'static [&'static str],
+    },
+    /// The scenario name is empty.
+    EmptyName,
+    /// Fat-tree arity must be even and at least 2.
+    OddFatTree {
+        /// The offending arity.
+        k: usize,
+    },
+    /// The topology has fewer than two hosts.
+    TooFewHosts {
+        /// The host count on offer.
+        hosts: usize,
+    },
+    /// MTU must be at least one byte.
+    ZeroMtu,
+    /// Link bandwidth must be positive.
+    ZeroBandwidth,
+    /// Per-port buffering must be positive.
+    ZeroBuffer,
+    /// Loss injection is a probability below 1 (1 would drop every
+    /// packet and the run could never complete).
+    LossOutOfRange {
+        /// The offending probability.
+        loss: f64,
+    },
+    /// The event budget must be positive.
+    ZeroMaxEvents,
+    /// The NACK threshold must be at least 1.
+    ZeroNackThreshold,
+    /// The traffic model is invalid.
+    Traffic(TrafficError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Parse(msg) => write!(f, "{msg}"),
+            ScenarioError::Field(e) => write!(f, "{e}"),
+            ScenarioError::UnknownSchema { found } => {
+                write!(f, "unknown schema '{found}', expected '{SCENARIO_SCHEMA}'")
+            }
+            ScenarioError::UnknownField { field } => {
+                write!(f, "unknown field '{field}'")
+            }
+            ScenarioError::UnknownName {
+                field,
+                found,
+                expected,
+            } => write!(
+                f,
+                "at {field}: unknown name '{found}' (expected one of: {})",
+                expected.join(", ")
+            ),
+            ScenarioError::EmptyName => write!(f, "scenario name must not be empty"),
+            ScenarioError::OddFatTree { k } => {
+                write!(f, "fat-tree arity must be even and >= 2, got k={k}")
+            }
+            ScenarioError::TooFewHosts { hosts } => {
+                write!(f, "topology must have at least 2 hosts, has {hosts}")
+            }
+            ScenarioError::ZeroMtu => write!(f, "mtu must be at least 1 byte"),
+            ScenarioError::ZeroBandwidth => write!(f, "bandwidth_mbps must be positive"),
+            ScenarioError::ZeroBuffer => write!(f, "buffer_bytes must be positive"),
+            ScenarioError::LossOutOfRange { loss } => {
+                write!(f, "loss_injection must be in [0, 1), got {loss}")
+            }
+            ScenarioError::ZeroMaxEvents => write!(f, "max_events must be positive"),
+            ScenarioError::ZeroNackThreshold => {
+                write!(f, "nack_threshold must be at least 1")
+            }
+            ScenarioError::Traffic(e) => write!(f, "traffic: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<TrafficError> for ScenarioError {
+    fn from(e: TrafficError) -> ScenarioError {
+        ScenarioError::Traffic(e)
+    }
+}
+
+impl From<DeError> for ScenarioError {
+    fn from(e: DeError) -> ScenarioError {
+        ScenarioError::Field(e)
+    }
+}
+
+/// Chained construction of a [`Scenario`] from the paper's defaults;
+/// [`ScenarioBuilder::build`] runs the full validation.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    cfg: ExperimentConfig,
+}
+
+impl ScenarioBuilder {
+    /// Replace the network shape.
+    pub fn topology(mut self, t: TopologySpec) -> Self {
+        self.cfg.topology = t;
+        self
+    }
+
+    /// Replace the traffic model.
+    pub fn traffic(mut self, t: TrafficModel) -> Self {
+        self.cfg.traffic = t;
+        self
+    }
+
+    /// Select the transport preset.
+    pub fn transport(mut self, t: TransportKind) -> Self {
+        self.cfg.transport = t;
+        self
+    }
+
+    /// Enable/disable PFC.
+    pub fn pfc(mut self, pfc: bool) -> Self {
+        self.cfg.pfc = pfc;
+        self
+    }
+
+    /// Select congestion control.
+    pub fn cc(mut self, cc: CcKind) -> Self {
+        self.cfg.cc = cc;
+        self
+    }
+
+    /// Replace the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Escape hatch for the long tail of knobs: mutate the config
+    /// directly (still validated at [`ScenarioBuilder::build`]).
+    pub fn configure(mut self, f: impl FnOnce(&mut ExperimentConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validate and produce the scenario.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        Scenario::from_config(self.name, self.cfg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+fn validate(name: &str, cfg: &ExperimentConfig) -> Result<(), ScenarioError> {
+    if name.is_empty() {
+        return Err(ScenarioError::EmptyName);
+    }
+    if let TopologySpec::FatTree(k) = cfg.topology {
+        if k < 2 || k % 2 != 0 {
+            return Err(ScenarioError::OddFatTree { k });
+        }
+    }
+    let hosts = cfg.topology.hosts();
+    if hosts < 2 {
+        return Err(ScenarioError::TooFewHosts { hosts });
+    }
+    if cfg.mtu == 0 {
+        return Err(ScenarioError::ZeroMtu);
+    }
+    if cfg.buffer_bytes == 0 {
+        return Err(ScenarioError::ZeroBuffer);
+    }
+    if !(cfg.loss_injection >= 0.0 && cfg.loss_injection < 1.0) {
+        return Err(ScenarioError::LossOutOfRange {
+            loss: cfg.loss_injection,
+        });
+    }
+    if cfg.max_events == 0 {
+        return Err(ScenarioError::ZeroMaxEvents);
+    }
+    if cfg.nack_threshold == 0 {
+        return Err(ScenarioError::ZeroNackThreshold);
+    }
+    cfg.traffic.validate(hosts)?;
+    Ok(())
+}
+
+fn slugify(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut dash = false;
+    for c in name.chars() {
+        let c = c.to_ascii_lowercase();
+        if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+            out.push(c);
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    let out = out.trim_matches('-').to_string();
+    if out.is_empty() {
+        "scenario".to_string()
+    } else {
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Name tables (enum-like string fields)
+// ---------------------------------------------------------------------
+
+macro_rules! name_table {
+    ($ty:ty, $names:ident, $to:ident, $from:ident, [$(($variant:path, $name:literal)),+ $(,)?]) => {
+        const $names: &[&str] = &[$($name),+];
+
+        fn $to(v: $ty) -> &'static str {
+            match v {
+                $($variant => $name,)+
+            }
+        }
+
+        fn $from(s: &str, field: &str) -> Result<$ty, ScenarioError> {
+            match s {
+                $($name => Ok($variant),)+
+                _ => Err(ScenarioError::UnknownName {
+                    field: field.to_string(),
+                    found: s.to_string(),
+                    expected: $names,
+                }),
+            }
+        }
+    };
+}
+
+name_table!(
+    TransportKind,
+    TRANSPORT_NAMES,
+    transport_name,
+    transport_from,
+    [
+        (TransportKind::Irn, "irn"),
+        (TransportKind::Roce, "roce"),
+        (TransportKind::IrnGoBackN, "irn_go_back_n"),
+        (TransportKind::IrnNoBdpFc, "irn_no_bdp_fc"),
+        (TransportKind::IwarpTcp, "iwarp_tcp"),
+    ]
+);
+
+name_table!(
+    CcKind,
+    CC_NAMES,
+    cc_name,
+    cc_from,
+    [
+        (CcKind::None, "none"),
+        (CcKind::Timely, "timely"),
+        (CcKind::Dcqcn, "dcqcn"),
+        (CcKind::Aimd, "aimd"),
+        (CcKind::Dctcp, "dctcp"),
+    ]
+);
+
+name_table!(
+    LoadBalancing,
+    LB_NAMES,
+    lb_name,
+    lb_from,
+    [
+        (LoadBalancing::EcmpPerFlow, "ecmp_per_flow"),
+        (LoadBalancing::PacketSpray, "packet_spray"),
+    ]
+);
+
+name_table!(
+    Population,
+    POPULATION_NAMES,
+    population_name,
+    population_from,
+    [
+        (Population::Primary, "primary"),
+        (Population::Incast, "incast"),
+    ]
+);
+
+// ---------------------------------------------------------------------
+// Serialization (Scenario → Value)
+// ---------------------------------------------------------------------
+
+fn topology_to_json(t: TopologySpec) -> Value {
+    match t {
+        TopologySpec::FatTree(k) => {
+            tagged("fat_tree", Value::Object(vec![("k".into(), k.to_json())]))
+        }
+        TopologySpec::SingleSwitch(n) => tagged(
+            "single_switch",
+            Value::Object(vec![("hosts".into(), n.to_json())]),
+        ),
+        TopologySpec::Dumbbell(l, r) => tagged(
+            "dumbbell",
+            Value::Object(vec![
+                ("left".into(), l.to_json()),
+                ("right".into(), r.to_json()),
+            ]),
+        ),
+    }
+}
+
+fn sizes_to_json(s: SizeDistribution) -> Value {
+    match s {
+        SizeDistribution::HeavyTailed => "heavy_tailed".to_json(),
+        SizeDistribution::Uniform500KbTo5Mb => "uniform_500kb_to_5mb".to_json(),
+        SizeDistribution::Fixed(b) => tagged("fixed", b.to_json()),
+    }
+}
+
+fn start_to_json(s: Start) -> Value {
+    match s {
+        Start::Zero => "zero".to_json(),
+        Start::PriorMedian => "prior_median".to_json(),
+        Start::At(d) => tagged("at_ns", d.as_nanos().to_json()),
+    }
+}
+
+fn traffic_to_json(t: &TrafficModel) -> Value {
+    match t {
+        TrafficModel::Poisson {
+            load,
+            sizes,
+            flow_count,
+        } => tagged(
+            "poisson",
+            Value::Object(vec![
+                ("load".into(), load.to_json()),
+                ("sizes".into(), sizes_to_json(*sizes)),
+                ("flows".into(), flow_count.to_json()),
+            ]),
+        ),
+        TrafficModel::BurstyPoisson {
+            load,
+            sizes,
+            flow_count,
+            duty_cycle,
+            burst_flows,
+        } => tagged(
+            "bursty_poisson",
+            Value::Object(vec![
+                ("load".into(), load.to_json()),
+                ("sizes".into(), sizes_to_json(*sizes)),
+                ("flows".into(), flow_count.to_json()),
+                ("duty_cycle".into(), duty_cycle.to_json()),
+                ("burst_flows".into(), burst_flows.to_json()),
+            ]),
+        ),
+        TrafficModel::Incast { m, total_bytes } => tagged(
+            "incast",
+            Value::Object(vec![
+                ("m".into(), m.to_json()),
+                ("total_bytes".into(), total_bytes.to_json()),
+            ]),
+        ),
+        TrafficModel::Shuffle {
+            flow_bytes,
+            rounds,
+            round_gap,
+        } => tagged(
+            "shuffle",
+            Value::Object(vec![
+                ("flow_bytes".into(), flow_bytes.to_json()),
+                ("rounds".into(), rounds.to_json()),
+                ("round_gap_ns".into(), round_gap.as_nanos().to_json()),
+            ]),
+        ),
+        TrafficModel::Explicit(flows) => tagged(
+            "explicit",
+            Value::Array(
+                flows
+                    .iter()
+                    .map(|f| {
+                        Value::Object(vec![
+                            ("src".into(), f.src.to_json()),
+                            ("dst".into(), f.dst.to_json()),
+                            ("bytes".into(), f.bytes.to_json()),
+                            ("at_ns".into(), f.at.as_nanos().to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        TrafficModel::Compose(parts) => tagged(
+            "compose",
+            Value::Array(
+                parts
+                    .iter()
+                    .map(|p| {
+                        Value::Object(vec![
+                            ("traffic".into(), traffic_to_json(&p.model)),
+                            ("population".into(), population_name(p.population).to_json()),
+                            ("seed_salt".into(), p.seed_salt.to_json()),
+                            ("start".into(), start_to_json(p.start)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    }
+}
+
+fn tagged(tag: &str, payload: Value) -> Value {
+    Value::Object(vec![(tag.to_string(), payload)])
+}
+
+// ---------------------------------------------------------------------
+// Parsing (Value → Scenario), strict: unknown fields are errors
+// ---------------------------------------------------------------------
+
+/// Reject fields outside `allowed` (typo protection; `path` prefixes
+/// the reported name).
+fn check_fields(v: &Value, allowed: &[&str], path: &str) -> Result<(), ScenarioError> {
+    let Value::Object(pairs) = v else {
+        return Err(DeError::expected("an object", v)
+            .in_field(path.trim_end_matches('.'))
+            .into());
+    };
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(ScenarioError::UnknownField {
+                field: format!("{path}{k}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A required field (missing is an error naming the path).
+fn req<T: Deserialize>(v: &Value, key: &str, path: &str) -> Result<T, ScenarioError> {
+    if v.get(key).is_none() {
+        return Err(ScenarioError::Field(DeError::new(format!(
+            "missing required field '{path}{key}'"
+        ))));
+    }
+    field(v, key, path)
+}
+
+/// An optional field with a default.
+fn opt<T: Deserialize>(v: &Value, key: &str, path: &str, default: T) -> Result<T, ScenarioError> {
+    if v.get(key).is_none() {
+        return Ok(default);
+    }
+    field(v, key, path)
+}
+
+fn field<T: Deserialize>(v: &Value, key: &str, path: &str) -> Result<T, ScenarioError> {
+    serde::de_field(v, key).map_err(|e| {
+        let mut e = e;
+        if !path.is_empty() {
+            e.path = format!("{path}{}", e.path);
+        }
+        ScenarioError::Field(e)
+    })
+}
+
+/// The single `{tag: payload}` pair of an externally tagged value.
+fn tag_of<'v>(v: &'v Value, path: &str) -> Result<(&'v str, &'v Value), ScenarioError> {
+    match v {
+        Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+        other => Err(ScenarioError::Field(
+            DeError::expected("an object with exactly one key", other)
+                .in_field(path.trim_end_matches('.')),
+        )),
+    }
+}
+
+fn parse_scenario(v: &Value) -> Result<Scenario, ScenarioError> {
+    check_fields(
+        v,
+        &[
+            "schema",
+            "name",
+            "topology",
+            "bandwidth_mbps",
+            "prop_delay_ns",
+            "buffer_bytes",
+            "pfc",
+            "transport",
+            "cc",
+            "traffic",
+            "seed",
+            "mtu",
+            "rto_high_ns",
+            "rto_low_ns",
+            "rto_low_n",
+            "extra_header",
+            "retx_fetch_delay_ns",
+            "loss_injection",
+            "load_balancing",
+            "nack_threshold",
+            "max_events",
+        ],
+        "",
+    )?;
+    let schema: String = req(v, "schema", "")?;
+    if schema != SCENARIO_SCHEMA {
+        return Err(ScenarioError::UnknownSchema { found: schema });
+    }
+    let name: String = req(v, "name", "")?;
+    let topology =
+        parse_topology(v.get("topology").ok_or_else(|| {
+            ScenarioError::Field(DeError::new("missing required field 'topology'"))
+        })?)?;
+    let traffic = parse_traffic(
+        v.get("traffic").ok_or_else(|| {
+            ScenarioError::Field(DeError::new("missing required field 'traffic'"))
+        })?,
+        "traffic.",
+    )?;
+
+    // Everything else defaults to the paper's §4.1 values.
+    let d = ExperimentConfig::paper_default(1000);
+    let bandwidth_mbps: u64 = opt(v, "bandwidth_mbps", "", d.bandwidth.as_mbps())?;
+    if bandwidth_mbps == 0 {
+        return Err(ScenarioError::ZeroBandwidth);
+    }
+    let cfg = ExperimentConfig {
+        topology,
+        bandwidth: irn_net::Bandwidth::from_mbps(bandwidth_mbps),
+        prop_delay: Duration::nanos(opt(v, "prop_delay_ns", "", d.prop_delay.as_nanos())?),
+        buffer_bytes: opt(v, "buffer_bytes", "", d.buffer_bytes)?,
+        pfc: opt(v, "pfc", "", d.pfc)?,
+        transport: transport_from(
+            &opt::<String>(v, "transport", "", transport_name(d.transport).to_string())?,
+            "transport",
+        )?,
+        cc: cc_from(
+            &opt::<String>(v, "cc", "", cc_name(d.cc).to_string())?,
+            "cc",
+        )?,
+        traffic,
+        seed: opt(v, "seed", "", d.seed)?,
+        mtu: opt(v, "mtu", "", d.mtu)?,
+        rto_high: opt::<Option<u64>>(v, "rto_high_ns", "", None)?.map(Duration::nanos),
+        rto_low: Duration::nanos(opt(v, "rto_low_ns", "", d.rto_low.as_nanos())?),
+        rto_low_n: opt(v, "rto_low_n", "", d.rto_low_n)?,
+        extra_header: opt(v, "extra_header", "", d.extra_header)?,
+        retx_fetch_delay: Duration::nanos(opt(
+            v,
+            "retx_fetch_delay_ns",
+            "",
+            d.retx_fetch_delay.as_nanos(),
+        )?),
+        loss_injection: opt(v, "loss_injection", "", d.loss_injection)?,
+        load_balancing: lb_from(
+            &opt::<String>(
+                v,
+                "load_balancing",
+                "",
+                lb_name(d.load_balancing).to_string(),
+            )?,
+            "load_balancing",
+        )?,
+        nack_threshold: opt(v, "nack_threshold", "", d.nack_threshold)?,
+        max_events: opt(v, "max_events", "", d.max_events)?,
+    };
+    Scenario::from_config(name, cfg)
+}
+
+fn parse_topology(v: &Value) -> Result<TopologySpec, ScenarioError> {
+    let (tag, payload) = tag_of(v, "topology.")?;
+    match tag {
+        "fat_tree" => {
+            check_fields(payload, &["k"], "topology.fat_tree.")?;
+            Ok(TopologySpec::FatTree(req(
+                payload,
+                "k",
+                "topology.fat_tree.",
+            )?))
+        }
+        "single_switch" => {
+            check_fields(payload, &["hosts"], "topology.single_switch.")?;
+            Ok(TopologySpec::SingleSwitch(req(
+                payload,
+                "hosts",
+                "topology.single_switch.",
+            )?))
+        }
+        "dumbbell" => {
+            check_fields(payload, &["left", "right"], "topology.dumbbell.")?;
+            Ok(TopologySpec::Dumbbell(
+                req(payload, "left", "topology.dumbbell.")?,
+                req(payload, "right", "topology.dumbbell.")?,
+            ))
+        }
+        other => Err(ScenarioError::UnknownName {
+            field: "topology".to_string(),
+            found: other.to_string(),
+            expected: &["fat_tree", "single_switch", "dumbbell"],
+        }),
+    }
+}
+
+fn parse_sizes(v: &Value, path: &str) -> Result<SizeDistribution, ScenarioError> {
+    match v {
+        Value::String(s) => match s.as_str() {
+            "heavy_tailed" => Ok(SizeDistribution::HeavyTailed),
+            "uniform_500kb_to_5mb" => Ok(SizeDistribution::Uniform500KbTo5Mb),
+            other => Err(ScenarioError::UnknownName {
+                field: path.trim_end_matches('.').to_string(),
+                found: other.to_string(),
+                expected: &["heavy_tailed", "uniform_500kb_to_5mb", "{\"fixed\": bytes}"],
+            }),
+        },
+        other => {
+            let (tag, payload) = tag_of(other, path)?;
+            if tag != "fixed" {
+                return Err(ScenarioError::UnknownName {
+                    field: path.trim_end_matches('.').to_string(),
+                    found: tag.to_string(),
+                    expected: &["heavy_tailed", "uniform_500kb_to_5mb", "{\"fixed\": bytes}"],
+                });
+            }
+            let bytes = u64::from_json(payload)
+                .map_err(|e| ScenarioError::Field(e.in_field(&format!("{path}fixed"))))?;
+            Ok(SizeDistribution::Fixed(bytes))
+        }
+    }
+}
+
+fn parse_start(v: &Value, path: &str) -> Result<Start, ScenarioError> {
+    match v {
+        Value::String(s) => match s.as_str() {
+            "zero" => Ok(Start::Zero),
+            "prior_median" => Ok(Start::PriorMedian),
+            other => Err(ScenarioError::UnknownName {
+                field: path.trim_end_matches('.').to_string(),
+                found: other.to_string(),
+                expected: &["zero", "prior_median", "{\"at_ns\": nanoseconds}"],
+            }),
+        },
+        other => {
+            let (tag, payload) = tag_of(other, path)?;
+            if tag != "at_ns" {
+                return Err(ScenarioError::UnknownName {
+                    field: path.trim_end_matches('.').to_string(),
+                    found: tag.to_string(),
+                    expected: &["zero", "prior_median", "{\"at_ns\": nanoseconds}"],
+                });
+            }
+            let ns = u64::from_json(payload)
+                .map_err(|e| ScenarioError::Field(e.in_field(&format!("{path}at_ns"))))?;
+            Ok(Start::At(Duration::nanos(ns)))
+        }
+    }
+}
+
+fn parse_traffic(v: &Value, path: &str) -> Result<TrafficModel, ScenarioError> {
+    let (tag, payload) = tag_of(v, path)?;
+    let p = format!("{path}{tag}.");
+    match tag {
+        "poisson" => {
+            check_fields(payload, &["load", "sizes", "flows"], &p)?;
+            Ok(TrafficModel::Poisson {
+                load: req(payload, "load", &p)?,
+                sizes: parse_sizes(
+                    payload.get("sizes").unwrap_or(&Value::Null),
+                    &format!("{}sizes.", p),
+                )?,
+                flow_count: req(payload, "flows", &p)?,
+            })
+        }
+        "bursty_poisson" => {
+            check_fields(
+                payload,
+                &["load", "sizes", "flows", "duty_cycle", "burst_flows"],
+                &p,
+            )?;
+            Ok(TrafficModel::BurstyPoisson {
+                load: req(payload, "load", &p)?,
+                sizes: parse_sizes(
+                    payload.get("sizes").unwrap_or(&Value::Null),
+                    &format!("{}sizes.", p),
+                )?,
+                flow_count: req(payload, "flows", &p)?,
+                duty_cycle: req(payload, "duty_cycle", &p)?,
+                burst_flows: req(payload, "burst_flows", &p)?,
+            })
+        }
+        "incast" => {
+            check_fields(payload, &["m", "total_bytes"], &p)?;
+            Ok(TrafficModel::Incast {
+                m: req(payload, "m", &p)?,
+                total_bytes: req(payload, "total_bytes", &p)?,
+            })
+        }
+        "shuffle" => {
+            check_fields(payload, &["flow_bytes", "rounds", "round_gap_ns"], &p)?;
+            Ok(TrafficModel::Shuffle {
+                flow_bytes: req(payload, "flow_bytes", &p)?,
+                rounds: req(payload, "rounds", &p)?,
+                round_gap: Duration::nanos(opt(payload, "round_gap_ns", &p, 0)?),
+            })
+        }
+        "explicit" => {
+            let items = payload.as_array().ok_or_else(|| {
+                ScenarioError::Field(
+                    DeError::expected("an array of flows", payload)
+                        .in_field(&format!("{path}explicit")),
+                )
+            })?;
+            let mut flows = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let fp = format!("{path}explicit.[{i}].");
+                check_fields(item, &["src", "dst", "bytes", "at_ns"], &fp)?;
+                flows.push(FlowSpec {
+                    src: req(item, "src", &fp)?,
+                    dst: req(item, "dst", &fp)?,
+                    bytes: req(item, "bytes", &fp)?,
+                    at: Time::from_nanos(opt(item, "at_ns", &fp, 0)?),
+                });
+            }
+            Ok(TrafficModel::Explicit(flows))
+        }
+        "compose" => {
+            let items = payload.as_array().ok_or_else(|| {
+                ScenarioError::Field(
+                    DeError::expected("an array of parts", payload)
+                        .in_field(&format!("{path}compose")),
+                )
+            })?;
+            let mut parts = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let pp = format!("{path}compose.[{i}].");
+                check_fields(item, &["traffic", "population", "seed_salt", "start"], &pp)?;
+                let model = parse_traffic(
+                    item.get("traffic").ok_or_else(|| {
+                        ScenarioError::Field(DeError::new(format!(
+                            "missing required field '{pp}traffic'"
+                        )))
+                    })?,
+                    &format!("{pp}traffic."),
+                )?;
+                let population = population_from(
+                    &opt::<String>(item, "population", &pp, "primary".to_string())?,
+                    &format!("{pp}population"),
+                )?;
+                let start = match item.get("start") {
+                    None => Start::Zero,
+                    Some(s) => parse_start(s, &format!("{pp}start."))?,
+                };
+                parts.push(Component {
+                    model,
+                    population,
+                    seed_salt: opt(item, "seed_salt", &pp, 0)?,
+                    start,
+                });
+            }
+            Ok(TrafficModel::Compose(parts))
+        }
+        other => Err(ScenarioError::UnknownName {
+            field: path.trim_end_matches('.').to_string(),
+            found: other.to_string(),
+            expected: &[
+                "poisson",
+                "bursty_poisson",
+                "incast",
+                "shuffle",
+                "explicit",
+                "compose",
+            ],
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irn_workload::TrafficCtx;
+
+    fn paper_scenario() -> Scenario {
+        Scenario::from_config("paper default", ExperimentConfig::paper_default(400)).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let s = paper_scenario();
+        let text = s.to_json_string();
+        let parsed = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_json_string(), text);
+    }
+
+    #[test]
+    fn minimal_document_fills_paper_defaults() {
+        let text = r#"{
+            "schema": "scenario-v1",
+            "name": "tiny",
+            "topology": {"single_switch": {"hosts": 4}},
+            "traffic": {"poisson": {"load": 0.5, "sizes": "heavy_tailed", "flows": 50}}
+        }"#;
+        let s = Scenario::from_json_str(text).unwrap();
+        let d = ExperimentConfig::paper_default(1);
+        assert_eq!(s.config().bandwidth, d.bandwidth);
+        assert_eq!(s.config().mtu, d.mtu);
+        assert_eq!(s.config().rto_low, d.rto_low);
+        assert_eq!(s.config().seed, d.seed);
+        assert_eq!(s.config().topology, TopologySpec::SingleSwitch(4));
+    }
+
+    #[test]
+    fn unknown_and_missing_fields_are_typed_errors() {
+        let unknown = r#"{
+            "schema": "scenario-v1",
+            "name": "x",
+            "topology": {"single_switch": {"hosts": 4}},
+            "traffic": {"poisson": {"laod": 0.5, "sizes": "heavy_tailed", "flows": 50}}
+        }"#;
+        match Scenario::from_json_str(unknown).unwrap_err() {
+            ScenarioError::UnknownField { field } => {
+                assert_eq!(field, "traffic.poisson.laod");
+            }
+            other => panic!("expected UnknownField, got {other:?}"),
+        }
+        let missing = r#"{
+            "schema": "scenario-v1",
+            "name": "x",
+            "topology": {"single_switch": {"hosts": 4}},
+            "traffic": {"poisson": {"load": 0.5, "sizes": "heavy_tailed"}}
+        }"#;
+        let err = Scenario::from_json_str(missing).unwrap_err();
+        assert!(
+            err.to_string().contains("traffic.poisson.flows"),
+            "error must name the missing field: {err}"
+        );
+        let bad_schema = r#"{"schema": "scenario-v2", "name": "x",
+            "topology": {"single_switch": {"hosts": 4}},
+            "traffic": {"poisson": {"load": 0.5, "sizes": "heavy_tailed", "flows": 5}}}"#;
+        assert!(matches!(
+            Scenario::from_json_str(bad_schema).unwrap_err(),
+            ScenarioError::UnknownSchema { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_the_issue_list() {
+        // load ∉ (0, 1]
+        let err = Scenario::builder("x")
+            .traffic(TrafficModel::Poisson {
+                load: 1.5,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: 10,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Traffic(TrafficError::LoadOutOfRange { .. })
+        ));
+        // M ≥ hosts
+        let err = Scenario::builder("x")
+            .topology(TopologySpec::SingleSwitch(8))
+            .traffic(TrafficModel::Incast {
+                m: 8,
+                total_bytes: 1000,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Traffic(TrafficError::IncastFanIn { m: 8, hosts: 8 })
+        ));
+        // odd fat-tree k
+        let err = Scenario::builder("x")
+            .topology(TopologySpec::FatTree(5))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::OddFatTree { k: 5 });
+        // mtu = 0
+        let err = Scenario::builder("x")
+            .configure(|c| c.mtu = 0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroMtu);
+        // empty name
+        assert_eq!(
+            Scenario::builder("").build().unwrap_err(),
+            ScenarioError::EmptyName
+        );
+        // zero bandwidth never reaches the panicking constructor
+        let err = Scenario::from_json_str(
+            r#"{"schema": "scenario-v1", "name": "x", "bandwidth_mbps": 0,
+                "topology": {"single_switch": {"hosts": 4}},
+                "traffic": {"poisson": {"load": 0.5, "sizes": "heavy_tailed", "flows": 5}}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroBandwidth);
+    }
+
+    #[test]
+    fn every_traffic_model_round_trips() {
+        let models = [
+            TrafficModel::Poisson {
+                load: 0.7,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: 100,
+            },
+            TrafficModel::BurstyPoisson {
+                load: 0.6,
+                sizes: SizeDistribution::Uniform500KbTo5Mb,
+                flow_count: 40,
+                duty_cycle: 0.25,
+                burst_flows: 8,
+            },
+            TrafficModel::Incast {
+                m: 3,
+                total_bytes: 1_000_000,
+            },
+            TrafficModel::Shuffle {
+                flow_bytes: 50_000,
+                rounds: 3,
+                round_gap: Duration::micros(10),
+            },
+            TrafficModel::Explicit(vec![FlowSpec {
+                src: 0,
+                dst: 1,
+                bytes: 777,
+                at: Time::from_nanos(42),
+            }]),
+            TrafficModel::incast_with_cross(3, 500_000, 0.5, SizeDistribution::Fixed(2000), 30),
+        ];
+        for model in models {
+            let s = Scenario::builder("model under test")
+                .topology(TopologySpec::SingleSwitch(6))
+                .traffic(model.clone())
+                .build()
+                .unwrap();
+            let text = s.to_json_string();
+            let parsed = Scenario::from_json_str(&text).unwrap();
+            assert_eq!(parsed.config().traffic, model, "{text}");
+            assert_eq!(parsed.to_json_string(), text);
+        }
+    }
+
+    #[test]
+    fn parsed_scenario_generates_identical_flows() {
+        let s = Scenario::builder("gen")
+            .topology(TopologySpec::SingleSwitch(6))
+            .traffic(TrafficModel::BurstyPoisson {
+                load: 0.5,
+                sizes: SizeDistribution::HeavyTailed,
+                flow_count: 60,
+                duty_cycle: 0.5,
+                burst_flows: 4,
+            })
+            .seed(9)
+            .build()
+            .unwrap();
+        let parsed = Scenario::from_json_str(&s.to_json_string()).unwrap();
+        let ctx = TrafficCtx {
+            hosts: 6,
+            line_rate_bps: 40e9,
+            seed: 9,
+        };
+        assert_eq!(
+            parsed.config().traffic.generate(&ctx),
+            s.config().traffic.generate(&ctx)
+        );
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        let s = Scenario::from_config("RoCE (PFC) + Timely/load=70%", ExperimentConfig::quick(10))
+            .unwrap();
+        assert_eq!(s.slug(), "roce-pfc-timely-load-70");
+        let plain = Scenario::from_config("fig1_irn", ExperimentConfig::quick(10)).unwrap();
+        assert_eq!(plain.slug(), "fig1_irn");
+    }
+}

@@ -203,8 +203,9 @@ pub fn unknown_names<'a>(wanted: &[&'a str]) -> Vec<&'a str> {
 /// it is reported on stderr and in the bench-trajectory JSON, never in
 /// the schema-v2 artifact envelopes.
 pub struct ArtifactTiming {
-    /// Artifact name (registry key).
-    pub name: &'static str,
+    /// Artifact name (registry key), or a scenario slug for
+    /// `repro run --scenario` batches.
+    pub name: String,
     /// Simulation cells the artifact contributed to the batch (0 for
     /// inline artifacts).
     pub cells: usize,
@@ -273,21 +274,41 @@ impl BatchRun {
 /// each cell is a pure function of its config, and each assembly is a
 /// pure function of its result slice.
 pub fn run_batched(selected: &[&Artifact], scale: Scale, harness: &Harness) -> BatchRun {
-    let mut plans: Vec<Option<Plan>> = selected.iter().map(|a| a.plan(scale)).collect();
+    let items = selected
+        .iter()
+        .map(|a| (a.name.to_string(), a.plan(scale)))
+        .collect();
+    run_plan_batch(items, |i| selected[i].run(scale, harness), harness)
+}
+
+/// The generic global-batch runner beneath [`run_batched`] (and beneath
+/// `repro run --scenario`): concatenate every item's planned cells into
+/// one submission-ordered batch, execute it once, then demux each
+/// item's slice back through its assembly. Items without a plan are
+/// produced by `inline(index)` *after* the batch, at their position in
+/// the output order.
+pub fn run_plan_batch(
+    items: Vec<(String, Option<Plan>)>,
+    inline: impl Fn(usize) -> Report,
+    harness: &Harness,
+) -> BatchRun {
+    let mut plans: Vec<(String, Option<Plan>)> = items;
     let mut batch = Vec::new();
-    for plan in plans.iter_mut().flatten() {
-        batch.append(&mut plan.take_cells());
+    for (_, plan) in &mut plans {
+        if let Some(plan) = plan {
+            batch.append(&mut plan.take_cells());
+        }
     }
     let cell_count = batch.len();
     let t = std::time::Instant::now();
     let mut results = harness.run_timed(&batch).into_iter();
     let batch_time = t.elapsed();
     let mut total_events = 0u64;
-    let mut timing = Vec::with_capacity(selected.len());
-    let reports = selected
-        .iter()
-        .zip(plans.iter_mut())
-        .map(|(artifact, plan)| match plan.take() {
+    let mut timing = Vec::with_capacity(plans.len());
+    let reports = plans
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, plan))| match plan {
             Some(plan) => {
                 let n = plan.cell_count();
                 let mut events = 0u64;
@@ -303,7 +324,7 @@ pub fn run_batched(selected: &[&Artifact], scale: Scale, harness: &Harness) -> B
                     .collect();
                 total_events += events;
                 timing.push(ArtifactTiming {
-                    name: artifact.name,
+                    name,
                     cells: n,
                     events,
                     cell_wall,
@@ -312,12 +333,12 @@ pub fn run_batched(selected: &[&Artifact], scale: Scale, harness: &Harness) -> B
             }
             None => {
                 timing.push(ArtifactTiming {
-                    name: artifact.name,
+                    name,
                     cells: 0,
                     events: 0,
                     cell_wall: std::time::Duration::ZERO,
                 });
-                artifact.run(scale, harness)
+                inline(i)
             }
         })
         .collect();
@@ -445,15 +466,23 @@ pub fn verify_artifact_json(name: &str, text: &str) -> Result<(), String> {
     if !["replicated", "deterministic", "timing"].contains(&class) {
         return Err(schema_err(name, format!("unknown determinism '{class}'")));
     }
-    if let Some(artifact) = find(name) {
-        if class != artifact.determinism.as_str() {
-            return Err(schema_err(
-                name,
-                format!(
-                    "determinism '{class}' does not match the registry's '{}'",
-                    artifact.determinism.as_str()
-                ),
-            ));
+    // Scenario-run envelopes (marked by the embedded scenario document
+    // and `scale: "scenario"`) are named after the *scenario*, so a
+    // name that happens to match a registry artifact must not be held
+    // to that artifact's determinism class.
+    let is_scenario_envelope =
+        v.get("scenario").is_some() && v.get("scale").and_then(Value::as_str) == Some("scenario");
+    if !is_scenario_envelope {
+        if let Some(artifact) = find(name) {
+            if class != artifact.determinism.as_str() {
+                return Err(schema_err(
+                    name,
+                    format!(
+                        "determinism '{class}' does not match the registry's '{}'",
+                        artifact.determinism.as_str()
+                    ),
+                ));
+            }
         }
     }
     let Some(report) = v.get("report") else {

@@ -1,55 +1,146 @@
-//! `repro` — regenerate the paper's figures and tables.
+//! `repro` — regenerate the paper's figures and tables, and run
+//! arbitrary user scenarios.
 //!
 //! ```text
-//! repro [--full] [--seeds N] [--jobs N] [--json DIR] [--timing-json FILE] <artifact>... | all
-//! repro [--full] [--seeds N] --list     # registry: name, class, seeds, cells
-//! repro --verify-json DIR               # validate an emitted JSON directory
+//! repro [flags] <artifact>... | all        regenerate registry artifacts
+//! repro run [flags] --scenario FILE...     execute scenario-v1 files
+//! repro emit-scenario <artifact>... --json DIR
+//!                                          dump an artifact's cells as
+//!                                          editable scenario files
+//! repro diff-timing OLD.json NEW.json      compare two bench-trajectory
+//!                                          files, warn on drift
+//! repro [flags] --list                     registry: name, class, seeds, cells
+//! repro --verify-json DIR                  validate an emitted JSON directory
 //! ```
 //!
 //! Quick scale runs a k=4 fat-tree (16 hosts) with hundreds of flows —
 //! seconds per artifact. `--full` runs the paper's k=6/54-host default
-//! with thousands of flows. Poisson-workload artifacts replicate every
-//! cell over `--seeds` seeds (default 5) and report mean ± ci95.
+//! with thousands of flows. Poisson-workload artifacts and scenario
+//! runs replicate every cell over `--seeds` seeds (default 5) and
+//! report mean ± ci95.
 //!
-//! All requested artifacts are scheduled as **one global batch**: every
-//! simulation cell of every artifact goes to the `--jobs` workers
+//! All requested artifacts (or scenarios) are scheduled as **one global
+//! batch**: every simulation cell goes to the `--jobs` workers
 //! (default: all cores) in a single submission-ordered queue, so the
 //! pool never drains between artifacts. Reports still print in
 //! presentation order and are byte-identical at any job count.
 //! `--json DIR` additionally writes one schema-versioned JSON file per
-//! artifact (format: docs/SCHEMA.md).
+//! artifact or scenario (format: docs/SCHEMA.md; scenario files:
+//! docs/SCENARIOS.md).
 //!
 //! Timing is determinism-class `timing` and stays out of the artifact
 //! envelopes: per-artifact and batch-wide events/sec go to **stderr**,
 //! and `--timing-json FILE` writes the same observations as a
-//! `bench-trajectory-v1` JSON (per-artifact cells/events/CPU-seconds/
-//! events-per-sec) for the CI's BENCH trend line.
+//! `bench-trajectory-v1` JSON for the CI's BENCH trend line;
+//! `diff-timing` compares two such files (warn-only, for CI
+//! annotations).
 //!
-//! Exit codes: 0 success, 1 verification failure, 2 usage error
-//! (including unknown artifact names).
+//! Exit codes: 0 success, 1 verification failure, 2 usage error —
+//! including unknown artifact names, unknown flags, and invalid
+//! scenario files (every user-reachable config mistake is a typed
+//! `ScenarioError`, never a panic).
+//!
+//! The usage text, flag parsing, and flag error messages all derive
+//! from one [`FLAGS`] table, so they cannot drift as modes are added.
 
-use irn_experiments::artifacts::{self, ARTIFACTS};
-use irn_experiments::{Harness, Scale};
+use irn_core::Scenario;
+use irn_experiments::artifacts::{self, BatchRun, ARTIFACTS};
+use irn_experiments::{scenario_json, scenario_plan, Harness, Scale};
+use serde::json::{self, Value};
 use std::path::{Path, PathBuf};
 
-struct Args {
-    full: bool,
-    seeds: Option<usize>,
-    jobs: Option<usize>,
-    json_dir: Option<PathBuf>,
-    timing_json: Option<PathBuf>,
-    list: bool,
-    verify_dir: Option<PathBuf>,
-    wanted: Vec<String>,
+// ---------------------------------------------------------------------
+// The flag table: single source for usage text, parsing, and errors
+// ---------------------------------------------------------------------
+
+/// One command-line flag: its spelling, value shape, and help line.
+struct FlagSpec {
+    name: &'static str,
+    /// `Some(metavar)` when the flag consumes a value.
+    metavar: Option<&'static str>,
+    help: &'static str,
 }
 
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--full",
+        metavar: None,
+        help: "paper scale (k=6 fat-tree, 54 hosts) instead of quick",
+    },
+    FlagSpec {
+        name: "--seeds",
+        metavar: Some("N"),
+        help: "seed replicates per Poisson/scenario cell (default 5)",
+    },
+    FlagSpec {
+        name: "--jobs",
+        metavar: Some("N"),
+        help: "worker threads for the global batch (default: all cores)",
+    },
+    FlagSpec {
+        name: "--json",
+        metavar: Some("DIR"),
+        help: "write one schema-v2 JSON envelope per report into DIR",
+    },
+    FlagSpec {
+        name: "--timing-json",
+        metavar: Some("FILE"),
+        help: "write bench-trajectory-v1 throughput JSON to FILE",
+    },
+    FlagSpec {
+        name: "--scenario",
+        metavar: Some("FILE"),
+        help: "(run mode) scenario-v1 file to execute; repeatable",
+    },
+    FlagSpec {
+        name: "--drift-pct",
+        metavar: Some("P"),
+        help: "(diff-timing mode) warning threshold in percent (default 20)",
+    },
+    FlagSpec {
+        name: "--list",
+        metavar: None,
+        help: "print the artifact registry and exit",
+    },
+    FlagSpec {
+        name: "--verify-json",
+        metavar: Some("DIR"),
+        help: "validate every *.json envelope in DIR and exit",
+    },
+];
+
+const MODES: &[(&str, &str)] = &[
+    (
+        "repro [flags] <artifact>... | all",
+        "regenerate registry artifacts",
+    ),
+    (
+        "repro run [flags] --scenario FILE...",
+        "execute scenario-v1 files (positional FILEs work too)",
+    ),
+    (
+        "repro emit-scenario <artifact>... --json DIR",
+        "dump an artifact's logical cells as editable scenario files",
+    ),
+    (
+        "repro diff-timing OLD.json NEW.json",
+        "compare bench-trajectory files; warn on events/sec drift",
+    ),
+];
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: repro [--full] [--seeds N] [--jobs N] [--json DIR] [--timing-json FILE] \
-         <artifact>... | all"
-    );
-    eprintln!("       repro [--full] [--seeds N] --list");
-    eprintln!("       repro --verify-json DIR");
+    eprintln!("usage:");
+    for (synopsis, what) in MODES {
+        eprintln!("  {synopsis:<44} {what}");
+    }
+    eprintln!("flags:");
+    for f in FLAGS {
+        let head = match f.metavar {
+            Some(m) => format!("{} {m}", f.name),
+            None => f.name.to_string(),
+        };
+        eprintln!("  {head:<20} {}", f.help);
+    }
     eprintln!("artifacts:");
     for chunk in ARTIFACTS.chunks(8) {
         let names: Vec<&str> = chunk.iter().map(|a| a.name).collect();
@@ -58,81 +149,241 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Every malformed-flag path funnels through here: message, usage,
+/// exit(2).
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    usage();
+}
+
+/// A user-input error where repeating the usage text would bury the
+/// message (bad scenario file, unreadable input): message, exit(2).
+fn fail_input(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Flags each subcommand accepts. A supplied flag outside its mode's
+/// set is a usage error — never silently ignored (a dropped
+/// `--timing-json` would read as "timing was captured" when it
+/// wasn't). The default artifact mode accepts everything except the
+/// entries here marked mode-specific.
+const MODE_FLAGS: &[(&str, &[&str])] = &[
+    (
+        "run",
+        &[
+            "--full",
+            "--seeds",
+            "--jobs",
+            "--json",
+            "--timing-json",
+            "--scenario",
+        ],
+    ),
+    ("emit-scenario", &["--full", "--seeds", "--json"]),
+    ("diff-timing", &["--drift-pct"]),
+];
+
+/// Flags only meaningful inside a specific subcommand; rejected in the
+/// default artifact mode.
+const SUBCOMMAND_ONLY_FLAGS: &[&str] = &["--scenario", "--drift-pct"];
+
+#[derive(Default)]
+struct Args {
+    full: bool,
+    seeds: Option<usize>,
+    jobs: Option<usize>,
+    json_dir: Option<PathBuf>,
+    timing_json: Option<PathBuf>,
+    scenarios: Vec<PathBuf>,
+    drift_pct: Option<f64>,
+    list: bool,
+    verify_dir: Option<PathBuf>,
+    positionals: Vec<String>,
+    /// Names of the flags actually supplied, for per-mode validation.
+    supplied: Vec<&'static str>,
+}
+
+impl Args {
+    /// Reject supplied flags outside `allowed` (the active mode's set).
+    fn restrict_flags(&self, mode: &str, allowed: &[&str]) {
+        for f in &self.supplied {
+            if !allowed.contains(f) {
+                fail(format_args!("{f} does not apply to the '{mode}' mode"));
+            }
+        }
+    }
+}
+
 fn parse_args() -> Args {
-    let mut args = Args {
-        full: false,
-        seeds: None,
-        jobs: None,
-        json_dir: None,
-        timing_json: None,
-        list: false,
-        verify_dir: None,
-        wanted: Vec::new(),
-    };
+    let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        match arg.as_str() {
+        if !arg.starts_with("--") {
+            args.positionals.push(arg);
+            continue;
+        }
+        let Some(spec) = FLAGS.iter().find(|f| f.name == arg) else {
+            fail(format_args!("unknown flag '{arg}'"));
+        };
+        args.supplied.push(spec.name);
+        let value = spec.metavar.map(|m| {
+            it.next()
+                .unwrap_or_else(|| fail(format_args!("{} needs {m}", spec.name)))
+        });
+        match spec.name {
             "--full" => args.full = true,
             "--list" => args.list = true,
-            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => args.jobs = Some(n),
-                _ => {
-                    eprintln!("error: --jobs needs a positive integer");
-                    usage();
-                }
-            },
-            "--seeds" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => args.seeds = Some(n),
-                _ => {
-                    eprintln!("error: --seeds needs a positive integer");
-                    usage();
-                }
-            },
-            "--json" => match it.next() {
-                Some(dir) => args.json_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("error: --json needs a directory");
-                    usage();
-                }
-            },
-            "--timing-json" => match it.next() {
-                Some(file) => args.timing_json = Some(PathBuf::from(file)),
-                None => {
-                    eprintln!("error: --timing-json needs a file path");
-                    usage();
-                }
-            },
-            "--verify-json" => match it.next() {
-                Some(dir) => args.verify_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("error: --verify-json needs a directory");
-                    usage();
-                }
-            },
-            flag if flag.starts_with("--") => {
-                eprintln!("error: unknown flag '{flag}'");
-                usage();
+            "--seeds" => args.seeds = Some(positive_int(spec, &value.unwrap())),
+            "--jobs" => args.jobs = Some(positive_int(spec, &value.unwrap())),
+            "--json" => args.json_dir = Some(PathBuf::from(value.unwrap())),
+            "--timing-json" => args.timing_json = Some(PathBuf::from(value.unwrap())),
+            "--scenario" => args.scenarios.push(PathBuf::from(value.unwrap())),
+            "--drift-pct" => {
+                let v = value.unwrap();
+                args.drift_pct = Some(v.parse::<f64>().ok().filter(|p| *p > 0.0).unwrap_or_else(
+                    || {
+                        fail(format_args!(
+                            "{} needs a positive number, got '{v}'",
+                            spec.name
+                        ))
+                    },
+                ));
             }
-            name => args.wanted.push(name.to_string()),
+            "--verify-json" => args.verify_dir = Some(PathBuf::from(value.unwrap())),
+            other => unreachable!("flag '{other}' in table but not dispatched"),
         }
     }
     args
 }
 
-/// Check that every artifact exists in `dir` as parsable,
-/// schema-conforming JSON. Prints one line per problem; failure
+fn positive_int(spec: &FlagSpec, v: &str) -> usize {
+    v.parse::<usize>()
+        .ok()
+        .filter(|n| *n >= 1)
+        .unwrap_or_else(|| {
+            fail(format_args!(
+                "{} needs a positive integer, got '{v}'",
+                spec.name
+            ))
+        })
+}
+
+// ---------------------------------------------------------------------
+// Shared output plumbing
+// ---------------------------------------------------------------------
+
+/// Create the output locations **before** the batch runs: discovering
+/// an unwritable `--json` directory only after a paper-scale batch
+/// would throw the whole computation away.
+fn prepare_output_paths(args: &Args) {
+    let mut dirs: Vec<&Path> = Vec::new();
+    if let Some(dir) = &args.json_dir {
+        dirs.push(dir);
+    }
+    if let Some(parent) = args
+        .timing_json
+        .as_deref()
+        .and_then(Path::parent)
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        dirs.push(parent);
+    }
+    for dir in dirs {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn write_file(path: &Path, text: &str) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+/// The global-batch stderr summary line plus the optional
+/// bench-trajectory JSON file.
+fn report_batch_timing(
+    batch: &BatchRun,
+    what: &str,
+    count: usize,
+    started: std::time::Instant,
+    harness: &Harness,
+    scale: &Scale,
+    timing_json: Option<&Path>,
+) {
+    eprintln!(
+        "   [global batch: {} cells across {} {what}: batch {:.1?}, total {:.1?}, jobs={}, \
+         {} events, {:.2} Mev/s]",
+        batch.cell_count,
+        count,
+        batch.batch_time,
+        started.elapsed(),
+        harness.jobs(),
+        batch.total_events,
+        batch.events_per_sec() / 1e6,
+    );
+    if let Some(file) = timing_json {
+        write_file(file, &artifacts::timing_json(batch, scale, harness.jobs()));
+    }
+}
+
+fn per_report_stderr(name: &str, class: &str, seeds: usize, timing: &artifacts::ArtifactTiming) {
+    if timing.cells > 0 {
+        eprintln!(
+            "   [{name}: {class} over {seeds} seed(s); {} cells, {} events, {:.2} Mev/s]",
+            timing.cells,
+            timing.events,
+            timing.events_per_sec() / 1e6,
+        );
+    } else {
+        eprintln!("   [{name}: {class} over {seeds} seed(s)]");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Modes
+// ---------------------------------------------------------------------
+
+/// Validate every `*.json` file in `dir` (registry artifacts and
+/// scenario-run envelopes alike). Prints one line per file; failure
 /// messages reference docs/SCHEMA.md.
 fn verify_json_dir(dir: &Path) -> i32 {
+    let entries = match std::fs::read_dir(dir) {
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", dir.display());
+            return 1;
+        }
+        Ok(rd) => rd,
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("error: no .json files in {}", dir.display());
+        return 1;
+    }
     let mut failures = 0;
-    for artifact in ARTIFACTS {
-        let path = dir.join(format!("{}.json", artifact.name));
-        let outcome = match std::fs::read_to_string(&path) {
-            Err(e) => Err(format!(
-                "{}: cannot read {}: {e}",
-                artifact.name,
-                path.display()
-            )),
-            Ok(text) => artifacts::verify_artifact_json(artifact.name, &text),
+    for path in &paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let outcome = match std::fs::read_to_string(path) {
+            Err(e) => Err(format!("{name}: cannot read {}: {e}", path.display())),
+            Ok(text) => artifacts::verify_artifact_json(&name, &text),
         };
         match outcome {
             Ok(()) => println!("ok   {}", path.display()),
@@ -144,7 +395,7 @@ fn verify_json_dir(dir: &Path) -> i32 {
     }
     if failures > 0 {
         eprintln!(
-            "{failures} artifact(s) missing, unparsable, or schema-mismatched in {} \
+            "{failures} file(s) unparsable or schema-mismatched in {} \
              (schema reference: docs/SCHEMA.md)",
             dir.display()
         );
@@ -179,14 +430,276 @@ fn list_artifacts(scale: Scale) {
     }
 }
 
+/// Registry-artifact mode: the classic `repro <artifact>... | all`.
+fn artifact_mode(args: &Args, scale: Scale) {
+    if args.positionals.is_empty() {
+        usage();
+    }
+    // Fail loudly on misspelled artifact names instead of silently
+    // printing nothing.
+    let wanted: Vec<&str> = args.positionals.iter().map(String::as_str).collect();
+    let unknown = artifacts::unknown_names(&wanted);
+    if !unknown.is_empty() {
+        for name in &unknown {
+            eprintln!("error: unknown artifact '{name}'");
+        }
+        usage();
+    }
+
+    prepare_output_paths(args);
+    let harness = args.jobs.map_or_else(Harness::auto, Harness::new);
+    let all = wanted.contains(&"all");
+    let selected: Vec<&artifacts::Artifact> = ARTIFACTS
+        .iter()
+        .filter(|a| all || wanted.contains(&a.name))
+        .collect();
+
+    // One global batch across every selected artifact: all simulation
+    // cells interleave on the worker pool, then reports assemble and
+    // print in presentation order (byte-identical to sequential runs).
+    let t = std::time::Instant::now();
+    let batch = artifacts::run_batched(&selected, scale, &harness);
+    report_batch_timing(
+        &batch,
+        "artifact(s)",
+        selected.len(),
+        t,
+        &harness,
+        &scale,
+        args.timing_json.as_deref(),
+    );
+
+    for ((artifact, rep), timing) in selected.iter().zip(&batch.reports).zip(&batch.timing) {
+        // Reports go to stdout; progress/timing to stderr so stdout
+        // stays byte-identical run to run (for deterministic artifacts).
+        print!("{}", rep.render());
+        println!();
+        per_report_stderr(
+            artifact.name,
+            artifact.determinism.as_str(),
+            artifact.seed_count(&scale),
+            timing,
+        );
+        if let Some(dir) = &args.json_dir {
+            let text = artifacts::artifact_json(artifact, &scale, rep);
+            write_file(&dir.join(format!("{}.json", artifact.name)), &text);
+        }
+    }
+}
+
+/// `repro run --scenario FILE...`: execute user scenarios through the
+/// same global batch executor the registry uses.
+fn run_scenarios_mode(args: &Args, scale: Scale) {
+    let mut files: Vec<PathBuf> = args.positionals[1..].iter().map(PathBuf::from).collect();
+    files.extend(args.scenarios.iter().cloned());
+    if files.is_empty() {
+        fail("run mode needs at least one scenario file (--scenario FILE or positional)");
+    }
+
+    let mut scenarios = Vec::with_capacity(files.len());
+    let mut slugs: Vec<String> = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| fail_input(format_args!("cannot read {}: {e}", file.display())));
+        let scenario = Scenario::from_json_str(&text)
+            .unwrap_or_else(|e| fail_input(format_args!("{}: {e}", file.display())));
+        let slug = scenario.slug();
+        if slugs.contains(&slug) {
+            fail_input(format_args!(
+                "{}: scenario name '{}' collides with an earlier file (slug '{slug}')",
+                file.display(),
+                scenario.name()
+            ));
+        }
+        slugs.push(slug);
+        scenarios.push(scenario);
+    }
+
+    prepare_output_paths(args);
+    let harness = args.jobs.map_or_else(Harness::auto, Harness::new);
+    let seeds = args.seeds.unwrap_or(scale.seeds);
+    let items: Vec<(String, Option<_>)> = scenarios
+        .iter()
+        .zip(&slugs)
+        .map(|(s, slug)| (slug.clone(), Some(scenario_plan(s, seeds))))
+        .collect();
+
+    let t = std::time::Instant::now();
+    let batch =
+        artifacts::run_plan_batch(items, |i| unreachable!("scenario {i} has a plan"), &harness);
+    report_batch_timing(
+        &batch,
+        "scenario(s)",
+        scenarios.len(),
+        t,
+        &harness,
+        &scale,
+        args.timing_json.as_deref(),
+    );
+
+    for ((scenario, rep), timing) in scenarios.iter().zip(&batch.reports).zip(&batch.timing) {
+        print!("{}", rep.render());
+        println!();
+        per_report_stderr(&scenario.slug(), "replicated", seeds, timing);
+        if let Some(dir) = &args.json_dir {
+            let text = scenario_json(scenario, seeds, rep);
+            write_file(&dir.join(format!("{}.json", scenario.slug())), &text);
+        }
+    }
+}
+
+/// `repro emit-scenario <artifact>... --json DIR`: dump each selected
+/// artifact's logical cells (the seed-replicate fan-out deduplicated
+/// away) as editable scenario-v1 files.
+fn emit_scenario_mode(args: &Args, scale: Scale) {
+    let wanted: Vec<&str> = args.positionals[1..].iter().map(String::as_str).collect();
+    if wanted.is_empty() {
+        fail("emit-scenario needs artifact names (or 'all')");
+    }
+    let unknown = artifacts::unknown_names(&wanted);
+    if !unknown.is_empty() {
+        for name in &unknown {
+            eprintln!("error: unknown artifact '{name}'");
+        }
+        usage();
+    }
+    let Some(dir) = &args.json_dir else {
+        fail("emit-scenario needs --json DIR for the output directory");
+    };
+
+    let all = wanted.contains(&"all");
+    let selected: Vec<&artifacts::Artifact> = ARTIFACTS
+        .iter()
+        .filter(|a| all || wanted.contains(&a.name))
+        .collect();
+    for artifact in selected {
+        let Some(plan) = artifact.plan(scale) else {
+            eprintln!(
+                "   [{}: inline artifact (no simulation cells), nothing to emit]",
+                artifact.name
+            );
+            continue;
+        };
+        // The plan's cells are the seed-replicate fan-out; keep one
+        // cell per logical cell (same label and same config apart from
+        // the seed ⇒ same logical cell, first/base seed wins).
+        let mut logical: Vec<&irn_harness::Cell> = Vec::new();
+        for cell in plan.cells() {
+            let dup = logical.iter().any(|kept| {
+                kept.label() == cell.label()
+                    && kept.config().clone().with_seed(0) == cell.config().clone().with_seed(0)
+            });
+            if !dup {
+                logical.push(cell);
+            }
+        }
+        for (i, cell) in logical.iter().enumerate() {
+            // Re-name each emitted scenario uniquely (artifact + cell
+            // index + label): several cells of one artifact may share a
+            // display label (fig9's are all "incast"), and `repro run`
+            // rejects scenario-name collisions — emitted sets must run
+            // back as a batch unedited. File stem == slug(name).
+            let scenario = cell
+                .scenario()
+                .with_name(format!("{}-{i:02} {}", artifact.name, cell.label()))
+                .expect("artifact names are nonempty");
+            let path = dir.join(format!("{}.json", scenario.slug()));
+            write_file(&path, &scenario.to_json_string());
+        }
+        eprintln!(
+            "   [{}: wrote {} scenario file(s) to {}]",
+            artifact.name,
+            logical.len(),
+            dir.display()
+        );
+    }
+}
+
+/// `repro diff-timing OLD NEW`: per-artifact events/sec drift between
+/// two bench-trajectory-v1 files. Warn-only: always exits 0; drift
+/// beyond the threshold prints a GitHub `::warning` annotation.
+fn diff_timing_mode(args: &Args) {
+    let rest = &args.positionals[1..];
+    if rest.len() != 2 {
+        fail("diff-timing needs exactly two bench-trajectory JSON files (old, new)");
+    }
+    let threshold = args.drift_pct.unwrap_or(20.0);
+    let load = |path: &str| -> Vec<(String, f64)> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail_input(format_args!("cannot read {path}: {e}")));
+        let v = json::from_str(&text).unwrap_or_else(|e| fail_input(format_args!("{path}: {e}")));
+        if v.get("schema").and_then(Value::as_str) != Some("bench-trajectory-v1") {
+            fail_input(format_args!("{path}: not a bench-trajectory-v1 file"));
+        }
+        let mut out = vec![(
+            "(batch)".to_string(),
+            v.get("events_per_sec")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+        )];
+        for row in v.get("artifacts").and_then(Value::as_array).unwrap_or(&[]) {
+            let (Some(name), Some(eps)) = (
+                row.get("artifact").and_then(Value::as_str),
+                row.get("events_per_sec").and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            out.push((name.to_string(), eps));
+        }
+        out
+    };
+    let old = load(&rest[0]);
+    let new = load(&rest[1]);
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}   (warn beyond ±{threshold}%)",
+        "artifact", "old Mev/s", "new Mev/s", "drift"
+    );
+    for (name, new_eps) in &new {
+        let Some((_, old_eps)) = old.iter().find(|(n, _)| n == name) else {
+            println!(
+                "{name:<16} {:>12} {:>12.2} {:>9}",
+                "-",
+                new_eps / 1e6,
+                "new"
+            );
+            continue;
+        };
+        if *old_eps <= 0.0 || *new_eps <= 0.0 {
+            // Inline artifacts contribute no cells; nothing to compare.
+            continue;
+        }
+        let drift = (new_eps - old_eps) / old_eps * 100.0;
+        println!(
+            "{name:<16} {:>12.2} {:>12.2} {:>+8.1}%",
+            old_eps / 1e6,
+            new_eps / 1e6,
+            drift
+        );
+        if drift.abs() > threshold {
+            // GitHub Actions annotation; warn-only by design — timing
+            // on shared CI runners is noisy, a human judges the trend.
+            println!(
+                "::warning title=bench drift::{name} events/sec changed {drift:+.1}% \
+                 ({:.2} -> {:.2} Mev/s)",
+                old_eps / 1e6,
+                new_eps / 1e6
+            );
+        }
+    }
+    for (name, _) in &old {
+        if !new.iter().any(|(n, _)| n == name) {
+            println!("{name:<16} {:>12} {:>12} {:>9}", "-", "-", "gone");
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
 
-    // Timing output only exists for artifact runs; accepting the flag
-    // in --list/--verify-json modes would silently never write it.
+    // Timing output only exists for batch runs; accepting the flag in
+    // --list/--verify-json modes would silently never write it.
     if args.timing_json.is_some() && (args.list || args.verify_dir.is_some()) {
-        eprintln!("error: --timing-json requires running artifacts (not --list/--verify-json)");
-        usage();
+        fail("--timing-json requires running artifacts or scenarios (not --list/--verify-json)");
     }
 
     if let Some(dir) = &args.verify_dir {
@@ -206,99 +719,26 @@ fn main() {
         list_artifacts(scale);
         return;
     }
-    if args.wanted.is_empty() {
-        usage();
-    }
 
-    // Fail loudly on misspelled artifact names instead of silently
-    // printing nothing.
-    let wanted: Vec<&str> = args.wanted.iter().map(String::as_str).collect();
-    let unknown = artifacts::unknown_names(&wanted);
-    if !unknown.is_empty() {
-        for name in &unknown {
-            eprintln!("error: unknown artifact '{name}'");
-        }
-        usage();
-    }
-
-    let harness = args.jobs.map_or_else(Harness::auto, Harness::new);
-    let all = wanted.contains(&"all");
-    let selected: Vec<&artifacts::Artifact> = ARTIFACTS
-        .iter()
-        .filter(|a| all || wanted.contains(&a.name))
-        .collect();
-
-    if let Some(dir) = &args.json_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: cannot create {}: {e}", dir.display());
-            std::process::exit(1);
-        }
-    }
-
-    // One global batch across every selected artifact: all simulation
-    // cells interleave on the worker pool, then reports assemble and
-    // print in presentation order (byte-identical to sequential runs).
-    let t = std::time::Instant::now();
-    let batch = artifacts::run_batched(&selected, scale, &harness);
-    // Batch time covers the executor pass only; the total additionally
-    // includes the inline CPU-timing artifacts and report assembly.
-    // The events/sec figure is the scheduler-throughput number the
-    // BENCH trend line tracks (wall-clock class: stderr only).
-    eprintln!(
-        "   [global batch: {} cells across {} artifact(s): batch {:.1?}, total {:.1?}, jobs={}, \
-         {} events, {:.2} Mev/s]",
-        batch.cell_count,
-        selected.len(),
-        batch.batch_time,
-        t.elapsed(),
-        harness.jobs(),
-        batch.total_events,
-        batch.events_per_sec() / 1e6,
-    );
-    if let Some(file) = &args.timing_json {
-        if let Some(dir) = file.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: cannot create {}: {e}", dir.display());
-                std::process::exit(1);
+    match args.positionals.first().map(String::as_str) {
+        Some(mode) if MODE_FLAGS.iter().any(|(m, _)| *m == mode) => {
+            let (_, allowed) = MODE_FLAGS.iter().find(|(m, _)| *m == mode).unwrap();
+            args.restrict_flags(mode, allowed);
+            match mode {
+                "run" => run_scenarios_mode(&args, scale),
+                "emit-scenario" => emit_scenario_mode(&args, scale),
+                _ => diff_timing_mode(&args),
             }
         }
-        let text = artifacts::timing_json(&batch, &scale, harness.jobs());
-        if let Err(e) = std::fs::write(file, text) {
-            eprintln!("error: cannot write {}: {e}", file.display());
-            std::process::exit(1);
-        }
-    }
-
-    for ((artifact, rep), timing) in selected.iter().zip(&batch.reports).zip(&batch.timing) {
-        // Reports go to stdout; progress/timing to stderr so stdout
-        // stays byte-identical run to run (for deterministic artifacts).
-        print!("{}", rep.render());
-        println!();
-        if timing.cells > 0 {
-            eprintln!(
-                "   [{}: {} over {} seed(s); {} cells, {} events, {:.2} Mev/s]",
-                artifact.name,
-                artifact.determinism.as_str(),
-                artifact.seed_count(&scale),
-                timing.cells,
-                timing.events,
-                timing.events_per_sec() / 1e6,
-            );
-        } else {
-            eprintln!(
-                "   [{}: {} over {} seed(s)]",
-                artifact.name,
-                artifact.determinism.as_str(),
-                artifact.seed_count(&scale)
-            );
-        }
-        if let Some(dir) = &args.json_dir {
-            let text = artifacts::artifact_json(artifact, &scale, rep);
-            let path = dir.join(format!("{}.json", artifact.name));
-            if let Err(e) = std::fs::write(&path, text) {
-                eprintln!("error: cannot write {}: {e}", path.display());
-                std::process::exit(1);
+        _ => {
+            for f in SUBCOMMAND_ONLY_FLAGS {
+                if args.supplied.contains(f) {
+                    fail(format_args!(
+                        "{f} requires a subcommand mode (see usage), not the artifact mode"
+                    ));
+                }
             }
+            artifact_mode(&args, scale);
         }
     }
 }

@@ -42,6 +42,7 @@ pub mod plan;
 pub mod report;
 pub mod runners;
 pub mod scale;
+pub mod scenario_run;
 
 pub use artifacts::{Artifact, Determinism, ARTIFACTS};
 pub use irn_harness::Harness;
@@ -49,3 +50,4 @@ pub use plan::Plan;
 pub use report::{Report, Row};
 pub use runners::*;
 pub use scale::Scale;
+pub use scenario_run::{scenario_json, scenario_plan};

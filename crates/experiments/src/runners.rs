@@ -21,7 +21,7 @@ use irn_core::sim::Duration;
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{ExperimentConfig, RunResult, Workload};
+use irn_core::{ExperimentConfig, RunResult, TrafficModel};
 use irn_harness::sweep::cc_suffix;
 use irn_harness::{Cell, Replicate, ReplicateResult, ReplicateSet, Stats, SweepGrid, Variant};
 use irn_rdma::modules::{self, QpContext, ReceiverMode};
@@ -37,11 +37,11 @@ use crate::scale::Scale;
 pub const SEED_STRIDE: u64 = 101;
 
 /// A named metric extracted from one run.
-type Metric = (&'static str, fn(&RunResult) -> f64);
+pub(crate) type Metric = (&'static str, fn(&RunResult) -> f64);
 
 /// The three §4.1 headline metrics (times in milliseconds, as the
 /// paper's figures report them).
-const FCT_METRICS: [Metric; 3] = [
+pub(crate) const FCT_METRICS: [Metric; 3] = [
     ("avg_slowdown", |r| r.summary.avg_slowdown),
     ("avg_fct_ms", |r| r.summary.avg_fct.as_millis_f64()),
     ("p99_fct_ms", |r| r.summary.p99_fct.as_millis_f64()),
@@ -51,7 +51,7 @@ const FCT_METRICS: [Metric; 3] = [
 const AVG_FCT_METRIC: [Metric; 1] = [("avg_fct_ms", |r| r.summary.avg_fct.as_millis_f64())];
 
 /// §4.4.3 adds the incast RCT to the headline metrics.
-const INCAST_METRICS: [Metric; 4] = [
+pub(crate) const INCAST_METRICS: [Metric; 4] = [
     ("avg_slowdown", |r| r.summary.avg_slowdown),
     ("avg_fct_ms", |r| r.summary.avg_fct.as_millis_f64()),
     ("p99_fct_ms", |r| r.summary.p99_fct.as_millis_f64()),
@@ -65,7 +65,7 @@ fn replicate_cells(cells: Vec<Cell>, scale: Scale) -> ReplicateSet {
         cells
             .into_iter()
             .map(|c| {
-                let base_seed = c.cfg.seed;
+                let base_seed = c.config().seed;
                 Replicate::strided(c, base_seed, scale.seeds, SEED_STRIDE)
             })
             .collect(),
@@ -293,19 +293,13 @@ pub fn fig9(scale: Scale) -> Plan {
     let mut reps = Vec::new();
     for cc in [CcKind::None, CcKind::Dcqcn, CcKind::Timely] {
         for &m in &ms {
-            let wl = Workload::Incast {
+            let wl = TrafficModel::Incast {
                 m,
                 total_bytes: scale.incast_bytes,
             };
             let fanout = |t, pfc| {
                 Replicate::strided(
-                    Cell::tpc(
-                        "incast",
-                        &base.clone().with_workload(wl.clone()),
-                        t,
-                        pfc,
-                        cc,
-                    ),
+                    Cell::tpc("incast", &base.clone().with_traffic(wl.clone()), t, pfc, cc),
                     base.seed,
                     scale.incast_reps,
                     SEED_STRIDE,
@@ -341,14 +335,14 @@ pub fn incast_cross(scale: Scale) -> Plan {
     );
     let mut cells = Vec::new();
     for cc in [CcKind::None, CcKind::Timely, CcKind::Dcqcn] {
-        let wl = Workload::IncastWithCross {
+        let wl = TrafficModel::incast_with_cross(
             m,
-            total_bytes: scale.incast_bytes,
-            load: 0.5,
-            sizes: SizeDistribution::HeavyTailed,
-            flow_count: scale.flows / 2,
-        };
-        let with_wl = base.clone().with_workload(wl);
+            scale.incast_bytes,
+            0.5,
+            SizeDistribution::HeavyTailed,
+            scale.flows / 2,
+        );
+        let with_wl = base.clone().with_traffic(wl);
         cells.push(Cell::tpc(
             format!("IRN{}", cc_suffix(cc)),
             &with_wl,
@@ -514,7 +508,7 @@ pub fn table3(scale: Scale) -> Plan {
         .iter()
         .map(|&load| {
             let mut base = scale.base();
-            base.workload = Workload::Poisson {
+            base.traffic = TrafficModel::Poisson {
                 load,
                 sizes: SizeDistribution::HeavyTailed,
                 flow_count: scale.flows,
@@ -590,7 +584,7 @@ pub fn table6(scale: Scale) -> Plan {
         } else {
             scale.flows
         };
-        base.workload = Workload::Poisson {
+        base.traffic = TrafficModel::Poisson {
             load: 0.7,
             sizes,
             flow_count: flows,

@@ -1,7 +1,7 @@
 //! Experiment scale: quick (CI/bench) vs full (paper).
 
 use irn_core::workload::SizeDistribution;
-use irn_core::{ExperimentConfig, TopologySpec, Workload};
+use irn_core::{ExperimentConfig, TopologySpec, TrafficModel};
 
 /// How big to run each experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +78,7 @@ impl Scale {
     pub fn base(&self) -> ExperimentConfig {
         ExperimentConfig {
             topology: TopologySpec::FatTree(self.fat_tree_k),
-            workload: Workload::Poisson {
+            traffic: TrafficModel::Poisson {
                 load: 0.7,
                 sizes: SizeDistribution::HeavyTailed,
                 flow_count: self.flows,

@@ -1,0 +1,165 @@
+//! Executing user `scenario-v1` files through the experiment machinery.
+//!
+//! `repro run --scenario FILE...` is the consumer of the declarative
+//! [`Scenario`] API: each file parses into a validated scenario, fans
+//! out over seed replicates exactly like the registry's Poisson
+//! artifacts (strided seeds, mean ± ci95 aggregation), and joins the
+//! same global submission-ordered batch executor — so `--jobs`,
+//! `--seeds`, `--json`, and `--timing-json` all compose with scenario
+//! runs just as they do with registry artifacts.
+
+use irn_core::Scenario;
+use irn_harness::{Cell, Replicate, ReplicateSet};
+use serde::json::{self, Value};
+use serde::Serialize;
+
+use crate::artifacts::SCHEMA_VERSION;
+use crate::plan::Plan;
+use crate::report::{Report, Row};
+use crate::runners::{Metric, FCT_METRICS, INCAST_METRICS, SEED_STRIDE};
+
+/// The plan for one scenario: its cell fanned out over `seeds` strided
+/// replicates (base = the scenario's own seed), assembled into a
+/// one-row report of the headline metrics (plus incast RCT when the
+/// traffic has an incast population).
+pub fn scenario_plan(scenario: &Scenario, seeds: usize) -> Plan {
+    let metrics: &'static [Metric] = if scenario.config().traffic.has_incast_population() {
+        &INCAST_METRICS
+    } else {
+        &FCT_METRICS
+    };
+    let cell = Cell::from_scenario(scenario.clone());
+    let base_seed = cell.config().seed;
+    let set = ReplicateSet::new(vec![Replicate::strided(
+        cell,
+        base_seed,
+        seeds,
+        SEED_STRIDE,
+    )]);
+    let flat = set.cells();
+    let rep = Report::new(
+        scenario.name(),
+        "user scenario (scenario-v1)",
+        "user-defined scenario; no paper counterpart",
+    );
+    Plan::new(flat, move |results| {
+        let mut rep = rep;
+        let rr = &set.collect(results)[0];
+        let mut row = Row::new(rr.label.clone());
+        for (name, f) in metrics {
+            row = row.push_stats(name, &rr.stats(*f));
+        }
+        rep.add(row);
+        rep
+    })
+}
+
+/// Serialize a scenario run as a schema-v2 envelope (pretty-printed,
+/// trailing newline). Shape matches the registry artifacts' envelopes —
+/// `repro --verify-json` accepts it — with the executed scenario
+/// document embedded under `scenario` so a result file is
+/// self-describing and replayable.
+pub fn scenario_json(scenario: &Scenario, seeds: usize, report: &Report) -> String {
+    let envelope = Value::Object(vec![
+        ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
+        ("artifact".to_string(), scenario.slug().to_json()),
+        ("scale".to_string(), "scenario".to_json()),
+        ("seeds".to_string(), (seeds as u64).to_json()),
+        ("determinism".to_string(), "replicated".to_json()),
+        ("scenario".to_string(), scenario.to_json_value()),
+        ("report".to_string(), report.to_json()),
+    ]);
+    let mut text = json::to_string_pretty(&envelope);
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts;
+    use irn_core::{TopologySpec, TrafficModel};
+    use irn_harness::Harness;
+
+    fn tiny_scenario(seed: u64) -> Scenario {
+        Scenario::builder("tiny incast")
+            .topology(TopologySpec::SingleSwitch(8))
+            .traffic(TrafficModel::Incast {
+                m: 4,
+                total_bytes: 400_000,
+            })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn scenario_plan_replicates_and_reports_incast_metrics() {
+        let s = tiny_scenario(5);
+        let plan = scenario_plan(&s, 3);
+        assert_eq!(plan.cell_count(), 3, "three seed replicates");
+        let rep = plan.run(&Harness::new(2));
+        assert_eq!(rep.rows.len(), 1);
+        let row = &rep.rows[0];
+        assert_eq!(row.label, "tiny incast");
+        assert!(row.values.iter().any(|(n, _)| n == "incast_rct_ms"));
+        assert!(row.values.iter().any(|(n, _)| n == "incast_rct_ms_ci95"));
+    }
+
+    /// An Incast-*shaped* part declared `primary` has no incast metric
+    /// population: the plan must select the plain FCT metrics and run
+    /// without panicking (this is a valid user scenario).
+    #[test]
+    fn incast_model_in_primary_population_uses_fct_metrics() {
+        let s = Scenario::builder("primary-population incast")
+            .topology(TopologySpec::SingleSwitch(8))
+            .traffic(TrafficModel::Compose(vec![irn_core::Component {
+                model: TrafficModel::Incast {
+                    m: 4,
+                    total_bytes: 400_000,
+                },
+                population: irn_core::Population::Primary,
+                seed_salt: 0,
+                start: irn_core::Start::Zero,
+            }]))
+            .build()
+            .unwrap();
+        let rep = scenario_plan(&s, 1).run(&Harness::new(1));
+        let row = &rep.rows[0];
+        assert!(row.values.iter().any(|(n, _)| n == "avg_fct_ms"));
+        assert!(!row.values.iter().any(|(n, _)| n == "incast_rct_ms"));
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_across_job_counts() {
+        let s = tiny_scenario(7);
+        let a = scenario_plan(&s, 2).run(&Harness::new(1));
+        let b = scenario_plan(&s, 2).run(&Harness::new(8));
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn scenario_envelope_passes_the_artifact_verifier() {
+        let s = tiny_scenario(5);
+        let rep = scenario_plan(&s, 2).run(&Harness::new(2));
+        let text = scenario_json(&s, 2, &rep);
+        artifacts::verify_artifact_json(&s.slug(), &text).unwrap();
+        // The embedded scenario document round-trips.
+        let v = json::from_str(&text).unwrap();
+        let embedded = v.get("scenario").unwrap();
+        assert_eq!(Scenario::from_json_value(embedded).unwrap(), s);
+    }
+
+    /// A scenario whose slug collides with a registry artifact of a
+    /// different determinism class must still verify: scenario
+    /// envelopes are named after the scenario, not held to the
+    /// registry's class table.
+    #[test]
+    fn registry_colliding_scenario_name_still_verifies() {
+        let s = tiny_scenario(5).with_name("state budget").unwrap();
+        assert_eq!(s.slug(), "state-budget", "collides with the registry");
+        let rep = scenario_plan(&s, 1).run(&Harness::new(1));
+        let text = scenario_json(&s, 1, &rep);
+        artifacts::verify_artifact_json("state-budget", &text).unwrap();
+    }
+}

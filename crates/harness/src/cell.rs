@@ -2,29 +2,57 @@
 
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
-use irn_core::ExperimentConfig;
+use irn_core::{ExperimentConfig, Scenario};
 
-/// One cell of an experiment matrix: a labeled [`ExperimentConfig`].
+/// One cell of an experiment matrix: a validated, serializable
+/// [`Scenario`].
 ///
-/// The label is display-facing (it becomes a report row label or a
-/// sweep coordinate); the config fully determines the simulation, so
-/// two cells with equal configs produce identical results no matter
-/// when or where they run.
+/// The cell's label (its scenario's name) is display-facing — it
+/// becomes a report row label or a sweep coordinate; the scenario fully
+/// determines the simulation, so two cells with equal scenarios produce
+/// identical results no matter when or where they run. Because a
+/// scenario is JSON-round-trippable (`scenario-v1`), a cell *is* the
+/// serializable work unit the distributed fan-out roadmap item needs: a
+/// remote worker that parses the scenario and runs it returns
+/// bit-identical results.
 #[derive(Debug, Clone)]
 pub struct Cell {
-    /// Display label, e.g. `"IRN"` or `"RoCE (PFC) + Timely"`.
-    pub label: String,
-    /// The full experiment configuration.
-    pub cfg: ExperimentConfig,
+    scenario: Scenario,
 }
 
 impl Cell {
-    /// Build a cell.
+    /// Build a cell from a label and a config.
+    ///
+    /// Panics if the config is invalid — cells are constructed by
+    /// experiment code (runners, sweeps, tests) from literal configs,
+    /// so an invalid one is a programming error, not user input.
+    /// User-supplied scenarios go through the non-panicking
+    /// [`Scenario`] constructors and [`Cell::from_scenario`].
     pub fn new(label: impl Into<String>, cfg: ExperimentConfig) -> Cell {
-        Cell {
-            label: label.into(),
-            cfg,
-        }
+        let label = label.into();
+        let scenario = Scenario::from_config(label.clone(), cfg)
+            .unwrap_or_else(|e| panic!("cell '{label}': invalid config: {e}"));
+        Cell { scenario }
+    }
+
+    /// Wrap an already-validated scenario.
+    pub fn from_scenario(scenario: Scenario) -> Cell {
+        Cell { scenario }
+    }
+
+    /// The display label (the scenario name).
+    pub fn label(&self) -> &str {
+        self.scenario.name()
+    }
+
+    /// The full experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        self.scenario.config()
+    }
+
+    /// The underlying scenario (the serializable form of this cell).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
     }
 
     /// The common (transport, pfc, cc) cell shape used throughout the
@@ -45,8 +73,7 @@ impl Cell {
     /// Same cell re-keyed to a different seed (for [`crate::Replicate`]).
     pub fn with_seed(&self, seed: u64) -> Cell {
         Cell {
-            label: self.label.clone(),
-            cfg: self.cfg.clone().with_seed(seed),
+            scenario: self.scenario.with_seed(seed),
         }
     }
 }

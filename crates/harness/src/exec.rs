@@ -48,7 +48,7 @@ impl Harness {
     /// Run every cell and return results in submission order:
     /// `results[i]` belongs to `cells[i]`, at any job count.
     pub fn run(&self, cells: &[Cell]) -> Vec<RunResult> {
-        self.run_indexed(cells.len(), |i| irn_core::run(cells[i].cfg.clone()))
+        self.run_indexed(cells.len(), |i| irn_core::run(cells[i].config().clone()))
     }
 
     /// Like [`Harness::run`], additionally measuring each cell's
@@ -62,7 +62,7 @@ impl Harness {
     pub fn run_timed(&self, cells: &[Cell]) -> Vec<(RunResult, std::time::Duration)> {
         self.run_indexed(cells.len(), |i| {
             let start = std::time::Instant::now();
-            let result = irn_core::run(cells[i].cfg.clone());
+            let result = irn_core::run(cells[i].config().clone());
             (result, start.elapsed())
         })
     }

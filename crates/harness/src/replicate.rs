@@ -58,7 +58,7 @@ impl Replicate {
     pub fn collect(&self, runs: Vec<RunResult>) -> ReplicateResult {
         assert_eq!(runs.len(), self.seeds.len(), "one result per seed");
         ReplicateResult {
-            label: self.cell.label.clone(),
+            label: self.cell.label().to_string(),
             runs: self.seeds.iter().copied().zip(runs).collect(),
         }
     }
@@ -160,8 +160,8 @@ mod tests {
         assert_eq!(r.seeds(), &[3, 7, 9]);
         let cells = r.cells();
         assert_eq!(cells.len(), 3);
-        assert_eq!(cells[0].cfg.seed, 3);
-        assert_eq!(cells[2].cfg.seed, 9);
+        assert_eq!(cells[0].config().seed, 3);
+        assert_eq!(cells[2].config().seed, 9);
     }
 
     #[test]
@@ -179,8 +179,8 @@ mod tests {
         assert_eq!(set.cell_count(), 5);
         let cells = set.cells();
         assert_eq!(cells.len(), 5);
-        assert_eq!(cells[1].cfg.seed, 2);
-        assert_eq!(cells[4].cfg.seed, 30);
+        assert_eq!(cells[1].config().seed, 2);
+        assert_eq!(cells[4].config().seed, 30);
         // Demuxing a flat batch must agree with running each replicate
         // on its own.
         let h = Harness::new(2);

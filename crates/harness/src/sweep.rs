@@ -9,7 +9,7 @@
 
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
-use irn_core::{ExperimentConfig, Workload};
+use irn_core::{ExperimentConfig, TrafficModel};
 
 use crate::cell::Cell;
 
@@ -129,7 +129,7 @@ impl SweepGrid {
                     for &seed in &seeds {
                         let mut cfg = self.base.clone();
                         if let Some(load) = load {
-                            cfg.workload = with_load(&cfg.workload, load);
+                            cfg.traffic = with_load(&cfg.traffic, load);
                         }
                         if let Some(cc) = cc {
                             cfg = cfg.with_cc(cc);
@@ -183,15 +183,29 @@ fn axis_ref<T>(values: &[T]) -> Vec<Option<&T>> {
     }
 }
 
-/// Re-target a Poisson workload at a different offered load.
-fn with_load(workload: &Workload, load: f64) -> Workload {
-    match workload {
-        Workload::Poisson {
+/// Re-target a (possibly bursty) Poisson model at a different offered
+/// load.
+fn with_load(traffic: &TrafficModel, load: f64) -> TrafficModel {
+    match traffic {
+        TrafficModel::Poisson {
             sizes, flow_count, ..
-        } => Workload::Poisson {
+        } => TrafficModel::Poisson {
             load,
             sizes: *sizes,
             flow_count: *flow_count,
+        },
+        TrafficModel::BurstyPoisson {
+            sizes,
+            flow_count,
+            duty_cycle,
+            burst_flows,
+            ..
+        } => TrafficModel::BurstyPoisson {
+            load,
+            sizes: *sizes,
+            flow_count: *flow_count,
+            duty_cycle: *duty_cycle,
+            burst_flows: *burst_flows,
         },
         other => panic!("load axis requires a Poisson base workload, got {other:?}"),
     }
@@ -214,14 +228,14 @@ mod tests {
             ])
             .ccs([CcKind::None, CcKind::Timely])
             .build();
-        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
             ["IRN", "RoCE (PFC)", "IRN + Timely", "RoCE (PFC) + Timely"]
         );
-        assert_eq!(cells[1].cfg.transport, TransportKind::Roce);
-        assert!(cells[1].cfg.pfc);
-        assert_eq!(cells[2].cfg.cc, CcKind::Timely);
+        assert_eq!(cells[1].config().transport, TransportKind::Roce);
+        assert!(cells[1].config().pfc);
+        assert_eq!(cells[2].config().cc, CcKind::Timely);
     }
 
     #[test]
@@ -238,7 +252,7 @@ mod tests {
         let cells = grid.build();
         assert_eq!(cells.len(), grid.len());
         assert_eq!(cells.len(), 3 * 3 * 4 * 2);
-        let mut labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        let mut labels: Vec<&str> = cells.iter().map(|c| c.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), cells.len(), "labels must be unique");
@@ -248,15 +262,15 @@ mod tests {
     fn unswept_axes_leave_base_untouched() {
         let cells = SweepGrid::new(base()).build();
         assert_eq!(cells.len(), 1);
-        assert_eq!(cells[0].label, "base");
-        assert_eq!(cells[0].cfg.seed, base().seed);
+        assert_eq!(cells[0].label(), "base");
+        assert_eq!(cells[0].config().seed, base().seed);
     }
 
     #[test]
     #[should_panic(expected = "Poisson")]
     fn load_axis_rejects_non_poisson() {
         let mut cfg = base();
-        cfg.workload = Workload::Incast {
+        cfg.traffic = TrafficModel::Incast {
             m: 4,
             total_bytes: 1000,
         };

@@ -43,5 +43,5 @@ pub mod units;
 pub use fabric::{Fabric, FabricConfig, FabricEvent, FabricOutput, FabricStats, LoadBalancing};
 pub use packet::{FlowId, HostId, Packet, PacketKind};
 pub use switch::{EcnConfig, PfcConfig};
-pub use topology::{NodeId, SwitchId, Topology};
+pub use topology::{fat_tree_hosts, NodeId, SwitchId, Topology};
 pub use units::{bdp_bytes, Bandwidth};

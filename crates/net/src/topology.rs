@@ -139,7 +139,7 @@ impl Topology {
     /// * `k` pods, each with `k/2` edge switches and `k/2` aggregation
     ///   switches;
     /// * `(k/2)²` core switches;
-    /// * `k/2` hosts per edge switch ⇒ `k³/4` hosts total.
+    /// * `k/2` hosts per edge switch ⇒ [`fat_tree_hosts`] hosts total.
     ///
     /// `k = 6` reproduces the paper's default: 54 hosts, 45 switches,
     /// 6 pods, full bisection bandwidth, longest host-to-host path 6 hops.
@@ -153,7 +153,8 @@ impl Topology {
         let edges = pods * half;
         let aggs = pods * half;
         let cores = half * half;
-        let hosts = edges * half;
+        let hosts = fat_tree_hosts(k);
+        debug_assert_eq!(hosts, edges * half, "host arithmetic must agree");
 
         let edge_id = |pod: usize, i: usize| (pod * half + i) as u32;
         let agg_id = |pod: usize, i: usize| (edges + pod * half + i) as u32;
@@ -215,6 +216,16 @@ impl Topology {
         }
         self
     }
+}
+
+/// Host count of the k-ary fat-tree [`Topology::fat_tree`] builds:
+/// `k` pods × `k/2` edge switches × `k/2` hosts = `k³/4`.
+///
+/// The **one** definition of the fat-tree host arithmetic — the builder
+/// and every host-count predictor (e.g. `TopologySpec::hosts`) derive
+/// from it, so a prediction can never drift from what gets built.
+pub const fn fat_tree_hosts(k: usize) -> usize {
+    k * (k / 2) * (k / 2)
 }
 
 #[cfg(test)]

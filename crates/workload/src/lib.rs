@@ -16,10 +16,18 @@
 //!   host's line rate;
 //! * [`incast`] — the §4.4.3 incast pattern: a 150 MB response striped
 //!   over M randomly-chosen senders toward one destination, optionally
-//!   on top of cross-traffic.
+//!   on top of cross-traffic;
+//! * [`TrafficModel`] — the pluggable, validated, composable traffic
+//!   API every experiment describes its workload with: the paper's
+//!   shapes plus bursty on/off Poisson, permutation shuffles, explicit
+//!   flow lists, and general composition (see [`model`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod model;
+
+pub use model::{Component, FlowStream, Population, Start, TrafficCtx, TrafficError, TrafficModel};
 
 use irn_sim::{Duration, SimRng, Time};
 

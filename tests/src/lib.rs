@@ -10,13 +10,13 @@
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{ExperimentConfig, RunResult, TopologySpec, Workload};
+use irn_core::{ExperimentConfig, RunResult, TopologySpec, TrafficModel};
 
 /// A small fat-tree scenario sized for CI: 16 hosts, heavy-tailed flows.
 pub fn quick_cfg(flows: usize) -> ExperimentConfig {
     ExperimentConfig {
         topology: TopologySpec::FatTree(4),
-        workload: Workload::Poisson {
+        traffic: TrafficModel::Poisson {
             load: 0.7,
             sizes: SizeDistribution::HeavyTailed,
             flow_count: flows,

@@ -5,7 +5,7 @@
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{run, ExperimentConfig, TopologySpec, Workload};
+use irn_core::{run, ExperimentConfig, TopologySpec, TrafficModel};
 use proptest::prelude::*;
 
 fn cfg_for(k_idx: usize, flows: usize, load: f64, seed: u64) -> ExperimentConfig {
@@ -16,7 +16,7 @@ fn cfg_for(k_idx: usize, flows: usize, load: f64, seed: u64) -> ExperimentConfig
     };
     ExperimentConfig {
         topology,
-        workload: Workload::Poisson {
+        traffic: TrafficModel::Poisson {
             load,
             sizes: SizeDistribution::HeavyTailed,
             flow_count: flows,

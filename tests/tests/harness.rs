@@ -75,13 +75,13 @@ fn json_artifact_is_byte_identical_across_job_counts() {
     );
 }
 
-/// Replicate aggregation over an incast workload: the order seeds are
+/// Replicate aggregation over an incast traffic: the order seeds are
 /// supplied in must not change any aggregate bit.
 #[test]
 fn replicate_aggregation_is_seed_order_independent() {
     let base = irn_core::ExperimentConfig {
         topology: irn_core::TopologySpec::FatTree(4),
-        workload: irn_core::Workload::Incast {
+        traffic: irn_core::TrafficModel::Incast {
             m: 6,
             total_bytes: 2_000_000,
         },

@@ -5,7 +5,7 @@ use irn_core::sim::Duration;
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{run, TopologySpec, Workload};
+use irn_core::{run, TopologySpec, TrafficModel};
 use irn_integration::{quick_cfg, run_cell};
 
 #[test]
@@ -144,7 +144,7 @@ fn single_switch_and_dumbbell_topologies_work() {
 fn uniform_workload_completes_on_all_transports() {
     for t in [TransportKind::Irn, TransportKind::Roce] {
         let mut cfg = quick_cfg(40);
-        cfg.workload = Workload::Poisson {
+        cfg.traffic = TrafficModel::Poisson {
             load: 0.6,
             sizes: SizeDistribution::Uniform500KbTo5Mb,
             flow_count: 40,
@@ -159,13 +159,8 @@ fn uniform_workload_completes_on_all_transports() {
 #[test]
 fn incast_with_cross_traffic_separates_populations() {
     let mut cfg = quick_cfg(100);
-    cfg.workload = Workload::IncastWithCross {
-        m: 6,
-        total_bytes: 6_000_000,
-        load: 0.5,
-        sizes: SizeDistribution::HeavyTailed,
-        flow_count: 100,
-    };
+    cfg.traffic =
+        TrafficModel::incast_with_cross(6, 6_000_000, 0.5, SizeDistribution::HeavyTailed, 100);
     let r = run(cfg);
     assert_eq!(r.summary.flows, 100, "background population");
     let incast = r.incast_metrics.as_ref().expect("incast population");

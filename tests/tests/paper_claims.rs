@@ -151,20 +151,20 @@ fn worst_case_overheads_are_small() {
 #[test]
 fn incast_parity_without_cross_traffic() {
     // Figure 9: PFC's best case — IRN must stay within a few percent.
-    use irn_core::Workload;
-    let workload = Workload::Incast {
+    use irn_core::TrafficModel;
+    let workload = TrafficModel::Incast {
         m: 8,
         total_bytes: 16_000_000,
     };
     let irn = irn_core::run(
         irn_integration::quick_cfg(8)
-            .with_workload(workload.clone())
+            .with_traffic(workload.clone())
             .with_transport(TransportKind::Irn)
             .with_pfc(false),
     );
     let roce = irn_core::run(
         irn_integration::quick_cfg(8)
-            .with_workload(workload)
+            .with_traffic(workload)
             .with_transport(TransportKind::Roce)
             .with_pfc(true),
     );

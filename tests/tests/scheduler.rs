@@ -18,7 +18,7 @@
 use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::SizeDistribution;
-use irn_core::{run, ExperimentConfig, TopologySpec, Workload};
+use irn_core::{run, ExperimentConfig, TopologySpec, TrafficModel};
 use irn_sim::{Duration, EventQueue, Scheduler, Time, TimerId, TimerSlot};
 use proptest::prelude::*;
 
@@ -253,7 +253,7 @@ fn timer_slot_reference_filters_stale_generations() {
 fn poisson_cfg(transport: TransportKind, pfc: bool, cc: CcKind) -> ExperimentConfig {
     ExperimentConfig {
         topology: TopologySpec::FatTree(4),
-        workload: Workload::Poisson {
+        traffic: TrafficModel::Poisson {
             load: 0.8,
             sizes: SizeDistribution::HeavyTailed,
             flow_count: 150,
@@ -309,7 +309,7 @@ fn runs_deliver_no_stale_timers_and_no_past_clamps() {
 fn lossy_run_reclaims_superseded_timers_internally() {
     let cfg = ExperimentConfig {
         topology: TopologySpec::FatTree(4),
-        workload: Workload::Poisson {
+        traffic: TrafficModel::Poisson {
             load: 0.9,
             sizes: SizeDistribution::HeavyTailed,
             flow_count: 300,
@@ -339,7 +339,7 @@ fn lossy_run_reclaims_superseded_timers_internally() {
 fn incast_run_is_stale_free() {
     let cfg = ExperimentConfig {
         topology: TopologySpec::FatTree(4),
-        workload: Workload::Incast {
+        traffic: TrafficModel::Incast {
             m: 8,
             total_bytes: 4_000_000,
         },

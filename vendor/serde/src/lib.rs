@@ -32,7 +32,99 @@ pub trait Serialize {
     fn to_json(&self) -> json::Value;
 }
 
-pub use serde_derive::Serialize;
+/// Types that can be reconstructed from the JSON data model — the
+/// inverse of [`Serialize`].
+///
+/// Derivable via `#[derive(Deserialize)]` with the same shape mapping
+/// the `Serialize` derive uses (named structs ⇄ objects, newtypes
+/// transparent, enums externally tagged). A missing object field is
+/// presented to the field's type as [`json::Value::Null`], which is how
+/// `Option` fields default to `None` while required fields fail with a
+/// typed error.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`json::Value`] tree.
+    fn from_json(v: &json::Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization failure: what went wrong and where.
+///
+/// The `path` accumulates outside-in as errors propagate up through
+/// [`de_field`] / [`DeError::in_field`], so the final message reads
+/// like `at traffic.poisson.load: expected a number`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Dotted path from the document root to the offending value
+    /// (empty at the error site; segments are prepended by callers).
+    pub path: String,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl DeError {
+    /// An error at the current location.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError {
+            path: String::new(),
+            msg: msg.into(),
+        }
+    }
+
+    /// The standard wrong-type error.
+    pub fn expected(what: &str, got: &json::Value) -> DeError {
+        DeError::new(format!("expected {what}, got {}", kind_name(got)))
+    }
+
+    /// Prepend a path segment (a field name or index).
+    pub fn in_field(mut self, seg: &str) -> DeError {
+        if self.path.is_empty() {
+            self.path = seg.to_string();
+        } else {
+            self.path = format!("{seg}.{}", self.path);
+        }
+        self
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "at {}: {}", self.path, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// The JSON kind of a value, for error messages.
+fn kind_name(v: &json::Value) -> &'static str {
+    match v {
+        json::Value::Null => "null",
+        json::Value::Bool(_) => "a boolean",
+        json::Value::Number(_) => "a number",
+        json::Value::String(_) => "a string",
+        json::Value::Array(_) => "an array",
+        json::Value::Object(_) => "an object",
+    }
+}
+
+/// Deserialize the field `key` of an object (missing fields read as
+/// `Null`), attributing errors to the field's path.
+pub fn de_field<T: Deserialize>(v: &json::Value, key: &str) -> Result<T, DeError> {
+    if !v.is_object() {
+        return Err(DeError::expected("an object", v));
+    }
+    T::from_json(v.get(key).unwrap_or(&json::Value::Null)).map_err(|e| e.in_field(key))
+}
+
+/// Parse a JSON document straight into a `Deserialize` type.
+pub fn from_json_str<T: Deserialize>(text: &str) -> Result<T, DeError> {
+    let v = json::from_str(text).map_err(|e| DeError::new(e.to_string()))?;
+    T::from_json(&v)
+}
+
+pub use serde_derive::{Deserialize, Serialize};
 
 // ---------------------------------------------------------------------
 // Blanket impls for std types.
@@ -154,24 +246,120 @@ impl Serialize for Value {
     }
 }
 
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("a non-negative integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "{n} out of range for a {}-bit unsigned integer",
+                        <$t>::BITS
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Number(Number::I64(i)) => *i,
+                    Value::Number(Number::U64(u)) => i64::try_from(*u)
+                        .map_err(|_| DeError::new(format!("{u} out of range for i64")))?,
+                    _ => return Err(DeError::expected("an integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "{n} out of range for a {}-bit signed integer",
+                        <$t>::BITS
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("a number", v))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("a boolean", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("a string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("an array", v))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::json::{Number, Value};
-    use super::Serialize;
+    use super::{de_field, DeError, Deserialize, Serialize};
 
-    #[derive(Serialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     struct Named {
         a: u32,
         b: String,
     }
 
-    #[derive(Serialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     struct Newtype(u8);
 
-    #[derive(Serialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     struct Pair(u8, u8);
 
-    #[derive(Serialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     enum Kind {
         A,
         B(u32),
@@ -227,6 +415,69 @@ mod tests {
             let text = crate::json::to_string(&val);
             assert_eq!(crate::json::from_str(&text).unwrap(), val, "for {v}");
         }
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct WithOption {
+        required: u32,
+        maybe: Option<String>,
+        list: Vec<i64>,
+    }
+
+    #[test]
+    fn derive_deserialize_round_trips_every_shape() {
+        let named = Named {
+            a: 7,
+            b: "hi".into(),
+        };
+        assert_eq!(Named::from_json(&named.to_json()).unwrap(), named);
+        assert_eq!(
+            Newtype::from_json(&Newtype(3).to_json()).unwrap(),
+            Newtype(3)
+        );
+        assert_eq!(Pair::from_json(&Pair(1, 2).to_json()).unwrap(), Pair(1, 2));
+        for k in [Kind::A, Kind::B(9), Kind::C { x: 1 }] {
+            assert_eq!(Kind::from_json(&k.to_json()).unwrap(), k);
+        }
+        let w = WithOption {
+            required: 1,
+            maybe: None,
+            list: vec![-4, 5],
+        };
+        assert_eq!(WithOption::from_json(&w.to_json()).unwrap(), w);
+    }
+
+    #[test]
+    fn deserialize_missing_fields_and_errors_carry_paths() {
+        // Missing Option → None; missing required → typed error naming
+        // the field.
+        let v = crate::json::from_str(r#"{"required": 2, "list": []}"#).unwrap();
+        let w = WithOption::from_json(&v).unwrap();
+        assert_eq!(w.maybe, None);
+        let bad = crate::json::from_str(r#"{"list": []}"#).unwrap();
+        let err = WithOption::from_json(&bad).unwrap_err();
+        assert_eq!(err.path, "required");
+        assert!(err.to_string().contains("at required:"), "{err}");
+        // Element errors carry the index.
+        let bad = crate::json::from_str(r#"{"required": 1, "list": [1, "x"]}"#).unwrap();
+        let err = WithOption::from_json(&bad).unwrap_err();
+        assert_eq!(err.path, "list.[1]");
+        // Unknown enum variants are named.
+        let err = Kind::from_json(&Value::String("Z".into())).unwrap_err();
+        assert!(err.msg.contains("unknown Kind variant 'Z'"), "{}", err.msg);
+        // Wrong arity on a tuple struct.
+        let err = Pair::from_json(&Value::Array(vec![Value::Number(Number::U64(1))]));
+        assert!(err.unwrap_err().msg.contains("expected 2 elements"));
+        // Integer range checks.
+        let err = u8::from_json(&Value::Number(Number::U64(300))).unwrap_err();
+        assert!(err.msg.contains("out of range"), "{}", err.msg);
+    }
+
+    #[test]
+    fn de_field_rejects_non_objects() {
+        let err = de_field::<u32>(&Value::Array(vec![]), "k").unwrap_err();
+        assert!(err.msg.contains("expected an object"), "{}", err.msg);
+        assert_eq!(DeError::new("m").in_field("b").in_field("a").path, "a.b");
     }
 
     #[test]

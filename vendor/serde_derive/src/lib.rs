@@ -1,23 +1,42 @@
-//! Derive macro for the vendored `serde` subset: generates a real
-//! field-walking `impl serde::Serialize` (to the JSON data model) for
-//! structs and enums. Hand-rolled token scanning (no `syn`/`quote`)
-//! keeps the build dependency-free.
+//! Derive macros for the vendored `serde` subset: generate real
+//! field-walking `impl serde::Serialize` / `impl serde::Deserialize`
+//! (to/from the JSON data model) for structs and enums. Hand-rolled
+//! token scanning (no `syn`/`quote`) keeps the build dependency-free.
 //!
-//! Mapping (mirrors `serde_json`'s defaults):
+//! Mapping (mirrors `serde_json`'s defaults, both directions):
 //! - named-field struct → object in declaration order
 //! - newtype struct → the inner value
 //! - tuple struct → array
 //! - unit struct → `null`
 //! - unit enum variant → the variant name as a string
 //! - data-carrying variant → externally tagged: `{"Variant": ...}`
+//!
+//! On the `Deserialize` side a missing object field reads as `null`
+//! (so `Option` fields default to `None` and required fields produce a
+//! typed `DeError`), and unknown fields are ignored, as upstream does
+//! by default.
 
 #![warn(missing_docs)]
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Derive `serde::Serialize` for a struct or enum.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(input: TokenStream) -> TokenStream {
+/// The parsed shape of the type a derive is applied to.
+struct TypeDef {
+    /// `"struct"` or `"enum"`.
+    kind: String,
+    /// Type name.
+    name: String,
+    /// Impl parameter list with the given trait bound added.
+    params: String,
+    /// Type argument list.
+    args: String,
+    /// Tokens after the name + generics (the body).
+    rest: Vec<TokenTree>,
+}
+
+/// Scan the common prefix of a type definition: attributes, visibility,
+/// `struct`/`enum` keyword, name, generics.
+fn parse_type_def(input: TokenStream, bound: &str, derive: &str) -> TypeDef {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
@@ -31,29 +50,40 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     break kw;
                 }
                 if kw == "union" {
-                    panic!("derive(Serialize): unions are not supported");
+                    panic!("derive({derive}): unions are not supported");
                 }
                 i += 1;
             }
             Some(_) => i += 1,
-            None => panic!("derive(Serialize): no type definition found"),
+            None => panic!("derive({derive}): no type definition found"),
         }
     };
     let name = match tokens.get(i) {
         Some(TokenTree::Ident(n)) => n.to_string(),
-        _ => panic!("derive(Serialize): no type name found"),
+        _ => panic!("derive({derive}): no type name found"),
     };
     i += 1;
 
     let (generics, after_generics) = collect_generics(&tokens, i);
-    let (params, args) = split_generics(&generics);
-    i = after_generics;
+    let (params, args) = split_generics(&generics, bound);
+    TypeDef {
+        kind,
+        name,
+        params,
+        args,
+        rest: tokens[after_generics..].to_vec(),
+    }
+}
 
-    let body = match kind.as_str() {
-        "struct" => struct_body(&tokens[i..]),
-        _ => enum_body(&name, &tokens[i..]),
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input, "::serde::Serialize", "Serialize");
+    let body = match def.kind.as_str() {
+        "struct" => struct_body(&def.rest),
+        _ => enum_body(&def.name, &def.rest),
     };
-
+    let (name, params, args) = (&def.name, &def.params, &def.args);
     format!(
         "impl{params} ::serde::Serialize for {name}{args} {{\n\
          \x20   fn to_json(&self) -> ::serde::json::Value {{\n\
@@ -63,6 +93,27 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     )
     .parse()
     .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input, "::serde::Deserialize", "Deserialize");
+    let body = match def.kind.as_str() {
+        "struct" => de_struct_body(&def.name, &def.rest),
+        _ => de_enum_body(&def.name, &def.rest),
+    };
+    let (name, params, args) = (&def.name, &def.params, &def.args);
+    format!(
+        "impl{params} ::serde::Deserialize for {name}{args} {{\n\
+         \x20   fn from_json(v: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated impl must parse")
 }
 
 /// Body for a struct definition (everything after name + generics).
@@ -163,6 +214,167 @@ fn enum_body(name: &str, rest: &[TokenTree]) -> String {
     format!(
         "        match self {{\n            {}\n        }}",
         arms.join("\n            ")
+    )
+}
+
+/// Body of `from_json` for a struct definition.
+fn de_struct_body(name: &str, rest: &[TokenTree]) -> String {
+    let named = rest
+        .iter()
+        .find(|tt| matches!(tt, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace));
+    match named.or(rest.first()) {
+        // Named fields: read each from the object (missing → Null).
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_fields(g.stream());
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "        ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        // Tuple struct: newtype is transparent, larger reads an array.
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = top_level_chunks(g.stream())
+                .iter()
+                .filter(|c| !c.is_empty())
+                .count();
+            match n {
+                0 => de_unit(&format!("{name}()")),
+                1 => format!(
+                    "        ::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))"
+                ),
+                n => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_json(&items[{i}])\
+                                 .map_err(|e| e.in_field(\"[{i}]\"))?"
+                            )
+                        })
+                        .collect();
+                    format!("{}{name}({}))", de_array_prefix("v", n), items.join(", "))
+                }
+            }
+        }
+        // Unit struct.
+        _ => de_unit(name),
+    }
+}
+
+/// `from_json` body fragment accepting only `null` (unit structs).
+fn de_unit(constructor: &str) -> String {
+    format!(
+        "        match v {{\n\
+         \x20           ::serde::json::Value::Null => \
+         ::std::result::Result::Ok({constructor}),\n\
+         \x20           other => ::std::result::Result::Err(\
+         ::serde::DeError::expected(\"null\", other)),\n\
+         \x20       }}"
+    )
+}
+
+/// Shared prefix reading a fixed-arity JSON array (from the named
+/// source expression) into `items`, ending with an open `Ok(` ready for
+/// the constructor expression.
+fn de_array_prefix(src: &str, n: usize) -> String {
+    format!(
+        "        let items = {src}.as_array().ok_or_else(|| \
+         ::serde::DeError::expected(\"an array\", {src}))?;\n\
+         \x20       if items.len() != {n} {{\n\
+         \x20           return ::std::result::Result::Err(::serde::DeError::new(\
+         format!(\"expected {n} elements, got {{}}\", items.len())));\n\
+         \x20       }}\n\
+         \x20       ::std::result::Result::Ok("
+    )
+}
+
+/// Body of `from_json` for an enum: unit variants from strings,
+/// data-carrying variants from single-key (externally tagged) objects.
+fn de_enum_body(name: &str, rest: &[TokenTree]) -> String {
+    let Some(TokenTree::Group(g)) = rest.first() else {
+        panic!("derive(Deserialize): enum without a body");
+    };
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for chunk in top_level_chunks(g.stream()) {
+        let Some(variant) = parse_variant(&chunk) else {
+            continue;
+        };
+        let v = &variant.name;
+        match variant.shape {
+            VariantShape::Unit => unit_arms.push(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+            )),
+            VariantShape::Tuple(1) => data_arms.push(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                 ::serde::Deserialize::from_json(pv).map_err(|e| e.in_field(\"{v}\"))?)),"
+            )),
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_json(&items[{i}])\
+                             .map_err(|e| e.in_field(\"[{i}]\").in_field(\"{v}\"))?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "\"{v}\" => {{\n{}{name}::{v}({}))\n            }}",
+                    de_array_prefix("pv", n),
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Struct(ref fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::de_field(pv, \"{f}\")\
+                             .map_err(|e| e.in_field(\"{v}\"))?"
+                        )
+                    })
+                    .collect();
+                data_arms.push(format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let unknown_expr = format!(
+        "::std::result::Result::Err(::serde::DeError::new(\
+         format!(\"unknown {name} variant '{{other}}'\")))"
+    );
+    let string_arm = if unit_arms.is_empty() {
+        format!("::serde::json::Value::String(s) => {{ let other = s.as_str(); {unknown_expr} }}")
+    } else {
+        format!(
+            "::serde::json::Value::String(s) => match s.as_str() {{\n                {}\n                other => {unknown_expr},\n            }},",
+            unit_arms.join("\n                ")
+        )
+    };
+    let object_arm = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::json::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+             \x20           let (k, pv) = &pairs[0];\n\
+             \x20           match k.as_str() {{\n                {}\n                other => {unknown_expr},\n\
+             \x20           }}\n\
+             \x20       }}",
+            data_arms.join("\n                ")
+        )
+    };
+    format!(
+        "        match v {{\n\
+         \x20           {string_arm}\n\
+         \x20           {object_arm}\n\
+         \x20           other => ::std::result::Result::Err(::serde::DeError::expected(\
+         \"a variant name or single-variant object\", other)),\n\
+         \x20       }}"
     )
 }
 
@@ -291,9 +503,9 @@ fn collect_generics(tokens: &[TokenTree], start: usize) -> (String, usize) {
 }
 
 /// From raw generics like `<'a, T: Clone, const N: usize>`, build the
-/// impl parameter list (type params gain a `::serde::Serialize` bound)
-/// and the type argument list (names only).
-fn split_generics(generics: &str) -> (String, String) {
+/// impl parameter list (type params gain the given trait bound) and the
+/// type argument list (names only).
+fn split_generics(generics: &str, bound: &str) -> (String, String) {
     if generics.is_empty() {
         return (String::new(), String::new());
     }
@@ -316,9 +528,9 @@ fn split_generics(generics: &str) -> (String, String) {
         } else {
             args.push(head.to_string());
             if param.contains(':') {
-                params.push(format!("{param} + ::serde::Serialize"));
+                params.push(format!("{param} + {bound}"));
             } else {
-                params.push(format!("{param}: ::serde::Serialize"));
+                params.push(format!("{param}: {bound}"));
             }
         }
     }
