@@ -3,10 +3,10 @@
 use irn_metrics::{MetricsCollector, Summary};
 use irn_net::FabricStats;
 use irn_sim::{Duration, Time};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Transport-layer counters aggregated over every flow in a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransportTotals {
     /// Data packets transmitted (including retransmissions).
     pub sent: u64,
@@ -35,7 +35,7 @@ impl TransportTotals {
 /// scheduler's invariant violations. All values are deterministic
 /// functions of the config (they count simulation events, not wall
 /// clock), so they are safe to compare across runs and job counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedCounters {
     /// Flow arrivals streamed into the loop.
     pub flow_arrivals: u64,
@@ -65,7 +65,13 @@ pub struct SchedCounters {
 }
 
 /// Everything a finished run reports.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Serializes field-by-field and deserializes back **bit-exactly**
+/// (integers are exact nanosecond/count wire forms; floats use the
+/// shortest-round-trip JSON form), which is what lets a remote worker
+/// ship its result over the `work-v1` protocol without perturbing the
+/// byte-identical-output guarantee of the in-process executor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// §4.1 headline metrics over the primary flow population (the
     /// background workload when an incast rides on cross-traffic).

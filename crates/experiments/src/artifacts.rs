@@ -15,7 +15,7 @@
 //! come back in submission order and each assembly is pure.
 
 use irn_core::RunResult;
-use irn_harness::Harness;
+use irn_harness::{Harness, HarnessError, WorkerStats};
 use serde::json::{self, Value};
 use serde::Serialize;
 
@@ -274,11 +274,22 @@ impl BatchRun {
 /// each cell is a pure function of its config, and each assembly is a
 /// pure function of its result slice.
 pub fn run_batched(selected: &[&Artifact], scale: Scale, harness: &Harness) -> BatchRun {
+    try_run_batched(selected, scale, harness).unwrap_or_else(|e| panic!("executor failed: {e}"))
+}
+
+/// The fallible form of [`run_batched`]: a degraded distributed backend
+/// surfaces as a typed [`HarnessError`] (carrying completed/total cell
+/// counts) instead of a panic. The in-process executor never errors.
+pub fn try_run_batched(
+    selected: &[&Artifact],
+    scale: Scale,
+    harness: &Harness,
+) -> Result<BatchRun, HarnessError> {
     let items = selected
         .iter()
         .map(|a| (a.name.to_string(), a.plan(scale)))
         .collect();
-    run_plan_batch(items, |i| selected[i].run(scale, harness), harness)
+    try_run_plan_batch(items, |i| selected[i].run(scale, harness), harness)
 }
 
 /// The generic global-batch runner beneath [`run_batched`] (and beneath
@@ -292,6 +303,15 @@ pub fn run_plan_batch(
     inline: impl Fn(usize) -> Report,
     harness: &Harness,
 ) -> BatchRun {
+    try_run_plan_batch(items, inline, harness).unwrap_or_else(|e| panic!("executor failed: {e}"))
+}
+
+/// The fallible form of [`run_plan_batch`] — see [`try_run_batched`].
+pub fn try_run_plan_batch(
+    items: Vec<(String, Option<Plan>)>,
+    inline: impl Fn(usize) -> Report,
+    harness: &Harness,
+) -> Result<BatchRun, HarnessError> {
     let mut plans: Vec<(String, Option<Plan>)> = items;
     let mut batch = Vec::new();
     for (_, plan) in &mut plans {
@@ -301,7 +321,7 @@ pub fn run_plan_batch(
     }
     let cell_count = batch.len();
     let t = std::time::Instant::now();
-    let mut results = harness.run_timed(&batch).into_iter();
+    let mut results = harness.try_run_timed(&batch)?.into_iter();
     let batch_time = t.elapsed();
     let mut total_events = 0u64;
     let mut timing = Vec::with_capacity(plans.len());
@@ -342,13 +362,13 @@ pub fn run_plan_batch(
             }
         })
         .collect();
-    BatchRun {
+    Ok(BatchRun {
         reports,
         cell_count,
         batch_time,
         total_events,
         timing,
-    }
+    })
 }
 
 /// Serialize a batch's throughput observations as the
@@ -359,7 +379,16 @@ pub fn run_plan_batch(
 /// file is separate from the schema-v2 artifact envelopes (and why
 /// `--verify-json` ignores it). The CI uploads one of these per run —
 /// the points of the ROADMAP's BENCH trend line.
-pub fn timing_json(batch: &BatchRun, scale: &Scale, jobs: usize) -> String {
+///
+/// `workers` is the distributed backend's per-worker breakdown
+/// ([`irn_harness::WorkerPool::worker_stats`]); in-process runs pass
+/// `&[]` and the `workers` array is omitted.
+pub fn timing_json(
+    batch: &BatchRun,
+    scale: &Scale,
+    jobs: usize,
+    workers: &[WorkerStats],
+) -> String {
     let artifacts: Vec<Value> = batch
         .timing
         .iter()
@@ -376,7 +405,7 @@ pub fn timing_json(batch: &BatchRun, scale: &Scale, jobs: usize) -> String {
             ])
         })
         .collect();
-    let envelope = Value::Object(vec![
+    let mut fields = vec![
         ("schema".to_string(), "bench-trajectory-v1".to_json()),
         ("determinism".to_string(), "timing".to_json()),
         ("scale".to_string(), scale.label().to_json()),
@@ -393,7 +422,23 @@ pub fn timing_json(batch: &BatchRun, scale: &Scale, jobs: usize) -> String {
             batch.events_per_sec().to_json(),
         ),
         ("artifacts".to_string(), Value::Array(artifacts)),
-    ]);
+    ];
+    if !workers.is_empty() {
+        let rows: Vec<Value> = workers
+            .iter()
+            .map(|w| {
+                Value::Object(vec![
+                    ("worker".to_string(), w.name.to_json()),
+                    ("cells".to_string(), (w.cells as u64).to_json()),
+                    ("cell_wall_s".to_string(), w.cell_wall_s.to_json()),
+                    ("failures".to_string(), (w.failures as u64).to_json()),
+                    ("alive".to_string(), w.alive.to_json()),
+                ])
+            })
+            .collect();
+        fields.push(("workers".to_string(), Value::Array(rows)));
+    }
+    let envelope = Value::Object(fields);
     let mut text = json::to_string_pretty(&envelope);
     text.push('\n');
     text

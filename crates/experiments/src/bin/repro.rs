@@ -4,6 +4,8 @@
 //! ```text
 //! repro [flags] <artifact>... | all        regenerate registry artifacts
 //! repro run [flags] --scenario FILE...     execute scenario-v1 files
+//! repro worker [--listen ADDR]             serve work-v1 frames for a
+//!                                          coordinator (stdin/stdout or TCP)
 //! repro emit-scenario <artifact>... --json DIR
 //!                                          dump an artifact's cells as
 //!                                          editable scenario files
@@ -24,6 +26,16 @@
 //! (default: all cores) in a single submission-ordered queue, so the
 //! pool never drains between artifacts. Reports still print in
 //! presentation order and are byte-identical at any job count.
+//!
+//! The batch can also be sharded across worker *processes*:
+//! `--workers N` spawns N local `repro worker` children, `--connect
+//! HOST:PORT` (repeatable) adds remote workers started with `repro
+//! worker --listen ADDR`, and the two compose. Results assemble in
+//! submission order, so coordinator output is **byte-identical** to the
+//! in-process executor at any fleet size — even when a worker dies
+//! mid-batch and its cells are reassigned (`--cell-timeout`,
+//! `--quorum` tune the failure policy). A batch the degraded fleet
+//! cannot finish reports its partial progress and exits 2.
 //! `--json DIR` additionally writes one schema-versioned JSON file per
 //! artifact or scenario (format: docs/SCHEMA.md; scenario files:
 //! docs/SCENARIOS.md).
@@ -46,8 +58,10 @@
 use irn_core::Scenario;
 use irn_experiments::artifacts::{self, BatchRun, ARTIFACTS};
 use irn_experiments::{scenario_json, scenario_plan, Harness, Scale};
+use irn_harness::{worker, HarnessError, PoolConfig, WorkerOptions, WorkerPool, WorkerSpec};
 use serde::json::{self, Value};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // The flag table: single source for usage text, parsing, and errors
@@ -76,6 +90,36 @@ const FLAGS: &[FlagSpec] = &[
         name: "--jobs",
         metavar: Some("N"),
         help: "worker threads for the global batch (default: all cores)",
+    },
+    FlagSpec {
+        name: "--workers",
+        metavar: Some("N"),
+        help: "shard the batch across N spawned 'repro worker' processes",
+    },
+    FlagSpec {
+        name: "--connect",
+        metavar: Some("ADDR"),
+        help: "add a listening worker at HOST:PORT to the fleet; repeatable",
+    },
+    FlagSpec {
+        name: "--cell-timeout",
+        metavar: Some("SECS"),
+        help: "per-cell worker timeout before reassignment (default 300)",
+    },
+    FlagSpec {
+        name: "--quorum",
+        metavar: Some("N"),
+        help: "min live workers before the batch is abandoned (default 1)",
+    },
+    FlagSpec {
+        name: "--listen",
+        metavar: Some("ADDR"),
+        help: "(worker mode) serve coordinators over TCP instead of stdin",
+    },
+    FlagSpec {
+        name: "--exit-after",
+        metavar: Some("N"),
+        help: "(worker mode) die mid-cell after N answers (fault-injection)",
     },
     FlagSpec {
         name: "--json",
@@ -117,6 +161,10 @@ const MODES: &[(&str, &str)] = &[
     (
         "repro run [flags] --scenario FILE...",
         "execute scenario-v1 files (positional FILEs work too)",
+    ),
+    (
+        "repro worker [--listen ADDR]",
+        "serve work-v1 frames for a coordinator (stdin/stdout or TCP)",
     ),
     (
         "repro emit-scenario <artifact>... --json DIR",
@@ -175,24 +223,35 @@ const MODE_FLAGS: &[(&str, &[&str])] = &[
             "--full",
             "--seeds",
             "--jobs",
+            "--workers",
+            "--connect",
+            "--cell-timeout",
+            "--quorum",
             "--json",
             "--timing-json",
             "--scenario",
         ],
     ),
+    ("worker", &["--listen", "--exit-after"]),
     ("emit-scenario", &["--full", "--seeds", "--json"]),
     ("diff-timing", &["--drift-pct"]),
 ];
 
 /// Flags only meaningful inside a specific subcommand; rejected in the
 /// default artifact mode.
-const SUBCOMMAND_ONLY_FLAGS: &[&str] = &["--scenario", "--drift-pct"];
+const SUBCOMMAND_ONLY_FLAGS: &[&str] = &["--scenario", "--drift-pct", "--listen", "--exit-after"];
 
 #[derive(Default)]
 struct Args {
     full: bool,
     seeds: Option<usize>,
     jobs: Option<usize>,
+    workers: Option<usize>,
+    connect: Vec<String>,
+    cell_timeout: Option<u64>,
+    quorum: Option<usize>,
+    listen: Option<String>,
+    exit_after: Option<usize>,
     json_dir: Option<PathBuf>,
     timing_json: Option<PathBuf>,
     scenarios: Vec<PathBuf>,
@@ -236,6 +295,32 @@ fn parse_args() -> Args {
             "--list" => args.list = true,
             "--seeds" => args.seeds = Some(positive_int(spec, &value.unwrap())),
             "--jobs" => args.jobs = Some(positive_int(spec, &value.unwrap())),
+            "--workers" => args.workers = Some(positive_int(spec, &value.unwrap())),
+            "--connect" => {
+                let addr = value.unwrap();
+                // Same parse-time strictness as the numeric flags: a
+                // portless address would otherwise surface later as a
+                // confusing connection failure mid-coordinator-start.
+                if !addr.contains(':') {
+                    fail(format_args!("--connect needs HOST:PORT, got '{addr}'"));
+                }
+                args.connect.push(addr);
+            }
+            "--cell-timeout" => {
+                args.cell_timeout = Some(positive_int(spec, &value.unwrap()) as u64)
+            }
+            "--quorum" => args.quorum = Some(positive_int(spec, &value.unwrap())),
+            "--listen" => args.listen = Some(value.unwrap()),
+            "--exit-after" => {
+                // 0 is meaningful here (die on the very first cell), so
+                // this is the one numeric flag that admits it.
+                let v = value.unwrap();
+                args.exit_after = Some(v.parse::<usize>().unwrap_or_else(|_| {
+                    fail(format_args!(
+                        "--exit-after needs a non-negative integer, got '{v}'"
+                    ))
+                }));
+            }
             "--json" => args.json_dir = Some(PathBuf::from(value.unwrap())),
             "--timing-json" => args.timing_json = Some(PathBuf::from(value.unwrap())),
             "--scenario" => args.scenarios.push(PathBuf::from(value.unwrap())),
@@ -267,6 +352,92 @@ fn positive_int(spec: &FlagSpec, v: &str) -> usize {
                 spec.name
             ))
         })
+}
+
+// ---------------------------------------------------------------------
+// Executor backend selection
+// ---------------------------------------------------------------------
+
+/// The executor the batch modes run on: the in-process thread pool by
+/// default, or a [`WorkerPool`] coordinator when `--workers`/`--connect`
+/// ask for one (the pool handle is kept for the per-worker timing
+/// breakdown).
+struct Backend {
+    harness: Harness,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Backend {
+    /// Per-worker stats for the timing JSON (empty in-process).
+    fn worker_stats(&self) -> Vec<irn_harness::WorkerStats> {
+        self.pool
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.worker_stats())
+    }
+}
+
+fn build_backend(args: &Args) -> Backend {
+    if args.workers.is_none() && args.connect.is_empty() {
+        for f in ["--cell-timeout", "--quorum"] {
+            if args.supplied.contains(&f) {
+                fail(format_args!(
+                    "{f} needs a worker fleet (--workers/--connect)"
+                ));
+            }
+        }
+        return Backend {
+            harness: args.jobs.map_or_else(Harness::auto, Harness::new),
+            pool: None,
+        };
+    }
+    if args.jobs.is_some() {
+        fail("--jobs sizes the in-process thread pool; with --workers/--connect the fleet size is the parallelism — use one or the other");
+    }
+    let mut specs: Vec<WorkerSpec> = args
+        .connect
+        .iter()
+        .map(|addr| WorkerSpec::Connect { addr: addr.clone() })
+        .collect();
+    if let Some(n) = args.workers {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| fail_input(format_args!("cannot locate own executable: {e}")));
+        let exe = exe.to_string_lossy().into_owned();
+        specs.extend((0..n).map(|_| WorkerSpec::Spawn {
+            argv: vec![exe.clone(), "worker".to_string()],
+        }));
+    }
+    let mut cfg = PoolConfig::new(specs);
+    if let Some(secs) = args.cell_timeout {
+        cfg.cell_timeout = std::time::Duration::from_secs(secs);
+    }
+    if let Some(q) = args.quorum {
+        if q > cfg.specs.len() {
+            fail(format_args!(
+                "--quorum {q} can never be met by a fleet of {}",
+                cfg.specs.len()
+            ));
+        }
+        cfg.quorum = q;
+    }
+    let pool = Arc::new(WorkerPool::new(cfg));
+    Backend {
+        harness: Harness::with_executor(pool.clone()),
+        pool: Some(pool),
+    }
+}
+
+/// A batch the executor could not finish: the typed error, the partial
+/// progress, exit(2). Artifact envelopes are all-or-nothing — nothing
+/// was written.
+fn fail_batch(e: HarnessError) -> ! {
+    eprintln!("error: {e}");
+    if let Some((completed, total)) = e.partial_progress() {
+        eprintln!(
+            "partial results: {completed}/{total} cells finished before the batch was abandoned; \
+             no reports or JSON envelopes were written"
+        );
+    }
+    std::process::exit(2);
 }
 
 // ---------------------------------------------------------------------
@@ -317,7 +488,7 @@ fn report_batch_timing(
     what: &str,
     count: usize,
     started: std::time::Instant,
-    harness: &Harness,
+    backend: &Backend,
     scale: &Scale,
     timing_json: Option<&Path>,
 ) {
@@ -328,12 +499,26 @@ fn report_batch_timing(
         count,
         batch.batch_time,
         started.elapsed(),
-        harness.jobs(),
+        backend.harness.jobs(),
         batch.total_events,
         batch.events_per_sec() / 1e6,
     );
+    let workers = backend.worker_stats();
+    for w in &workers {
+        eprintln!(
+            "   [worker {}: {} cells, {:.1}s cell time, {} failure(s){}]",
+            w.name,
+            w.cells,
+            w.cell_wall_s,
+            w.failures,
+            if w.alive { "" } else { ", dropped" },
+        );
+    }
     if let Some(file) = timing_json {
-        write_file(file, &artifacts::timing_json(batch, scale, harness.jobs()));
+        write_file(
+            file,
+            &artifacts::timing_json(batch, scale, backend.harness.jobs(), &workers),
+        );
     }
 }
 
@@ -447,7 +632,7 @@ fn artifact_mode(args: &Args, scale: Scale) {
     }
 
     prepare_output_paths(args);
-    let harness = args.jobs.map_or_else(Harness::auto, Harness::new);
+    let backend = build_backend(args);
     let all = wanted.contains(&"all");
     let selected: Vec<&artifacts::Artifact> = ARTIFACTS
         .iter()
@@ -458,13 +643,14 @@ fn artifact_mode(args: &Args, scale: Scale) {
     // cells interleave on the worker pool, then reports assemble and
     // print in presentation order (byte-identical to sequential runs).
     let t = std::time::Instant::now();
-    let batch = artifacts::run_batched(&selected, scale, &harness);
+    let batch = artifacts::try_run_batched(&selected, scale, &backend.harness)
+        .unwrap_or_else(|e| fail_batch(e));
     report_batch_timing(
         &batch,
         "artifact(s)",
         selected.len(),
         t,
-        &harness,
+        &backend,
         &scale,
         args.timing_json.as_deref(),
     );
@@ -516,7 +702,7 @@ fn run_scenarios_mode(args: &Args, scale: Scale) {
     }
 
     prepare_output_paths(args);
-    let harness = args.jobs.map_or_else(Harness::auto, Harness::new);
+    let backend = build_backend(args);
     let seeds = args.seeds.unwrap_or(scale.seeds);
     let items: Vec<(String, Option<_>)> = scenarios
         .iter()
@@ -525,14 +711,18 @@ fn run_scenarios_mode(args: &Args, scale: Scale) {
         .collect();
 
     let t = std::time::Instant::now();
-    let batch =
-        artifacts::run_plan_batch(items, |i| unreachable!("scenario {i} has a plan"), &harness);
+    let batch = artifacts::try_run_plan_batch(
+        items,
+        |i| unreachable!("scenario {i} has a plan"),
+        &backend.harness,
+    )
+    .unwrap_or_else(|e| fail_batch(e));
     report_batch_timing(
         &batch,
         "scenario(s)",
         scenarios.len(),
         t,
-        &harness,
+        &backend,
         &scale,
         args.timing_json.as_deref(),
     );
@@ -544,6 +734,84 @@ fn run_scenarios_mode(args: &Args, scale: Scale) {
         if let Some(dir) = &args.json_dir {
             let text = scenario_json(scenario, seeds, rep);
             write_file(&dir.join(format!("{}.json", scenario.slug())), &text);
+        }
+    }
+}
+
+/// `repro worker`: serve the `work-v1` protocol for a coordinator —
+/// over stdin/stdout when spawned (`--workers N` does this), or over
+/// TCP with `--listen ADDR` (one coordinator at a time; the accept
+/// loop serves connections serially and runs until killed).
+///
+/// `--exit-after N` is the fault-injection hook behind the
+/// kill-a-worker tests and the CI retry job: the worker consumes its
+/// N+1th cell and dies without answering, forcing the coordinator down
+/// the reassignment path.
+fn worker_mode(args: &Args) {
+    if args.positionals.len() > 1 {
+        fail(format_args!(
+            "worker mode takes no positional arguments, got '{}'",
+            args.positionals[1]
+        ));
+    }
+    let opts = WorkerOptions {
+        exit_after: args.exit_after,
+    };
+    let Some(addr) = &args.listen else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let summary = worker::serve(stdin.lock(), stdout.lock(), opts)
+            .unwrap_or_else(|e| fail_input(format_args!("worker I/O error: {e}")));
+        eprintln!(
+            "   [worker: answered {}, {} error frame(s){}]",
+            summary.answered,
+            summary.errors,
+            if summary.aborted { ", aborted" } else { "" }
+        );
+        return;
+    };
+    let listener = std::net::TcpListener::bind(addr)
+        .unwrap_or_else(|e| fail_input(format_args!("cannot listen on {addr}: {e}")));
+    let local = listener
+        .local_addr()
+        .map_or_else(|_| addr.clone(), |a| a.to_string());
+    // In listen mode stdout carries no protocol frames, so announce the
+    // bound address there — scripts bind port 0 and read the real port.
+    println!("listening {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("   [worker {local}: accept failed: {e}]");
+                continue;
+            }
+        };
+        let reader = match stream.try_clone() {
+            Ok(r) => std::io::BufReader::new(r),
+            Err(e) => {
+                eprintln!("   [worker {local}: cannot clone stream: {e}]");
+                continue;
+            }
+        };
+        match worker::serve(reader, &stream, opts) {
+            Ok(summary) => {
+                eprintln!(
+                    "   [worker {local}: answered {}, {} error frame(s){}]",
+                    summary.answered,
+                    summary.errors,
+                    if summary.aborted { ", aborted" } else { "" }
+                );
+                if summary.aborted {
+                    // Simulated death must take the whole worker down,
+                    // not just this connection.
+                    std::process::exit(0);
+                }
+            }
+            // A coordinator vanishing mid-connection is its failure,
+            // not ours: keep serving the next one.
+            Err(e) => eprintln!("   [worker {local}: connection error: {e}]"),
         }
     }
 }
@@ -726,6 +994,7 @@ fn main() {
             args.restrict_flags(mode, allowed);
             match mode {
                 "run" => run_scenarios_mode(&args, scale),
+                "worker" => worker_mode(&args),
                 "emit-scenario" => emit_scenario_mode(&args, scale),
                 _ => diff_timing_mode(&args),
             }

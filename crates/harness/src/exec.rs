@@ -1,43 +1,87 @@
-//! The parallel executor: a self-scheduling worker pool over
-//! `std::thread` + channels.
+//! The executor seam: one trait every batch runs through, with the
+//! in-process thread pool as its reference implementation.
 //!
-//! Cells are independent and the engine is a pure function of its
-//! config, so scheduling cannot change any result — only wall-clock
-//! time. Workers pull the next unclaimed index from a shared atomic
-//! cursor (work-stealing degenerates to this when every task lives in
-//! one shared queue), ship `(index, result)` pairs back over an mpsc
-//! channel, and the collector reassembles them **in submission order**.
+//! [`Executor`] is the pluggable backend API: give it cells, get one
+//! [`CellOutcome`] per cell **in submission order**. Everything above
+//! this seam (plans, replicates, the global cross-artifact batch) is
+//! backend-agnostic — the same code runs on the in-process
+//! [`ThreadExecutor`] or on a multi-process [`crate::WorkerPool`], and
+//! because every cell is a pure function of its scenario, the rendered
+//! output is byte-identical across backends and parallelism levels.
+//!
+//! [`Harness`] is the handle the rest of the workspace holds: a cheap
+//! clonable wrapper over an `Arc<dyn Executor>` whose `run`/`run_timed`
+//! methods are thin forwarding shims. The channel/ordering plumbing
+//! lives in exactly one place — [`ThreadExecutor::run_indexed`] — and
 //! `jobs = 1` bypasses the pool entirely and runs inline, so serial
-//! output is the definitional baseline the parallel path must match.
+//! output is the definitional baseline every backend must match.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 use irn_core::RunResult;
 
 use crate::cell::Cell;
+use crate::error::HarnessError;
 
-/// A parallel experiment executor with a fixed job count.
+/// One executed cell: its result plus the wall-clock time it took on
+/// whatever worker ran it.
+///
+/// The result is deterministic (a pure function of the cell's
+/// scenario); the duration is instrumentation — determinism class
+/// `timing` — and must never feed back into deterministic output.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The simulation's result.
+    pub result: RunResult,
+    /// Wall-clock execution time on the worker that ran the cell
+    /// (includes time-sharing wait when workers oversubscribe cores,
+    /// and excludes queueing/transfer time in distributed backends).
+    pub wall: std::time::Duration,
+}
+
+/// A batch executor backend.
+///
+/// The contract every implementation must honor:
+///
+/// 1. **Submission order.** `run_cells(cells)` returns exactly
+///    `cells.len()` outcomes with `outcomes[i]` belonging to
+///    `cells[i]`, regardless of completion order.
+/// 2. **Purity.** Each cell's result depends only on its scenario, so
+///    *where* and *when* a cell runs — and whether it was retried —
+///    cannot change any result byte.
+/// 3. **Fail loudly.** A backend that cannot produce every outcome
+///    (worker fleet degraded, cell permanently failing) returns a
+///    typed [`HarnessError`] instead of a partial vector.
+pub trait Executor: Send + Sync {
+    /// Run every cell; outcomes in submission order.
+    fn run_cells(&self, cells: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError>;
+
+    /// How many cells this backend works on concurrently (worker
+    /// threads in-process, worker processes distributed). Reported in
+    /// timing output; never affects result bytes.
+    fn concurrency(&self) -> usize;
+}
+
+/// The in-process reference executor: a self-scheduling worker pool
+/// over `std::thread` + channels.
+///
+/// Workers pull the next unclaimed index from a shared atomic cursor
+/// (work-stealing degenerates to this when every task lives in one
+/// shared queue), ship `(index, value)` pairs back over an mpsc
+/// channel, and the collector reassembles them in submission order.
 #[derive(Debug, Clone, Copy)]
-pub struct Harness {
+pub struct ThreadExecutor {
     jobs: usize,
 }
 
-impl Harness {
-    /// An executor with `jobs` workers (0 is clamped to 1).
-    pub fn new(jobs: usize) -> Harness {
-        Harness { jobs: jobs.max(1) }
-    }
-
-    /// A serial executor (`jobs = 1`).
-    pub fn serial() -> Harness {
-        Harness::new(1)
-    }
-
-    /// One worker per available core.
-    pub fn auto() -> Harness {
-        Harness::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+impl ThreadExecutor {
+    /// An executor with `jobs` worker threads (0 is clamped to 1; the
+    /// CLI rejects `--jobs 0` at parse time, so the clamp only guards
+    /// library callers).
+    pub fn new(jobs: usize) -> ThreadExecutor {
+        ThreadExecutor { jobs: jobs.max(1) }
     }
 
     /// The configured worker count.
@@ -45,31 +89,13 @@ impl Harness {
         self.jobs
     }
 
-    /// Run every cell and return results in submission order:
-    /// `results[i]` belongs to `cells[i]`, at any job count.
-    pub fn run(&self, cells: &[Cell]) -> Vec<RunResult> {
-        self.run_indexed(cells.len(), |i| irn_core::run(cells[i].config().clone()))
-    }
-
-    /// Like [`Harness::run`], additionally measuring each cell's
-    /// **wall-clock** execution time on its worker. The results are
-    /// bit-identical to `run`'s (timing is observed, never fed back).
-    /// With more jobs than cores the workers time-share, so a cell's
-    /// duration includes preemption wait — consumers comparing
-    /// throughput across runs should hold `jobs` (recorded in the
-    /// timing JSON) constant. The durations are instrumentation for
-    /// events/sec reporting and must not enter deterministic output.
-    pub fn run_timed(&self, cells: &[Cell]) -> Vec<(RunResult, std::time::Duration)> {
-        self.run_indexed(cells.len(), |i| {
-            let start = std::time::Instant::now();
-            let result = irn_core::run(cells[i].config().clone());
-            (result, start.elapsed())
-        })
-    }
-
     /// The underlying primitive: evaluate `f(0..n)` across the pool and
     /// return the outputs in index order. `f` must be a pure function
     /// of its index for the order guarantee to be meaningful.
+    ///
+    /// This is the **only** copy of the channel/ordering plumbing; the
+    /// trait method, `Harness::run`, and `Harness::run_timed` are all
+    /// thin wrappers over it.
     pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -115,6 +141,127 @@ impl Harness {
     }
 }
 
+impl Executor for ThreadExecutor {
+    /// Run every cell on the thread pool. Infallible in practice — the
+    /// in-process backend has no workers to lose — so the `Result` is
+    /// always `Ok`.
+    fn run_cells(&self, cells: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError> {
+        Ok(self.run_indexed(cells.len(), |i| {
+            let start = std::time::Instant::now();
+            let result = irn_core::run(cells[i].config().clone());
+            CellOutcome {
+                result,
+                wall: start.elapsed(),
+            }
+        }))
+    }
+
+    fn concurrency(&self) -> usize {
+        self.jobs
+    }
+}
+
+/// The executor handle the workspace passes around: a cheap clonable
+/// wrapper over a shared [`Executor`] backend.
+///
+/// `Harness::new(jobs)` keeps its historical meaning (an in-process
+/// [`ThreadExecutor`]); [`Harness::with_executor`] plugs in any other
+/// backend — notably the [`crate::WorkerPool`] coordinator — without
+/// changing a line above the seam.
+#[derive(Clone)]
+pub struct Harness {
+    exec: Arc<dyn Executor>,
+}
+
+impl Harness {
+    /// An in-process executor with `jobs` worker threads (0 is clamped
+    /// to 1).
+    pub fn new(jobs: usize) -> Harness {
+        Harness::with_executor(Arc::new(ThreadExecutor::new(jobs)))
+    }
+
+    /// A serial in-process executor (`jobs = 1`).
+    pub fn serial() -> Harness {
+        Harness::new(1)
+    }
+
+    /// One in-process worker per available core.
+    pub fn auto() -> Harness {
+        Harness::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// A harness over an arbitrary executor backend.
+    pub fn with_executor(exec: Arc<dyn Executor>) -> Harness {
+        Harness { exec }
+    }
+
+    /// The backend's concurrency (thread count in-process, worker count
+    /// distributed). Kept under the historical name — it is what the
+    /// CLI reports as `jobs=` and records in timing JSON.
+    pub fn jobs(&self) -> usize {
+        self.exec.concurrency()
+    }
+
+    /// Run every cell and return results in submission order:
+    /// `results[i]` belongs to `cells[i]`, at any parallelism.
+    /// Panics if the backend fails; use [`Harness::try_run_timed`] for
+    /// the typed-error path (distributed backends can degrade).
+    pub fn run(&self, cells: &[Cell]) -> Vec<RunResult> {
+        self.run_timed(cells).into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Like [`Harness::run`], additionally returning each cell's
+    /// wall-clock execution time on its worker. The results are
+    /// bit-identical to `run`'s (timing is observed, never fed back).
+    /// With more jobs than cores the workers time-share, so a cell's
+    /// duration includes preemption wait — consumers comparing
+    /// throughput across runs should hold `jobs` (recorded in the
+    /// timing JSON) constant. Panics if the backend fails.
+    pub fn run_timed(&self, cells: &[Cell]) -> Vec<(RunResult, std::time::Duration)> {
+        self.try_run_timed(cells)
+            .unwrap_or_else(|e| panic!("executor failed: {e}"))
+    }
+
+    /// The fallible primitive behind `run`/`run_timed`: every outcome
+    /// in submission order, or the backend's typed error (worker fleet
+    /// degraded, cell permanently failing). The in-process backend
+    /// never errors.
+    pub fn try_run_timed(
+        &self,
+        cells: &[Cell],
+    ) -> Result<Vec<(RunResult, std::time::Duration)>, HarnessError> {
+        Ok(self
+            .exec
+            .run_cells(cells)?
+            .into_iter()
+            .map(|o| (o.result, o.wall))
+            .collect())
+    }
+
+    /// Evaluate `f(0..n)` across an in-process thread pool sized like
+    /// this harness, returning outputs in index order.
+    ///
+    /// This is a *local compute* primitive (used for generic
+    /// parallelism outside the cell abstraction); it always runs on
+    /// threads in this process, even when the cell backend is a
+    /// distributed pool.
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ThreadExecutor::new(self.jobs()).run_indexed(n, f)
+    }
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("concurrency", &self.jobs())
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +301,31 @@ mod tests {
     fn empty_batch_is_fine() {
         let out: Vec<usize> = Harness::new(4).run_indexed(0, |i| i);
         assert!(out.is_empty());
+        assert!(Harness::new(4).run(&[]).is_empty());
+    }
+
+    /// A custom backend plugs in through the trait seam: `Harness::run`
+    /// observes its outcomes (here: a stub that fails), proving the
+    /// forwarding shims really delegate.
+    #[test]
+    fn custom_executor_errors_surface_through_try_run() {
+        struct Failing;
+        impl Executor for Failing {
+            fn run_cells(&self, _: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError> {
+                Err(HarnessError::QuorumLost {
+                    live: 0,
+                    quorum: 1,
+                    completed: 0,
+                    total: 0,
+                })
+            }
+            fn concurrency(&self) -> usize {
+                3
+            }
+        }
+        let h = Harness::with_executor(Arc::new(Failing));
+        assert_eq!(h.jobs(), 3);
+        let err = h.try_run_timed(&[]).unwrap_err();
+        assert!(matches!(err, HarnessError::QuorumLost { .. }));
     }
 }

@@ -12,11 +12,17 @@
 //! - [`SweepGrid`] — a builder for cartesian parameter sweeps
 //!   (transport/PFC variants × CC schemes × offered loads × seeds) that
 //!   expands into an ordered batch of cells.
-//! - [`Harness`] — a self-scheduling thread-pool executor
-//!   (`std::thread` + channels, no external deps) that runs a batch and
-//!   returns results **in submission order** regardless of completion
-//!   order, so downstream reports render byte-identically at any job
-//!   count.
+//! - [`Executor`] — the pluggable backend seam: run a batch of cells,
+//!   return one outcome per cell **in submission order**. Two backends
+//!   ship: the in-process [`ThreadExecutor`] (`std::thread` + channels,
+//!   no external deps) and the multi-process [`WorkerPool`] coordinator,
+//!   which shards a batch across spawned or remote `work-v1` workers
+//!   with per-cell timeouts, bounded retry/reassignment, and quorum
+//!   tracking. Because cells are pure functions of their scenarios,
+//!   downstream reports render byte-identically at any job count on
+//!   any backend.
+//! - [`Harness`] — the cheap clonable handle over an executor that the
+//!   rest of the workspace passes around.
 //! - [`Replicate`] — fans one cell out over N seeds and aggregates
 //!   mean / std-dev / 95% CI, independent of seed order.
 //! - [`ReplicateSet`] — flattens many replicates into **one** batch
@@ -41,13 +47,20 @@
 #![deny(missing_docs)]
 
 pub mod cell;
+pub mod error;
 pub mod exec;
+pub mod pool;
 pub mod replicate;
 pub mod stats;
 pub mod sweep;
+pub mod wire;
+pub mod worker;
 
 pub use cell::Cell;
-pub use exec::Harness;
+pub use error::HarnessError;
+pub use exec::{CellOutcome, Executor, Harness, ThreadExecutor};
+pub use pool::{PoolConfig, WorkerPool, WorkerSpec, WorkerStats};
 pub use replicate::{Replicate, ReplicateResult, ReplicateSet};
 pub use stats::Stats;
 pub use sweep::{SweepGrid, Variant};
+pub use worker::{ServeSummary, WorkerOptions};

@@ -1,0 +1,603 @@
+//! The distributed executor backend: a coordinator sharding one batch
+//! across worker *processes* (spawned children or TCP peers) speaking
+//! the `work-v1` protocol.
+//!
+//! The design follows the centralized-coordinator shape of RDMA
+//! control planes (RDMAvisor): one coordinator owns the submission
+//! queue; workers are stateless and interchangeable. Each worker
+//! connection is driven by one dispatcher thread that pulls the next
+//! unclaimed cell, ships it as a work frame, and waits (bounded) for
+//! the matching result frame. Results land in submission-indexed slots,
+//! so the assembled output is **byte-identical to the in-process
+//! executor at any worker count** — the same guarantee, one seam up.
+//!
+//! Robustness is first-class, not best-effort:
+//!
+//! - **Per-cell timeout** — a hung worker forfeits its cell.
+//! - **Bounded retry with reassignment** — a cell lost to a worker
+//!   death or timeout goes back to the front of the queue for the next
+//!   live worker; each cell gets at most `max_attempts` tries.
+//! - **Quorum** — when live workers drop below `quorum` with work
+//!   remaining, the batch is abandoned with a typed
+//!   [`HarnessError::QuorumLost`] carrying the completed/total counts
+//!   for the caller's partial-results report.
+//!
+//! Because cells are pure functions of their scenarios, a retried cell
+//! cannot change any byte; duplicated late results are dropped
+//! first-write-wins.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cell::Cell;
+use crate::error::HarnessError;
+use crate::exec::{CellOutcome, Executor};
+use crate::wire::{self, Frame};
+
+/// How to reach one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerSpec {
+    /// Spawn a local worker process speaking `work-v1` on its
+    /// stdin/stdout (e.g. `repro worker`). `argv[0]` is the program.
+    Spawn {
+        /// Program and arguments.
+        argv: Vec<String>,
+    },
+    /// Connect to a listening worker (`repro worker --listen ADDR`).
+    Connect {
+        /// `host:port` of the listener.
+        addr: String,
+    },
+}
+
+impl WorkerSpec {
+    fn label(&self, index: usize) -> String {
+        match self {
+            WorkerSpec::Spawn { .. } => format!("spawn#{index}"),
+            WorkerSpec::Connect { addr } => addr.clone(),
+        }
+    }
+}
+
+/// Coordinator policy knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// The fleet, one spec per worker.
+    pub specs: Vec<WorkerSpec>,
+    /// Per-cell wall-clock budget on a worker; past it the cell is
+    /// forfeited and reassigned (and the worker is presumed hung and
+    /// dropped from the fleet).
+    pub cell_timeout: Duration,
+    /// Maximum tries per cell across the whole fleet before the batch
+    /// fails with [`HarnessError::CellFailed`].
+    pub max_attempts: usize,
+    /// Minimum live workers; below this (with work remaining) the
+    /// batch is abandoned with [`HarnessError::QuorumLost`].
+    pub quorum: usize,
+}
+
+impl PoolConfig {
+    /// A config with the default policy: 300 s per cell, 3 attempts,
+    /// quorum 1 (the batch survives down to a single live worker).
+    pub fn new(specs: Vec<WorkerSpec>) -> PoolConfig {
+        PoolConfig {
+            specs,
+            cell_timeout: Duration::from_secs(300),
+            max_attempts: 3,
+            quorum: 1,
+        }
+    }
+}
+
+/// Per-worker observations from the last batch (determinism class
+/// `timing`; reported on stderr and in the bench-trajectory JSON,
+/// never in artifact envelopes).
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Display name (`spawn#i` or the connect address).
+    pub name: String,
+    /// Cells this worker completed.
+    pub cells: usize,
+    /// Summed worker-side wall-clock seconds over those cells.
+    pub cell_wall_s: f64,
+    /// Failed attempts charged to this worker (timeouts, deaths,
+    /// worker-reported errors).
+    pub failures: usize,
+    /// False once the coordinator dropped the worker from the fleet.
+    pub alive: bool,
+    /// The last failure's description, if any.
+    pub last_error: Option<String>,
+}
+
+impl WorkerStats {
+    fn new(name: String) -> WorkerStats {
+        WorkerStats {
+            name,
+            cells: 0,
+            cell_wall_s: 0.0,
+            failures: 0,
+            alive: true,
+            last_error: None,
+        }
+    }
+}
+
+/// The distributed [`Executor`]: shards each batch across the
+/// configured worker fleet.
+pub struct WorkerPool {
+    cfg: PoolConfig,
+    stats: Mutex<Vec<WorkerStats>>,
+}
+
+impl WorkerPool {
+    /// Build a pool. Panics on an empty fleet or a quorum the fleet
+    /// can never satisfy — both are caller (CLI-layer) validation
+    /// bugs, not runtime conditions.
+    pub fn new(cfg: PoolConfig) -> WorkerPool {
+        assert!(
+            !cfg.specs.is_empty(),
+            "worker pool needs at least one worker"
+        );
+        assert!(
+            (1..=cfg.specs.len()).contains(&cfg.quorum),
+            "quorum {} impossible with {} worker(s)",
+            cfg.quorum,
+            cfg.specs.len()
+        );
+        assert!(cfg.max_attempts >= 1, "cells need at least one attempt");
+        WorkerPool {
+            stats: Mutex::new(
+                cfg.specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| WorkerStats::new(s.label(i)))
+                    .collect(),
+            ),
+            cfg,
+        }
+    }
+
+    /// Per-worker observations from the most recent batch (zeroed
+    /// counters before the first).
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.stats.lock().expect("stats lock").clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// One worker connection
+// ---------------------------------------------------------------------
+
+/// A live connection to one worker: a writer for work frames, a
+/// channel of incoming lines (pumped by a detached reader thread — it
+/// exits on EOF, which killing the connection forces), and the handle
+/// needed to force that EOF.
+struct Conn {
+    writer: Box<dyn Write + Send>,
+    lines: Receiver<std::io::Result<String>>,
+    child: Option<Child>,
+    tcp: Option<TcpStream>,
+}
+
+impl Conn {
+    fn open(spec: &WorkerSpec) -> std::io::Result<Conn> {
+        match spec {
+            WorkerSpec::Spawn { argv } => {
+                let (prog, rest) = argv.split_first().ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty spawn argv")
+                })?;
+                let mut child = Command::new(prog)
+                    .args(rest)
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()?;
+                let stdin = child.stdin.take().expect("piped stdin");
+                let stdout = child.stdout.take().expect("piped stdout");
+                Ok(Conn {
+                    writer: Box::new(stdin),
+                    lines: spawn_reader(BufReader::new(stdout)),
+                    child: Some(child),
+                    tcp: None,
+                })
+            }
+            WorkerSpec::Connect { addr } => {
+                let stream = TcpStream::connect(addr)?;
+                let reader = stream.try_clone()?;
+                Ok(Conn {
+                    writer: Box::new(stream.try_clone()?),
+                    lines: spawn_reader(BufReader::new(reader)),
+                    child: None,
+                    tcp: Some(stream),
+                })
+            }
+        }
+    }
+
+    /// Force the connection down: kill the child / shut the socket.
+    /// The reader thread sees EOF and exits; any blocked receive gets
+    /// a disconnect. Also reaps a killed child so no zombie outlives
+    /// the batch.
+    fn kill(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(tcp) = &self.tcp {
+            let _ = tcp.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Pump lines off a reader into a channel from a detached thread, so
+/// dispatchers can wait with a timeout. The thread exits at EOF or
+/// when the receiver is dropped.
+fn spawn_reader(reader: impl BufRead + Send + 'static) -> Receiver<std::io::Result<String>> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in reader.lines() {
+            let stop = line.is_err();
+            if tx.send(line).is_err() || stop {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+/// Why one attempt failed, and whether the connection can be trusted
+/// for further work.
+struct AttemptError {
+    detail: String,
+    /// True when the worker is dead/hung/garbled: drop it from the
+    /// fleet. False for a worker-reported error frame — the connection
+    /// itself is healthy.
+    conn_dead: bool,
+}
+
+/// Run one cell on one worker: ship the work frame, wait (bounded) for
+/// the matching result.
+fn attempt(
+    conn: &mut Conn,
+    id: usize,
+    cell: &Cell,
+    timeout: Duration,
+) -> Result<CellOutcome, AttemptError> {
+    let dead = |detail: String| AttemptError {
+        detail,
+        conn_dead: true,
+    };
+    let frame = wire::encode_work(id as u64, cell.scenario());
+    conn.writer
+        .write_all(frame.as_bytes())
+        .and_then(|()| conn.writer.write_all(b"\n"))
+        .and_then(|()| conn.writer.flush())
+        .map_err(|e| dead(format!("write failed: {e}")))?;
+
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let line = match conn.lines.recv_timeout(remaining) {
+            Ok(Ok(line)) => line,
+            Ok(Err(e)) => return Err(dead(format!("read failed: {e}"))),
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(dead(format!("timed out after {timeout:.1?}")))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(dead("worker connection closed".to_string()))
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::decode(&line) {
+            Ok(Frame::Result {
+                id: rid,
+                wall_s,
+                result,
+            }) if rid == id as u64 => {
+                return Ok(CellOutcome {
+                    result: *result,
+                    wall: Duration::from_secs_f64(wall_s.max(0.0)),
+                })
+            }
+            Ok(Frame::Error { id: eid, message }) if eid.is_none() || eid == Some(id as u64) => {
+                // The worker answered: the connection is healthy, the
+                // cell (or our frame) is the problem.
+                return Err(AttemptError {
+                    detail: format!("worker reported: {message}"),
+                    conn_dead: false,
+                });
+            }
+            Ok(other) => {
+                return Err(dead(format!(
+                    "protocol violation: unexpected frame {other:?} while cell {id} in flight"
+                )))
+            }
+            Err(e) => return Err(dead(format!("undecodable frame: {e}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The coordinator
+// ---------------------------------------------------------------------
+
+/// Shared batch state behind one mutex; the condvar wakes dispatchers
+/// on new pending work and the supervisor on completion/failure.
+struct BatchState {
+    pending: VecDeque<usize>,
+    attempts: Vec<usize>,
+    slots: Vec<Option<CellOutcome>>,
+    done: usize,
+    live: usize,
+    fatal: Option<HarnessError>,
+}
+
+impl Executor for WorkerPool {
+    fn run_cells(&self, cells: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError> {
+        let total = cells.len();
+        let mut run_stats: Vec<WorkerStats> = self
+            .cfg
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| WorkerStats::new(s.label(i)))
+            .collect();
+        if total == 0 {
+            *self.stats.lock().expect("stats lock") = run_stats;
+            return Ok(Vec::new());
+        }
+
+        let state = Mutex::new(BatchState {
+            pending: (0..total).collect(),
+            attempts: vec![0; total],
+            slots: (0..total).map(|_| None).collect(),
+            done: 0,
+            live: self.cfg.specs.len(),
+            fatal: None,
+        });
+        let cvar = Condvar::new();
+        let stats_out: Vec<Mutex<Option<WorkerStats>>> =
+            self.cfg.specs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for (w, spec) in self.cfg.specs.iter().enumerate() {
+                let state = &state;
+                let cvar = &cvar;
+                let stats_out = &stats_out;
+                let cfg = &self.cfg;
+                scope.spawn(move || {
+                    let stats = dispatch(w, spec, cells, cfg, state, cvar);
+                    *stats_out[w].lock().expect("stats slot") = Some(stats);
+                });
+            }
+            // Supervise: wake on every completion or fleet change.
+            let mut st = state.lock().expect("state lock");
+            while st.fatal.is_none() && st.done < total {
+                st = cvar.wait(st).expect("state lock");
+            }
+            // On failure, dispatchers blocked on a slow cell would
+            // otherwise run out their full timeout; fatal is already
+            // set, so they exit at their next state check. Nothing to
+            // force here — their connections die with their Conn drop.
+            drop(st);
+        });
+
+        for (dst, src) in run_stats.iter_mut().zip(&stats_out) {
+            if let Some(s) = src.lock().expect("stats slot").take() {
+                *dst = s;
+            }
+        }
+        *self.stats.lock().expect("stats lock") = run_stats;
+
+        let mut st = state.into_inner().expect("state lock");
+        if let Some(fatal) = st.fatal.take() {
+            return Err(fatal);
+        }
+        Ok(st
+            .slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("cell {i} has no outcome")))
+            .collect())
+    }
+
+    fn concurrency(&self) -> usize {
+        self.cfg.specs.len()
+    }
+}
+
+/// One worker's dispatcher loop: connect, then pull-ship-collect until
+/// the batch finishes, the fleet fails, or this worker dies.
+fn dispatch(
+    w: usize,
+    spec: &WorkerSpec,
+    cells: &[Cell],
+    cfg: &PoolConfig,
+    state: &Mutex<BatchState>,
+    cvar: &Condvar,
+) -> WorkerStats {
+    let total = cells.len();
+    let mut stats = WorkerStats::new(spec.label(w));
+
+    /// Drop this worker from the fleet, failing the batch if the
+    /// remaining fleet is below quorum with work left.
+    fn retire(st: &mut BatchState, quorum: usize, total: usize) {
+        st.live -= 1;
+        if st.live < quorum && st.done < total && st.fatal.is_none() {
+            st.fatal = Some(HarnessError::QuorumLost {
+                live: st.live,
+                quorum,
+                completed: st.done,
+                total,
+            });
+        }
+    }
+
+    let mut conn = match Conn::open(spec) {
+        Ok(conn) => conn,
+        Err(e) => {
+            stats.alive = false;
+            stats.last_error = Some(
+                HarnessError::WorkerUnavailable {
+                    worker: stats.name.clone(),
+                    detail: e.to_string(),
+                }
+                .to_string(),
+            );
+            let mut st = state.lock().expect("state lock");
+            retire(&mut st, cfg.quorum, total);
+            cvar.notify_all();
+            return stats;
+        }
+    };
+
+    loop {
+        // Claim the next cell, or wait for one to be reassigned.
+        let idx = {
+            let mut st = state.lock().expect("state lock");
+            loop {
+                if st.fatal.is_some() || st.done == total {
+                    return stats;
+                }
+                if let Some(idx) = st.pending.pop_front() {
+                    break idx;
+                }
+                st = cvar.wait(st).expect("state lock");
+            }
+        };
+
+        match attempt(&mut conn, idx, &cells[idx], cfg.cell_timeout) {
+            Ok(outcome) => {
+                stats.cells += 1;
+                stats.cell_wall_s += outcome.wall.as_secs_f64();
+                let mut st = state.lock().expect("state lock");
+                // First write wins: a reassigned twin of this cell may
+                // already have landed; results are identical anyway.
+                if st.slots[idx].is_none() {
+                    st.slots[idx] = Some(outcome);
+                    st.done += 1;
+                }
+                cvar.notify_all();
+            }
+            Err(err) => {
+                stats.failures += 1;
+                stats.last_error = Some(err.detail.clone());
+                let mut st = state.lock().expect("state lock");
+                st.attempts[idx] += 1;
+                if st.attempts[idx] >= cfg.max_attempts {
+                    if st.fatal.is_none() {
+                        st.fatal = Some(HarnessError::CellFailed {
+                            index: idx,
+                            label: cells[idx].label().to_string(),
+                            attempts: st.attempts[idx],
+                            detail: err.detail,
+                            completed: st.done,
+                            total,
+                        });
+                    }
+                } else if err.conn_dead {
+                    // Reassign at the front so a live worker picks the
+                    // orphan up before new work.
+                    st.pending.push_front(idx);
+                } else {
+                    // Healthy connection, failing cell: retry later,
+                    // preferably elsewhere.
+                    st.pending.push_back(idx);
+                }
+                if err.conn_dead {
+                    stats.alive = false;
+                    retire(&mut st, cfg.quorum, total);
+                }
+                cvar.notify_all();
+                if err.conn_dead {
+                    drop(st);
+                    conn.kill();
+                    return stats;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_label_spawn_and_connect_differently() {
+        let s = WorkerSpec::Spawn {
+            argv: vec!["repro".into(), "worker".into()],
+        };
+        assert_eq!(s.label(2), "spawn#2");
+        let c = WorkerSpec::Connect {
+            addr: "127.0.0.1:7401".into(),
+        };
+        assert_eq!(c.label(0), "127.0.0.1:7401");
+    }
+
+    #[test]
+    fn unspawnable_fleet_fails_with_quorum_loss_not_hang() {
+        let pool = WorkerPool::new(PoolConfig::new(vec![
+            WorkerSpec::Spawn {
+                argv: vec!["/nonexistent/worker-binary".into()],
+            },
+            WorkerSpec::Connect {
+                // Reserved port on localhost that nothing listens on —
+                // connect fails fast.
+                addr: "127.0.0.1:1".into(),
+            },
+        ]));
+        let cells = vec![crate::Cell::new(
+            "unreachable",
+            irn_core::ExperimentConfig::quick(10),
+        )];
+        let err = pool.run_cells(&cells).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HarnessError::QuorumLost {
+                    live: 0,
+                    completed: 0,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| !s.alive));
+        assert!(stats.iter().all(|s| s.last_error.is_some()));
+    }
+
+    #[test]
+    fn empty_batch_never_contacts_the_fleet() {
+        let pool = WorkerPool::new(PoolConfig::new(vec![WorkerSpec::Connect {
+            addr: "127.0.0.1:1".into(),
+        }]));
+        assert!(pool.run_cells(&[]).unwrap().is_empty());
+        assert!(pool.worker_stats().iter().all(|s| s.alive));
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn impossible_quorum_is_a_construction_error() {
+        let mut cfg = PoolConfig::new(vec![WorkerSpec::Connect {
+            addr: "127.0.0.1:1".into(),
+        }]);
+        cfg.quorum = 2;
+        let _ = WorkerPool::new(cfg);
+    }
+}

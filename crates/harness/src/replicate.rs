@@ -9,6 +9,7 @@
 use irn_core::RunResult;
 
 use crate::cell::Cell;
+use crate::error::HarnessError;
 use crate::exec::Harness;
 use crate::stats::Stats;
 
@@ -83,9 +84,29 @@ impl ReplicateResult {
         Stats::from_values(&values)
     }
 
-    /// The run for one seed.
+    /// The run for one seed, or a typed [`HarnessError::UnknownSeed`]
+    /// naming the seeds that actually ran — a misspelled seed in a
+    /// report query fails with a message instead of silently rendering
+    /// nothing.
+    pub fn result_for(&self, seed: u64) -> Result<&RunResult, HarnessError> {
+        self.runs
+            .iter()
+            .find(|(s, _)| *s == seed)
+            .map(|(_, r)| r)
+            .ok_or_else(|| HarnessError::UnknownSeed {
+                label: self.label.clone(),
+                seed,
+                known: self.runs.iter().map(|(s, _)| *s).collect(),
+            })
+    }
+
+    /// The run for one seed, `None` when it never ran.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `result_for`, which reports *which* seeds exist"
+    )]
     pub fn run_for(&self, seed: u64) -> Option<&RunResult> {
-        self.runs.iter().find(|(s, _)| *s == seed).map(|(_, r)| r)
+        self.result_for(seed).ok()
     }
 }
 
@@ -209,7 +230,21 @@ mod tests {
         assert_eq!(sa.mean.to_bits(), sb.mean.to_bits());
         assert_eq!(sa.ci95.to_bits(), sb.ci95.to_bits());
         assert_eq!(a.runs.len(), 3);
-        assert!(a.run_for(8).is_some());
-        assert!(a.run_for(4).is_none());
+        assert!(a.result_for(8).is_ok());
+        let err = a.result_for(4).unwrap_err();
+        match &err {
+            HarnessError::UnknownSeed { label, seed, known } => {
+                assert_eq!(label, "incast");
+                assert_eq!(*seed, 4);
+                assert_eq!(known, &[5, 8, 11]);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // The deprecated shim preserves the old Option surface.
+        #[allow(deprecated)]
+        {
+            assert!(a.run_for(8).is_some());
+            assert!(a.run_for(4).is_none());
+        }
     }
 }

@@ -1,0 +1,256 @@
+//! The `work-v1` wire protocol: newline-delimited JSON frames between a
+//! coordinator and its workers.
+//!
+//! Three frame kinds flow over a worker connection (stdin/stdout of a
+//! spawned `repro worker`, or a TCP stream to a listening one):
+//!
+//! ```text
+//! coordinator → worker   {"frame":"work-v1","id":N,"scenario":{…scenario-v1…}}
+//! worker → coordinator   {"frame":"result-v1","id":N,"wall_s":S,"result":{…}}
+//! worker → coordinator   {"frame":"error-v1","id":N|null,"error":"…"}
+//! ```
+//!
+//! One frame per line, compact JSON (no unescaped newlines can occur).
+//! The `id` is the cell's submission index in the coordinator's batch;
+//! echoing it back is what lets results arrive over any connection in
+//! any order and still assemble in submission order. The `result`
+//! payload is the full [`RunResult`] in its schema-v2 wire form, which
+//! round-trips **bit-exactly** — the byte-identity guarantee of the
+//! distributed executor rests on that. `wall_s` is the worker-side
+//! wall-clock seconds for the cell (determinism class `timing`: it
+//! feeds stderr/bench-trajectory reporting, never result bytes).
+//!
+//! The full frame reference lives in `docs/SCHEMA.md`.
+
+use irn_core::{RunResult, Scenario};
+use serde::json::{self, Value};
+use serde::{Deserialize, Serialize};
+
+/// The protocol identifier carried by every work frame.
+pub const WORK_SCHEMA: &str = "work-v1";
+/// The frame tag of a successful result.
+pub const RESULT_SCHEMA: &str = "result-v1";
+/// The frame tag of a worker-reported error.
+pub const ERROR_SCHEMA: &str = "error-v1";
+
+/// One parsed protocol frame.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Coordinator → worker: run this scenario.
+    Work {
+        /// Submission index of the cell in the coordinator's batch.
+        id: u64,
+        /// The cell's full scenario (validated on parse).
+        scenario: Scenario,
+    },
+    /// Worker → coordinator: the cell's result.
+    Result {
+        /// Echo of the work frame's id.
+        id: u64,
+        /// Worker-side wall-clock seconds for the run (timing class).
+        wall_s: f64,
+        /// The bit-exact run result.
+        result: Box<RunResult>,
+    },
+    /// Worker → coordinator: the referenced work frame failed.
+    Error {
+        /// Echo of the offending frame's id, when it could be read.
+        id: Option<u64>,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// A frame that could not be decoded.
+///
+/// Carries the frame `id` when it was readable, so a worker can report
+/// the failure back against the right cell instead of a bare protocol
+/// error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// The offending frame's id, when the envelope was intact enough
+    /// to read it.
+    pub id: Option<u64>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.id {
+            Some(id) => write!(f, "frame id {id}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    fn new(id: Option<u64>, message: impl Into<String>) -> FrameError {
+        FrameError {
+            id,
+            message: message.into(),
+        }
+    }
+}
+
+/// Encode a work frame as one compact JSON line (no trailing newline).
+pub fn encode_work(id: u64, scenario: &Scenario) -> String {
+    json::to_string(&Value::Object(vec![
+        ("frame".to_string(), WORK_SCHEMA.to_json()),
+        ("id".to_string(), id.to_json()),
+        ("scenario".to_string(), scenario.to_json_value()),
+    ]))
+}
+
+/// Encode a result frame as one compact JSON line (no trailing newline).
+pub fn encode_result(id: u64, wall_s: f64, result: &RunResult) -> String {
+    json::to_string(&Value::Object(vec![
+        ("frame".to_string(), RESULT_SCHEMA.to_json()),
+        ("id".to_string(), id.to_json()),
+        ("wall_s".to_string(), wall_s.to_json()),
+        ("result".to_string(), result.to_json()),
+    ]))
+}
+
+/// Encode an error frame as one compact JSON line (no trailing newline).
+pub fn encode_error(id: Option<u64>, message: &str) -> String {
+    json::to_string(&Value::Object(vec![
+        ("frame".to_string(), ERROR_SCHEMA.to_json()),
+        ("id".to_string(), id.to_json()),
+        ("error".to_string(), message.to_json()),
+    ]))
+}
+
+/// Decode one protocol line into a [`Frame`].
+pub fn decode(line: &str) -> Result<Frame, FrameError> {
+    let v = json::from_str(line).map_err(|e| FrameError::new(None, format!("bad JSON: {e}")))?;
+    let id = v.get("id").and_then(Value::as_u64);
+    let Some(tag) = v.get("frame").and_then(Value::as_str) else {
+        return Err(FrameError::new(id, "missing 'frame' tag"));
+    };
+    match tag {
+        WORK_SCHEMA => {
+            let id = id.ok_or_else(|| FrameError::new(None, "work frame without numeric id"))?;
+            let doc = v
+                .get("scenario")
+                .ok_or_else(|| FrameError::new(Some(id), "work frame without scenario"))?;
+            let scenario = Scenario::from_json_value(doc)
+                .map_err(|e| FrameError::new(Some(id), format!("bad scenario: {e}")))?;
+            Ok(Frame::Work { id, scenario })
+        }
+        RESULT_SCHEMA => {
+            let id = id.ok_or_else(|| FrameError::new(None, "result frame without numeric id"))?;
+            let wall_s = v.get("wall_s").and_then(Value::as_f64).unwrap_or(0.0);
+            let doc = v
+                .get("result")
+                .ok_or_else(|| FrameError::new(Some(id), "result frame without result"))?;
+            let result = RunResult::from_json(doc)
+                .map_err(|e| FrameError::new(Some(id), format!("bad result: {e}")))?;
+            Ok(Frame::Result {
+                id,
+                wall_s,
+                result: Box::new(result),
+            })
+        }
+        ERROR_SCHEMA => {
+            let message = v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified worker error")
+                .to_string();
+            Ok(Frame::Error { id, message })
+        }
+        other => Err(FrameError::new(id, format!("unknown frame tag '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irn_core::{ExperimentConfig, TopologySpec, TrafficModel};
+
+    fn scenario() -> Scenario {
+        Scenario::from_config(
+            "wire test",
+            ExperimentConfig {
+                topology: TopologySpec::SingleSwitch(4),
+                traffic: TrafficModel::Poisson {
+                    load: 0.5,
+                    sizes: irn_core::workload::SizeDistribution::HeavyTailed,
+                    flow_count: 30,
+                },
+                ..ExperimentConfig::paper_default(30)
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn work_frame_round_trips_on_one_line() {
+        let line = encode_work(7, &scenario());
+        assert!(!line.contains('\n'), "frames must be single lines");
+        match decode(&line).unwrap() {
+            Frame::Work { id, scenario: s } => {
+                assert_eq!(id, 7);
+                assert_eq!(s, scenario());
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    /// The load-bearing property of the whole distributed design: a
+    /// real simulation result survives encode → decode **bit-exactly**,
+    /// floats included.
+    #[test]
+    fn result_frame_round_trips_bit_exactly() {
+        let result = irn_core::run(scenario().config().clone());
+        let line = encode_result(3, 0.25, &result);
+        assert!(!line.contains('\n'));
+        match decode(&line).unwrap() {
+            Frame::Result {
+                id,
+                wall_s,
+                result: back,
+            } => {
+                assert_eq!(id, 3);
+                assert!((wall_s - 0.25).abs() < 1e-12);
+                // Bit-exactness via the serialized form: identical trees.
+                assert_eq!(back.to_json(), result.to_json());
+                assert_eq!(
+                    back.summary.avg_slowdown.to_bits(),
+                    result.summary.avg_slowdown.to_bits()
+                );
+                assert_eq!(back.summary.avg_fct, result.summary.avg_fct);
+                assert_eq!(back.events, result.events);
+                assert_eq!(back.fabric, result.fabric);
+                assert_eq!(back.sched, result.sched);
+                assert_eq!(back.finished_at, result.finished_at);
+                assert_eq!(back.metrics.records(), result.metrics.records());
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_frames_and_garbage_decode_sanely() {
+        match decode(&encode_error(Some(9), "boom")).unwrap() {
+            Frame::Error { id, message } => {
+                assert_eq!(id, Some(9));
+                assert_eq!(message, "boom");
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        match decode(&encode_error(None, "x")).unwrap() {
+            Frame::Error { id, .. } => assert_eq!(id, None),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert!(decode("not json").is_err());
+        assert!(decode(r#"{"frame":"nope-v9","id":1}"#).is_err());
+        // A work frame with an invalid scenario keeps its id so the
+        // worker can report the failure against the right cell.
+        let err = decode(r#"{"frame":"work-v1","id":5,"scenario":{"bad":true}}"#).unwrap_err();
+        assert_eq!(err.id, Some(5));
+    }
+}

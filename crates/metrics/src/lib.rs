@@ -16,10 +16,10 @@
 #![warn(missing_docs)]
 
 use irn_sim::{Duration, Time};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One completed flow's measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FlowRecord {
     /// Flow index.
     pub flow: u32,
@@ -82,8 +82,19 @@ impl Serialize for MetricsCollector {
     }
 }
 
+impl Deserialize for MetricsCollector {
+    /// Inverse of the record-array wire form: a collector round-trips
+    /// with its records in their original order (percentile queries
+    /// sort copies, so order never changes any derived number).
+    fn from_json(v: &serde::json::Value) -> Result<MetricsCollector, serde::DeError> {
+        Ok(MetricsCollector {
+            records: Deserialize::from_json(v)?,
+        })
+    }
+}
+
 /// The three headline metrics of §4.1 plus context.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     /// Mean slowdown (dominated by latency-sensitive short flows).
     pub avg_slowdown: f64,

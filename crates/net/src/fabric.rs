@@ -170,7 +170,7 @@ pub enum FabricOutput {
 }
 
 /// Aggregated fabric counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FabricStats {
     /// Packets dropped to buffer overflow (all switches).
     pub buffer_drops: u64,

@@ -137,6 +137,13 @@ impl serde::Serialize for Duration {
     }
 }
 
+impl serde::Deserialize for Duration {
+    /// Inverse of the nanosecond wire form: exact round-trip.
+    fn from_json(v: &serde::json::Value) -> Result<Duration, serde::DeError> {
+        serde::Deserialize::from_json(v).map(Duration)
+    }
+}
+
 impl fmt::Debug for Duration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)
@@ -225,6 +232,13 @@ impl serde::Serialize for Time {
     /// Wire form: nanoseconds since simulation start.
     fn to_json(&self) -> serde::json::Value {
         serde::Serialize::to_json(&self.0)
+    }
+}
+
+impl serde::Deserialize for Time {
+    /// Inverse of the nanosecond wire form: exact round-trip.
+    fn from_json(v: &serde::json::Value) -> Result<Time, serde::DeError> {
+        serde::Deserialize::from_json(v).map(Time)
     }
 }
 
