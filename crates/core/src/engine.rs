@@ -269,6 +269,14 @@ impl Simulation {
         };
         self.senders[i] = Some(snd);
         self.receivers[i] = Some(rcv);
+        irn_telemetry::trace!(
+            "flow.start",
+            t = now.as_nanos(),
+            flow = i,
+            src = spec.src,
+            dst = spec.dst,
+            bytes = spec.bytes,
+        );
         self.nics[spec.src as usize].register(flow);
         self.try_send(now, src);
     }
@@ -284,6 +292,14 @@ impl Simulation {
     }
 
     fn on_deliver(&mut self, now: Time, host: HostId, pkt: Packet) {
+        irn_telemetry::trace!(
+            "pkt.rx",
+            t = now.as_nanos(),
+            flow = pkt.flow.0,
+            host = host.0,
+            pkt = pkt.kind.label(),
+            psn = pkt.psn,
+        );
         match pkt.kind {
             PacketKind::Data => {
                 let idx = pkt.flow.idx();
@@ -294,9 +310,25 @@ impl Simulation {
                     FlowReceiver::Rdma(r) => {
                         let out = r.on_data(now, &pkt);
                         if let Some(ack) = out.ack {
+                            if ack.kind == PacketKind::Nack {
+                                irn_telemetry::trace!(
+                                    "nack.tx",
+                                    t = now.as_nanos(),
+                                    flow = pkt.flow.0,
+                                    host = host.0,
+                                    psn = ack.psn,
+                                    sack = ack.sack,
+                                );
+                            }
                             self.nics[host.idx()].push_control(ack);
                         }
                         if let Some(cnp) = out.cnp {
+                            irn_telemetry::trace!(
+                                "cnp.tx",
+                                t = now.as_nanos(),
+                                flow = pkt.flow.0,
+                                host = host.0,
+                            );
                             self.nics[host.idx()].push_control(cnp);
                         }
                         out.completed
@@ -319,7 +351,7 @@ impl Simulation {
                         FlowSender::Rdma(s) => s.on_ack_packet(now, &pkt),
                         FlowSender::Tcp(s) => s.on_ack_packet(now, &pkt),
                     };
-                    self.drain_timer(idx);
+                    self.drain_timer(now, idx);
                     if done {
                         let s = self.senders[idx].take().unwrap();
                         accumulate(&mut self.totals, &s);
@@ -346,12 +378,13 @@ impl Simulation {
             self.counters.stale_timer_events += 1;
             return;
         };
+        irn_telemetry::trace!("timer.fire", t = now.as_nanos(), flow = idx);
         let acted = match sender {
             FlowSender::Rdma(s) => s.on_timer(now),
             FlowSender::Tcp(s) => s.on_timer(now),
         };
         if acted {
-            self.drain_timer(idx);
+            self.drain_timer(now, idx);
             let src = HostId(self.flows[idx].src);
             self.try_send(now, src);
         }
@@ -359,7 +392,7 @@ impl Simulation {
 
     /// Apply any timer request the sender produced to the flow's
     /// scheduler timer.
-    fn drain_timer(&mut self, idx: usize) {
+    fn drain_timer(&mut self, now: Time, idx: usize) {
         let Some(sender) = self.senders[idx].as_mut() else {
             return;
         };
@@ -370,6 +403,12 @@ impl Simulation {
         match req {
             None => {}
             Some(TimerCmd::Arm(deadline)) => {
+                irn_telemetry::trace!(
+                    "timer.arm",
+                    t = now.as_nanos(),
+                    flow = idx,
+                    deadline = deadline.as_nanos(),
+                );
                 let id = match self.qp_timer[idx] {
                     Some(id) => id,
                     None => {
@@ -382,6 +421,7 @@ impl Simulation {
                     .timer_arm(id, deadline, Event::QpTimer { flow: idx as u32 });
             }
             Some(TimerCmd::Cancel) => {
+                irn_telemetry::trace!("timer.cancel", t = now.as_nanos(), flow = idx);
                 if let Some(id) = self.qp_timer[idx] {
                     self.sched.timer_cancel(id);
                 }
@@ -408,7 +448,7 @@ impl Simulation {
                     let (fabric, sched) = (&mut self.fabric, &mut self.sched);
                     fabric.host_start_tx(now, host, pkt, sched);
                     // The sender may have armed its timer in poll().
-                    self.drain_timer(flow_idx);
+                    self.drain_timer(now, flow_idx);
                 }
                 NicPoll::Wait(t) => {
                     self.schedule_wake(host, t.max(now));
@@ -453,6 +493,14 @@ impl Simulation {
             finish: now,
             ideal,
         };
+        irn_telemetry::trace!(
+            "flow.done",
+            t = now.as_nanos(),
+            flow = idx,
+            src = spec.src,
+            dst = spec.dst,
+            fct_ns = now.saturating_since(spec.at).as_nanos(),
+        );
         match self.incast_from {
             Some(boundary) if idx >= boundary => self.incast_metrics.record(record),
             _ => self.metrics.record(record),

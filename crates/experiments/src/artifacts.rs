@@ -15,7 +15,8 @@
 //! come back in submission order and each assembly is pure.
 
 use irn_core::RunResult;
-use irn_harness::{Harness, HarnessError, WorkerStats};
+use irn_harness::{CellOutcome, Harness, HarnessError, WorkerStats};
+use irn_telemetry::TraceSpec;
 use serde::json::{self, Value};
 use serde::Serialize;
 
@@ -23,6 +24,7 @@ use crate::plan::Plan;
 use crate::report::Report;
 use crate::runners;
 use crate::scale::Scale;
+use crate::telemetry::TelemetrySummary;
 
 /// Version stamp of the JSON artifact envelope. Version 2 added the
 /// `seeds` and `determinism` fields and the `<metric>_ci95` row
@@ -232,6 +234,22 @@ impl ArtifactTiming {
     }
 }
 
+/// The flight-recorder output of a traced batch: every cell's trace
+/// lines concatenated in submission order. Because each line stamps its
+/// cell's global submission index and each cell's capture is
+/// independent, these bytes are identical at any `--jobs` and across
+/// any worker fleet (see `docs/TRACING.md`).
+pub struct BatchTrace {
+    /// `trace-v1` NDJSON lines in `(cell, emission)` order, without the
+    /// header line ([`irn_telemetry::header_line`] is prepended at
+    /// write-out, since only the CLI knows the source description).
+    pub lines: Vec<String>,
+    /// Events discarded by ring-buffer overflow, summed over cells
+    /// (each overflowing cell also carries an inline `trace.truncated`
+    /// marker line).
+    pub dropped: u64,
+}
+
 /// The outcome of [`run_batched`].
 pub struct BatchRun {
     /// One report per selected artifact, in selection order.
@@ -247,6 +265,13 @@ pub struct BatchRun {
     /// Per-artifact cell/event/CPU-time observations, in selection
     /// order (aligned with `reports`).
     pub timing: Vec<ArtifactTiming>,
+    /// Per-artifact unified counters, in selection order (aligned with
+    /// `reports`; `None` for inline artifacts, which run no cells).
+    /// Deterministic — these feed the envelope's `telemetry` block.
+    pub telemetry: Vec<Option<TelemetrySummary>>,
+    /// Captured trace lines when the batch ran with a
+    /// [`TraceSpec`]; `None` on untraced runs.
+    pub trace: Option<BatchTrace>,
 }
 
 impl BatchRun {
@@ -285,11 +310,23 @@ pub fn try_run_batched(
     scale: Scale,
     harness: &Harness,
 ) -> Result<BatchRun, HarnessError> {
+    try_run_batched_traced(selected, scale, harness, None)
+}
+
+/// [`try_run_batched`] with the flight recorder on when `trace` is
+/// `Some`: every cell runs under a capture and the returned
+/// [`BatchRun::trace`] carries the batch-wide `trace-v1` lines.
+pub fn try_run_batched_traced(
+    selected: &[&Artifact],
+    scale: Scale,
+    harness: &Harness,
+    trace: Option<&TraceSpec>,
+) -> Result<BatchRun, HarnessError> {
     let items = selected
         .iter()
         .map(|a| (a.name.to_string(), a.plan(scale)))
         .collect();
-    try_run_plan_batch(items, |i| selected[i].run(scale, harness), harness)
+    try_run_plan_batch_traced(items, |i| selected[i].run(scale, harness), harness, trace)
 }
 
 /// The generic global-batch runner beneath [`run_batched`] (and beneath
@@ -312,6 +349,19 @@ pub fn try_run_plan_batch(
     inline: impl Fn(usize) -> Report,
     harness: &Harness,
 ) -> Result<BatchRun, HarnessError> {
+    try_run_plan_batch_traced(items, inline, harness, None)
+}
+
+/// [`try_run_plan_batch`] with an optional [`TraceSpec`]: when `Some`,
+/// every cell runs under the flight recorder and the per-cell trace
+/// chunks are concatenated — in submission order, which is also cell-id
+/// order — into [`BatchRun::trace`].
+pub fn try_run_plan_batch_traced(
+    items: Vec<(String, Option<Plan>)>,
+    inline: impl Fn(usize) -> Report,
+    harness: &Harness,
+    trace: Option<&TraceSpec>,
+) -> Result<BatchRun, HarnessError> {
     let mut plans: Vec<(String, Option<Plan>)> = items;
     let mut batch = Vec::new();
     for (_, plan) in &mut plans {
@@ -320,11 +370,38 @@ pub fn try_run_plan_batch(
         }
     }
     let cell_count = batch.len();
+    // The per-cell transport kinds, in submission order: each result's
+    // counters are charged to its cell's kind in the telemetry summary.
+    let kinds: Vec<_> = batch.iter().map(|c| c.config().transport).collect();
     let t = std::time::Instant::now();
-    let mut results = harness.try_run_timed(&batch)?.into_iter();
+    let outcomes: Vec<CellOutcome> = match trace {
+        None => harness
+            .try_run_timed(&batch)?
+            .into_iter()
+            .map(|(result, wall)| CellOutcome {
+                result,
+                wall,
+                trace: None,
+            })
+            .collect(),
+        Some(spec) => harness.try_run_traced(&batch, spec)?,
+    };
     let batch_time = t.elapsed();
+    let batch_trace = trace.map(|_| {
+        let mut lines = Vec::new();
+        let mut dropped = 0u64;
+        for o in &outcomes {
+            if let Some(chunk) = &o.trace {
+                lines.extend_from_slice(&chunk.lines);
+                dropped += chunk.dropped;
+            }
+        }
+        BatchTrace { lines, dropped }
+    });
+    let mut results = outcomes.into_iter().zip(kinds);
     let mut total_events = 0u64;
     let mut timing = Vec::with_capacity(plans.len());
+    let mut telemetry = Vec::with_capacity(plans.len());
     let reports = plans
         .into_iter()
         .enumerate()
@@ -333,13 +410,15 @@ pub fn try_run_plan_batch(
                 let n = plan.cell_count();
                 let mut events = 0u64;
                 let mut cell_wall = std::time::Duration::ZERO;
+                let mut summary = TelemetrySummary::default();
                 let slice: Vec<RunResult> = results
                     .by_ref()
                     .take(n)
-                    .map(|(r, dt)| {
-                        events += r.events;
-                        cell_wall += dt;
-                        r
+                    .map(|(o, kind)| {
+                        events += o.result.events;
+                        cell_wall += o.wall;
+                        summary.add(kind, &o.result);
+                        o.result
                     })
                     .collect();
                 total_events += events;
@@ -349,6 +428,7 @@ pub fn try_run_plan_batch(
                     events,
                     cell_wall,
                 });
+                telemetry.push(Some(summary));
                 plan.assemble(slice)
             }
             None => {
@@ -358,6 +438,7 @@ pub fn try_run_plan_batch(
                     events: 0,
                     cell_wall: std::time::Duration::ZERO,
                 });
+                telemetry.push(None);
                 inline(i)
             }
         })
@@ -368,6 +449,8 @@ pub fn try_run_plan_batch(
         batch_time,
         total_events,
         timing,
+        telemetry,
+        trace: batch_trace,
     })
 }
 
@@ -446,11 +529,19 @@ pub fn timing_json(
 
 /// Serialize one artifact as its JSON envelope (pretty-printed, with a
 /// trailing newline). The envelope deliberately excludes job counts and
-/// timings so the bytes depend only on `(artifact, scale, report)` —
-/// `--jobs 1` and `--jobs 64` must emit identical files. The full
-/// format is documented in `docs/SCHEMA.md`.
-pub fn artifact_json(artifact: &Artifact, scale: &Scale, report: &Report) -> String {
-    let envelope = Value::Object(vec![
+/// timings so the bytes depend only on `(artifact, scale, report,
+/// telemetry)` — `--jobs 1` and `--jobs 64` must emit identical files.
+/// `telemetry` is the artifact's unified-counters block
+/// ([`BatchRun::telemetry`]); inline artifacts, which run no cells,
+/// pass `None` and the key is omitted. The full format is documented in
+/// `docs/SCHEMA.md`.
+pub fn artifact_json(
+    artifact: &Artifact,
+    scale: &Scale,
+    report: &Report,
+    telemetry: Option<&TelemetrySummary>,
+) -> String {
+    let mut fields = vec![
         ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
         ("artifact".to_string(), artifact.name.to_json()),
         ("scale".to_string(), scale.label().to_json()),
@@ -463,7 +554,11 @@ pub fn artifact_json(artifact: &Artifact, scale: &Scale, report: &Report) -> Str
             artifact.determinism.as_str().to_json(),
         ),
         ("report".to_string(), report.to_json()),
-    ]);
+    ];
+    if let Some(t) = telemetry {
+        fields.push(("telemetry".to_string(), t.to_json_value()));
+    }
+    let envelope = Value::Object(fields);
     let mut text = json::to_string_pretty(&envelope);
     text.push('\n');
     text
@@ -563,6 +658,65 @@ pub fn verify_artifact_json(name: &str, text: &str) -> Result<(), String> {
             }
         }
     }
+    if let Some(t) = v.get("telemetry") {
+        verify_telemetry_block(name, t)?;
+    }
+    Ok(())
+}
+
+/// Validate an envelope's optional `telemetry` block: the counters must
+/// be present and the partition invariants must hold — `drops.total =
+/// drops.buffer + drops.injected`, and the per-transport `by_kind` rows
+/// must sum back to the fabric drop total and the cell count.
+fn verify_telemetry_block(name: &str, t: &Value) -> Result<(), String> {
+    let cells = t
+        .get("cells")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| schema_err(name, "telemetry block missing numeric 'cells'"))?;
+    let drops = t
+        .get("fabric")
+        .and_then(|f| f.get("drops"))
+        .ok_or_else(|| schema_err(name, "telemetry block missing 'fabric.drops'"))?;
+    let part = |key: &str| {
+        drops
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| schema_err(name, format!("telemetry drops missing '{key}'")))
+    };
+    let (total, buffer, injected) = (part("total")?, part("buffer")?, part("injected")?);
+    if total != buffer + injected {
+        return Err(schema_err(
+            name,
+            format!("telemetry drops partition broken: {total} != {buffer} + {injected}"),
+        ));
+    }
+    let by_kind = t
+        .get("transport")
+        .and_then(|tr| tr.get("by_kind"))
+        .and_then(Value::as_array)
+        .ok_or_else(|| schema_err(name, "telemetry block missing 'transport.by_kind'"))?;
+    let mut kind_cells = 0u64;
+    let mut kind_drops = 0u64;
+    for row in by_kind {
+        kind_cells += row.get("cells").and_then(Value::as_u64).unwrap_or(0);
+        kind_drops += row
+            .get("drops")
+            .and_then(|d| d.get("total"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+    }
+    if kind_cells != cells {
+        return Err(schema_err(
+            name,
+            format!("telemetry by_kind cells sum to {kind_cells}, envelope says {cells}"),
+        ));
+    }
+    if kind_drops != total {
+        return Err(schema_err(
+            name,
+            format!("telemetry by_kind drops sum to {kind_drops}, fabric says {total}"),
+        ));
+    }
     Ok(())
 }
 
@@ -633,7 +787,7 @@ mod tests {
         let mut rep = Report::new("Figure 1", "t", "p");
         rep.add(Row::new("IRN").push("avg_slowdown", 2.5));
         let fig1 = find("fig1").unwrap();
-        let text = artifact_json(fig1, &scale, &rep);
+        let text = artifact_json(fig1, &scale, &rep, None);
         verify_artifact_json("fig1", &text).unwrap();
         // Round-trip at the value level: parse → re-render → re-parse.
         let v = json::from_str(&text).unwrap();
@@ -651,7 +805,7 @@ mod tests {
         // errors point at the schema reference.
         assert!(verify_artifact_json("fig2", &text).is_err());
         assert!(verify_artifact_json("fig1", "{").is_err());
-        let empty = artifact_json(fig1, &scale, &Report::new("f", "t", "p"));
+        let empty = artifact_json(fig1, &scale, &Report::new("f", "t", "p"), None);
         let err = verify_artifact_json("fig1", &empty).unwrap_err();
         assert!(
             err.contains("docs/SCHEMA.md"),

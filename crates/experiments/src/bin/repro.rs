@@ -11,9 +11,17 @@
 //!                                          editable scenario files
 //! repro diff-timing OLD.json NEW.json      compare two bench-trajectory
 //!                                          files, warn on drift
+//! repro trace-summarize FILE               aggregate a trace-v1 file into
+//!                                          per-kind / per-flow tables
 //! repro [flags] --list                     registry: name, class, seeds, cells
 //! repro --verify-json DIR                  validate an emitted JSON directory
 //! ```
+//!
+//! `--trace FILE` turns the flight recorder on for every cell of the
+//! batch and writes one `trace-v1` NDJSON file (`--trace-filter`
+//! selects events; grammar and event-kind reference: docs/TRACING.md).
+//! Trace bytes are a pure function of the configs — byte-identical at
+//! any `--jobs` and across any worker fleet.
 //!
 //! Quick scale runs a k=4 fat-tree (16 hosts) with hundreds of flows —
 //! seconds per artifact. `--full` runs the paper's k=6/54-host default
@@ -57,8 +65,9 @@
 
 use irn_core::Scenario;
 use irn_experiments::artifacts::{self, BatchRun, ARTIFACTS};
-use irn_experiments::{scenario_json, scenario_plan, Harness, Scale};
+use irn_experiments::{scenario_json, scenario_plan, Harness, Scale, TelemetrySummary};
 use irn_harness::{worker, HarnessError, PoolConfig, WorkerOptions, WorkerPool, WorkerSpec};
+use irn_telemetry::{TraceFilter, TraceSpec};
 use serde::json::{self, Value};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -137,9 +146,29 @@ const FLAGS: &[FlagSpec] = &[
         help: "(run mode) scenario-v1 file to execute; repeatable",
     },
     FlagSpec {
+        name: "--trace",
+        metavar: Some("FILE"),
+        help: "record a trace-v1 NDJSON flight-recorder file of the batch",
+    },
+    FlagSpec {
+        name: "--trace-filter",
+        metavar: Some("SPEC"),
+        help: "event selection for --trace, e.g. kind=pfc.*,flow=3 (docs/TRACING.md)",
+    },
+    FlagSpec {
+        name: "--progress-json",
+        metavar: Some("FILE"),
+        help: "write fleet-progress-v1 NDJSON events (needs --workers/--connect)",
+    },
+    FlagSpec {
         name: "--drift-pct",
         metavar: Some("P"),
         help: "(diff-timing mode) warning threshold in percent (default 20)",
+    },
+    FlagSpec {
+        name: "--fail-on-drift",
+        metavar: None,
+        help: "(diff-timing mode) exit 1 when drift exceeds the threshold",
     },
     FlagSpec {
         name: "--list",
@@ -173,6 +202,10 @@ const MODES: &[(&str, &str)] = &[
     (
         "repro diff-timing OLD.json NEW.json",
         "compare bench-trajectory files; warn on events/sec drift",
+    ),
+    (
+        "repro trace-summarize FILE",
+        "aggregate a trace-v1 file into per-kind / per-flow tables",
     ),
 ];
 
@@ -230,16 +263,26 @@ const MODE_FLAGS: &[(&str, &[&str])] = &[
             "--json",
             "--timing-json",
             "--scenario",
+            "--trace",
+            "--trace-filter",
+            "--progress-json",
         ],
     ),
     ("worker", &["--listen", "--exit-after"]),
     ("emit-scenario", &["--full", "--seeds", "--json"]),
-    ("diff-timing", &["--drift-pct"]),
+    ("diff-timing", &["--drift-pct", "--fail-on-drift"]),
+    ("trace-summarize", &[]),
 ];
 
 /// Flags only meaningful inside a specific subcommand; rejected in the
 /// default artifact mode.
-const SUBCOMMAND_ONLY_FLAGS: &[&str] = &["--scenario", "--drift-pct", "--listen", "--exit-after"];
+const SUBCOMMAND_ONLY_FLAGS: &[&str] = &[
+    "--scenario",
+    "--drift-pct",
+    "--fail-on-drift",
+    "--listen",
+    "--exit-after",
+];
 
 #[derive(Default)]
 struct Args {
@@ -255,7 +298,11 @@ struct Args {
     json_dir: Option<PathBuf>,
     timing_json: Option<PathBuf>,
     scenarios: Vec<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_filter: Option<String>,
+    progress_json: Option<PathBuf>,
     drift_pct: Option<f64>,
+    fail_on_drift: bool,
     list: bool,
     verify_dir: Option<PathBuf>,
     positionals: Vec<String>,
@@ -324,6 +371,18 @@ fn parse_args() -> Args {
             "--json" => args.json_dir = Some(PathBuf::from(value.unwrap())),
             "--timing-json" => args.timing_json = Some(PathBuf::from(value.unwrap())),
             "--scenario" => args.scenarios.push(PathBuf::from(value.unwrap())),
+            "--trace" => args.trace = Some(PathBuf::from(value.unwrap())),
+            "--trace-filter" => {
+                let expr = value.unwrap();
+                // Parse-time strictness: a bad filter must die here, not
+                // after the batch has been planned.
+                if let Err(e) = TraceFilter::parse(&expr) {
+                    fail(format_args!("--trace-filter: {e}"));
+                }
+                args.trace_filter = Some(expr);
+            }
+            "--progress-json" => args.progress_json = Some(PathBuf::from(value.unwrap())),
+            "--fail-on-drift" => args.fail_on_drift = true,
             "--drift-pct" => {
                 let v = value.unwrap();
                 args.drift_pct = Some(v.parse::<f64>().ok().filter(|p| *p > 0.0).unwrap_or_else(
@@ -378,7 +437,7 @@ impl Backend {
 
 fn build_backend(args: &Args) -> Backend {
     if args.workers.is_none() && args.connect.is_empty() {
-        for f in ["--cell-timeout", "--quorum"] {
+        for f in ["--cell-timeout", "--quorum", "--progress-json"] {
             if args.supplied.contains(&f) {
                 fail(format_args!(
                     "{f} needs a worker fleet (--workers/--connect)"
@@ -407,6 +466,11 @@ fn build_backend(args: &Args) -> Backend {
         }));
     }
     let mut cfg = PoolConfig::new(specs);
+    // The coordinator narrates the fleet: per-cell completion lines,
+    // slow-cell warnings, and retry/reassignment events on stderr
+    // (machine-readable copy via --progress-json).
+    cfg.progress = true;
+    cfg.progress_json = args.progress_json.clone();
     if let Some(secs) = args.cell_timeout {
         cfg.cell_timeout = std::time::Duration::from_secs(secs);
     }
@@ -452,13 +516,14 @@ fn prepare_output_paths(args: &Args) {
     if let Some(dir) = &args.json_dir {
         dirs.push(dir);
     }
-    if let Some(parent) = args
-        .timing_json
-        .as_deref()
-        .and_then(Path::parent)
-        .filter(|d| !d.as_os_str().is_empty())
-    {
-        dirs.push(parent);
+    for file in [&args.timing_json, &args.trace, &args.progress_json] {
+        if let Some(parent) = file
+            .as_deref()
+            .and_then(Path::parent)
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            dirs.push(parent);
+        }
     }
     for dir in dirs {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -466,6 +531,52 @@ fn prepare_output_paths(args: &Args) {
             std::process::exit(1);
         }
     }
+}
+
+/// The batch's [`TraceSpec`] from `--trace`/`--trace-filter`, or `None`
+/// when tracing is off. `--trace-filter` without `--trace` is a usage
+/// error: the filter would silently select nothing.
+fn trace_spec(args: &Args) -> Option<TraceSpec> {
+    if args.trace.is_none() && args.trace_filter.is_some() {
+        fail("--trace-filter needs --trace FILE");
+    }
+    args.trace.as_ref().map(|_| TraceSpec {
+        filter: args.trace_filter.clone().unwrap_or_default(),
+        ..TraceSpec::default()
+    })
+}
+
+/// Write the batch's `trace-v1` file: header line (source, filter,
+/// cell count) then every captured line in `(cell, emission)` order.
+/// The bytes depend only on the configs and the filter — never on
+/// `--jobs` or the fleet shape.
+fn write_trace(args: &Args, source: &str, batch: &BatchRun) {
+    let (Some(path), Some(trace)) = (&args.trace, &batch.trace) else {
+        return;
+    };
+    let filter = args.trace_filter.as_deref().unwrap_or("");
+    let mut text = String::new();
+    text.push_str(&irn_telemetry::header_line(
+        source,
+        filter,
+        batch.cell_count,
+    ));
+    text.push('\n');
+    for line in &trace.lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    write_file(path, &text);
+    eprintln!(
+        "   [trace: {} event(s) -> {}{}]",
+        trace.lines.len(),
+        path.display(),
+        if trace.dropped > 0 {
+            format!(", {} dropped by ring-buffer overflow", trace.dropped)
+        } else {
+            String::new()
+        },
+    );
 }
 
 fn write_file(path: &Path, text: &str) {
@@ -522,10 +633,28 @@ fn report_batch_timing(
     }
 }
 
-fn per_report_stderr(name: &str, class: &str, seeds: usize, timing: &artifacts::ArtifactTiming) {
+fn per_report_stderr(
+    name: &str,
+    class: &str,
+    seeds: usize,
+    timing: &artifacts::ArtifactTiming,
+    telemetry: Option<&TelemetrySummary>,
+) {
     if timing.cells > 0 {
+        // Scheduler health counters ride along when nonzero: past-time
+        // clamps and stale-timer skips are benign by design, but a
+        // sudden jump is the first symptom of a scheduling bug.
+        let sched = telemetry
+            .filter(|t| t.past_clamps > 0 || t.stale_timer_reclaims > 0)
+            .map(|t| {
+                format!(
+                    "; {} past-clamp(s), {} stale-timer skip(s)",
+                    t.past_clamps, t.stale_timer_reclaims
+                )
+            })
+            .unwrap_or_default();
         eprintln!(
-            "   [{name}: {class} over {seeds} seed(s); {} cells, {} events, {:.2} Mev/s]",
+            "   [{name}: {class} over {seeds} seed(s); {} cells, {} events, {:.2} Mev/s{sched}]",
             timing.cells,
             timing.events,
             timing.events_per_sec() / 1e6,
@@ -642,9 +771,11 @@ fn artifact_mode(args: &Args, scale: Scale) {
     // One global batch across every selected artifact: all simulation
     // cells interleave on the worker pool, then reports assemble and
     // print in presentation order (byte-identical to sequential runs).
+    let spec = trace_spec(args);
     let t = std::time::Instant::now();
-    let batch = artifacts::try_run_batched(&selected, scale, &backend.harness)
-        .unwrap_or_else(|e| fail_batch(e));
+    let batch =
+        artifacts::try_run_batched_traced(&selected, scale, &backend.harness, spec.as_ref())
+            .unwrap_or_else(|e| fail_batch(e));
     report_batch_timing(
         &batch,
         "artifact(s)",
@@ -654,8 +785,15 @@ fn artifact_mode(args: &Args, scale: Scale) {
         &scale,
         args.timing_json.as_deref(),
     );
+    let source: Vec<&str> = selected.iter().map(|a| a.name).collect();
+    write_trace(args, &source.join(","), &batch);
 
-    for ((artifact, rep), timing) in selected.iter().zip(&batch.reports).zip(&batch.timing) {
+    for (((artifact, rep), timing), telemetry) in selected
+        .iter()
+        .zip(&batch.reports)
+        .zip(&batch.timing)
+        .zip(&batch.telemetry)
+    {
         // Reports go to stdout; progress/timing to stderr so stdout
         // stays byte-identical run to run (for deterministic artifacts).
         print!("{}", rep.render());
@@ -665,9 +803,10 @@ fn artifact_mode(args: &Args, scale: Scale) {
             artifact.determinism.as_str(),
             artifact.seed_count(&scale),
             timing,
+            telemetry.as_ref(),
         );
         if let Some(dir) = &args.json_dir {
-            let text = artifacts::artifact_json(artifact, &scale, rep);
+            let text = artifacts::artifact_json(artifact, &scale, rep, telemetry.as_ref());
             write_file(&dir.join(format!("{}.json", artifact.name)), &text);
         }
     }
@@ -710,11 +849,13 @@ fn run_scenarios_mode(args: &Args, scale: Scale) {
         .map(|(s, slug)| (slug.clone(), Some(scenario_plan(s, seeds))))
         .collect();
 
+    let spec = trace_spec(args);
     let t = std::time::Instant::now();
-    let batch = artifacts::try_run_plan_batch(
+    let batch = artifacts::try_run_plan_batch_traced(
         items,
         |i| unreachable!("scenario {i} has a plan"),
         &backend.harness,
+        spec.as_ref(),
     )
     .unwrap_or_else(|e| fail_batch(e));
     report_batch_timing(
@@ -726,13 +867,25 @@ fn run_scenarios_mode(args: &Args, scale: Scale) {
         &scale,
         args.timing_json.as_deref(),
     );
+    write_trace(args, &slugs.join(","), &batch);
 
-    for ((scenario, rep), timing) in scenarios.iter().zip(&batch.reports).zip(&batch.timing) {
+    for (((scenario, rep), timing), telemetry) in scenarios
+        .iter()
+        .zip(&batch.reports)
+        .zip(&batch.timing)
+        .zip(&batch.telemetry)
+    {
         print!("{}", rep.render());
         println!();
-        per_report_stderr(&scenario.slug(), "replicated", seeds, timing);
+        per_report_stderr(
+            &scenario.slug(),
+            "replicated",
+            seeds,
+            timing,
+            telemetry.as_ref(),
+        );
         if let Some(dir) = &args.json_dir {
-            let text = scenario_json(scenario, seeds, rep);
+            let text = scenario_json(scenario, seeds, rep, telemetry.as_ref());
             write_file(&dir.join(format!("{}.json", scenario.slug())), &text);
         }
     }
@@ -883,9 +1036,111 @@ fn emit_scenario_mode(args: &Args, scale: Scale) {
     }
 }
 
+/// `repro trace-summarize FILE`: aggregate a `trace-v1` NDJSON file
+/// into a per-kind table and a per-flow table (events by kind, sorted
+/// by volume). Doubles as the CI's schema validator: a header with the
+/// wrong schema tag, an unparsable line, or an event missing its
+/// mandatory fields exits 1.
+fn trace_summarize_mode(args: &Args) {
+    let rest = &args.positionals[1..];
+    if rest.len() != 1 {
+        fail("trace-summarize needs exactly one trace-v1 file");
+    }
+    let path = &rest[0];
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_input(format_args!("cannot read {path}: {e}")));
+    let mut lines = text.lines().enumerate();
+    // Line 1 is the header: schema tag, source, filter, cell count.
+    let Some((_, header)) = lines.next() else {
+        fail_input(format_args!(
+            "{path}: empty file, expected a trace-v1 header"
+        ));
+    };
+    let header = json::from_str(header)
+        .unwrap_or_else(|e| fail_input(format_args!("{path}:1: bad header: {e}")));
+    if header.get("schema").and_then(Value::as_str) != Some(irn_telemetry::TRACE_SCHEMA) {
+        fail_input(format_args!(
+            "{path}: not a {} file (see docs/TRACING.md)",
+            irn_telemetry::TRACE_SCHEMA
+        ));
+    }
+    let cells = header.get("cells").and_then(Value::as_u64).unwrap_or(0);
+    let filter = header
+        .get("filter")
+        .and_then(Value::as_str)
+        .unwrap_or_default();
+
+    // kind -> count, and flow -> (events, kind -> count).
+    let mut by_kind: Vec<(String, u64)> = Vec::new();
+    let mut by_flow: Vec<(u64, u64)> = Vec::new();
+    let mut events = 0u64;
+    let mut truncated = 0u64;
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let v = json::from_str(line)
+            .unwrap_or_else(|e| fail_input(format_args!("{path}:{n}: bad event line: {e}")));
+        let Some(kind) = v.get("kind").and_then(Value::as_str) else {
+            fail_input(format_args!("{path}:{n}: event without a 'kind'"));
+        };
+        if v.get("cell").and_then(Value::as_u64).is_none()
+            || v.get("t").and_then(Value::as_u64).is_none()
+        {
+            fail_input(format_args!(
+                "{path}:{n}: event without numeric 'cell'/'t' fields"
+            ));
+        }
+        events += 1;
+        if kind == "trace.truncated" {
+            truncated += v.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+        }
+        match by_kind.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, c)) => *c += 1,
+            None => by_kind.push((kind.to_string(), 1)),
+        }
+        if let Some(flow) = v.get("flow").and_then(Value::as_u64) {
+            match by_flow.iter_mut().find(|(f, _)| *f == flow) {
+                Some((_, c)) => *c += 1,
+                None => by_flow.push((flow, 1)),
+            }
+        }
+    }
+
+    println!(
+        "trace {path}: {events} event(s) across {cells} cell(s), filter '{filter}'{}",
+        if truncated > 0 {
+            format!(", {truncated} dropped by ring-buffer overflow")
+        } else {
+            String::new()
+        },
+    );
+    println!();
+    println!("{:<16} {:>10} {:>8}", "kind", "events", "share");
+    by_kind.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    for (kind, count) in &by_kind {
+        println!(
+            "{kind:<16} {count:>10} {:>7.1}%",
+            *count as f64 / events.max(1) as f64 * 100.0
+        );
+    }
+    println!();
+    println!("{:<8} {:>10}   top flows by event volume", "flow", "events");
+    by_flow.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    for (flow, count) in by_flow.iter().take(20) {
+        println!("{flow:<8} {count:>10}");
+    }
+    if by_flow.len() > 20 {
+        println!("... and {} more flow(s)", by_flow.len() - 20);
+    }
+}
+
 /// `repro diff-timing OLD NEW`: per-artifact events/sec drift between
-/// two bench-trajectory-v1 files. Warn-only: always exits 0; drift
-/// beyond the threshold prints a GitHub `::warning` annotation.
+/// two bench-trajectory-v1 files. Warn-only by default (exits 0; drift
+/// beyond the threshold prints a GitHub `::warning` annotation);
+/// `--fail-on-drift` turns threshold violations into exit 1 — the CI's
+/// trace-off overhead gate.
 fn diff_timing_mode(args: &Args) {
     let rest = &args.positionals[1..];
     if rest.len() != 2 {
@@ -918,6 +1173,7 @@ fn diff_timing_mode(args: &Args) {
     };
     let old = load(&rest[0]);
     let new = load(&rest[1]);
+    let mut violations = 0usize;
     println!(
         "{:<16} {:>12} {:>12} {:>9}   (warn beyond ±{threshold}%)",
         "artifact", "old Mev/s", "new Mev/s", "drift"
@@ -944,7 +1200,8 @@ fn diff_timing_mode(args: &Args) {
             drift
         );
         if drift.abs() > threshold {
-            // GitHub Actions annotation; warn-only by design — timing
+            violations += 1;
+            // GitHub Actions annotation; warn-only by default — timing
             // on shared CI runners is noisy, a human judges the trend.
             println!(
                 "::warning title=bench drift::{name} events/sec changed {drift:+.1}% \
@@ -958,6 +1215,13 @@ fn diff_timing_mode(args: &Args) {
         if !new.iter().any(|(n, _)| n == name) {
             println!("{name:<16} {:>12} {:>12} {:>9}", "-", "-", "gone");
         }
+    }
+    if args.fail_on_drift && violations > 0 {
+        eprintln!(
+            "error: {violations} comparison(s) drifted beyond ±{threshold}% \
+             and --fail-on-drift is set"
+        );
+        std::process::exit(1);
     }
 }
 
@@ -996,6 +1260,7 @@ fn main() {
                 "run" => run_scenarios_mode(&args, scale),
                 "worker" => worker_mode(&args),
                 "emit-scenario" => emit_scenario_mode(&args, scale),
+                "trace-summarize" => trace_summarize_mode(&args),
                 _ => diff_timing_mode(&args),
             }
         }

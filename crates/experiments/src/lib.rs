@@ -43,6 +43,7 @@ pub mod report;
 pub mod runners;
 pub mod scale;
 pub mod scenario_run;
+pub mod telemetry;
 
 pub use artifacts::{Artifact, Determinism, ARTIFACTS};
 pub use irn_harness::Harness;
@@ -51,3 +52,4 @@ pub use report::{Report, Row};
 pub use runners::*;
 pub use scale::Scale;
 pub use scenario_run::{scenario_json, scenario_plan};
+pub use telemetry::TelemetrySummary;

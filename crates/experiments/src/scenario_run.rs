@@ -58,9 +58,16 @@ pub fn scenario_plan(scenario: &Scenario, seeds: usize) -> Plan {
 /// trailing newline). Shape matches the registry artifacts' envelopes —
 /// `repro --verify-json` accepts it — with the executed scenario
 /// document embedded under `scenario` so a result file is
-/// self-describing and replayable.
-pub fn scenario_json(scenario: &Scenario, seeds: usize, report: &Report) -> String {
-    let envelope = Value::Object(vec![
+/// self-describing and replayable. `telemetry` is the run's
+/// unified-counters block (see `docs/SCHEMA.md`); pass `None` to omit
+/// the key.
+pub fn scenario_json(
+    scenario: &Scenario,
+    seeds: usize,
+    report: &Report,
+    telemetry: Option<&crate::telemetry::TelemetrySummary>,
+) -> String {
+    let mut fields = vec![
         ("schema_version".to_string(), SCHEMA_VERSION.to_json()),
         ("artifact".to_string(), scenario.slug().to_json()),
         ("scale".to_string(), "scenario".to_json()),
@@ -68,7 +75,11 @@ pub fn scenario_json(scenario: &Scenario, seeds: usize, report: &Report) -> Stri
         ("determinism".to_string(), "replicated".to_json()),
         ("scenario".to_string(), scenario.to_json_value()),
         ("report".to_string(), report.to_json()),
-    ]);
+    ];
+    if let Some(t) = telemetry {
+        fields.push(("telemetry".to_string(), t.to_json_value()));
+    }
+    let envelope = Value::Object(fields);
     let mut text = json::to_string_pretty(&envelope);
     text.push('\n');
     text
@@ -142,7 +153,7 @@ mod tests {
     fn scenario_envelope_passes_the_artifact_verifier() {
         let s = tiny_scenario(5);
         let rep = scenario_plan(&s, 2).run(&Harness::new(2));
-        let text = scenario_json(&s, 2, &rep);
+        let text = scenario_json(&s, 2, &rep, None);
         artifacts::verify_artifact_json(&s.slug(), &text).unwrap();
         // The embedded scenario document round-trips.
         let v = json::from_str(&text).unwrap();
@@ -159,7 +170,7 @@ mod tests {
         let s = tiny_scenario(5).with_name("state budget").unwrap();
         assert_eq!(s.slug(), "state-budget", "collides with the registry");
         let rep = scenario_plan(&s, 1).run(&Harness::new(1));
-        let text = scenario_json(&s, 1, &rep);
+        let text = scenario_json(&s, 1, &rep, None);
         artifacts::verify_artifact_json("state-budget", &text).unwrap();
     }
 }

@@ -57,12 +57,12 @@ fn result_trees(outcomes: &[irn_harness::CellOutcome]) -> Vec<serde::json::Value
 #[test]
 fn worker_pool_matches_in_process_at_1_2_4_workers() {
     let cells = batch(6);
-    let reference = ThreadExecutor::new(2).run_cells(&cells).unwrap();
+    let reference = ThreadExecutor::new(2).run_cells(&cells, None).unwrap();
     for fleet in [1, 2, 4] {
         let pool = WorkerPool::new(PoolConfig::new(
             (0..fleet).map(|_| spawn_spec(&[])).collect(),
         ));
-        let got = pool.run_cells(&cells).unwrap();
+        let got = pool.run_cells(&cells, None).unwrap();
         assert_eq!(
             result_trees(&got),
             result_trees(&reference),
@@ -78,7 +78,7 @@ fn worker_pool_matches_in_process_at_1_2_4_workers() {
 #[test]
 fn killed_worker_mid_batch_reassigns_and_stays_byte_identical() {
     let cells = batch(5);
-    let reference = ThreadExecutor::new(2).run_cells(&cells).unwrap();
+    let reference = ThreadExecutor::new(2).run_cells(&cells, None).unwrap();
     // One healthy worker plus one that answers a single cell, then
     // consumes the next work frame and dies without responding — the
     // coordinator must notice the EOF and reassign that cell.
@@ -86,7 +86,7 @@ fn killed_worker_mid_batch_reassigns_and_stays_byte_identical() {
         spawn_spec(&[]),
         spawn_spec(&["--exit-after", "1"]),
     ]));
-    let got = pool.run_cells(&cells).unwrap();
+    let got = pool.run_cells(&cells, None).unwrap();
     assert_eq!(
         result_trees(&got),
         result_trees(&reference),
@@ -98,6 +98,49 @@ fn killed_worker_mid_batch_reassigns_and_stays_byte_identical() {
     assert_eq!(dead[0].failures, 1);
     assert!(dead[0].last_error.is_some());
     // The survivor picked up the slack: all cells accounted for.
+    assert_eq!(stats.iter().map(|s| s.cells).sum::<usize>(), cells.len());
+}
+
+#[test]
+fn fleet_trace_with_rigged_death_matches_in_process_bytes() {
+    // The load-bearing trace invariant at fleet scope: a 3-worker pool
+    // with one worker rigged to die after its first cell must still
+    // reassemble per-cell trace chunks into bytes identical to the
+    // in-process executor — reassignment may not duplicate, drop, or
+    // reorder a single line.
+    let cells = batch(5);
+    let spec = irn_telemetry::TraceSpec::default();
+    let reference = ThreadExecutor::new(2)
+        .run_cells(&cells, Some(&spec))
+        .unwrap();
+    let pool = WorkerPool::new(PoolConfig::new(vec![
+        spawn_spec(&[]),
+        spawn_spec(&[]),
+        spawn_spec(&["--exit-after", "1"]),
+    ]));
+    let got = pool.run_cells(&cells, Some(&spec)).unwrap();
+    assert_eq!(
+        result_trees(&got),
+        result_trees(&reference),
+        "traced fleet diverged on results"
+    );
+    let lines = |outcomes: &[irn_harness::CellOutcome]| -> Vec<String> {
+        outcomes
+            .iter()
+            .flat_map(|o| o.trace.as_ref().expect("chunk per cell").lines.clone())
+            .collect()
+    };
+    assert_eq!(
+        lines(&got),
+        lines(&reference),
+        "fleet trace bytes diverged from in-process run"
+    );
+    let stats = pool.worker_stats();
+    assert_eq!(
+        stats.iter().filter(|s| !s.alive).count(),
+        1,
+        "the rigged worker died: {stats:?}"
+    );
     assert_eq!(stats.iter().map(|s| s.cells).sum::<usize>(), cells.len());
 }
 
@@ -115,11 +158,11 @@ fn hung_worker_times_out_and_batch_completes() {
     });
 
     let cells = batch(3);
-    let reference = ThreadExecutor::new(1).run_cells(&cells).unwrap();
+    let reference = ThreadExecutor::new(1).run_cells(&cells, None).unwrap();
     let mut cfg = PoolConfig::new(vec![spawn_spec(&[]), WorkerSpec::Connect { addr }]);
     cfg.cell_timeout = std::time::Duration::from_secs(2);
     let pool = WorkerPool::new(cfg);
-    let got = pool.run_cells(&cells).unwrap();
+    let got = pool.run_cells(&cells, None).unwrap();
     assert_eq!(result_trees(&got), result_trees(&reference));
     let stats = pool.worker_stats();
     let hung = stats
@@ -166,7 +209,7 @@ fn persistently_failing_cell_exhausts_attempts_with_typed_error() {
     let mut cfg = PoolConfig::new(vec![WorkerSpec::Connect { addr }]);
     cfg.max_attempts = 2;
     let pool = WorkerPool::new(cfg);
-    let err = pool.run_cells(&batch(1)).unwrap_err();
+    let err = pool.run_cells(&batch(1), None).unwrap_err();
     match &err {
         HarnessError::CellFailed {
             index,

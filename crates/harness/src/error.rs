@@ -45,6 +45,19 @@ pub enum HarnessError {
         /// Total cells in the batch.
         total: usize,
     },
+    /// A trace filter expression could not be parsed (see
+    /// `irn_telemetry::TraceFilter::parse` for the grammar).
+    BadTraceFilter {
+        /// What was wrong with the expression.
+        detail: String,
+    },
+    /// The fleet progress JSON file could not be created.
+    ProgressUnavailable {
+        /// The requested path.
+        path: String,
+        /// The underlying I/O error text.
+        detail: String,
+    },
     /// Live workers dropped below the pool's quorum while work
     /// remained, so the batch was abandoned.
     QuorumLost {
@@ -81,6 +94,12 @@ impl std::fmt::Display for HarnessError {
                 "cell #{index} '{label}' failed on all {attempts} attempt(s): {detail} \
                  [{completed}/{total} cells completed]"
             ),
+            HarnessError::BadTraceFilter { detail } => {
+                write!(f, "bad trace filter: {detail}")
+            }
+            HarnessError::ProgressUnavailable { path, detail } => {
+                write!(f, "cannot write progress JSON to {path}: {detail}")
+            }
             HarnessError::QuorumLost {
                 live,
                 quorum,

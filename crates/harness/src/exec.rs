@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use irn_core::RunResult;
+use irn_telemetry::{TraceChunk, TraceFilter, TraceSpec};
 
 use crate::cell::Cell;
 use crate::error::HarnessError;
@@ -30,7 +31,10 @@ use crate::error::HarnessError;
 ///
 /// The result is deterministic (a pure function of the cell's
 /// scenario); the duration is instrumentation — determinism class
-/// `timing` — and must never feed back into deterministic output.
+/// `timing` — and must never feed back into deterministic output. The
+/// trace chunk, when requested, is deterministic too: every line is
+/// stamped with the cell's submission index and virtual time only, so
+/// chunks concatenate into byte-identical files at any parallelism.
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
     /// The simulation's result.
@@ -39,6 +43,8 @@ pub struct CellOutcome {
     /// (includes time-sharing wait when workers oversubscribe cores,
     /// and excludes queueing/transfer time in distributed backends).
     pub wall: std::time::Duration,
+    /// The cell's trace-v1 chunk, when the batch ran with tracing.
+    pub trace: Option<TraceChunk>,
 }
 
 /// A batch executor backend.
@@ -55,8 +61,15 @@ pub struct CellOutcome {
 ///    (worker fleet degraded, cell permanently failing) returns a
 ///    typed [`HarnessError`] instead of a partial vector.
 pub trait Executor: Send + Sync {
-    /// Run every cell; outcomes in submission order.
-    fn run_cells(&self, cells: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError>;
+    /// Run every cell; outcomes in submission order. When `trace` is
+    /// `Some`, each outcome carries the cell's flight-recorder chunk
+    /// (lines stamped with the cell's submission index), filtered and
+    /// bounded per the spec. Tracing must never change result bytes.
+    fn run_cells(
+        &self,
+        cells: &[Cell],
+        trace: Option<&TraceSpec>,
+    ) -> Result<Vec<CellOutcome>, HarnessError>;
 
     /// How many cells this backend works on concurrently (worker
     /// threads in-process, worker processes distributed). Reported in
@@ -142,16 +155,41 @@ impl ThreadExecutor {
 }
 
 impl Executor for ThreadExecutor {
-    /// Run every cell on the thread pool. Infallible in practice — the
-    /// in-process backend has no workers to lose — so the `Result` is
-    /// always `Ok`.
-    fn run_cells(&self, cells: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError> {
+    /// Run every cell on the thread pool. The only failure mode is a
+    /// malformed trace filter — the in-process backend has no workers
+    /// to lose.
+    fn run_cells(
+        &self,
+        cells: &[Cell],
+        trace: Option<&TraceSpec>,
+    ) -> Result<Vec<CellOutcome>, HarnessError> {
+        let filter = match trace {
+            None => None,
+            Some(spec) => Some((
+                TraceFilter::parse(&spec.filter)
+                    .map_err(|detail| HarnessError::BadTraceFilter { detail })?,
+                spec.capacity,
+            )),
+        };
         Ok(self.run_indexed(cells.len(), |i| {
             let start = std::time::Instant::now();
-            let result = irn_core::run(cells[i].config().clone());
-            CellOutcome {
-                result,
-                wall: start.elapsed(),
+            match &filter {
+                None => CellOutcome {
+                    result: irn_core::run(cells[i].config().clone()),
+                    wall: start.elapsed(),
+                    trace: None,
+                },
+                Some((f, capacity)) => {
+                    let (result, chunk) =
+                        irn_telemetry::capture(i as u64, f.clone(), *capacity, || {
+                            irn_core::run(cells[i].config().clone())
+                        });
+                    CellOutcome {
+                        result,
+                        wall: start.elapsed(),
+                        trace: Some(chunk),
+                    }
+                }
             }
         }))
     }
@@ -232,10 +270,22 @@ impl Harness {
     ) -> Result<Vec<(RunResult, std::time::Duration)>, HarnessError> {
         Ok(self
             .exec
-            .run_cells(cells)?
+            .run_cells(cells, None)?
             .into_iter()
             .map(|o| (o.result, o.wall))
             .collect())
+    }
+
+    /// Like [`Harness::try_run_timed`], with the flight recorder on:
+    /// every outcome carries its trace-v1 chunk. Results are
+    /// bit-identical to the untraced run at any parallelism — tracing
+    /// is observation only.
+    pub fn try_run_traced(
+        &self,
+        cells: &[Cell],
+        trace: &TraceSpec,
+    ) -> Result<Vec<CellOutcome>, HarnessError> {
+        self.exec.run_cells(cells, Some(trace))
     }
 
     /// Evaluate `f(0..n)` across an in-process thread pool sized like
@@ -311,7 +361,11 @@ mod tests {
     fn custom_executor_errors_surface_through_try_run() {
         struct Failing;
         impl Executor for Failing {
-            fn run_cells(&self, _: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError> {
+            fn run_cells(
+                &self,
+                _: &[Cell],
+                _: Option<&TraceSpec>,
+            ) -> Result<Vec<CellOutcome>, HarnessError> {
                 Err(HarnessError::QuorumLost {
                     live: 0,
                     quorum: 1,

@@ -29,10 +29,15 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use irn_telemetry::{TraceFilter, TraceSpec};
+use serde::json::{self, Value};
+use serde::Serialize;
 
 use crate::cell::Cell;
 use crate::error::HarnessError;
@@ -79,18 +84,64 @@ pub struct PoolConfig {
     /// Minimum live workers; below this (with work remaining) the
     /// batch is abandoned with [`HarnessError::QuorumLost`].
     pub quorum: usize,
+    /// Emit live per-cell progress lines on stderr (`[pool] …`).
+    /// Retry/reassignment and worker-drop warnings are printed
+    /// regardless — failures are never silent.
+    pub progress: bool,
+    /// Mirror every fleet event (cell completions, retries, worker
+    /// drops, the batch summary) as NDJSON (`fleet-progress-v1`) to
+    /// this file. Timing class: wall clocks and worker assignment are
+    /// nondeterministic; nothing here feeds result bytes.
+    pub progress_json: Option<PathBuf>,
 }
 
 impl PoolConfig {
     /// A config with the default policy: 300 s per cell, 3 attempts,
-    /// quorum 1 (the batch survives down to a single live worker).
+    /// quorum 1 (the batch survives down to a single live worker),
+    /// progress lines off.
     pub fn new(specs: Vec<WorkerSpec>) -> PoolConfig {
         PoolConfig {
             specs,
             cell_timeout: Duration::from_secs(300),
             max_attempts: 3,
             quorum: 1,
+            progress: false,
+            progress_json: None,
         }
+    }
+}
+
+/// Why one attempt on one worker failed — the retry/reassignment
+/// reason logged with the worker id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The connection died: write/read failure or EOF (worker process
+    /// death, socket closed).
+    Death,
+    /// The cell overran [`PoolConfig::cell_timeout`]; the worker is
+    /// presumed hung.
+    Timeout,
+    /// The worker sent something undecodable or protocol-violating.
+    Garbage,
+    /// The worker stayed healthy but answered with an error frame.
+    ErrorFrame,
+}
+
+impl FailReason {
+    /// Stable lowercase label used in stderr lines and progress JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailReason::Death => "death",
+            FailReason::Timeout => "timeout",
+            FailReason::Garbage => "garbage",
+            FailReason::ErrorFrame => "error-frame",
+        }
+    }
+
+    /// Whether the connection can be trusted for further work. Only a
+    /// worker-reported error frame leaves it healthy.
+    fn conn_dead(self) -> bool {
+        self != FailReason::ErrorFrame
     }
 }
 
@@ -256,14 +307,17 @@ fn spawn_reader(reader: impl BufRead + Send + 'static) -> Receiver<std::io::Resu
     rx
 }
 
-/// Why one attempt failed, and whether the connection can be trusted
-/// for further work.
+/// Why one attempt failed, classified for retry logging and fleet
+/// policy (a dead connection drops the worker from the fleet).
 struct AttemptError {
     detail: String,
-    /// True when the worker is dead/hung/garbled: drop it from the
-    /// fleet. False for a worker-reported error frame — the connection
-    /// itself is healthy.
-    conn_dead: bool,
+    reason: FailReason,
+}
+
+impl AttemptError {
+    fn conn_dead(&self) -> bool {
+        self.reason.conn_dead()
+    }
 }
 
 /// Run one cell on one worker: ship the work frame, wait (bounded) for
@@ -273,29 +327,33 @@ fn attempt(
     id: usize,
     cell: &Cell,
     timeout: Duration,
+    trace: Option<&TraceSpec>,
 ) -> Result<CellOutcome, AttemptError> {
-    let dead = |detail: String| AttemptError {
-        detail,
-        conn_dead: true,
-    };
-    let frame = wire::encode_work(id as u64, cell.scenario());
+    let fail = |reason: FailReason, detail: String| AttemptError { detail, reason };
+    let frame = wire::encode_work(id as u64, cell.scenario(), trace);
     conn.writer
         .write_all(frame.as_bytes())
         .and_then(|()| conn.writer.write_all(b"\n"))
         .and_then(|()| conn.writer.flush())
-        .map_err(|e| dead(format!("write failed: {e}")))?;
+        .map_err(|e| fail(FailReason::Death, format!("write failed: {e}")))?;
 
     let deadline = Instant::now() + timeout;
     loop {
         let remaining = deadline.saturating_duration_since(Instant::now());
         let line = match conn.lines.recv_timeout(remaining) {
             Ok(Ok(line)) => line,
-            Ok(Err(e)) => return Err(dead(format!("read failed: {e}"))),
+            Ok(Err(e)) => return Err(fail(FailReason::Death, format!("read failed: {e}"))),
             Err(RecvTimeoutError::Timeout) => {
-                return Err(dead(format!("timed out after {timeout:.1?}")))
+                return Err(fail(
+                    FailReason::Timeout,
+                    format!("timed out after {timeout:.1?}"),
+                ))
             }
             Err(RecvTimeoutError::Disconnected) => {
-                return Err(dead("worker connection closed".to_string()))
+                return Err(fail(
+                    FailReason::Death,
+                    "worker connection closed".to_string(),
+                ))
             }
         };
         if line.trim().is_empty() {
@@ -306,10 +364,12 @@ fn attempt(
                 id: rid,
                 wall_s,
                 result,
+                trace: chunk,
             }) if rid == id as u64 => {
                 return Ok(CellOutcome {
                     result: *result,
                     wall: Duration::from_secs_f64(wall_s.max(0.0)),
+                    trace: chunk,
                 })
             }
             Ok(Frame::Error { id: eid, message }) if eid.is_none() || eid == Some(id as u64) => {
@@ -317,15 +377,18 @@ fn attempt(
                 // cell (or our frame) is the problem.
                 return Err(AttemptError {
                     detail: format!("worker reported: {message}"),
-                    conn_dead: false,
+                    reason: FailReason::ErrorFrame,
                 });
             }
             Ok(other) => {
-                return Err(dead(format!(
-                    "protocol violation: unexpected frame {other:?} while cell {id} in flight"
-                )))
+                return Err(fail(
+                    FailReason::Garbage,
+                    format!(
+                        "protocol violation: unexpected frame {other:?} while cell {id} in flight"
+                    ),
+                ))
             }
-            Err(e) => return Err(dead(format!("undecodable frame: {e}"))),
+            Err(e) => return Err(fail(FailReason::Garbage, format!("undecodable frame: {e}"))),
         }
     }
 }
@@ -333,6 +396,54 @@ fn attempt(
 // ---------------------------------------------------------------------
 // The coordinator
 // ---------------------------------------------------------------------
+
+/// The schema tag written as the first field of every progress line.
+pub const PROGRESS_SCHEMA: &str = "fleet-progress-v1";
+
+/// Fleet progress sink shared by every dispatcher thread: optional
+/// human lines on stderr, optional NDJSON mirror. Failure/warning
+/// lines print regardless of the `progress` knob; the JSON mirror gets
+/// every event. All of it is timing-class observation.
+struct Progress {
+    stderr: bool,
+    json: Mutex<Option<std::io::BufWriter<std::fs::File>>>,
+}
+
+impl Progress {
+    fn open(cfg: &PoolConfig) -> Result<Progress, HarnessError> {
+        let json = match &cfg.progress_json {
+            None => None,
+            Some(path) => Some(std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| HarnessError::ProgressUnavailable {
+                    path: path.display().to_string(),
+                    detail: e.to_string(),
+                })?,
+            )),
+        };
+        Ok(Progress {
+            stderr: cfg.progress,
+            json: Mutex::new(json),
+        })
+    }
+
+    /// Emit one event. `always` forces the stderr line even with
+    /// progress lines off (used for warnings and failures). `fields`
+    /// follow the `schema` and `event` keys in the JSON mirror.
+    fn emit(&self, always: bool, event: &str, human: &str, fields: Vec<(String, Value)>) {
+        if self.stderr || always {
+            eprintln!("{human}");
+        }
+        if let Some(w) = self.json.lock().expect("progress sink").as_mut() {
+            let mut obj = vec![
+                ("schema".to_string(), PROGRESS_SCHEMA.to_json()),
+                ("event".to_string(), event.to_json()),
+            ];
+            obj.extend(fields);
+            let _ = writeln!(w, "{}", json::to_string(&Value::Object(obj)));
+            let _ = w.flush();
+        }
+    }
+}
 
 /// Shared batch state behind one mutex; the condvar wakes dispatchers
 /// on new pending work and the supervisor on completion/failure.
@@ -346,7 +457,18 @@ struct BatchState {
 }
 
 impl Executor for WorkerPool {
-    fn run_cells(&self, cells: &[Cell]) -> Result<Vec<CellOutcome>, HarnessError> {
+    fn run_cells(
+        &self,
+        cells: &[Cell],
+        trace: Option<&TraceSpec>,
+    ) -> Result<Vec<CellOutcome>, HarnessError> {
+        // Fail fast on a malformed filter instead of letting every
+        // worker report it back per-cell.
+        if let Some(spec) = trace {
+            TraceFilter::parse(&spec.filter)
+                .map_err(|detail| HarnessError::BadTraceFilter { detail })?;
+        }
+        let progress = Progress::open(&self.cfg)?;
         let total = cells.len();
         let mut run_stats: Vec<WorkerStats> = self
             .cfg
@@ -378,8 +500,9 @@ impl Executor for WorkerPool {
                 let cvar = &cvar;
                 let stats_out = &stats_out;
                 let cfg = &self.cfg;
+                let progress = &progress;
                 scope.spawn(move || {
-                    let stats = dispatch(w, spec, cells, cfg, state, cvar);
+                    let stats = dispatch(w, spec, cells, cfg, state, cvar, progress, trace);
                     *stats_out[w].lock().expect("stats slot") = Some(stats);
                 });
             }
@@ -403,6 +526,22 @@ impl Executor for WorkerPool {
         *self.stats.lock().expect("stats lock") = run_stats;
 
         let mut st = state.into_inner().expect("state lock");
+        let ok = st.fatal.is_none();
+        progress.emit(
+            false,
+            "batch",
+            &format!(
+                "[pool] batch {}: {}/{} cells",
+                if ok { "complete" } else { "abandoned" },
+                st.done,
+                total
+            ),
+            vec![
+                ("done".to_string(), (st.done as u64).to_json()),
+                ("total".to_string(), (total as u64).to_json()),
+                ("ok".to_string(), ok.to_json()),
+            ],
+        );
         if let Some(fatal) = st.fatal.take() {
             return Err(fatal);
         }
@@ -421,6 +560,7 @@ impl Executor for WorkerPool {
 
 /// One worker's dispatcher loop: connect, then pull-ship-collect until
 /// the batch finishes, the fleet fails, or this worker dies.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     w: usize,
     spec: &WorkerSpec,
@@ -428,6 +568,8 @@ fn dispatch(
     cfg: &PoolConfig,
     state: &Mutex<BatchState>,
     cvar: &Condvar,
+    progress: &Progress,
+    trace: Option<&TraceSpec>,
 ) -> WorkerStats {
     let total = cells.len();
     let mut stats = WorkerStats::new(spec.label(w));
@@ -460,6 +602,17 @@ fn dispatch(
             let mut st = state.lock().expect("state lock");
             retire(&mut st, cfg.quorum, total);
             cvar.notify_all();
+            drop(st);
+            progress.emit(
+                true,
+                "worker-dropped",
+                &format!("[pool] worker {}: unavailable: {e}", stats.name),
+                vec![
+                    ("worker".to_string(), stats.name.to_json()),
+                    ("reason".to_string(), "unavailable".to_json()),
+                    ("detail".to_string(), e.to_string().to_json()),
+                ],
+            );
             return stats;
         }
     };
@@ -479,10 +632,12 @@ fn dispatch(
             }
         };
 
-        match attempt(&mut conn, idx, &cells[idx], cfg.cell_timeout) {
+        match attempt(&mut conn, idx, &cells[idx], cfg.cell_timeout, trace) {
             Ok(outcome) => {
                 stats.cells += 1;
                 stats.cell_wall_s += outcome.wall.as_secs_f64();
+                let wall_s = outcome.wall.as_secs_f64();
+                let slow = outcome.wall * 2 >= cfg.cell_timeout;
                 let mut st = state.lock().expect("state lock");
                 // First write wins: a reassigned twin of this cell may
                 // already have landed; results are identical anyway.
@@ -490,25 +645,72 @@ fn dispatch(
                     st.slots[idx] = Some(outcome);
                     st.done += 1;
                 }
+                let done = st.done;
+                drop(st);
                 cvar.notify_all();
+                progress.emit(
+                    false,
+                    "cell",
+                    &format!(
+                        "[pool] {}: cell #{idx} '{}' done in {wall_s:.2}s [{done}/{total}]",
+                        stats.name,
+                        cells[idx].label()
+                    ),
+                    vec![
+                        ("worker".to_string(), stats.name.to_json()),
+                        ("cell".to_string(), (idx as u64).to_json()),
+                        ("label".to_string(), cells[idx].label().to_json()),
+                        ("wall_s".to_string(), wall_s.to_json()),
+                        ("done".to_string(), (done as u64).to_json()),
+                        ("total".to_string(), (total as u64).to_json()),
+                    ],
+                );
+                if slow {
+                    progress.emit(
+                        true,
+                        "slow-cell",
+                        &format!(
+                            "[pool] {}: slow cell #{idx} '{}': {wall_s:.2}s is over half \
+                             the {:.0?} timeout — a reassignment of this cell would be \
+                             expensive",
+                            stats.name,
+                            cells[idx].label(),
+                            cfg.cell_timeout
+                        ),
+                        vec![
+                            ("worker".to_string(), stats.name.to_json()),
+                            ("cell".to_string(), (idx as u64).to_json()),
+                            ("label".to_string(), cells[idx].label().to_json()),
+                            ("wall_s".to_string(), wall_s.to_json()),
+                            (
+                                "timeout_s".to_string(),
+                                cfg.cell_timeout.as_secs_f64().to_json(),
+                            ),
+                        ],
+                    );
+                }
             }
             Err(err) => {
                 stats.failures += 1;
                 stats.last_error = Some(err.detail.clone());
+                let reason = err.reason;
+                let conn_dead = err.conn_dead();
                 let mut st = state.lock().expect("state lock");
                 st.attempts[idx] += 1;
-                if st.attempts[idx] >= cfg.max_attempts {
+                let attempt_no = st.attempts[idx];
+                let exhausted = attempt_no >= cfg.max_attempts;
+                if exhausted {
                     if st.fatal.is_none() {
                         st.fatal = Some(HarnessError::CellFailed {
                             index: idx,
                             label: cells[idx].label().to_string(),
                             attempts: st.attempts[idx],
-                            detail: err.detail,
+                            detail: err.detail.clone(),
                             completed: st.done,
                             total,
                         });
                     }
-                } else if err.conn_dead {
+                } else if conn_dead {
                     // Reassign at the front so a live worker picks the
                     // orphan up before new work.
                     st.pending.push_front(idx);
@@ -517,13 +719,59 @@ fn dispatch(
                     // preferably elsewhere.
                     st.pending.push_back(idx);
                 }
-                if err.conn_dead {
+                if conn_dead {
                     stats.alive = false;
                     retire(&mut st, cfg.quorum, total);
                 }
                 cvar.notify_all();
-                if err.conn_dead {
-                    drop(st);
+                drop(st);
+                progress.emit(
+                    true,
+                    "retry",
+                    &format!(
+                        "[pool] worker {}: cell #{idx} '{}' attempt {attempt_no}/{} failed \
+                         (reason: {}): {}{}",
+                        stats.name,
+                        cells[idx].label(),
+                        cfg.max_attempts,
+                        reason.label(),
+                        err.detail,
+                        if exhausted {
+                            "; attempts exhausted — batch fails"
+                        } else if conn_dead {
+                            "; reassigning to the next live worker"
+                        } else {
+                            "; requeued for retry"
+                        },
+                    ),
+                    vec![
+                        ("worker".to_string(), stats.name.to_json()),
+                        ("cell".to_string(), (idx as u64).to_json()),
+                        ("label".to_string(), cells[idx].label().to_json()),
+                        ("reason".to_string(), reason.label().to_json()),
+                        ("attempt".to_string(), (attempt_no as u64).to_json()),
+                        (
+                            "max_attempts".to_string(),
+                            (cfg.max_attempts as u64).to_json(),
+                        ),
+                        ("detail".to_string(), err.detail.to_json()),
+                        ("exhausted".to_string(), exhausted.to_json()),
+                    ],
+                );
+                if conn_dead {
+                    progress.emit(
+                        true,
+                        "worker-dropped",
+                        &format!(
+                            "[pool] worker {}: dropped from the fleet (reason: {})",
+                            stats.name,
+                            reason.label()
+                        ),
+                        vec![
+                            ("worker".to_string(), stats.name.to_json()),
+                            ("reason".to_string(), reason.label().to_json()),
+                        ],
+                    );
                     conn.kill();
                     return stats;
                 }
@@ -564,7 +812,7 @@ mod tests {
             "unreachable",
             irn_core::ExperimentConfig::quick(10),
         )];
-        let err = pool.run_cells(&cells).unwrap_err();
+        let err = pool.run_cells(&cells, None).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -587,7 +835,7 @@ mod tests {
         let pool = WorkerPool::new(PoolConfig::new(vec![WorkerSpec::Connect {
             addr: "127.0.0.1:1".into(),
         }]));
-        assert!(pool.run_cells(&[]).unwrap().is_empty());
+        assert!(pool.run_cells(&[], None).unwrap().is_empty());
         assert!(pool.worker_stats().iter().all(|s| s.alive));
     }
 

@@ -23,6 +23,7 @@
 //! The full frame reference lives in `docs/SCHEMA.md`.
 
 use irn_core::{RunResult, Scenario};
+use irn_telemetry::{TraceChunk, TraceSpec};
 use serde::json::{self, Value};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,10 @@ pub enum Frame {
         id: u64,
         /// The cell's full scenario (validated on parse).
         scenario: Scenario,
+        /// Flight-recorder request: capture a trace-v1 chunk for this
+        /// cell. Absent (the pre-trace wire form) means no tracing —
+        /// old coordinators and workers interoperate unchanged.
+        trace: Option<TraceSpec>,
     },
     /// Worker → coordinator: the cell's result.
     Result {
@@ -51,6 +56,9 @@ pub enum Frame {
         wall_s: f64,
         /// The bit-exact run result.
         result: Box<RunResult>,
+        /// The cell's trace-v1 chunk, echoed when the work frame asked
+        /// for one.
+        trace: Option<TraceChunk>,
     },
     /// Worker → coordinator: the referenced work frame failed.
     Error {
@@ -96,22 +104,53 @@ impl FrameError {
 }
 
 /// Encode a work frame as one compact JSON line (no trailing newline).
-pub fn encode_work(id: u64, scenario: &Scenario) -> String {
-    json::to_string(&Value::Object(vec![
+/// `trace` adds the optional flight-recorder request; `None` produces
+/// the pre-trace wire form byte-for-byte.
+pub fn encode_work(id: u64, scenario: &Scenario, trace: Option<&TraceSpec>) -> String {
+    let mut fields = vec![
         ("frame".to_string(), WORK_SCHEMA.to_json()),
         ("id".to_string(), id.to_json()),
         ("scenario".to_string(), scenario.to_json_value()),
-    ]))
+    ];
+    if let Some(spec) = trace {
+        fields.push((
+            "trace".to_string(),
+            Value::Object(vec![
+                ("filter".to_string(), spec.filter.to_json()),
+                ("capacity".to_string(), (spec.capacity as u64).to_json()),
+            ]),
+        ));
+    }
+    json::to_string(&Value::Object(fields))
 }
 
 /// Encode a result frame as one compact JSON line (no trailing newline).
-pub fn encode_result(id: u64, wall_s: f64, result: &RunResult) -> String {
-    json::to_string(&Value::Object(vec![
+/// `trace` echoes the captured chunk when the work frame asked for one.
+pub fn encode_result(
+    id: u64,
+    wall_s: f64,
+    result: &RunResult,
+    trace: Option<&TraceChunk>,
+) -> String {
+    let mut fields = vec![
         ("frame".to_string(), RESULT_SCHEMA.to_json()),
         ("id".to_string(), id.to_json()),
         ("wall_s".to_string(), wall_s.to_json()),
         ("result".to_string(), result.to_json()),
-    ]))
+    ];
+    if let Some(chunk) = trace {
+        fields.push((
+            "trace".to_string(),
+            Value::Object(vec![
+                ("dropped".to_string(), chunk.dropped.to_json()),
+                (
+                    "lines".to_string(),
+                    Value::Array(chunk.lines.iter().map(|l| l.to_json()).collect()),
+                ),
+            ]),
+        ));
+    }
+    json::to_string(&Value::Object(fields))
 }
 
 /// Encode an error frame as one compact JSON line (no trailing newline).
@@ -138,7 +177,23 @@ pub fn decode(line: &str) -> Result<Frame, FrameError> {
                 .ok_or_else(|| FrameError::new(Some(id), "work frame without scenario"))?;
             let scenario = Scenario::from_json_value(doc)
                 .map_err(|e| FrameError::new(Some(id), format!("bad scenario: {e}")))?;
-            Ok(Frame::Work { id, scenario })
+            let trace = v.get("trace").map(|t| TraceSpec {
+                filter: t
+                    .get("filter")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                capacity: t
+                    .get("capacity")
+                    .and_then(Value::as_u64)
+                    .map(|c| c as usize)
+                    .unwrap_or(irn_telemetry::DEFAULT_CAPACITY),
+            });
+            Ok(Frame::Work {
+                id,
+                scenario,
+                trace,
+            })
         }
         RESULT_SCHEMA => {
             let id = id.ok_or_else(|| FrameError::new(None, "result frame without numeric id"))?;
@@ -148,10 +203,36 @@ pub fn decode(line: &str) -> Result<Frame, FrameError> {
                 .ok_or_else(|| FrameError::new(Some(id), "result frame without result"))?;
             let result = RunResult::from_json(doc)
                 .map_err(|e| FrameError::new(Some(id), format!("bad result: {e}")))?;
+            let trace = match v.get("trace") {
+                None => None,
+                Some(t) => {
+                    let lines = match t.get("lines") {
+                        Some(Value::Array(items)) => items
+                            .iter()
+                            .map(|l| {
+                                l.as_str().map(str::to_string).ok_or_else(|| {
+                                    FrameError::new(Some(id), "non-string trace line")
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                        _ => {
+                            return Err(FrameError::new(
+                                Some(id),
+                                "result trace without a lines array",
+                            ))
+                        }
+                    };
+                    Some(TraceChunk {
+                        lines,
+                        dropped: t.get("dropped").and_then(Value::as_u64).unwrap_or(0),
+                    })
+                }
+            };
             Ok(Frame::Result {
                 id,
                 wall_s,
                 result: Box::new(result),
+                trace,
             })
         }
         ERROR_SCHEMA => {
@@ -189,15 +270,53 @@ mod tests {
 
     #[test]
     fn work_frame_round_trips_on_one_line() {
-        let line = encode_work(7, &scenario());
+        let line = encode_work(7, &scenario(), None);
         assert!(!line.contains('\n'), "frames must be single lines");
         match decode(&line).unwrap() {
-            Frame::Work { id, scenario: s } => {
+            Frame::Work {
+                id,
+                scenario: s,
+                trace,
+            } => {
                 assert_eq!(id, 7);
                 assert_eq!(s, scenario());
+                assert_eq!(trace, None);
             }
             other => panic!("wrong frame: {other:?}"),
         }
+    }
+
+    /// The trace request and chunk ride the existing frames as optional
+    /// fields: round-trip both, and confirm `None` keeps the pre-trace
+    /// wire form (no `trace` key at all).
+    #[test]
+    fn trace_fields_round_trip_and_stay_optional() {
+        let spec = TraceSpec {
+            filter: "kind=pfc.*,flow=3".to_string(),
+            capacity: 4096,
+        };
+        let line = encode_work(2, &scenario(), Some(&spec));
+        match decode(&line).unwrap() {
+            Frame::Work { trace, .. } => assert_eq!(trace, Some(spec)),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert!(!encode_work(2, &scenario(), None).contains("\"trace\""));
+
+        let result = irn_core::run(scenario().config().clone());
+        let chunk = TraceChunk {
+            lines: vec![
+                r#"{"cell":2,"t":0,"kind":"flow.start","flow":0}"#.to_string(),
+                r#"{"cell":2,"t":9,"kind":"flow.done","flow":0}"#.to_string(),
+            ],
+            dropped: 5,
+        };
+        let line = encode_result(2, 0.1, &result, Some(&chunk));
+        assert!(!line.contains('\n'));
+        match decode(&line).unwrap() {
+            Frame::Result { trace, .. } => assert_eq!(trace, Some(chunk)),
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert!(!encode_result(2, 0.1, &result, None).contains("\"trace\""));
     }
 
     /// The load-bearing property of the whole distributed design: a
@@ -206,13 +325,14 @@ mod tests {
     #[test]
     fn result_frame_round_trips_bit_exactly() {
         let result = irn_core::run(scenario().config().clone());
-        let line = encode_result(3, 0.25, &result);
+        let line = encode_result(3, 0.25, &result, None);
         assert!(!line.contains('\n'));
         match decode(&line).unwrap() {
             Frame::Result {
                 id,
                 wall_s,
                 result: back,
+                ..
             } => {
                 assert_eq!(id, 3);
                 assert!((wall_s - 0.25).abs() < 1e-12);

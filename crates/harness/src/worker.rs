@@ -58,7 +58,11 @@ pub fn serve(
             continue;
         }
         let reply = match wire::decode(&line) {
-            Ok(Frame::Work { id, scenario }) => {
+            Ok(Frame::Work {
+                id,
+                scenario,
+                trace,
+            }) => {
                 if opts.exit_after == Some(summary.answered) {
                     // Simulated mid-cell death: the frame is consumed
                     // and never answered, so the coordinator must
@@ -66,10 +70,42 @@ pub fn serve(
                     summary.aborted = true;
                     return Ok(summary);
                 }
-                let start = std::time::Instant::now();
-                let result = irn_core::run(scenario.into_config());
-                summary.answered += 1;
-                wire::encode_result(id, start.elapsed().as_secs_f64(), &result)
+                // Validate the filter before burning the cell's runtime.
+                let filter = match &trace {
+                    None => Ok(None),
+                    Some(spec) => irn_telemetry::TraceFilter::parse(&spec.filter)
+                        .map(|f| Some((f, spec.capacity))),
+                };
+                match filter {
+                    Err(detail) => {
+                        summary.errors += 1;
+                        wire::encode_error(Some(id), &format!("bad trace filter: {detail}"))
+                    }
+                    Ok(filter) => {
+                        let start = std::time::Instant::now();
+                        let (result, chunk) = match filter {
+                            None => (irn_core::run(scenario.into_config()), None),
+                            Some((f, capacity)) => {
+                                // The frame id is the cell's submission
+                                // index in the coordinator's batch, so
+                                // chunks captured anywhere in the fleet
+                                // stamp the same cell numbers.
+                                let (result, chunk) =
+                                    irn_telemetry::capture(id, f, capacity, || {
+                                        irn_core::run(scenario.into_config())
+                                    });
+                                (result, Some(chunk))
+                            }
+                        };
+                        summary.answered += 1;
+                        wire::encode_result(
+                            id,
+                            start.elapsed().as_secs_f64(),
+                            &result,
+                            chunk.as_ref(),
+                        )
+                    }
+                }
             }
             Ok(Frame::Result { id, .. }) => {
                 summary.errors += 1;
@@ -120,8 +156,8 @@ mod tests {
     fn serves_work_frames_and_matches_in_process_results() {
         let input = format!(
             "{}\n\n{}\n",
-            wire::encode_work(0, &scenario(1)),
-            wire::encode_work(1, &scenario(2)),
+            wire::encode_work(0, &scenario(1), None),
+            wire::encode_work(1, &scenario(2), None),
         );
         let mut out = Vec::new();
         let summary = serve(input.as_bytes(), &mut out, WorkerOptions::default()).unwrap();
@@ -171,8 +207,8 @@ mod tests {
     fn exit_after_drops_the_fatal_frame_silently() {
         let input = format!(
             "{}\n{}\n",
-            wire::encode_work(0, &scenario(1)),
-            wire::encode_work(1, &scenario(2)),
+            wire::encode_work(0, &scenario(1), None),
+            wire::encode_work(1, &scenario(2), None),
         );
         let mut out = Vec::new();
         let summary = serve(

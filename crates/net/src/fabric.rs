@@ -342,6 +342,16 @@ impl Fabric {
         );
         link.busy = true;
         pkt.sent_at = if pkt.is_data() { now } else { pkt.sent_at };
+        irn_telemetry::trace!(
+            if pkt.is_retx { "pkt.retx" } else { "pkt.tx" },
+            t = now.as_nanos(),
+            flow = pkt.flow.0,
+            src = pkt.src.0,
+            dst = pkt.dst.0,
+            pkt = pkt.kind.label(),
+            psn = pkt.psn,
+            bytes = pkt.wire_bytes,
+        );
         let ser = self.cfg.bandwidth.serialize(pkt.wire_bytes as u64);
         port.schedule(now + ser, FabricEvent::TxDone { link: link_id });
         port.schedule(
@@ -387,6 +397,15 @@ impl Fabric {
                     && self.rng.chance(self.cfg.loss_injection)
                 {
                     self.injected_drops += 1;
+                    irn_telemetry::trace!(
+                        "pkt.drop",
+                        t = now.as_nanos(),
+                        flow = pkt.flow.0,
+                        src = pkt.src.0,
+                        dst = pkt.dst.0,
+                        psn = pkt.psn,
+                        cause = "inject",
+                    );
                     return None;
                 }
                 let swi = sw as usize;
@@ -403,9 +422,35 @@ impl Fabric {
                     }
                 };
                 match self.switches[swi].enqueue(in_port, out, pkt, &mut self.rng) {
-                    Enqueue::Dropped => {}
-                    Enqueue::Queued { send_xoff } => {
+                    Enqueue::Dropped => {
+                        irn_telemetry::trace!(
+                            "pkt.drop",
+                            t = now.as_nanos(),
+                            flow = pkt.flow.0,
+                            src = pkt.src.0,
+                            dst = pkt.dst.0,
+                            psn = pkt.psn,
+                            cause = "buffer",
+                        );
+                    }
+                    Enqueue::Queued { send_xoff, marked } => {
+                        if marked {
+                            irn_telemetry::trace!(
+                                "ecn.mark",
+                                t = now.as_nanos(),
+                                flow = pkt.flow.0,
+                                src = pkt.src.0,
+                                dst = pkt.dst.0,
+                                psn = pkt.psn,
+                            );
+                        }
                         if send_xoff {
+                            irn_telemetry::trace!(
+                                "pfc.pause",
+                                t = now.as_nanos(),
+                                sw = swi,
+                                port = in_port,
+                            );
                             // Pause the transmitter feeding this input.
                             port.schedule(
                                 now + self.cfg.prop_delay,
@@ -492,6 +537,7 @@ impl Fabric {
             return;
         };
         if send_xon {
+            irn_telemetry::trace!("pfc.resume", t = now.as_nanos(), sw = sw, port = in_port,);
             let in_link = self.switch_in_link[sw][in_port as usize];
             port.schedule(
                 now + self.cfg.prop_delay,

@@ -146,6 +146,18 @@ impl Packet {
     }
 }
 
+impl PacketKind {
+    /// Stable lowercase label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            PacketKind::Data => "data",
+            PacketKind::Ack => "ack",
+            PacketKind::Nack => "nack",
+            PacketKind::Cnp => "cnp",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -120,6 +120,9 @@ pub enum Enqueue {
     Queued {
         /// Owe an X-OFF pause frame upstream.
         send_xoff: bool,
+        /// The packet was ECN-marked on this enqueue (telemetry; the
+        /// mark itself already lives in the queued packet's `ecn_ce`).
+        marked: bool,
     },
     /// Buffer overflow: packet dropped (only possible without PFC, or
     /// with misconfigured headroom).
@@ -229,12 +232,14 @@ impl SwitchState {
 
         // ECN: mark data packets against the *egress* occupancy they join
         // (DCQCN marks on egress enqueue).
+        let mut marked = false;
         if let Some(ecn) = &self.ecn {
             if pkt.is_data() {
                 let p = ecn.mark_probability(self.egress_bytes[out] + size);
                 if rng.chance(p) {
                     pkt.ecn_ce = true;
                     self.stats.ecn_marked += 1;
+                    marked = true;
                 }
             }
         }
@@ -252,7 +257,7 @@ impl SwitchState {
                 send_xoff = true;
             }
         }
-        Enqueue::Queued { send_xoff }
+        Enqueue::Queued { send_xoff, marked }
     }
 
     /// Pick the next packet for `out_port`, round-robin across input
@@ -392,17 +397,26 @@ mod tests {
         let mut r = rng();
         assert_eq!(
             sw.enqueue(0, 1, pkt(200), &mut r),
-            Enqueue::Queued { send_xoff: false }
+            Enqueue::Queued {
+                send_xoff: false,
+                marked: false
+            }
         );
         // Crosses 250 B: X-OFF owed.
         assert_eq!(
             sw.enqueue(0, 1, pkt(100), &mut r),
-            Enqueue::Queued { send_xoff: true }
+            Enqueue::Queued {
+                send_xoff: true,
+                marked: false
+            }
         );
         // Already paused: no duplicate X-OFF.
         assert_eq!(
             sw.enqueue(0, 1, pkt(100), &mut r),
-            Enqueue::Queued { send_xoff: false }
+            Enqueue::Queued {
+                send_xoff: false,
+                marked: false
+            }
         );
         assert_eq!(sw.stats.pauses_sent, 1);
         assert!(sw.holds_paused(0));
@@ -442,7 +456,10 @@ mod tests {
         assert!(!sw.holds_paused(1));
         assert!(matches!(
             sw.enqueue(1, 2, pkt(100), &mut r),
-            Enqueue::Queued { send_xoff: false }
+            Enqueue::Queued {
+                send_xoff: false,
+                marked: false
+            }
         ));
     }
 

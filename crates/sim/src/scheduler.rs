@@ -399,6 +399,11 @@ impl<E> Scheduler<E> {
 
         if cascade {
             self.stats.cascades += 1;
+            irn_telemetry::trace!(
+                "sched.cascade",
+                t = bucket << BUCKET_SHIFT,
+                overflow = self.overflow.len()
+            );
             self.overflow_min = None;
             let mut rest = Vec::new();
             for entry in std::mem::take(&mut self.overflow) {

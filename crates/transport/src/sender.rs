@@ -118,6 +118,10 @@ pub struct SenderQp {
     cc_loss_reported: bool,
     /// NACKs seen outside recovery (for §7's reordering threshold).
     nacks_outside_recovery: u32,
+    /// Last congestion window emitted as a `cc.cwnd` trace event; only
+    /// touched while tracing is enabled, so behaviour is identical when
+    /// it is off.
+    last_traced_cwnd: Option<u32>,
     done: bool,
     /// Counters.
     pub stats: SenderStats,
@@ -160,6 +164,7 @@ impl SenderQp {
             last_progress: now,
             cc_loss_reported: false,
             nacks_outside_recovery: 0,
+            last_traced_cwnd: None,
             done: false,
             cfg,
             stats: SenderStats::default(),
@@ -376,6 +381,7 @@ impl SenderQp {
         // Congestion-control feedback: RTT echo + ECN echo.
         let rtt = now.saturating_since(pkt.sent_at);
         self.cc.on_ack(now, out.newly_acked, rtt, pkt.ecn_echo);
+        self.trace_cwnd(now);
 
         // Timer discipline: progress re-arms, completion cancels (the
         // scheduler removes the pending deadline in O(1) — it will
@@ -399,6 +405,28 @@ impl SenderQp {
         if !self.cc_loss_reported {
             self.cc_loss_reported = true;
             self.cc.on_loss(now);
+            self.trace_cwnd(now);
+        }
+    }
+
+    /// Emit a `cc.cwnd` trace event when the congestion window changed
+    /// since the last one. No-op (and no state change) unless tracing is
+    /// live on this thread, so determinism with tracing off is untouched.
+    fn trace_cwnd(&mut self, now: Time) {
+        if !irn_telemetry::enabled() {
+            return;
+        }
+        if let Some(cwnd) = self.cc.cwnd() {
+            if self.last_traced_cwnd != Some(cwnd) {
+                self.last_traced_cwnd = Some(cwnd);
+                irn_telemetry::trace!(
+                    "cc.cwnd",
+                    t = now.as_nanos(),
+                    flow = self.flow.0,
+                    host = self.src.0,
+                    cwnd = cwnd,
+                );
+            }
         }
     }
 
@@ -406,6 +434,7 @@ impl SenderQp {
     pub fn on_cnp(&mut self, now: Time) {
         self.stats.cnps += 1;
         self.cc.on_cnp(now);
+        self.trace_cwnd(now);
     }
 
     /// The flow's (live) retransmission timer expired. The embedding

@@ -56,10 +56,18 @@ fn report_render_is_byte_identical_across_job_counts() {
 fn json_artifact_is_byte_identical_across_job_counts() {
     let scale = tiny();
     let fig4 = artifacts::find("fig4").unwrap();
-    let serial =
-        artifacts::artifact_json(fig4, &scale, &runners::fig4(scale).run(&Harness::new(1)));
-    let parallel =
-        artifacts::artifact_json(fig4, &scale, &runners::fig4(scale).run(&Harness::new(8)));
+    let serial = artifacts::artifact_json(
+        fig4,
+        &scale,
+        &runners::fig4(scale).run(&Harness::new(1)),
+        None,
+    );
+    let parallel = artifacts::artifact_json(
+        fig4,
+        &scale,
+        &runners::fig4(scale).run(&Harness::new(8)),
+        None,
+    );
     assert_eq!(serial, parallel);
     artifacts::verify_artifact_json("fig4", &serial).unwrap();
     // Full value-level round-trip through the vendored serde.

@@ -179,7 +179,7 @@ fn every_deterministic_artifact_is_byte_stable_across_job_counts() {
         selected
             .iter()
             .zip(&batch.reports)
-            .map(|(a, rep)| (rep.render(), artifacts::artifact_json(a, &scale, rep)))
+            .map(|(a, rep)| (rep.render(), artifacts::artifact_json(a, &scale, rep, None)))
             .collect()
     };
     let serial = render(1);
@@ -200,7 +200,7 @@ fn seeds_override_lands_in_envelope_not_scale_label() {
     let fig1 = artifacts::find("fig1").unwrap();
     let mut rep = irn_experiments::Report::new("Figure 1", "t", "p");
     rep.add(irn_experiments::Row::new("IRN").push("avg_slowdown", 1.0));
-    let text = artifacts::artifact_json(fig1, &scale, &rep);
+    let text = artifacts::artifact_json(fig1, &scale, &rep, None);
     let v = serde::json::from_str(&text).unwrap();
     assert_eq!(v.get("seeds").and_then(serde::json::Value::as_u64), Some(3));
     assert_eq!(
