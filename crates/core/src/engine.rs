@@ -37,7 +37,7 @@ use irn_transport::{HostNic, NicPoll, ReceiverQp, SenderPoll, SenderQp, TimerCmd
 use irn_workload::{FlowSpec, TrafficCtx};
 
 use crate::config::ExperimentConfig;
-use crate::result::{RunResult, SchedCounters, TransportTotals};
+use crate::result::{MemoryStats, RunResult, SchedCounters, TransportTotals};
 
 /// Events driving the simulation. Timer events carry no generation
 /// tokens: the scheduler's cancellable timers guarantee only live
@@ -79,6 +79,134 @@ enum FlowReceiver {
     Tcp(TcpReceiver),
 }
 
+/// Live state of one in-progress flow: the slab's unit of allocation.
+struct FlowSlot {
+    sender: Option<FlowSender>,
+    receiver: Option<FlowReceiver>,
+    /// Retransmission timer, created lazily and **owned by the slot**,
+    /// not the flow: re-arming overwrites the payload, so a recycled
+    /// slot safely reuses its timer for the next occupant.
+    timer: Option<TimerId>,
+    /// Packets of this flow currently inside the fabric (data and
+    /// control alike; +1 at host TX, −1 at delivery or drop).
+    inflight: u32,
+    /// The receiver delivered the last payload byte.
+    receiver_done: bool,
+}
+
+/// Where a flow's state lives, encoded in the dense `flow → slot` map.
+const NOT_STARTED: u32 = u32::MAX;
+const RETIRED: u32 = u32::MAX - 1;
+
+/// Slab of live flow state keyed by dense `u32` flow ids.
+///
+/// The pre-refactor engine kept `Vec<Option<Sender>>` /
+/// `Vec<Option<Receiver>>` / `Vec<Option<TimerId>>` each sized to the
+/// *total* flow count for the whole run. The slab sizes state to the
+/// *concurrently live* flow count instead: a slot is allocated at flow
+/// arrival (reusing a free slot when one exists), and recycled once the
+/// flow retires — sender done, receiver done, and nothing of the flow
+/// left inside the fabric. `slots.len()` is therefore the live-flow
+/// high-water mark, which is what the `memory-v1` gauge reports.
+struct FlowSlab {
+    slots: Vec<FlowSlot>,
+    /// Recycled slot indices (LIFO: reuse the hottest slot first).
+    free: Vec<u32>,
+    /// Per flow: slot index, or [`NOT_STARTED`] / [`RETIRED`].
+    slot_of: Vec<u32>,
+}
+
+impl FlowSlab {
+    fn new(flows: usize) -> FlowSlab {
+        FlowSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            slot_of: vec![NOT_STARTED; flows],
+        }
+    }
+
+    /// Allocate a slot for an arriving flow.
+    fn insert(&mut self, flow: usize, sender: FlowSender, receiver: FlowReceiver) {
+        debug_assert_eq!(self.slot_of[flow], NOT_STARTED, "flow started twice");
+        match self.free.pop() {
+            Some(si) => {
+                let slot = &mut self.slots[si as usize];
+                slot.sender = Some(sender);
+                slot.receiver = Some(receiver);
+                // slot.timer is kept: recycled with the slot.
+                slot.inflight = 0;
+                slot.receiver_done = false;
+                self.slot_of[flow] = si;
+            }
+            None => {
+                self.slot_of[flow] = self.slots.len() as u32;
+                self.slots.push(FlowSlot {
+                    sender: Some(sender),
+                    receiver: Some(receiver),
+                    timer: None,
+                    inflight: 0,
+                    receiver_done: false,
+                });
+            }
+        }
+    }
+
+    /// The flow's live slot; `None` when not started or retired.
+    fn slot_mut(&mut self, flow: usize) -> Option<&mut FlowSlot> {
+        match self.slot_of[flow] {
+            NOT_STARTED | RETIRED => None,
+            si => Some(&mut self.slots[si as usize]),
+        }
+    }
+
+    /// The flow's live sender, if any.
+    fn sender_mut(&mut self, flow: usize) -> Option<&mut FlowSender> {
+        self.slot_mut(flow).and_then(|s| s.sender.as_mut())
+    }
+
+    /// The slot's (possibly unarmed) timer id.
+    fn timer(&mut self, flow: usize) -> Option<TimerId> {
+        self.slot_mut(flow).and_then(|s| s.timer)
+    }
+
+    /// True when the flow never reached [`FlowSlab::insert`].
+    fn never_started(&self, flow: usize) -> bool {
+        self.slot_of[flow] == NOT_STARTED
+    }
+
+    /// Recycle the flow's slot (drops sender/receiver state; keeps the
+    /// timer for the next occupant). The flow id can never come back.
+    fn retire(&mut self, flow: usize) {
+        let si = self.slot_of[flow];
+        debug_assert!(si != NOT_STARTED && si != RETIRED, "retiring a dead flow");
+        let slot = &mut self.slots[si as usize];
+        debug_assert!(slot.sender.is_none() && slot.receiver_done && slot.inflight == 0);
+        slot.receiver = None;
+        self.slot_of[flow] = RETIRED;
+        self.free.push(si);
+    }
+
+    /// Analytic peak bytes: every slot ever allocated (`slots.len()` is
+    /// the live-flow high-water mark — monotone), the free-list backing
+    /// it, and the dense flow→slot map.
+    fn peak_bytes(&self) -> u64 {
+        let slot = std::mem::size_of::<FlowSlot>() as u64;
+        let idx = std::mem::size_of::<u32>() as u64;
+        self.slots.len() as u64 * (slot + idx) + self.slot_of.len() as u64 * idx
+    }
+}
+
+/// Per-flow bytes of the pre-slab engine layout, kept as the
+/// memory-gauge baseline: a retained `FlowRecord` plus run-length
+/// `Option<sender>` / `Option<receiver>` / `Option<TimerId>` slots, all
+/// sized to the total flow count regardless of concurrency.
+pub fn legacy_per_flow_bytes() -> u64 {
+    (std::mem::size_of::<FlowRecord>()
+        + std::mem::size_of::<Option<FlowSender>>()
+        + std::mem::size_of::<Option<FlowReceiver>>()
+        + std::mem::size_of::<Option<TimerId>>()) as u64
+}
+
 /// One experiment in flight.
 pub struct Simulation {
     cfg: ExperimentConfig,
@@ -92,10 +220,8 @@ pub struct Simulation {
     next_arrival: usize,
     /// Index of the first incast flow, when the workload has one.
     incast_from: Option<usize>,
-    senders: Vec<Option<FlowSender>>,
-    receivers: Vec<Option<FlowReceiver>>,
-    /// Per-flow retransmission timer (created at flow arrival).
-    qp_timer: Vec<Option<TimerId>>,
+    /// Live flow state (senders, receivers, timers), slab-allocated.
+    slab: FlowSlab,
     nics: Vec<HostNic>,
     /// Per-host NIC pacing timer.
     nic_wake: Vec<TimerId>,
@@ -134,9 +260,7 @@ impl Simulation {
             arrival_order,
             next_arrival: 0,
             incast_from,
-            senders: (0..n).map(|_| None).collect(),
-            receivers: (0..n).map(|_| None).collect(),
-            qp_timer: vec![None; n],
+            slab: FlowSlab::new(n),
             nics: (0..hosts).map(|_| HostNic::new()).collect(),
             nic_wake,
             metrics: MetricsCollector::new(),
@@ -220,8 +344,9 @@ impl Simulation {
         );
 
         // Sweep stats from any sender still alive (receiver finished
-        // before the sender saw its final ack).
-        for s in self.senders.iter().flatten() {
+        // before the sender saw its final ack). Slot order, not flow
+        // order — the totals are commutative sums.
+        for s in self.slab.slots.iter().filter_map(|s| s.sender.as_ref()) {
             accumulate(&mut self.totals, s);
         }
 
@@ -230,6 +355,20 @@ impl Simulation {
             // Pure incast: the incast population is also the primary one.
             Some(0) => (self.incast_metrics.clone(), Some(self.incast_metrics)),
             Some(_) => (self.metrics, Some(self.incast_metrics)),
+        };
+
+        let collector_fixed = std::mem::size_of::<MetricsCollector>() as u64;
+        let metrics_bytes = collector_fixed
+            + primary.heap_bytes()
+            + incast_metrics
+                .as_ref()
+                .map_or(0, |m| collector_fixed + m.heap_bytes());
+        let memory = MemoryStats {
+            peak_flow_state_bytes: self.slab.peak_bytes(),
+            metrics_bytes,
+            flows: self.flows.len() as u64,
+            hist_buckets: primary.allocated_buckets()
+                + incast_metrics.as_ref().map_or(0, |m| m.allocated_buckets()),
         };
 
         let sstats = self.sched.stats();
@@ -247,6 +386,7 @@ impl Simulation {
             events,
             sched: self.counters,
             finished_at: self.finished_at,
+            memory,
         }
     }
 
@@ -267,8 +407,7 @@ impl Simulation {
             let r = ReceiverQp::new(&tcfg, flow, src, dst, s.total_packets(), self.cfg.cc);
             (FlowSender::Rdma(s), FlowReceiver::Rdma(r))
         };
-        self.senders[i] = Some(snd);
-        self.receivers[i] = Some(rcv);
+        self.slab.insert(i, snd, rcv);
         irn_telemetry::trace!(
             "flow.start",
             t = now.as_nanos(),
@@ -288,6 +427,18 @@ impl Simulation {
             None => {}
             Some(FabricOutput::HostTxReady { host }) => self.try_send(now, host),
             Some(FabricOutput::Deliver { host, pkt }) => self.on_deliver(now, host, pkt),
+            Some(FabricOutput::Dropped { flow }) => self.on_drop(now, flow),
+        }
+    }
+
+    /// A packet died inside the fabric: it will never be delivered, so
+    /// it leaves the flow's in-flight count here (recovery itself stays
+    /// timer/NACK-driven, exactly as before).
+    fn on_drop(&mut self, now: Time, flow: FlowId) {
+        let idx = flow.idx();
+        if let Some(slot) = self.slab.slot_mut(idx) {
+            slot.inflight -= 1;
+            self.maybe_retire(now, idx);
         }
     }
 
@@ -300,10 +451,26 @@ impl Simulation {
             pkt = pkt.kind.label(),
             psn = pkt.psn,
         );
+        let idx = pkt.flow.idx();
+        // The packet just left the fabric; balance the in-flight count
+        // taken at host TX. A retired flow cannot have counted packets
+        // in flight (retirement requires the count to reach zero), so
+        // the guard only skips packets sent after retirement (late
+        // control traffic), which were never counted.
+        if let Some(slot) = self.slab.slot_mut(idx) {
+            slot.inflight -= 1;
+        }
         match pkt.kind {
             PacketKind::Data => {
-                let idx = pkt.flow.idx();
-                let completed = match self.receivers[idx]
+                assert!(
+                    !self.slab.never_started(idx),
+                    "data for a flow that never started"
+                );
+                let completed = match self
+                    .slab
+                    .slot_mut(idx)
+                    .expect("data for a retired flow")
+                    .receiver
                     .as_mut()
                     .expect("data for a flow that never started")
                 {
@@ -341,37 +508,67 @@ impl Simulation {
                 };
                 if completed {
                     self.record_completion(now, idx);
+                    self.slab
+                        .slot_mut(idx)
+                        .expect("completing flow is live")
+                        .receiver_done = true;
                 }
+                self.maybe_retire(now, idx);
                 self.try_send(now, host);
             }
             PacketKind::Ack | PacketKind::Nack => {
-                let idx = pkt.flow.idx();
-                if let Some(sender) = self.senders[idx].as_mut() {
-                    let done = match sender {
-                        FlowSender::Rdma(s) => s.on_ack_packet(now, &pkt),
-                        FlowSender::Tcp(s) => s.on_ack_packet(now, &pkt),
-                    };
+                let done = self.slab.sender_mut(idx).map(|sender| match sender {
+                    FlowSender::Rdma(s) => s.on_ack_packet(now, &pkt),
+                    FlowSender::Tcp(s) => s.on_ack_packet(now, &pkt),
+                });
+                if let Some(done) = done {
                     self.drain_timer(now, idx);
                     if done {
-                        let s = self.senders[idx].take().unwrap();
+                        let slot = self.slab.slot_mut(idx).expect("acked flow is live");
+                        let s = slot.sender.take().unwrap();
                         accumulate(&mut self.totals, &s);
+                        self.maybe_retire(now, idx);
                     }
                 }
                 self.try_send(now, host);
             }
             PacketKind::Cnp => {
-                let idx = pkt.flow.idx();
-                if let Some(FlowSender::Rdma(s)) = self.senders[idx].as_mut() {
+                if let Some(FlowSender::Rdma(s)) = self.slab.sender_mut(idx) {
                     s.on_cnp(now);
                 }
                 // Rate drop needs no immediate send attempt.
+                self.maybe_retire(now, idx);
             }
         }
     }
 
+    /// Recycle the flow's slot once nothing remains: sender finished,
+    /// receiver delivered everything, and no packet of the flow is
+    /// inside the fabric (so no event can ever need this state again —
+    /// late control packets to a retired flow were already ignored
+    /// before this refactor, because the sender slot was empty).
+    fn maybe_retire(&mut self, now: Time, idx: usize) {
+        let Some(slot) = self.slab.slot_mut(idx) else {
+            return;
+        };
+        if slot.sender.is_some() || !slot.receiver_done || slot.inflight > 0 {
+            return;
+        }
+        // The completing sender already cancelled its timer through
+        // `drain_timer`; the deadline guard keeps the scheduler's
+        // cancel counters identical to the pre-slab engine.
+        if let Some(id) = slot.timer {
+            if self.sched.timer_deadline(id).is_some() {
+                self.sched.timer_cancel(id);
+            }
+        }
+        irn_telemetry::trace!("flow.retire", t = now.as_nanos(), flow = idx);
+        self.slab.retire(idx);
+    }
+
     fn on_qp_timer(&mut self, now: Time, flow: u32) {
         let idx = flow as usize;
-        let Some(sender) = self.senders[idx].as_mut() else {
+        let Some(sender) = self.slab.sender_mut(idx) else {
             // Structurally impossible: completion cancels the timer in
             // the scheduler. Counted (and asserted zero in the
             // integration suite) rather than silently tolerated.
@@ -390,10 +587,10 @@ impl Simulation {
         }
     }
 
-    /// Apply any timer request the sender produced to the flow's
+    /// Apply any timer request the sender produced to the slot's
     /// scheduler timer.
     fn drain_timer(&mut self, now: Time, idx: usize) {
-        let Some(sender) = self.senders[idx].as_mut() else {
+        let Some(sender) = self.slab.sender_mut(idx) else {
             return;
         };
         let req = match sender {
@@ -409,11 +606,14 @@ impl Simulation {
                     flow = idx,
                     deadline = deadline.as_nanos(),
                 );
-                let id = match self.qp_timer[idx] {
+                let id = match self.slab.timer(idx) {
                     Some(id) => id,
                     None => {
                         let id = self.sched.timer_create();
-                        self.qp_timer[idx] = Some(id);
+                        self.slab
+                            .slot_mut(idx)
+                            .expect("arming sender is live")
+                            .timer = Some(id);
                         id
                     }
                 };
@@ -422,7 +622,7 @@ impl Simulation {
             }
             Some(TimerCmd::Cancel) => {
                 irn_telemetry::trace!("timer.cancel", t = now.as_nanos(), flow = idx);
-                if let Some(id) = self.qp_timer[idx] {
+                if let Some(id) = self.slab.timer(idx) {
                     self.sched.timer_cancel(id);
                 }
             }
@@ -436,8 +636,8 @@ impl Simulation {
             if !self.fabric.host_tx_idle(host) {
                 return;
             }
-            let (nics, senders) = (&mut self.nics, &mut self.senders);
-            let poll = nics[host.idx()].poll(now, |flow, t| match senders[flow.idx()].as_mut() {
+            let (nics, slab) = (&mut self.nics, &mut self.slab);
+            let poll = nics[host.idx()].poll(now, |flow, t| match slab.sender_mut(flow.idx()) {
                 Some(FlowSender::Rdma(s)) => s.poll(t),
                 Some(FlowSender::Tcp(s)) => s.poll(t),
                 None => SenderPoll::Done,
@@ -447,6 +647,13 @@ impl Simulation {
                     let flow_idx = pkt.flow.idx();
                     let (fabric, sched) = (&mut self.fabric, &mut self.sched);
                     fabric.host_start_tx(now, host, pkt, sched);
+                    // The packet is now inside the fabric; count it
+                    // against its flow (live flows only — a retired
+                    // flow's late control packets go uncounted, and
+                    // their delivery is uncounted symmetrically).
+                    if let Some(slot) = self.slab.slot_mut(flow_idx) {
+                        slot.inflight += 1;
+                    }
                     // The sender may have armed its timer in poll().
                     self.drain_timer(now, flow_idx);
                 }

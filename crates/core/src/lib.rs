@@ -38,9 +38,9 @@ pub mod result;
 pub mod scenario;
 
 pub use config::{ExperimentConfig, TopologySpec};
-pub use engine::Simulation;
+pub use engine::{legacy_per_flow_bytes, Simulation};
 pub use irn_workload::{Component, Population, Start, TrafficCtx, TrafficError, TrafficModel};
-pub use result::{RunResult, SchedCounters, TransportTotals};
+pub use result::{MemoryStats, RunResult, SchedCounters, TransportTotals};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SCENARIO_SCHEMA};
 
 // Re-export the sub-crates under stable names so downstream users (and

@@ -64,6 +64,44 @@ pub struct SchedCounters {
     pub past_clamps: u64,
 }
 
+/// The `memory-v1` gauge: an **analytic** byte accounting of the
+/// engine's per-flow state and the collectors' histogram heap — counts
+/// × `size_of`, not allocator probes — so the gauge is a deterministic
+/// function of the workload, byte-identical at any `--jobs` value and
+/// across worker fleets (of the same build; sizes are
+/// platform-specific).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Peak bytes of live flow state: the slab's slot array at its
+    /// high-water mark plus the dense flow→slot index.
+    pub peak_flow_state_bytes: u64,
+    /// Heap bytes held by the metrics collectors' histograms at the
+    /// end of the run (monotone: histograms never shrink).
+    pub metrics_bytes: u64,
+    /// Flows the run completed (the gauge's denominator).
+    pub flows: u64,
+    /// Allocated histogram bucket slots across all collectors.
+    pub hist_buckets: u64,
+}
+
+impl MemoryStats {
+    /// Total peak bytes tracked by the gauge.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_flow_state_bytes + self.metrics_bytes
+    }
+
+    /// Peak bytes per completed flow — the BENCH-trajectory headline
+    /// (events/sec tells you speed; this tells you whether a
+    /// million-flow sweep fits in memory).
+    pub fn bytes_per_flow(&self) -> f64 {
+        if self.flows == 0 {
+            0.0
+        } else {
+            self.peak_bytes() as f64 / self.flows as f64
+        }
+    }
+}
+
 /// Everything a finished run reports.
 ///
 /// Serializes field-by-field and deserializes back **bit-exactly**
@@ -76,8 +114,9 @@ pub struct RunResult {
     /// §4.1 headline metrics over the primary flow population (the
     /// background workload when an incast rides on cross-traffic).
     pub summary: Summary,
-    /// Full per-flow records of the primary population (percentiles,
-    /// Figure 8 CDFs).
+    /// Streaming metrics of the primary population (percentiles,
+    /// Figure 8 CDFs) — fixed-memory histograms plus exact
+    /// accumulators; see the `irn-metrics` accuracy contract.
     pub metrics: MetricsCollector,
     /// Incast flows, when the workload included an incast (RCT lives
     /// here, §4.4.3).
@@ -95,6 +134,8 @@ pub struct RunResult {
     pub sched: SchedCounters,
     /// Virtual time of the last flow completion.
     pub finished_at: Time,
+    /// The `memory-v1` gauge: analytic peak-memory accounting.
+    pub memory: MemoryStats,
 }
 
 impl RunResult {

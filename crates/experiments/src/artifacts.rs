@@ -20,6 +20,7 @@ use irn_telemetry::TraceSpec;
 use serde::json::{self, Value};
 use serde::Serialize;
 
+use crate::memory::MemorySummary;
 use crate::plan::Plan;
 use crate::report::Report;
 use crate::runners;
@@ -269,6 +270,10 @@ pub struct BatchRun {
     /// `reports`; `None` for inline artifacts, which run no cells).
     /// Deterministic — these feed the envelope's `telemetry` block.
     pub telemetry: Vec<Option<TelemetrySummary>>,
+    /// Per-artifact peak-memory gauges, in selection order (aligned
+    /// with `reports`; `None` for inline artifacts). Deterministic —
+    /// these feed the `memory-v1` file behind `--memory-json`.
+    pub memory: Vec<Option<MemorySummary>>,
     /// Captured trace lines when the batch ran with a
     /// [`TraceSpec`]; `None` on untraced runs.
     pub trace: Option<BatchTrace>,
@@ -402,6 +407,7 @@ pub fn try_run_plan_batch_traced(
     let mut total_events = 0u64;
     let mut timing = Vec::with_capacity(plans.len());
     let mut telemetry = Vec::with_capacity(plans.len());
+    let mut memory = Vec::with_capacity(plans.len());
     let reports = plans
         .into_iter()
         .enumerate()
@@ -411,6 +417,7 @@ pub fn try_run_plan_batch_traced(
                 let mut events = 0u64;
                 let mut cell_wall = std::time::Duration::ZERO;
                 let mut summary = TelemetrySummary::default();
+                let mut gauge = MemorySummary::default();
                 let slice: Vec<RunResult> = results
                     .by_ref()
                     .take(n)
@@ -418,6 +425,7 @@ pub fn try_run_plan_batch_traced(
                         events += o.result.events;
                         cell_wall += o.wall;
                         summary.add(kind, &o.result);
+                        gauge.add(&o.result);
                         o.result
                     })
                     .collect();
@@ -429,6 +437,7 @@ pub fn try_run_plan_batch_traced(
                     cell_wall,
                 });
                 telemetry.push(Some(summary));
+                memory.push(Some(gauge));
                 plan.assemble(slice)
             }
             None => {
@@ -439,6 +448,7 @@ pub fn try_run_plan_batch_traced(
                     cell_wall: std::time::Duration::ZERO,
                 });
                 telemetry.push(None);
+                memory.push(None);
                 inline(i)
             }
         })
@@ -450,6 +460,7 @@ pub fn try_run_plan_batch_traced(
         total_events,
         timing,
         telemetry,
+        memory,
         trace: batch_trace,
     })
 }

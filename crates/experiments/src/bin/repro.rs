@@ -141,6 +141,11 @@ const FLAGS: &[FlagSpec] = &[
         help: "write bench-trajectory-v1 throughput JSON to FILE",
     },
     FlagSpec {
+        name: "--memory-json",
+        metavar: Some("FILE"),
+        help: "write memory-v1 peak-memory gauge JSON to FILE",
+    },
+    FlagSpec {
         name: "--scenario",
         metavar: Some("FILE"),
         help: "(run mode) scenario-v1 file to execute; repeatable",
@@ -163,12 +168,12 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--drift-pct",
         metavar: Some("P"),
-        help: "(diff-timing mode) warning threshold in percent (default 20)",
+        help: "(diff modes) warning threshold in percent (default: 20 timing, 10 memory)",
     },
     FlagSpec {
         name: "--fail-on-drift",
         metavar: None,
-        help: "(diff-timing mode) exit 1 when drift exceeds the threshold",
+        help: "(diff modes) exit 1 when drift exceeds the threshold",
     },
     FlagSpec {
         name: "--list",
@@ -202,6 +207,10 @@ const MODES: &[(&str, &str)] = &[
     (
         "repro diff-timing OLD.json NEW.json",
         "compare bench-trajectory files; warn on events/sec drift",
+    ),
+    (
+        "repro diff-memory OLD.json NEW.json",
+        "compare memory-v1 gauges; warn on bytes/flow drift",
     ),
     (
         "repro trace-summarize FILE",
@@ -262,6 +271,7 @@ const MODE_FLAGS: &[(&str, &[&str])] = &[
             "--quorum",
             "--json",
             "--timing-json",
+            "--memory-json",
             "--scenario",
             "--trace",
             "--trace-filter",
@@ -271,6 +281,7 @@ const MODE_FLAGS: &[(&str, &[&str])] = &[
     ("worker", &["--listen", "--exit-after"]),
     ("emit-scenario", &["--full", "--seeds", "--json"]),
     ("diff-timing", &["--drift-pct", "--fail-on-drift"]),
+    ("diff-memory", &["--drift-pct", "--fail-on-drift"]),
     ("trace-summarize", &[]),
 ];
 
@@ -297,6 +308,7 @@ struct Args {
     exit_after: Option<usize>,
     json_dir: Option<PathBuf>,
     timing_json: Option<PathBuf>,
+    memory_json: Option<PathBuf>,
     scenarios: Vec<PathBuf>,
     trace: Option<PathBuf>,
     trace_filter: Option<String>,
@@ -370,6 +382,7 @@ fn parse_args() -> Args {
             }
             "--json" => args.json_dir = Some(PathBuf::from(value.unwrap())),
             "--timing-json" => args.timing_json = Some(PathBuf::from(value.unwrap())),
+            "--memory-json" => args.memory_json = Some(PathBuf::from(value.unwrap())),
             "--scenario" => args.scenarios.push(PathBuf::from(value.unwrap())),
             "--trace" => args.trace = Some(PathBuf::from(value.unwrap())),
             "--trace-filter" => {
@@ -516,7 +529,12 @@ fn prepare_output_paths(args: &Args) {
     if let Some(dir) = &args.json_dir {
         dirs.push(dir);
     }
-    for file in [&args.timing_json, &args.trace, &args.progress_json] {
+    for file in [
+        &args.timing_json,
+        &args.memory_json,
+        &args.trace,
+        &args.progress_json,
+    ] {
         if let Some(parent) = file
             .as_deref()
             .and_then(Path::parent)
@@ -530,6 +548,40 @@ fn prepare_output_paths(args: &Args) {
             eprintln!("error: cannot create {}: {e}", dir.display());
             std::process::exit(1);
         }
+    }
+}
+
+/// Parse-time strictness for `--memory-json`: a malformed destination
+/// — an existing directory where a file is needed, or a parent that
+/// cannot be created — must die *before* the batch runs, as an input
+/// error (exit 2), not after a paper-scale batch has been thrown away.
+fn validate_memory_json_path(args: &Args) {
+    let Some(path) = &args.memory_json else {
+        return;
+    };
+    if path.is_dir() {
+        fail_input(format_args!(
+            "--memory-json needs a file path, {} is a directory",
+            path.display()
+        ));
+    }
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            fail_input(format_args!(
+                "--memory-json: cannot create {}: {e}",
+                dir.display()
+            ));
+        }
+    }
+}
+
+/// Write the `memory-v1` gauge file when `--memory-json` asked for one.
+/// Unlike the timing JSON these bytes are deterministic — identical at
+/// any `--jobs` and across any worker fleet of the same build.
+fn write_memory_gauge(args: &Args, batch: &BatchRun, scale: &Scale) {
+    if let Some(path) = &args.memory_json {
+        write_file(path, &irn_experiments::memory_json(batch, scale));
+        eprintln!("   [memory gauge -> {}]", path.display());
     }
 }
 
@@ -761,6 +813,7 @@ fn artifact_mode(args: &Args, scale: Scale) {
     }
 
     prepare_output_paths(args);
+    validate_memory_json_path(args);
     let backend = build_backend(args);
     let all = wanted.contains(&"all");
     let selected: Vec<&artifacts::Artifact> = ARTIFACTS
@@ -785,6 +838,7 @@ fn artifact_mode(args: &Args, scale: Scale) {
         &scale,
         args.timing_json.as_deref(),
     );
+    write_memory_gauge(args, &batch, &scale);
     let source: Vec<&str> = selected.iter().map(|a| a.name).collect();
     write_trace(args, &source.join(","), &batch);
 
@@ -841,6 +895,7 @@ fn run_scenarios_mode(args: &Args, scale: Scale) {
     }
 
     prepare_output_paths(args);
+    validate_memory_json_path(args);
     let backend = build_backend(args);
     let seeds = args.seeds.unwrap_or(scale.seeds);
     let items: Vec<(String, Option<_>)> = scenarios
@@ -867,6 +922,7 @@ fn run_scenarios_mode(args: &Args, scale: Scale) {
         &scale,
         args.timing_json.as_deref(),
     );
+    write_memory_gauge(args, &batch, &scale);
     write_trace(args, &slugs.join(","), &batch);
 
     for (((scenario, rep), timing), telemetry) in scenarios
@@ -1225,6 +1281,79 @@ fn diff_timing_mode(args: &Args) {
     }
 }
 
+/// `repro diff-memory OLD NEW`: per-artifact bytes/flow drift between
+/// two `memory-v1` gauge files. Warn-only by default (exits 0; drift
+/// beyond the threshold prints a GitHub `::warning` annotation);
+/// `--fail-on-drift` turns threshold violations into exit 1. Doubles
+/// as the gauge validator: `repro diff-memory FILE FILE` exits 0 iff
+/// FILE is a well-formed gauge. The gauge is deterministic, so unlike
+/// timing drift any movement here is a real code change.
+fn diff_memory_mode(args: &Args) {
+    let rest = &args.positionals[1..];
+    if rest.len() != 2 {
+        fail("diff-memory needs exactly two memory-v1 JSON files (old, new)");
+    }
+    let threshold = args.drift_pct.unwrap_or(10.0);
+    let load = |path: &str| -> Vec<(String, f64)> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail_input(format_args!("cannot read {path}: {e}")));
+        let v = irn_experiments::verify_memory_json(&text)
+            .unwrap_or_else(|e| fail_input(format_args!("{path}: {e}")));
+        v.get("artifacts")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|row| {
+                Some((
+                    row.get("artifact")?.as_str()?.to_string(),
+                    row.get("bytes_per_flow")?.as_f64()?,
+                ))
+            })
+            .collect()
+    };
+    let old = load(&rest[0]);
+    let new = load(&rest[1]);
+    let mut violations = 0usize;
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}   (warn beyond ±{threshold}%)",
+        "artifact", "old B/flow", "new B/flow", "drift"
+    );
+    for (name, new_bpf) in &new {
+        let Some((_, old_bpf)) = old.iter().find(|(n, _)| n == name) else {
+            println!("{name:<16} {:>12} {:>12.1} {:>9}", "-", new_bpf, "new");
+            continue;
+        };
+        if *old_bpf <= 0.0 || *new_bpf <= 0.0 {
+            // A zero-flow artifact has no per-flow cost to compare.
+            continue;
+        }
+        let drift = (new_bpf - old_bpf) / old_bpf * 100.0;
+        println!("{name:<16} {old_bpf:>12.1} {new_bpf:>12.1} {drift:>+8.1}%");
+        if drift.abs() > threshold {
+            violations += 1;
+            // GitHub Actions annotation; warn-only by default so a
+            // deliberate state-layout change does not block CI — a
+            // human judges whether the new cost is intended.
+            println!(
+                "::warning title=memory drift::{name} peak bytes/flow changed \
+                 {drift:+.1}% ({old_bpf:.1} -> {new_bpf:.1})"
+            );
+        }
+    }
+    for (name, _) in &old {
+        if !new.iter().any(|(n, _)| n == name) {
+            println!("{name:<16} {:>12} {:>12} {:>9}", "-", "-", "gone");
+        }
+    }
+    if args.fail_on_drift && violations > 0 {
+        eprintln!(
+            "error: {violations} comparison(s) drifted beyond ±{threshold}% \
+             and --fail-on-drift is set"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -1232,6 +1361,9 @@ fn main() {
     // --list/--verify-json modes would silently never write it.
     if args.timing_json.is_some() && (args.list || args.verify_dir.is_some()) {
         fail("--timing-json requires running artifacts or scenarios (not --list/--verify-json)");
+    }
+    if args.memory_json.is_some() && (args.list || args.verify_dir.is_some()) {
+        fail("--memory-json requires running artifacts or scenarios (not --list/--verify-json)");
     }
 
     if let Some(dir) = &args.verify_dir {
@@ -1261,6 +1393,7 @@ fn main() {
                 "worker" => worker_mode(&args),
                 "emit-scenario" => emit_scenario_mode(&args, scale),
                 "trace-summarize" => trace_summarize_mode(&args),
+                "diff-memory" => diff_memory_mode(&args),
                 _ => diff_timing_mode(&args),
             }
         }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod memory;
 pub mod plan;
 pub mod report;
 pub mod runners;
@@ -47,6 +48,7 @@ pub mod telemetry;
 
 pub use artifacts::{Artifact, Determinism, ARTIFACTS};
 pub use irn_harness::Harness;
+pub use memory::{memory_json, verify_memory_json, MemorySummary};
 pub use plan::Plan;
 pub use report::{Report, Row};
 pub use runners::*;

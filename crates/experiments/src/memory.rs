@@ -1,0 +1,210 @@
+//! The `memory-v1` gauge: the analytic peak-memory accounting every
+//! run already carries ([`irn_core::MemoryStats`]) folded into one
+//! summary per artifact, and serialized as the gauge file behind
+//! `repro --memory-json FILE` / `repro diff-memory`.
+//!
+//! Everything here is a pure fold of deterministic `RunResult` fields
+//! — the gauge is byte-identical at any `--jobs` value and across any
+//! worker fleet of the same build (the byte counts come from
+//! `size_of`, so they are platform/build-specific, not run-specific).
+//! That is why, unlike the `bench-trajectory-v1` timing file, the
+//! envelope records no job count and carries determinism class
+//! `deterministic`. The serialized shape is documented in
+//! `docs/SCHEMA.md`.
+
+use crate::artifacts::BatchRun;
+use crate::scale::Scale;
+use irn_core::{legacy_per_flow_bytes, RunResult};
+use serde::json::{self, Value};
+use serde::Serialize;
+
+/// The memory gauge for one artifact (or one scenario batch): peak
+/// state over every cell's `RunResult`, plus the worst per-flow cost.
+///
+/// Peaks take the **max** over cells — cells run concurrently under
+/// `--jobs`, but the gauge tracks the per-cell high-water mark, which
+/// is what bounds a single million-flow simulation. Flows sum, so
+/// `flows` is the artifact's total completed-flow volume.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemorySummary {
+    /// Cells folded into this gauge.
+    pub cells: u64,
+    /// Completed flows summed over those cells.
+    pub flows: u64,
+    /// Largest per-cell peak of slab + histogram bytes.
+    pub peak_bytes: u64,
+    /// Largest per-cell peak of live flow-slab bytes.
+    pub peak_flow_state_bytes: u64,
+    /// Largest per-cell metrics-histogram heap footprint.
+    pub metrics_bytes: u64,
+    /// Largest per-cell allocated histogram bucket count.
+    pub hist_buckets: u64,
+    /// Worst per-cell `peak_bytes / flows` ratio — the headline the
+    /// diet is judged by (see `MemoryStats::bytes_per_flow`).
+    pub worst_bytes_per_flow: f64,
+}
+
+impl MemorySummary {
+    /// Fold one cell's gauge into the artifact summary.
+    pub fn add(&mut self, r: &RunResult) {
+        self.cells += 1;
+        self.flows += r.memory.flows;
+        self.peak_bytes = self.peak_bytes.max(r.memory.peak_bytes());
+        self.peak_flow_state_bytes = self
+            .peak_flow_state_bytes
+            .max(r.memory.peak_flow_state_bytes);
+        self.metrics_bytes = self.metrics_bytes.max(r.memory.metrics_bytes);
+        self.hist_buckets = self.hist_buckets.max(r.memory.hist_buckets);
+        self.worst_bytes_per_flow = self.worst_bytes_per_flow.max(r.memory.bytes_per_flow());
+    }
+
+    /// The gauge as one ordered JSON object (one `artifacts` row of the
+    /// `memory-v1` file).
+    pub fn to_json_value(&self, name: &str) -> Value {
+        Value::Object(vec![
+            ("artifact".to_string(), name.to_json()),
+            ("cells".to_string(), self.cells.to_json()),
+            ("flows".to_string(), self.flows.to_json()),
+            ("peak_bytes".to_string(), self.peak_bytes.to_json()),
+            (
+                "peak_flow_state_bytes".to_string(),
+                self.peak_flow_state_bytes.to_json(),
+            ),
+            ("metrics_bytes".to_string(), self.metrics_bytes.to_json()),
+            ("hist_buckets".to_string(), self.hist_buckets.to_json()),
+            (
+                "bytes_per_flow".to_string(),
+                self.worst_bytes_per_flow.to_json(),
+            ),
+        ])
+    }
+}
+
+/// Serialize a batch's memory gauges as the `memory-v1` JSON
+/// (pretty-printed, trailing newline): one record per simulation-backed
+/// artifact plus the pre-refactor per-flow-record baseline
+/// ([`legacy_per_flow_bytes`]) the ratios are judged against. Inline
+/// artifacts run no cells and contribute no row. Unlike the timing
+/// file, these bytes are **deterministic**: identical at any `--jobs`
+/// and across any worker fleet of the same build.
+pub fn memory_json(batch: &BatchRun, scale: &Scale) -> String {
+    let artifacts: Vec<Value> = batch
+        .timing
+        .iter()
+        .zip(&batch.memory)
+        .filter_map(|(t, m)| m.as_ref().map(|m| m.to_json_value(&t.name)))
+        .collect();
+    let envelope = Value::Object(vec![
+        ("schema".to_string(), "memory-v1".to_json()),
+        ("determinism".to_string(), "deterministic".to_json()),
+        ("scale".to_string(), scale.label().to_json()),
+        ("seeds".to_string(), (scale.seeds as u64).to_json()),
+        (
+            "legacy_per_flow_bytes".to_string(),
+            (legacy_per_flow_bytes() as u64).to_json(),
+        ),
+        ("artifacts".to_string(), Value::Array(artifacts)),
+    ]);
+    let mut text = json::to_string_pretty(&envelope);
+    text.push('\n');
+    text
+}
+
+/// Validate a `memory-v1` file: parse, check the schema tag, and check
+/// every `artifacts` row for the numeric fields `diff-memory` compares.
+/// Returns a human-readable error referencing `docs/SCHEMA.md`.
+pub fn verify_memory_json(text: &str) -> Result<Value, String> {
+    let err = |msg: &str| format!("{msg} (see docs/SCHEMA.md)");
+    let v = json::from_str(text).map_err(|e| err(&e.to_string()))?;
+    if v.get("schema").and_then(Value::as_str) != Some("memory-v1") {
+        return Err(err("not a memory-v1 file"));
+    }
+    let Some(rows) = v.get("artifacts").and_then(Value::as_array) else {
+        return Err(err("missing 'artifacts' array"));
+    };
+    for row in rows {
+        if row.get("artifact").and_then(Value::as_str).is_none() {
+            return Err(err("artifacts row without an 'artifact' name"));
+        }
+        for field in ["flows", "peak_bytes", "hist_buckets"] {
+            if row.get(field).and_then(Value::as_u64).is_none() {
+                return Err(err(&format!("artifacts row missing numeric '{field}'")));
+            }
+        }
+        if row.get("bytes_per_flow").and_then(Value::as_f64).is_none() {
+            return Err(err("artifacts row missing numeric 'bytes_per_flow'"));
+        }
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irn_core::MemoryStats;
+
+    fn result_with(memory: MemoryStats) -> RunResult {
+        let mut r = irn_core::run(
+            irn_core::ExperimentConfig::quick(2)
+                .with_transport(irn_core::transport::config::TransportKind::Irn),
+        );
+        r.memory = memory;
+        r
+    }
+
+    #[test]
+    fn summary_folds_max_peaks_and_summed_flows() {
+        let mut s = MemorySummary::default();
+        s.add(&result_with(MemoryStats {
+            peak_flow_state_bytes: 100,
+            metrics_bytes: 50,
+            flows: 10,
+            hist_buckets: 8,
+        }));
+        s.add(&result_with(MemoryStats {
+            peak_flow_state_bytes: 40,
+            metrics_bytes: 300,
+            flows: 5,
+            hist_buckets: 2,
+        }));
+        assert_eq!(s.cells, 2);
+        assert_eq!(s.flows, 15);
+        // Peaks are per-cell maxima, not sums: 100+50=150 vs 40+300=340.
+        assert_eq!(s.peak_bytes, 340);
+        assert_eq!(s.peak_flow_state_bytes, 100);
+        assert_eq!(s.metrics_bytes, 300);
+        assert_eq!(s.hist_buckets, 8);
+        // Worst ratio is cell 2's 340/5 = 68.
+        assert!((s.worst_bytes_per_flow - 68.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_accepts_round_trip_and_rejects_garbage() {
+        let text = r#"{
+            "schema": "memory-v1",
+            "determinism": "deterministic",
+            "scale": "quick",
+            "seeds": 2,
+            "legacy_per_flow_bytes": 100,
+            "artifacts": [
+                {"artifact": "fig2", "cells": 4, "flows": 800,
+                 "peak_bytes": 40000, "peak_flow_state_bytes": 9000,
+                 "metrics_bytes": 31000, "hist_buckets": 120,
+                 "bytes_per_flow": 200.0}
+            ]
+        }"#;
+        verify_memory_json(text).expect("valid gauge accepted");
+        assert!(verify_memory_json("{}").is_err(), "missing schema tag");
+        assert!(
+            verify_memory_json(r#"{"schema":"memory-v1"}"#).is_err(),
+            "missing artifacts array"
+        );
+        assert!(
+            verify_memory_json(
+                r#"{"schema":"memory-v1","artifacts":[{"artifact":"x","flows":1}]}"#
+            )
+            .is_err(),
+            "row missing peak_bytes"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! The unified `telemetry` envelope block: every counter the vertical
 //! already keeps — [`irn_core::SchedCounters`], the fabric's
-//! [`irn_net::FabricStats`], the per-flow transport totals — folded
+//! `FabricStats` (from `irn-net`, not a dependency of this crate), the
+//! per-flow transport totals — folded
 //! into one serializable summary per artifact, with a per-transport
 //! breakdown of the drop/pause/retransmit/mark counters.
 //!

@@ -104,10 +104,13 @@ fn killed_worker_mid_batch_reassigns_and_stays_byte_identical() {
 #[test]
 fn fleet_trace_with_rigged_death_matches_in_process_bytes() {
     // The load-bearing trace invariant at fleet scope: a 3-worker pool
-    // with one worker rigged to die after its first cell must still
+    // with one worker rigged to die on its very first cell must still
     // reassemble per-cell trace chunks into bytes identical to the
     // in-process executor — reassignment may not duplicate, drop, or
-    // reorder a single line.
+    // reorder a single line. (`--exit-after 0` rather than 1: every
+    // worker is guaranteed a first cell, but with fewer cells than can
+    // drain before the rigged worker asks again, a *second* frame may
+    // never arrive and the death this test depends on would be racy.)
     let cells = batch(5);
     let spec = irn_telemetry::TraceSpec::default();
     let reference = ThreadExecutor::new(2)
@@ -116,7 +119,7 @@ fn fleet_trace_with_rigged_death_matches_in_process_bytes() {
     let pool = WorkerPool::new(PoolConfig::new(vec![
         spawn_spec(&[]),
         spawn_spec(&[]),
-        spawn_spec(&["--exit-after", "1"]),
+        spawn_spec(&["--exit-after", "0"]),
     ]));
     let got = pool.run_cells(&cells, Some(&spec)).unwrap();
     assert_eq!(
@@ -339,6 +342,76 @@ fn cli_quorum_loss_exits_2_with_partial_report() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("quorum"), "{err}");
     assert!(err.contains("0/4 cells"), "partial progress missing: {err}");
+}
+
+#[test]
+fn cli_memory_json_gauge_validates_and_is_jobs_invariant() {
+    // The memory-v1 gauge is determinism-class deterministic: the same
+    // batch at --jobs 1 and --jobs 2 must write byte-identical files,
+    // and the file must pass the diff-memory validator (self-diff shows
+    // zero drift, exit 0, no warning annotations).
+    let dir = std::env::temp_dir().join(format!("irn-memgauge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let gauge = |jobs: &str| -> Vec<u8> {
+        let path = dir.join(format!("mem-j{jobs}.json"));
+        let out = Command::new(repro_exe())
+            .args(["fig1", "--seeds", "2", "--jobs", jobs, "--memory-json"])
+            .arg(&path)
+            .output()
+            .expect("repro runs");
+        assert!(out.status.success(), "--jobs {jobs} run failed");
+        std::fs::read(&path).expect("gauge file written")
+    };
+    let j1 = gauge("1");
+    let j2 = gauge("2");
+    assert_eq!(j1, j2, "memory gauge bytes depend on --jobs");
+
+    let path = dir.join("mem-j1.json");
+    let out = Command::new(repro_exe())
+        .args(["diff-memory"])
+        .arg(&path)
+        .arg(&path)
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(0), "self-diff must validate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fig1"), "gauge row missing: {text}");
+    assert!(
+        !text.contains("::warning"),
+        "self-diff produced drift warnings: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_memory_json_malformed_path_exits_2() {
+    // A directory where a file is needed must die before the batch
+    // runs, on the input-error path (exit 2, nothing on stdout).
+    let out = Command::new(repro_exe())
+        .args(["fig1", "--seeds", "2", "--memory-json"])
+        .arg(std::env::temp_dir())
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty(), "no report rows before the failure");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--memory-json"), "{err}");
+}
+
+#[test]
+fn cli_diff_memory_rejects_non_gauge_files() {
+    let path = std::env::temp_dir().join(format!("irn-notgauge-{}.json", std::process::id()));
+    std::fs::write(&path, "{\"schema\":\"bench-trajectory-v1\"}").unwrap();
+    let out = Command::new(repro_exe())
+        .args(["diff-memory"])
+        .arg(&path)
+        .arg(&path)
+        .output()
+        .expect("repro runs");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("memory-v1"), "{err}");
 }
 
 /// Read the `listening HOST:PORT` line a `--listen 127.0.0.1:0` worker

@@ -347,7 +347,8 @@ mod tests {
                 assert_eq!(back.fabric, result.fabric);
                 assert_eq!(back.sched, result.sched);
                 assert_eq!(back.finished_at, result.finished_at);
-                assert_eq!(back.metrics.records(), result.metrics.records());
+                assert_eq!(back.metrics, result.metrics);
+                assert_eq!(back.memory, result.memory);
             }
             other => panic!("wrong frame: {other:?}"),
         }

@@ -1,4 +1,4 @@
-//! # irn-metrics — the paper's performance metrics (§4.1)
+//! # irn-metrics — streaming performance metrics (§4.1)
 //!
 //! "We primarily look at three metrics: (i) average slowdown, where
 //! slowdown for a flow is its completion time divided by the time it
@@ -6,19 +6,45 @@
 //! network, (ii) average flow completion time (FCT), (iii) 99%ile or
 //! tail FCT."
 //!
-//! [`FlowRecord`] captures one completed flow; [`MetricsCollector`]
-//! accumulates records and produces [`Summary`] (the three headline
-//! metrics), percentile queries, the Figure 8 tail-latency CDF for
-//! single-packet messages, and the incast request-completion time (RCT,
-//! §4.4.3).
+//! [`FlowRecord`] captures one completed flow *transiently*:
+//! [`MetricsCollector`] folds each record into fixed-memory streaming
+//! state — exact scalar accumulators plus log-bucketed
+//! [`LogHistogram`]s — instead of retaining a vector of per-flow
+//! records. Memory is O(buckets), not O(flows), which is what lets
+//! million-flow sweeps fit in a per-cell budget.
+//!
+//! ## Accuracy contract
+//!
+//! Every number a collector reports is either **exact** or
+//! **bucketed**, and the split is part of the public contract
+//! (documented per method, mirrored in `docs/SCHEMA.md`):
+//!
+//! - **Exact** (bit-identical to the former record-vector
+//!   implementation): flow count, `avg_slowdown` (f64 sum in record
+//!   order), `avg_fct` (u64 nanosecond sum), min/max FCT, min/max
+//!   slowdown, [`MetricsCollector::rct`], and the `q = 0.0` / `q = 1.0`
+//!   quantile boundaries.
+//! - **Bucketed**: interior quantiles (`0 < q < 1`) come from a
+//!   base-2 log histogram with [`SUB_BUCKETS`] sub-buckets per octave.
+//!   The bucket *value* error is ≤ [`MAX_RELATIVE_ERROR`] (1/128 ≈
+//!   0.78%); slowdown quantiles add a fixed-point quantization of
+//!   1/[`SLOWDOWN_SCALE`] absolute, so every quantile is within
+//!   [`QUANTILE_RELATIVE_ERROR`] (1%) of the exact nearest-rank value.
+//!   The *rank* itself is exact — the histogram loses value
+//!   resolution, never counts.
+//!
+//! The collector also exposes the Figure 8 tail CDF for single-packet
+//! messages and the incast request-completion time (RCT, §4.4.3).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use irn_sim::{Duration, Time};
-use serde::{Deserialize, Serialize};
+use serde::json::{Number, Value};
+use serde::{de_field, DeError, Deserialize, Serialize};
 
-/// One completed flow's measurements.
+/// One completed flow's measurements — the *input* to the collector,
+/// not a stored object.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FlowRecord {
     /// Flow index.
@@ -68,30 +94,211 @@ pub fn ideal_fct(
     ser_all + pipeline
 }
 
-/// Aggregated results over many flows.
-#[derive(Debug, Clone, Default)]
-pub struct MetricsCollector {
-    records: Vec<FlowRecord>,
+// ---------------------------------------------------------------------
+// Log-bucketed histogram
+// ---------------------------------------------------------------------
+
+/// Sub-buckets per octave (power-of-two value range).
+pub const SUB_BUCKETS: u64 = 64;
+const SUB_BITS: u32 = 6; // log2(SUB_BUCKETS)
+
+/// Worst-case relative error of a bucket's representative value:
+/// buckets in octave `o` have width `2^o` starting at `64·2^o`, and the
+/// midpoint representative is off by at most half a width → 1/128.
+/// Values below [`SUB_BUCKETS`] are stored exactly.
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / 128.0;
+
+/// Fixed-point scale for slowdown values before bucketing: slowdowns
+/// are multiplied by this, rounded, and stored as integers. For
+/// slowdowns ≥ 1 the quantization error is ≤ 1/2048 relative.
+pub const SLOWDOWN_SCALE: f64 = 1024.0;
+
+/// The documented end-to-end bound on any interior quantile reported by
+/// the collector, relative to the exact nearest-rank value over the
+/// full record population: bucket error (≤ 1/128) plus, for slowdowns,
+/// fixed-point quantization (≤ 1/2048). Stated as 1% with margin.
+pub const QUANTILE_RELATIVE_ERROR: f64 = 0.01;
+
+/// Number of addressable buckets: 64 exact values plus 58 octaves
+/// (octave of the MSB positions 6..=63) × 64 sub-buckets.
+pub const MAX_BUCKETS: usize = 64 + 58 * 64;
+
+/// A base-2 logarithmic histogram over `u64` values with exact counts
+/// and bounded value error (HdrHistogram-style bucketing).
+///
+/// Values `< 64` index their own exact bucket; a value with its most
+/// significant bit at position `m ≥ 6` lands in octave `m − 6`, which
+/// is split into [`SUB_BUCKETS`] equal sub-buckets of width `2^(m−6)`.
+/// Bucket math is integer-only, so histograms are bit-identical across
+/// runs, job counts, and worker fleets.
+///
+/// The counts vector grows lazily to the highest index actually used
+/// (at most [`MAX_BUCKETS`] ≈ 3.8k slots, ~30 KB), independent of how
+/// many values are recorded — that is the fixed-memory guarantee.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
 }
 
-impl Serialize for MetricsCollector {
-    /// Wire form: the raw per-flow records (full fidelity; summaries
-    /// are recomputable from them).
-    fn to_json(&self) -> serde::json::Value {
-        self.records.to_json()
+impl LogHistogram {
+    /// Empty histogram; allocates nothing until the first record.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_index(v: u64) -> usize {
+        if v < SUB_BUCKETS {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let octave = msb - SUB_BITS;
+            let sub = (v >> octave) - SUB_BUCKETS;
+            SUB_BUCKETS as usize * (1 + octave as usize) + sub as usize
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value range of a bucket.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < MAX_BUCKETS, "bucket index out of range");
+        if index < SUB_BUCKETS as usize {
+            (index as u64, index as u64)
+        } else {
+            let octave = ((index - SUB_BUCKETS as usize) / SUB_BUCKETS as usize) as u32;
+            let sub = ((index - SUB_BUCKETS as usize) % SUB_BUCKETS as usize) as u64;
+            let lo = (SUB_BUCKETS + sub) << octave;
+            let width = 1u64 << octave;
+            (lo, lo + (width - 1))
+        }
+    }
+
+    /// The value reported for a bucket: the range midpoint (exact for
+    /// octave-0 and sub-64 buckets), within [`MAX_RELATIVE_ERROR`] of
+    /// any member.
+    pub fn representative(index: usize) -> u64 {
+        let (lo, hi) = LogHistogram::bucket_bounds(index);
+        lo + (hi - lo) / 2
+    }
+
+    /// Count one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = LogHistogram::bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The representative value at nearest-rank quantile `q`; `None`
+    /// when empty.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = nearest_rank(q, self.total as usize) as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                return Some(LogHistogram::representative(idx));
+            }
+        }
+        unreachable!("cumulative count must reach total")
+    }
+
+    /// Allocated bucket slots (the memory-gauge unit).
+    pub fn allocated_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Heap bytes held by the counts vector (allocated slots × 8).
+    pub fn heap_bytes(&self) -> u64 {
+        self.counts.len() as u64 * std::mem::size_of::<u64>() as u64
+    }
+
+    /// Non-empty buckets as `(index, count)` in index order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
     }
 }
 
-impl Deserialize for MetricsCollector {
-    /// Inverse of the record-array wire form: a collector round-trips
-    /// with its records in their original order (percentile queries
-    /// sort copies, so order never changes any derived number).
-    fn from_json(v: &serde::json::Value) -> Result<MetricsCollector, serde::DeError> {
-        Ok(MetricsCollector {
-            records: Deserialize::from_json(v)?,
-        })
+impl Serialize for LogHistogram {
+    /// Sparse wire form: total plus `[index, count]` pairs for
+    /// non-empty buckets, in index order.
+    fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .nonzero()
+            .map(|(i, c)| {
+                Value::Array(vec![
+                    Value::Number(Number::U64(i as u64)),
+                    Value::Number(Number::U64(c)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("total".to_string(), self.total.to_json()),
+            ("buckets".to_string(), Value::Array(buckets)),
+        ])
     }
 }
+
+impl Deserialize for LogHistogram {
+    /// Inverse of the sparse form; the counts vector is rebuilt to the
+    /// highest index present, so a round trip is structurally (and
+    /// byte-) identical.
+    fn from_json(v: &Value) -> Result<LogHistogram, DeError> {
+        let total: u64 = de_field(v, "total")?;
+        let pairs = v
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DeError::new("expected a bucket array").in_field("buckets"))?;
+        let mut h = LogHistogram::new();
+        let mut sum = 0u64;
+        for p in pairs {
+            let pair = p.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                DeError::new("expected an [index, count] pair").in_field("buckets")
+            })?;
+            let idx = pair[0]
+                .as_u64()
+                .filter(|&i| (i as usize) < MAX_BUCKETS)
+                .ok_or_else(|| DeError::new("bucket index out of range").in_field("buckets"))?
+                as usize;
+            let count = pair[1]
+                .as_u64()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| DeError::new("bucket count must be positive").in_field("buckets"))?;
+            if idx >= h.counts.len() {
+                h.counts.resize(idx + 1, 0);
+            }
+            if h.counts[idx] != 0 {
+                return Err(DeError::new("duplicate bucket index").in_field("buckets"));
+            }
+            h.counts[idx] = count;
+            sum += count;
+        }
+        if sum != total {
+            return Err(DeError::new("bucket counts do not sum to total").in_field("total"));
+        }
+        h.total = total;
+        Ok(h)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------
 
 /// The three headline metrics of §4.1 plus context.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -100,10 +307,197 @@ pub struct Summary {
     pub avg_slowdown: f64,
     /// Mean FCT (dominated by throughput-sensitive long flows).
     pub avg_fct: Duration,
-    /// 99th-percentile FCT.
+    /// 99th-percentile FCT (bucketed; see the accuracy contract).
     pub p99_fct: Duration,
     /// Completed flows.
     pub flows: usize,
+}
+
+/// The single-packet-message sub-population (Figure 8's tail-latency
+/// view): its own exact min/max plus an FCT histogram, maintained
+/// streaming alongside the full population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailPopulation {
+    flows: u64,
+    min_fct_ns: u64,
+    max_fct_ns: u64,
+    fct_hist: LogHistogram,
+}
+
+impl Default for TailPopulation {
+    fn default() -> TailPopulation {
+        TailPopulation {
+            flows: 0,
+            min_fct_ns: u64::MAX,
+            max_fct_ns: 0,
+            fct_hist: LogHistogram::new(),
+        }
+    }
+}
+
+impl TailPopulation {
+    fn add(&mut self, fct_ns: u64) {
+        self.flows += 1;
+        self.min_fct_ns = self.min_fct_ns.min(fct_ns);
+        self.max_fct_ns = self.max_fct_ns.max(fct_ns);
+        self.fct_hist.record(fct_ns);
+    }
+
+    /// Number of single-packet messages.
+    pub fn len(&self) -> usize {
+        self.flows as usize
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows == 0
+    }
+
+    /// FCT at quantile `q` ∈ [0, 1]: exact at the boundaries, bucketed
+    /// (≤ [`MAX_RELATIVE_ERROR`]) in the interior, [`Duration::ZERO`]
+    /// when empty.
+    pub fn percentile_fct(&self, q: f64) -> Duration {
+        percentile_ns(&self.fct_hist, q, self.min_fct_ns, self.max_fct_ns)
+    }
+
+    /// Tail CDF of FCT between quantiles `from` and `to` (Figure 8
+    /// plots 90%–99.9%): `(quantile, latency)` points, nondecreasing
+    /// in latency.
+    pub fn tail_cdf(&self, from: f64, to: f64, points: usize) -> Vec<(f64, Duration)> {
+        tail_cdf_points(from, to, points, |q| self.percentile_fct(q))
+    }
+}
+
+impl Serialize for TailPopulation {
+    /// `{"flows": 0}` when empty (min/max are meaningless then);
+    /// otherwise the full scalar + histogram form.
+    fn to_json(&self) -> Value {
+        if self.flows == 0 {
+            return Value::Object(vec![("flows".to_string(), 0u64.to_json())]);
+        }
+        Value::Object(vec![
+            ("flows".to_string(), self.flows.to_json()),
+            ("min_fct_ns".to_string(), self.min_fct_ns.to_json()),
+            ("max_fct_ns".to_string(), self.max_fct_ns.to_json()),
+            ("fct_hist".to_string(), self.fct_hist.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for TailPopulation {
+    fn from_json(v: &Value) -> Result<TailPopulation, DeError> {
+        let flows: u64 = de_field(v, "flows")?;
+        if flows == 0 {
+            return Ok(TailPopulation::default());
+        }
+        let t = TailPopulation {
+            flows,
+            min_fct_ns: de_field(v, "min_fct_ns")?,
+            max_fct_ns: de_field(v, "max_fct_ns")?,
+            fct_hist: de_field(v, "fct_hist")?,
+        };
+        if t.fct_hist.total() != flows {
+            return Err(DeError::new("histogram total does not match flows").in_field("fct_hist"));
+        }
+        Ok(t)
+    }
+}
+
+/// Aggregated results over many flows, in O(buckets) memory.
+///
+/// Exact accumulators (sums, extremes, RCT span) sit alongside two
+/// [`LogHistogram`]s (FCT in nanoseconds; slowdown in
+/// 1/[`SLOWDOWN_SCALE`] fixed point) and the single-packet
+/// [`TailPopulation`]. See the crate docs for which outputs are exact
+/// and which are bucketed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsCollector {
+    flows: u64,
+    fct_sum_ns: u64,
+    slowdown_sum: f64,
+    min_fct_ns: u64,
+    max_fct_ns: u64,
+    min_slowdown: f64,
+    max_slowdown: f64,
+    first_start_ns: u64,
+    last_finish_ns: u64,
+    fct_hist: LogHistogram,
+    slowdown_hist: LogHistogram,
+    single_packet: TailPopulation,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> MetricsCollector {
+        MetricsCollector {
+            flows: 0,
+            fct_sum_ns: 0,
+            slowdown_sum: 0.0,
+            min_fct_ns: u64::MAX,
+            max_fct_ns: 0,
+            min_slowdown: f64::INFINITY,
+            max_slowdown: 0.0,
+            first_start_ns: u64::MAX,
+            last_finish_ns: 0,
+            fct_hist: LogHistogram::new(),
+            slowdown_hist: LogHistogram::new(),
+            single_packet: TailPopulation::default(),
+        }
+    }
+}
+
+impl Serialize for MetricsCollector {
+    /// Wire form: the streaming state itself — exact accumulators plus
+    /// sparse histograms. `{"flows": 0}` when empty. Round-trips
+    /// bit-exactly (integer fields are integers; f64 sums use the
+    /// writer's shortest-round-trip form).
+    fn to_json(&self) -> Value {
+        if self.flows == 0 {
+            return Value::Object(vec![("flows".to_string(), 0u64.to_json())]);
+        }
+        Value::Object(vec![
+            ("flows".to_string(), self.flows.to_json()),
+            ("fct_sum_ns".to_string(), self.fct_sum_ns.to_json()),
+            ("slowdown_sum".to_string(), self.slowdown_sum.to_json()),
+            ("min_fct_ns".to_string(), self.min_fct_ns.to_json()),
+            ("max_fct_ns".to_string(), self.max_fct_ns.to_json()),
+            ("min_slowdown".to_string(), self.min_slowdown.to_json()),
+            ("max_slowdown".to_string(), self.max_slowdown.to_json()),
+            ("first_start_ns".to_string(), self.first_start_ns.to_json()),
+            ("last_finish_ns".to_string(), self.last_finish_ns.to_json()),
+            ("fct_hist".to_string(), self.fct_hist.to_json()),
+            ("slowdown_hist".to_string(), self.slowdown_hist.to_json()),
+            ("single_packet".to_string(), self.single_packet.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for MetricsCollector {
+    /// Inverse of the streaming wire form, with structural validation
+    /// (histogram totals must match the flow count).
+    fn from_json(v: &Value) -> Result<MetricsCollector, DeError> {
+        let flows: u64 = de_field(v, "flows")?;
+        if flows == 0 {
+            return Ok(MetricsCollector::default());
+        }
+        let m = MetricsCollector {
+            flows,
+            fct_sum_ns: de_field(v, "fct_sum_ns")?,
+            slowdown_sum: de_field(v, "slowdown_sum")?,
+            min_fct_ns: de_field(v, "min_fct_ns")?,
+            max_fct_ns: de_field(v, "max_fct_ns")?,
+            min_slowdown: de_field(v, "min_slowdown")?,
+            max_slowdown: de_field(v, "max_slowdown")?,
+            first_start_ns: de_field(v, "first_start_ns")?,
+            last_finish_ns: de_field(v, "last_finish_ns")?,
+            fct_hist: de_field(v, "fct_hist")?,
+            slowdown_hist: de_field(v, "slowdown_hist")?,
+            single_packet: de_field(v, "single_packet")?,
+        };
+        if m.fct_hist.total() != flows || m.slowdown_hist.total() != flows {
+            return Err(DeError::new("histogram total does not match flows").in_field("fct_hist"));
+        }
+        Ok(m)
+    }
 }
 
 impl MetricsCollector {
@@ -112,113 +506,209 @@ impl MetricsCollector {
         MetricsCollector::default()
     }
 
-    /// Record one completed flow.
+    /// Fold one completed flow into the streaming state. The record is
+    /// consumed, not retained.
     pub fn record(&mut self, r: FlowRecord) {
         debug_assert!(r.finish >= r.start, "negative FCT");
         debug_assert!(!r.ideal.is_zero(), "ideal FCT must be positive");
-        self.records.push(r);
+        let fct_ns = r.fct().as_nanos();
+        let slowdown = r.slowdown();
+        self.flows += 1;
+        // Saturating: the sum only pins at u64::MAX after ~584 years of
+        // cumulative FCT, where the old record-vector sum overflowed.
+        self.fct_sum_ns = self.fct_sum_ns.saturating_add(fct_ns);
+        self.slowdown_sum += slowdown;
+        self.min_fct_ns = self.min_fct_ns.min(fct_ns);
+        self.max_fct_ns = self.max_fct_ns.max(fct_ns);
+        if slowdown < self.min_slowdown {
+            self.min_slowdown = slowdown;
+        }
+        if slowdown > self.max_slowdown {
+            self.max_slowdown = slowdown;
+        }
+        self.first_start_ns = self.first_start_ns.min(r.start.as_nanos());
+        self.last_finish_ns = self.last_finish_ns.max(r.finish.as_nanos());
+        self.fct_hist.record(fct_ns);
+        self.slowdown_hist.record(scale_slowdown(slowdown));
+        if r.packets == 1 {
+            self.single_packet.add(fct_ns);
+        }
     }
 
-    /// Number of completed flows.
+    /// Number of completed flows. Exact.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.flows as usize
     }
 
     /// True when nothing has completed.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.flows == 0
     }
 
-    /// All records (read-only).
-    pub fn records(&self) -> &[FlowRecord] {
-        &self.records
-    }
-
-    /// The §4.1 headline metrics. Panics when empty (an experiment that
-    /// completed zero flows is broken and must not silently report).
+    /// The §4.1 headline metrics. `avg_slowdown` and `avg_fct` are
+    /// exact (record-order f64 sum; u64 nanosecond sum); `p99_fct` is
+    /// bucketed. Panics when empty (an experiment that completed zero
+    /// flows is broken and must not silently report).
     pub fn summary(&self) -> Summary {
-        assert!(!self.records.is_empty(), "no flows completed");
-        let n = self.records.len() as f64;
-        let avg_slowdown = self.records.iter().map(|r| r.slowdown()).sum::<f64>() / n;
-        let avg_fct_ns = self.records.iter().map(|r| r.fct().as_nanos()).sum::<u64>() as f64 / n;
+        assert!(self.flows > 0, "no flows completed");
+        let n = self.flows as f64;
+        let avg_fct_ns = self.fct_sum_ns as f64 / n;
         Summary {
-            avg_slowdown,
+            avg_slowdown: self.slowdown_sum / n,
             avg_fct: Duration::nanos(avg_fct_ns.round() as u64),
             p99_fct: self.percentile_fct(0.99),
-            flows: self.records.len(),
+            flows: self.flows as usize,
         }
     }
 
     /// FCT at quantile `q` ∈ [0, 1] (nearest-rank).
+    ///
+    /// `q = 0.0` and `q = 1.0` return the exact min/max; interior
+    /// quantiles are bucketed within [`MAX_RELATIVE_ERROR`] and clamped
+    /// to the observed `[min, max]`. An **empty collector returns
+    /// [`Duration::ZERO`]** — the query is total, so envelope assembly
+    /// over empty sub-populations never panics (the old implementation
+    /// indexed an empty vector).
     pub fn percentile_fct(&self, q: f64) -> Duration {
-        assert!((0.0..=1.0).contains(&q));
-        assert!(!self.records.is_empty());
-        let mut fcts: Vec<Duration> = self.records.iter().map(|r| r.fct()).collect();
-        fcts.sort_unstable();
-        fcts[nearest_rank(q, fcts.len())]
+        percentile_ns(&self.fct_hist, q, self.min_fct_ns, self.max_fct_ns)
     }
 
-    /// Slowdown at quantile `q`.
+    /// Slowdown at quantile `q` (nearest-rank). Boundaries are exact;
+    /// interior quantiles are bucketed fixed-point (within
+    /// [`QUANTILE_RELATIVE_ERROR`]), clamped to the observed range.
+    /// Returns `0.0` when empty (slowdowns are ≥ 1, so the sentinel is
+    /// unambiguous).
     pub fn percentile_slowdown(&self, q: f64) -> f64 {
-        assert!(!self.records.is_empty());
-        let mut s: Vec<f64> = self.records.iter().map(|r| r.slowdown()).collect();
-        s.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN slowdowns"));
-        s[nearest_rank(q, s.len())]
-    }
-
-    /// Restrict to single-packet messages (Figure 8's population).
-    pub fn single_packet_messages(&self) -> MetricsCollector {
-        MetricsCollector {
-            records: self
-                .records
-                .iter()
-                .copied()
-                .filter(|r| r.packets == 1)
-                .collect(),
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.flows == 0 {
+            return 0.0;
         }
+        if q == 0.0 {
+            return self.min_slowdown;
+        }
+        if q == 1.0 {
+            return self.max_slowdown;
+        }
+        let scaled = self
+            .slowdown_hist
+            .value_at_quantile(q)
+            .expect("non-empty histogram");
+        (scaled as f64 / SLOWDOWN_SCALE).clamp(self.min_slowdown, self.max_slowdown)
     }
 
-    /// Tail CDF of FCT between quantiles `from` and `to` (Figure 8 plots
-    /// 90 %–99.9 %): returns `(quantile, latency)` points.
+    /// Exact minimum FCT. Panics when empty.
+    pub fn min_fct(&self) -> Duration {
+        assert!(self.flows > 0, "no flows completed");
+        Duration::nanos(self.min_fct_ns)
+    }
+
+    /// Exact maximum FCT. Panics when empty.
+    pub fn max_fct(&self) -> Duration {
+        assert!(self.flows > 0, "no flows completed");
+        Duration::nanos(self.max_fct_ns)
+    }
+
+    /// Exact minimum slowdown. Panics when empty.
+    pub fn min_slowdown(&self) -> f64 {
+        assert!(self.flows > 0, "no flows completed");
+        self.min_slowdown
+    }
+
+    /// Exact maximum slowdown. Panics when empty.
+    pub fn max_slowdown(&self) -> f64 {
+        assert!(self.flows > 0, "no flows completed");
+        self.max_slowdown
+    }
+
+    /// The single-packet-message sub-population (Figure 8).
+    pub fn single_packet_messages(&self) -> &TailPopulation {
+        &self.single_packet
+    }
+
+    /// Tail CDF of FCT between quantiles `from` and `to` (Figure 8
+    /// plots 90%–99.9%): `(quantile, latency)` points, nondecreasing
+    /// in latency (bucketed interior, exact boundaries).
     pub fn tail_cdf(&self, from: f64, to: f64, points: usize) -> Vec<(f64, Duration)> {
-        assert!(points >= 2 && from < to);
-        (0..points)
-            .map(|i| {
-                let q = from + (to - from) * i as f64 / (points - 1) as f64;
-                (q, self.percentile_fct(q))
-            })
-            .collect()
+        tail_cdf_points(from, to, points, |q| self.percentile_fct(q))
     }
 
-    /// Request completion time: when the *last* flow finished (incast,
-    /// §4.4.3). Panics when empty.
+    /// Request completion time: first flow start to last flow finish
+    /// (incast, §4.4.3). Exact. Panics when empty.
     pub fn rct(&self) -> Duration {
-        assert!(!self.records.is_empty());
-        let start = self.records.iter().map(|r| r.start).min().unwrap();
-        let finish = self.records.iter().map(|r| r.finish).max().unwrap();
-        finish.since(start)
+        assert!(self.flows > 0, "no flows completed");
+        Duration::nanos(self.last_finish_ns - self.first_start_ns)
     }
 
-    /// Export per-flow records as CSV (`flow,bytes,packets,start_ns,
-    /// finish_ns,fct_ns,ideal_ns,slowdown`) for external plotting.
+    /// Export the streaming state as CSV — one row per non-empty
+    /// histogram bucket (`population,bucket_lo,bucket_hi,count`; FCT
+    /// bounds in nanoseconds, slowdown bounds in 1/[`SLOWDOWN_SCALE`]
+    /// units) for external plotting.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("flow,bytes,packets,start_ns,finish_ns,fct_ns,ideal_ns,slowdown\n");
-        for r in &self.records {
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{:.6}\n",
-                r.flow,
-                r.bytes,
-                r.packets,
-                r.start.as_nanos(),
-                r.finish.as_nanos(),
-                r.fct().as_nanos(),
-                r.ideal.as_nanos(),
-                r.slowdown()
-            ));
-        }
+        let mut out = String::from("population,bucket_lo,bucket_hi,count\n");
+        let mut emit = |name: &str, h: &LogHistogram| {
+            for (idx, count) in h.nonzero() {
+                let (lo, hi) = LogHistogram::bucket_bounds(idx);
+                out.push_str(&format!("{name},{lo},{hi},{count}\n"));
+            }
+        };
+        emit("fct", &self.fct_hist);
+        emit("slowdown", &self.slowdown_hist);
+        emit("single_packet_fct", &self.single_packet.fct_hist);
         out
     }
+
+    /// Heap bytes held by the histograms (the collector's only
+    /// flow-count-independent heap use). Deterministic: a function of
+    /// which buckets were touched, not of allocator behavior.
+    pub fn heap_bytes(&self) -> u64 {
+        self.fct_hist.heap_bytes()
+            + self.slowdown_hist.heap_bytes()
+            + self.single_packet.fct_hist.heap_bytes()
+    }
+
+    /// Total allocated histogram bucket slots across all populations.
+    pub fn allocated_buckets(&self) -> u64 {
+        (self.fct_hist.allocated_buckets()
+            + self.slowdown_hist.allocated_buckets()
+            + self.single_packet.fct_hist.allocated_buckets()) as u64
+    }
+}
+
+/// Slowdown → fixed-point integer for bucketing.
+fn scale_slowdown(s: f64) -> u64 {
+    (s * SLOWDOWN_SCALE).round() as u64
+}
+
+/// Shared quantile logic: exact boundaries, clamped bucket
+/// representative in the interior, total on empty input.
+fn percentile_ns(hist: &LogHistogram, q: f64, min_ns: u64, max_ns: u64) -> Duration {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if hist.total() == 0 {
+        return Duration::ZERO;
+    }
+    if q == 0.0 {
+        return Duration::nanos(min_ns);
+    }
+    if q == 1.0 {
+        return Duration::nanos(max_ns);
+    }
+    let v = hist.value_at_quantile(q).expect("non-empty histogram");
+    Duration::nanos(v.clamp(min_ns, max_ns))
+}
+
+fn tail_cdf_points(
+    from: f64,
+    to: f64,
+    points: usize,
+    f: impl Fn(f64) -> Duration,
+) -> Vec<(f64, Duration)> {
+    assert!(points >= 2 && from < to);
+    (0..points)
+        .map(|i| {
+            let q = from + (to - from) * i as f64 / (points - 1) as f64;
+            (q, f(q))
+        })
+        .collect()
 }
 
 fn nearest_rank(q: f64, n: usize) -> usize {
@@ -240,6 +730,10 @@ mod tests {
         }
     }
 
+    fn rel_err(approx: u64, exact: u64) -> f64 {
+        (approx as f64 - exact as f64).abs() / exact as f64
+    }
+
     #[test]
     fn slowdown_and_fct() {
         let r = rec(0, 10, 5, 30, 10);
@@ -248,7 +742,7 @@ mod tests {
     }
 
     #[test]
-    fn summary_averages() {
+    fn summary_averages_are_exact() {
         let mut m = MetricsCollector::new();
         m.record(rec(0, 1, 0, 10, 10)); // slowdown 1
         m.record(rec(1, 1, 0, 30, 10)); // slowdown 3
@@ -259,15 +753,115 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_nearest_rank() {
+    fn bucket_index_bounds_and_representative_agree() {
+        for v in (0u64..2048).chain([
+            1 << 20,
+            (1 << 20) + 17,
+            u64::MAX / 3,
+            u64::MAX - 1,
+            u64::MAX,
+        ]) {
+            let idx = LogHistogram::bucket_index(v);
+            let (lo, hi) = LogHistogram::bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} not in bucket [{lo},{hi}]");
+            let rep = LogHistogram::representative(idx);
+            assert!(lo <= rep && rep <= hi);
+            if v >= SUB_BUCKETS {
+                assert!(
+                    rel_err(rep, v) <= MAX_RELATIVE_ERROR,
+                    "v={v} rep={rep} err too large"
+                );
+            } else {
+                assert_eq!(rep, v, "values below {SUB_BUCKETS} are exact");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 4096, 1 << 30, u64::MAX] {
+            let idx = LogHistogram::bucket_index(v);
+            assert!(idx >= prev, "index must be nondecreasing in value");
+            prev = idx;
+        }
+        assert!(LogHistogram::bucket_index(u64::MAX) < MAX_BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank_within_contract() {
         let mut m = MetricsCollector::new();
         for i in 1..=100 {
             m.record(rec(i, 1, 0, i as u64, 1));
         }
-        assert_eq!(m.percentile_fct(0.50), Duration::micros(50));
-        assert_eq!(m.percentile_fct(0.99), Duration::micros(99));
+        // Boundaries are exact.
         assert_eq!(m.percentile_fct(1.0), Duration::micros(100));
         assert_eq!(m.percentile_fct(0.0), Duration::micros(1));
+        // Interior quantiles are bucketed within the documented bound.
+        for (q, exact_us) in [(0.50, 50u64), (0.99, 99)] {
+            let got = m.percentile_fct(q).as_nanos();
+            let exact = Duration::micros(exact_us).as_nanos();
+            assert!(
+                rel_err(got, exact) <= MAX_RELATIVE_ERROR,
+                "q={q}: got {got}ns, exact {exact}ns"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_collector_quantiles_are_total() {
+        let m = MetricsCollector::new();
+        assert_eq!(m.percentile_fct(0.0), Duration::ZERO);
+        assert_eq!(m.percentile_fct(0.5), Duration::ZERO);
+        assert_eq!(m.percentile_fct(1.0), Duration::ZERO);
+        assert_eq!(m.percentile_slowdown(0.99), 0.0);
+        assert_eq!(
+            m.single_packet_messages().percentile_fct(0.999),
+            Duration::ZERO
+        );
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn single_flow_quantiles_are_exact_at_every_q() {
+        let mut m = MetricsCollector::new();
+        m.record(rec(0, 1, 3, 137, 10));
+        // One value: clamping to [min, max] collapses every quantile to
+        // the exact observation.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(m.percentile_fct(q), Duration::micros(137), "q={q}");
+        }
+        assert!((m.percentile_slowdown(0.5) - 13.7).abs() / 13.7 <= QUANTILE_RELATIVE_ERROR);
+    }
+
+    #[test]
+    fn duplicate_fcts_share_a_bucket() {
+        let mut m = MetricsCollector::new();
+        for i in 0..50 {
+            m.record(rec(i, 1, 0, 42, 6));
+        }
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(m.percentile_fct(q), Duration::micros(42), "q={q}");
+        }
+        assert_eq!(m.len(), 50);
+    }
+
+    #[test]
+    fn max_duration_values_do_not_overflow() {
+        let mut m = MetricsCollector::new();
+        m.record(FlowRecord {
+            flow: 0,
+            bytes: 1,
+            packets: 1,
+            start: Time::ZERO,
+            finish: Time::MAX,
+            ideal: Duration::nanos(1),
+        });
+        m.record(rec(1, 1, 0, 10, 10));
+        // q = 1.0 is the exact max even at the top of the u64 range.
+        assert_eq!(m.percentile_fct(1.0).as_nanos(), Time::MAX.as_nanos());
+        assert_eq!(m.percentile_fct(0.0), Duration::micros(10));
+        assert!(m.percentile_fct(0.9).as_nanos() <= Time::MAX.as_nanos());
     }
 
     #[test]
@@ -278,7 +872,7 @@ mod tests {
         m.record(rec(2, 1, 0, 7, 1));
         let sp = m.single_packet_messages();
         assert_eq!(sp.len(), 2);
-        assert!(sp.records().iter().all(|r| r.packets == 1));
+        assert_eq!(sp.percentile_fct(1.0), Duration::micros(7));
     }
 
     #[test]
@@ -327,21 +921,68 @@ mod tests {
     }
 
     #[test]
-    fn csv_export_roundtrips_fields() {
+    fn csv_exports_histogram_buckets() {
         let mut m = MetricsCollector::new();
         m.record(rec(7, 3, 10, 40, 20));
+        m.record(rec(8, 1, 10, 40, 20));
         let csv = m.to_csv();
         let mut lines = csv.lines();
-        assert!(lines.next().unwrap().starts_with("flow,bytes"));
-        let row = lines.next().unwrap();
-        let fields: Vec<&str> = row.split(',').collect();
-        assert_eq!(fields[0], "7");
-        assert_eq!(fields[2], "3");
-        assert_eq!(fields[5], "40000"); // fct ns
-        assert!(
-            fields[7].starts_with("2.0"),
-            "slowdown 2.0, got {}",
-            fields[7]
+        assert_eq!(
+            lines.next().unwrap(),
+            "population,bucket_lo,bucket_hi,count"
         );
+        let rows: Vec<&str> = lines.collect();
+        assert!(rows.iter().any(|r| r.starts_with("fct,")));
+        assert!(rows.iter().any(|r| r.starts_with("slowdown,")));
+        assert!(rows.iter().any(|r| r.starts_with("single_packet_fct,")));
+        // Both flows share the 40 µs FCT bucket.
+        assert!(rows
+            .iter()
+            .any(|r| r.starts_with("fct,") && r.ends_with(",2")));
+    }
+
+    #[test]
+    fn collector_round_trips_bit_exactly() {
+        let mut m = MetricsCollector::new();
+        for i in 1..=257 {
+            m.record(rec(i, 1 + i % 3, i as u64, (i * 31) as u64 % 911 + 1, 7));
+        }
+        let text = serde::json::to_string(&m);
+        let back = MetricsCollector::from_json(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(serde::json::to_string(&back), text);
+
+        let empty = MetricsCollector::new();
+        let etext = serde::json::to_string(&empty);
+        assert_eq!(etext, r#"{"flows":0}"#);
+        let eback = MetricsCollector::from_json(&serde::json::from_str(&etext).unwrap()).unwrap();
+        assert_eq!(eback, empty);
+    }
+
+    #[test]
+    fn histogram_rejects_inconsistent_wire_forms() {
+        let bad = r#"{"total":3,"buckets":[[1,1]]}"#;
+        assert!(LogHistogram::from_json(&serde::json::from_str(bad).unwrap()).is_err());
+        let dup = r#"{"total":2,"buckets":[[1,1],[1,1]]}"#;
+        assert!(LogHistogram::from_json(&serde::json::from_str(dup).unwrap()).is_err());
+        let oob = r#"{"total":1,"buckets":[[99999,1]]}"#;
+        assert!(LogHistogram::from_json(&serde::json::from_str(oob).unwrap()).is_err());
+    }
+
+    #[test]
+    fn heap_bytes_track_allocated_buckets() {
+        let mut m = MetricsCollector::new();
+        assert_eq!(m.heap_bytes(), 0);
+        m.record(rec(0, 2, 0, 100, 10));
+        assert_eq!(
+            m.heap_bytes(),
+            m.allocated_buckets() * std::mem::size_of::<u64>() as u64
+        );
+        // Another 10k flows in the same value range must not grow the
+        // histograms past the bucket ceiling.
+        for i in 0..10_000 {
+            m.record(rec(i, 2, 0, 100 + i as u64 % 7, 10));
+        }
+        assert!(m.allocated_buckets() < 3 * MAX_BUCKETS as u64);
     }
 }

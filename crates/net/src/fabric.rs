@@ -30,7 +30,7 @@
 
 use irn_sim::{Duration, SchedulePort, SimRng, Time};
 
-use crate::packet::{HostId, Packet};
+use crate::packet::{FlowId, HostId, Packet};
 use crate::routing::{PortMap, Routes};
 use crate::switch::{Dequeue, EcnConfig, Enqueue, PfcConfig, SwitchState, SwitchStats};
 use crate::topology::{NodeId, Topology};
@@ -166,6 +166,15 @@ pub enum FabricOutput {
     HostTxReady {
         /// The host whose uplink is free.
         host: HostId,
+    },
+    /// A packet died inside the fabric (buffer overflow or fault
+    /// injection) and will never reach its destination. Loss recovery
+    /// stays timer/NACK-driven as before; this output exists so the
+    /// layer above can retire per-flow state once nothing of the flow
+    /// remains in flight.
+    Dropped {
+        /// The flow the lost packet belonged to.
+        flow: FlowId,
     },
 }
 
@@ -406,7 +415,7 @@ impl Fabric {
                         psn = pkt.psn,
                         cause = "inject",
                     );
-                    return None;
+                    return Some(FabricOutput::Dropped { flow: pkt.flow });
                 }
                 let swi = sw as usize;
                 let out = match self.cfg.load_balancing {
@@ -432,6 +441,7 @@ impl Fabric {
                             psn = pkt.psn,
                             cause = "buffer",
                         );
+                        return Some(FabricOutput::Dropped { flow: pkt.flow });
                     }
                     Enqueue::Queued { send_xoff, marked } => {
                         if marked {
@@ -613,7 +623,7 @@ mod tests {
             match out {
                 Some(FabricOutput::Deliver { host, pkt }) => delivered.push((now, host, pkt)),
                 Some(FabricOutput::HostTxReady { host }) => ready.push((now, host)),
-                None => {}
+                Some(FabricOutput::Dropped { .. }) | None => {}
             }
         }
         (delivered, ready)
@@ -724,7 +734,7 @@ mod tests {
                         sent[s] += 1;
                     }
                 }
-                None => {}
+                Some(FabricOutput::Dropped { .. }) | None => {}
             }
         }
         let stats = fabric.stats();
@@ -763,7 +773,7 @@ mod tests {
                         sent[s] += 1;
                     }
                 }
-                None => {}
+                Some(FabricOutput::Dropped { .. }) | None => {}
             }
         }
         let stats = fabric.stats();

@@ -26,10 +26,10 @@ fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
         "{what}: completion time diverged"
     );
     assert_eq!(
-        a.metrics.records(),
-        b.metrics.records(),
-        "{what}: per-flow records diverged"
+        a.metrics, b.metrics,
+        "{what}: streaming metrics state diverged"
     );
+    assert_eq!(a.memory, b.memory, "{what}: memory gauge diverged");
 }
 
 /// Same config + seed ⇒ bit-identical results, for every transport and

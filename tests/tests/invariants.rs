@@ -84,17 +84,16 @@ fn tcp_survives_fault_injection() {
 
 #[test]
 fn slowdowns_are_at_least_one() {
-    // The ideal-FCT denominator must be a true lower bound.
+    // The ideal-FCT denominator must be a true lower bound. The
+    // collector's minimum slowdown is exact (not bucketed), so this
+    // still checks every flow.
     for t in [TransportKind::Irn, TransportKind::Roce] {
         let r = run_cell(200, t, t == TransportKind::Roce, CcKind::None);
-        for rec in r.metrics.records() {
-            assert!(
-                rec.slowdown() >= 0.999,
-                "{t:?}: flow {} slowdown {:.4} < 1 — ideal FCT overestimates",
-                rec.flow,
-                rec.slowdown()
-            );
-        }
+        assert!(
+            r.metrics.min_slowdown() >= 0.999,
+            "{t:?}: min slowdown {:.4} < 1 — ideal FCT overestimates",
+            r.metrics.min_slowdown()
+        );
     }
 }
 
