@@ -14,9 +14,16 @@
 //!   never surfaces the corpse.
 //! * **engine end-to-end** — a full `irn_core::run` at bench scale:
 //!   the integrated events/sec the BENCH trajectory wants to trend.
+//! * **fwd churn** — a cross-pod permutation shuffle: every packet
+//!   walks the full 5-hop fat-tree path, so switch enqueue/dequeue
+//!   (the arena/SoA hot path) dominates the event mix.
+//! * **incast burst** — an M-to-1 fan-in fired at time zero: VOQ
+//!   buildup, ECN/PFC bookkeeping, and the batched switch→host
+//!   delivery path under maximum same-timestep arrival pressure.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use irn_bench::bench_cfg;
+use irn_core::TrafficModel;
 use irn_sim::{Duration, EventQueue, Scheduler, Time, TimerSlot};
 use std::hint::black_box;
 
@@ -148,5 +155,52 @@ fn engine_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, hold_churn, timer_churn, engine_end_to_end);
+/// Hop-heavy forwarding churn: a 3-round permutation shuffle on the
+/// k=4 fat-tree. Derangement images are mostly cross-pod, so nearly
+/// every packet takes the full ToR→agg→core→agg→ToR path — five switch
+/// enqueue/dequeue cycles per delivery, the arena/SoA hot path.
+fn packet_fwd_churn(c: &mut Criterion) {
+    let cfg = bench_cfg(96).with_traffic(TrafficModel::Shuffle {
+        flow_bytes: 64_000,
+        rounds: 3,
+        round_gap: Duration::micros(50),
+    });
+    let mut g = c.benchmark_group("packet_fwd_churn");
+    g.sample_size(10);
+    g.bench_function("shuffle_cross_pod", |b| {
+        b.iter(|| {
+            let r = irn_core::run(cfg.clone());
+            black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+/// Incast delivery burst: 8-to-1 fan-in fired at time zero. The fan-in
+/// link concentrates same-timestep arrivals, exercising VOQ buildup and
+/// the engine's batched switch→host delivery coalescing.
+fn packet_incast_burst(c: &mut Criterion) {
+    let cfg = bench_cfg(8).with_traffic(TrafficModel::Incast {
+        m: 8,
+        total_bytes: 4_000_000,
+    });
+    let mut g = c.benchmark_group("packet_incast_burst");
+    g.sample_size(10);
+    g.bench_function("fan_in_8_to_1", |b| {
+        b.iter(|| {
+            let r = irn_core::run(cfg.clone());
+            black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    hold_churn,
+    timer_churn,
+    engine_end_to_end,
+    packet_fwd_churn,
+    packet_incast_burst
+);
 criterion_main!(benches);

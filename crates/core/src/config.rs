@@ -9,7 +9,11 @@ use irn_transport::config::{TransportConfig, TransportKind};
 use irn_workload::{SizeDistribution, TrafficModel};
 
 /// Which network to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` + `Eq` make the spec the key of the engine's process-wide
+/// routing-table cache (one [`irn_net::NetTables`] per distinct
+/// geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopologySpec {
     /// k-ary three-tier fat-tree (§4.1: k=6 → 54 servers; Table 5 scales
     /// to k=8 and k=10).

@@ -28,21 +28,46 @@
 //! intentionally moved numbers for the cells that hit it (see
 //! CHANGES.md) — that drift is the bugfix, not the scheduler.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use irn_metrics::{ideal_fct, FlowRecord, MetricsCollector};
-use irn_net::{Fabric, FabricEvent, FabricOutput, FlowId, HostId, Packet, PacketKind};
+use irn_net::{
+    Fabric, FabricEvent, FabricOutput, FlowId, HostId, NetTables, Packet, PacketKind, PktId,
+    Topology,
+};
 use irn_sim::{Scheduler, Time, TimerId};
 use irn_transport::config::TransportKind;
 use irn_transport::tcp::{TcpReceiver, TcpSender};
 use irn_transport::{HostNic, NicPoll, ReceiverQp, SenderPoll, SenderQp, TimerCmd};
 use irn_workload::{FlowSpec, TrafficCtx};
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, TopologySpec};
 use crate::result::{MemoryStats, RunResult, SchedCounters, TransportTotals};
+
+/// Process-wide cache of routing tables keyed by [`TopologySpec`].
+///
+/// `NetTables::build` runs a BFS per destination host — cheap once, but
+/// registry batches instantiate thousands of cells over a handful of
+/// distinct geometries, and the tables are a pure function of the spec.
+/// Sharing them is invisible to results (the fabric never mutates its
+/// tables), so determinism is unaffected by cache hits, ordering, or
+/// which worker process computed them.
+static NET_TABLES: OnceLock<Mutex<HashMap<TopologySpec, Arc<NetTables>>>> = OnceLock::new();
+
+fn net_tables_for(spec: TopologySpec, topo: &Topology) -> Arc<NetTables> {
+    let cache = NET_TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("net-tables cache poisoned");
+    Arc::clone(
+        map.entry(spec)
+            .or_insert_with(|| Arc::new(NetTables::build(topo))),
+    )
+}
 
 /// Events driving the simulation. Timer events carry no generation
 /// tokens: the scheduler's cancellable timers guarantee only live
 /// expiries are delivered.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// Network-internal event (arrivals, transmit completions, PFC).
     Fabric(FabricEvent),
@@ -61,6 +86,82 @@ pub enum Event {
 impl From<FabricEvent> for Event {
     fn from(fe: FabricEvent) -> Event {
         Event::Fabric(fe)
+    }
+}
+
+/// [`Event`] packed into one word, the type the scheduler actually
+/// stores. With an 8-byte event a scheduler entry is exactly 32 bytes
+/// (time, seq, timer stamp, event), and bucket sorts/memmoves — the
+/// engine's hottest memory traffic — move a power-of-two stride.
+///
+/// Layout: `[b:30][a:30][tag:3]` from the high bits down. Both payload
+/// fields are comfortably below 2^30 (`a` is a directed-link / flow /
+/// host index, `b` an arena slot index); debug builds assert it.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedEvent(u64);
+
+const TAG_TX_DONE: u64 = 0;
+const TAG_ARRIVE: u64 = 1;
+const TAG_PFC_XOFF: u64 = 2;
+const TAG_PFC_XON: u64 = 3;
+const TAG_QP_TIMER: u64 = 4;
+const TAG_NIC_WAKE: u64 = 5;
+
+impl PackedEvent {
+    #[inline]
+    fn pack(tag: u64, a: u32, b: u32) -> PackedEvent {
+        debug_assert!(a < (1 << 30) && b < (1 << 30));
+        PackedEvent(tag | ((a as u64) << 3) | ((b as u64) << 33))
+    }
+
+    /// Decode back to the enum the engine matches on.
+    #[inline]
+    pub fn unpack(self) -> Event {
+        let a = (self.0 >> 3) as u32 & 0x3fff_ffff;
+        let b = (self.0 >> 33) as u32;
+        match self.0 & 0x7 {
+            TAG_TX_DONE => Event::Fabric(FabricEvent::TxDone { link: a }),
+            TAG_ARRIVE => Event::Fabric(FabricEvent::Arrive {
+                link: a,
+                pkt: PktId(b),
+            }),
+            TAG_PFC_XOFF => Event::Fabric(FabricEvent::PfcArrive {
+                link: a,
+                xoff: true,
+            }),
+            TAG_PFC_XON => Event::Fabric(FabricEvent::PfcArrive {
+                link: a,
+                xoff: false,
+            }),
+            TAG_QP_TIMER => Event::QpTimer { flow: a },
+            _ => Event::NicWake { host: a },
+        }
+    }
+}
+
+impl From<FabricEvent> for PackedEvent {
+    #[inline]
+    fn from(fe: FabricEvent) -> PackedEvent {
+        match fe {
+            FabricEvent::TxDone { link } => PackedEvent::pack(TAG_TX_DONE, link, 0),
+            FabricEvent::Arrive { link, pkt } => PackedEvent::pack(TAG_ARRIVE, link, pkt.0),
+            FabricEvent::PfcArrive { link, xoff } => PackedEvent::pack(
+                if xoff { TAG_PFC_XOFF } else { TAG_PFC_XON },
+                link,
+                0,
+            ),
+        }
+    }
+}
+
+impl From<Event> for PackedEvent {
+    #[inline]
+    fn from(ev: Event) -> PackedEvent {
+        match ev {
+            Event::Fabric(fe) => fe.into(),
+            Event::QpTimer { flow } => PackedEvent::pack(TAG_QP_TIMER, flow, 0),
+            Event::NicWake { host } => PackedEvent::pack(TAG_NIC_WAKE, host, 0),
+        }
     }
 }
 
@@ -210,7 +311,7 @@ pub fn legacy_per_flow_bytes() -> u64 {
 /// One experiment in flight.
 pub struct Simulation {
     cfg: ExperimentConfig,
-    sched: Scheduler<Event>,
+    sched: Scheduler<PackedEvent>,
     fabric: Fabric,
     flows: Vec<FlowSpec>,
     /// Flow indices sorted by arrival time (stably, so simultaneous
@@ -231,13 +332,18 @@ pub struct Simulation {
     counters: SchedCounters,
     completed: usize,
     finished_at: Time,
+    /// Hosts whose trailing NIC poll is deferred to the end of the
+    /// current same-timestep delivery batch (first-touch order;
+    /// reusable buffer, cleared per batch).
+    batch_hosts: Vec<HostId>,
 }
 
 impl Simulation {
     /// Build the simulation for `cfg` (generates the workload).
     pub fn new(cfg: ExperimentConfig) -> Simulation {
         let topo = cfg.topology.build();
-        let fabric = Fabric::new(&topo, cfg.fabric_config());
+        let tables = net_tables_for(cfg.topology, &topo);
+        let fabric = Fabric::with_tables(&topo, tables, cfg.fabric_config());
         let hosts = fabric.hosts();
 
         let (flows, incast_from) = build_flows(&cfg, hosts);
@@ -269,6 +375,7 @@ impl Simulation {
             counters: SchedCounters::default(),
             completed: 0,
             finished_at: Time::ZERO,
+            batch_hosts: Vec::new(),
             cfg,
         }
     }
@@ -316,10 +423,17 @@ impl Simulation {
                 self.on_flow_arrival(now, i);
             } else {
                 let (now, ev) = self.sched.pop().expect("peeked nonempty");
-                match ev {
+                match ev.unpack() {
                     Event::Fabric(fe) => {
                         self.counters.fabric_events += 1;
-                        self.on_fabric(now, fe);
+                        match fe {
+                            FabricEvent::Arrive { link, pkt }
+                                if self.fabric.is_host_data_arrival(link, pkt) =>
+                            {
+                                events += self.deliver_batch(now, fe);
+                            }
+                            _ => self.on_fabric(now, fe),
+                        }
                     }
                     Event::QpTimer { flow } => {
                         self.counters.qp_timer_events += 1;
@@ -369,6 +483,8 @@ impl Simulation {
             flows: self.flows.len() as u64,
             hist_buckets: primary.allocated_buckets()
                 + incast_metrics.as_ref().map_or(0, |m| m.allocated_buckets()),
+            pkt_pool_bytes: self.fabric.pkt_pool_bytes(),
+            pkt_pool_pkts: self.fabric.pkt_pool_peak() as u64,
         };
 
         let sstats = self.sched.stats();
@@ -426,9 +542,68 @@ impl Simulation {
         match out {
             None => {}
             Some(FabricOutput::HostTxReady { host }) => self.try_send(now, host),
-            Some(FabricOutput::Deliver { host, pkt }) => self.on_deliver(now, host, pkt),
+            Some(FabricOutput::Deliver { host, pkt }) => self.on_deliver(now, host, pkt, false),
             Some(FabricOutput::Dropped { flow }) => self.on_drop(now, flow),
         }
+    }
+
+    /// Batched switch→host delivery: starting from one data-packet host
+    /// arrival, keep popping *consecutive* events that are also
+    /// same-timestep data-packet host arrivals, defer each delivery's
+    /// trailing NIC poll, and flush the polls once per touched host in
+    /// first-touch order. Returns how many extra events were popped.
+    ///
+    /// This is byte-identity-safe because the deferred work cannot
+    /// observe the reorder: (a) a host has one downlink, so same-time
+    /// data deliveries land on *distinct* hosts whose receive paths
+    /// touch disjoint state; (b) the data receive path makes no
+    /// scheduler insertions (ACK/CNP responses are queued on the NIC,
+    /// not the scheduler, and `timer_cancel` neither inserts nor
+    /// consumes a sequence number), so relative insertion order — and
+    /// with it the FIFO tie-break — is preserved; (c) ACK/NACK/CNP
+    /// deliveries and switch-side arrivals break the batch and are
+    /// handled unbatched (their handlers *do* insert events).
+    /// Completion mid-batch stops further pops at exactly the event the
+    /// unbatched loop would have stopped at, then flushes.
+    fn deliver_batch(&mut self, now: Time, first: FabricEvent) -> u64 {
+        debug_assert!(self.batch_hosts.is_empty());
+        let mut extra = 0;
+        let mut fe = first;
+        loop {
+            let out = self.fabric.handle(now, fe, &mut self.sched);
+            let Some(FabricOutput::Deliver { host, pkt }) = out else {
+                unreachable!("host data arrival must deliver");
+            };
+            self.on_deliver(now, host, pkt, true);
+            if !self.batch_hosts.contains(&host) {
+                self.batch_hosts.push(host);
+            }
+            if self.completed == self.flows.len() {
+                break;
+            }
+            let next = match self.sched.peek() {
+                Some((t, &pe)) if t == now => match pe.unpack() {
+                    Event::Fabric(f @ FabricEvent::Arrive { link, pkt }) => Some((f, link, pkt)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match next {
+                Some((f, link, pkt)) if self.fabric.is_host_data_arrival(link, pkt) => {
+                    self.sched.pop();
+                    self.counters.fabric_events += 1;
+                    extra += 1;
+                    fe = f;
+                }
+                _ => break,
+            }
+        }
+        let mut hosts = std::mem::take(&mut self.batch_hosts);
+        for host in hosts.drain(..) {
+            self.try_send(now, host);
+        }
+        self.batch_hosts = hosts;
+        extra
     }
 
     /// A packet died inside the fabric: it will never be delivered, so
@@ -442,7 +617,14 @@ impl Simulation {
         }
     }
 
-    fn on_deliver(&mut self, now: Time, host: HostId, pkt: Packet) {
+    /// Process one delivered packet. `defer_send` suppresses the data
+    /// path's trailing NIC poll — only [`Simulation::deliver_batch`]
+    /// passes `true`, and only for data packets (the ACK/NACK path must
+    /// poll immediately: its handler arms timers and changes what the
+    /// next poll would emit).
+    fn on_deliver(&mut self, now: Time, host: HostId, id: PktId, defer_send: bool) {
+        let pkt: Packet = self.fabric.take_delivered(id);
+        debug_assert!(!defer_send || pkt.is_data(), "only data deliveries batch");
         irn_telemetry::trace!(
             "pkt.rx",
             t = now.as_nanos(),
@@ -514,7 +696,9 @@ impl Simulation {
                         .receiver_done = true;
                 }
                 self.maybe_retire(now, idx);
-                self.try_send(now, host);
+                if !defer_send {
+                    self.try_send(now, host);
+                }
             }
             PacketKind::Ack | PacketKind::Nack => {
                 let done = self.slab.sender_mut(idx).map(|sender| match sender {
@@ -618,7 +802,7 @@ impl Simulation {
                     }
                 };
                 self.sched
-                    .timer_arm(id, deadline, Event::QpTimer { flow: idx as u32 });
+                    .timer_arm(id, deadline, Event::QpTimer { flow: idx as u32 }.into());
             }
             Some(TimerCmd::Cancel) => {
                 irn_telemetry::trace!("timer.cancel", t = now.as_nanos(), flow = idx);
@@ -674,7 +858,7 @@ impl Simulation {
         let better = self.sched.timer_deadline(id).is_none_or(|d| at < d);
         if better {
             self.sched
-                .timer_arm(id, at, Event::NicWake { host: host.0 });
+                .timer_arm(id, at, Event::NicWake { host: host.0 }.into());
         }
     }
 

@@ -82,12 +82,19 @@ pub struct MemoryStats {
     pub flows: u64,
     /// Allocated histogram bucket slots across all collectors.
     pub hist_buckets: u64,
+    /// Peak footprint of the fabric's packet arena: slab slots at the
+    /// in-flight high-water mark, with their intrusive links and
+    /// free-list entries.
+    pub pkt_pool_bytes: u64,
+    /// High-water mark of packets simultaneously in flight (the arena
+    /// occupancy `diff-memory` watches for pool-growth regressions).
+    pub pkt_pool_pkts: u64,
 }
 
 impl MemoryStats {
     /// Total peak bytes tracked by the gauge.
     pub fn peak_bytes(&self) -> u64 {
-        self.peak_flow_state_bytes + self.metrics_bytes
+        self.peak_flow_state_bytes + self.metrics_bytes + self.pkt_pool_bytes
     }
 
     /// Peak bytes per completed flow — the BENCH-trajectory headline

@@ -185,6 +185,13 @@ pub static ARTIFACTS: &[Artifact] = &[
         kind: Kind::Inline(runners::state_budget_report),
         seeds: one_seed,
     },
+    // Packet-path stressors for the BENCH trajectory: hop-heavy
+    // cross-pod forwarding churn and an M-to-1 delivery burst. Their
+    // reports are ordinary replicated metrics (a determinism canary);
+    // the payload is their events/sec rows in `--timing-json`, which
+    // `diff-timing` trends across CI runs.
+    sim("bench-fwd-churn", runners::bench_fwd_churn),
+    sim("bench-incast-burst", runners::bench_incast_burst),
 ];
 
 /// Look an artifact up by CLI name.

@@ -1294,7 +1294,9 @@ fn diff_memory_mode(args: &Args) {
         fail("diff-memory needs exactly two memory-v1 JSON files (old, new)");
     }
     let threshold = args.drift_pct.unwrap_or(10.0);
-    let load = |path: &str| -> Vec<(String, f64)> {
+    // bytes/flow plus the peak packet-arena occupancy; the pool column
+    // is optional so gauges written before the arena existed still diff.
+    let load = |path: &str| -> Vec<(String, f64, Option<f64>)> {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail_input(format_args!("cannot read {path}: {e}")));
         let v = irn_experiments::verify_memory_json(&text)
@@ -1307,6 +1309,7 @@ fn diff_memory_mode(args: &Args) {
                 Some((
                     row.get("artifact")?.as_str()?.to_string(),
                     row.get("bytes_per_flow")?.as_f64()?,
+                    row.get("pkt_pool_pkts").and_then(Value::as_f64),
                 ))
             })
             .collect()
@@ -1314,35 +1317,49 @@ fn diff_memory_mode(args: &Args) {
     let old = load(&rest[0]);
     let new = load(&rest[1]);
     let mut violations = 0usize;
-    println!(
-        "{:<16} {:>12} {:>12} {:>9}   (warn beyond ±{threshold}%)",
-        "artifact", "old B/flow", "new B/flow", "drift"
-    );
-    for (name, new_bpf) in &new {
-        let Some((_, old_bpf)) = old.iter().find(|(n, _)| n == name) else {
-            println!("{name:<16} {:>12} {:>12.1} {:>9}", "-", new_bpf, "new");
-            continue;
-        };
-        if *old_bpf <= 0.0 || *new_bpf <= 0.0 {
+    // Compare one (old, new) pair of gauges; returns drift violations.
+    let mut compare = |name: &str, what: &str, old_v: f64, new_v: f64| {
+        if old_v <= 0.0 || new_v <= 0.0 {
             // A zero-flow artifact has no per-flow cost to compare.
-            continue;
+            return;
         }
-        let drift = (new_bpf - old_bpf) / old_bpf * 100.0;
-        println!("{name:<16} {old_bpf:>12.1} {new_bpf:>12.1} {drift:>+8.1}%");
+        let drift = (new_v - old_v) / old_v * 100.0;
+        println!("{name:<16} {what:<10} {old_v:>12.1} {new_v:>12.1} {drift:>+8.1}%");
         if drift.abs() > threshold {
             violations += 1;
             // GitHub Actions annotation; warn-only by default so a
             // deliberate state-layout change does not block CI — a
             // human judges whether the new cost is intended.
             println!(
-                "::warning title=memory drift::{name} peak bytes/flow changed \
-                 {drift:+.1}% ({old_bpf:.1} -> {new_bpf:.1})"
+                "::warning title=memory drift::{name} {what} changed \
+                 {drift:+.1}% ({old_v:.1} -> {new_v:.1})"
             );
         }
+    };
+    println!(
+        "{:<16} {:<10} {:>12} {:>12} {:>9}   (warn beyond ±{threshold}%)",
+        "artifact", "gauge", "old", "new", "drift"
+    );
+    for (name, new_bpf, new_pool) in &new {
+        let Some((_, old_bpf, old_pool)) = old.iter().find(|(n, _, _)| n == name) else {
+            println!(
+                "{name:<16} {:<10} {:>12} {:>12.1} {:>9}",
+                "B/flow", "-", new_bpf, "new"
+            );
+            continue;
+        };
+        compare(name, "B/flow", *old_bpf, *new_bpf);
+        // Pool occupancy: only when both gauges carry it (old builds
+        // pre-date the packet arena). Growth here means more packets
+        // in flight at once — a hot-path regression diff-timing can
+        // miss when the extra work is still fast.
+        if let (Some(o), Some(n)) = (old_pool, new_pool) {
+            compare(name, "pool pkts", *o, *n);
+        }
     }
-    for (name, _) in &old {
-        if !new.iter().any(|(n, _)| n == name) {
-            println!("{name:<16} {:>12} {:>12} {:>9}", "-", "-", "gone");
+    for (name, _, _) in &old {
+        if !new.iter().any(|(n, _, _)| n == name) {
+            println!("{name:<16} {:<10} {:>12} {:>12} {:>9}", "-", "-", "-", "gone");
         }
     }
     if args.fail_on_drift && violations > 0 {

@@ -39,6 +39,11 @@ pub struct MemorySummary {
     pub metrics_bytes: u64,
     /// Largest per-cell allocated histogram bucket count.
     pub hist_buckets: u64,
+    /// Largest per-cell peak footprint of the fabric's packet arena.
+    pub pkt_pool_bytes: u64,
+    /// Largest per-cell high-water mark of packets simultaneously in
+    /// flight (peak arena occupancy).
+    pub pkt_pool_pkts: u64,
     /// Worst per-cell `peak_bytes / flows` ratio — the headline the
     /// diet is judged by (see `MemoryStats::bytes_per_flow`).
     pub worst_bytes_per_flow: f64,
@@ -55,6 +60,8 @@ impl MemorySummary {
             .max(r.memory.peak_flow_state_bytes);
         self.metrics_bytes = self.metrics_bytes.max(r.memory.metrics_bytes);
         self.hist_buckets = self.hist_buckets.max(r.memory.hist_buckets);
+        self.pkt_pool_bytes = self.pkt_pool_bytes.max(r.memory.pkt_pool_bytes);
+        self.pkt_pool_pkts = self.pkt_pool_pkts.max(r.memory.pkt_pool_pkts);
         self.worst_bytes_per_flow = self.worst_bytes_per_flow.max(r.memory.bytes_per_flow());
     }
 
@@ -72,6 +79,8 @@ impl MemorySummary {
             ),
             ("metrics_bytes".to_string(), self.metrics_bytes.to_json()),
             ("hist_buckets".to_string(), self.hist_buckets.to_json()),
+            ("pkt_pool_bytes".to_string(), self.pkt_pool_bytes.to_json()),
+            ("pkt_pool_pkts".to_string(), self.pkt_pool_pkts.to_json()),
             (
                 "bytes_per_flow".to_string(),
                 self.worst_bytes_per_flow.to_json(),
@@ -160,22 +169,30 @@ mod tests {
             metrics_bytes: 50,
             flows: 10,
             hist_buckets: 8,
+            pkt_pool_bytes: 0,
+            pkt_pool_pkts: 3,
         }));
         s.add(&result_with(MemoryStats {
             peak_flow_state_bytes: 40,
             metrics_bytes: 300,
             flows: 5,
             hist_buckets: 2,
+            pkt_pool_bytes: 64,
+            pkt_pool_pkts: 1,
         }));
         assert_eq!(s.cells, 2);
         assert_eq!(s.flows, 15);
-        // Peaks are per-cell maxima, not sums: 100+50=150 vs 40+300=340.
-        assert_eq!(s.peak_bytes, 340);
+        // Peaks are per-cell maxima, not sums: 100+50+0=150 vs
+        // 40+300+64=404. Pool fields fold independently: bytes from
+        // cell 2, packet high-water from cell 1.
+        assert_eq!(s.peak_bytes, 404);
         assert_eq!(s.peak_flow_state_bytes, 100);
         assert_eq!(s.metrics_bytes, 300);
         assert_eq!(s.hist_buckets, 8);
-        // Worst ratio is cell 2's 340/5 = 68.
-        assert!((s.worst_bytes_per_flow - 68.0).abs() < 1e-12);
+        assert_eq!(s.pkt_pool_bytes, 64);
+        assert_eq!(s.pkt_pool_pkts, 3);
+        // Worst ratio is cell 2's 404/5 = 80.8.
+        assert!((s.worst_bytes_per_flow - 80.8).abs() < 1e-12);
     }
 
     #[test]

@@ -899,6 +899,53 @@ pub fn table2() -> Report {
     rep
 }
 
+/// `bench-fwd-churn`: the packet-path stressor behind the BENCH trend
+/// line's forwarding figure. A permutation shuffle keeps every host
+/// sending at once, so most flows cross pods and every packet walks the
+/// full 5-hop fat-tree path — maximum switch enqueue/dequeue churn per
+/// delivered byte, the exact shape the arena/SoA hot path optimizes.
+/// The report rows are ordinary replicated FCT metrics; the artifact's
+/// real payload is its events/sec row in the `--timing-json` file.
+pub fn bench_fwd_churn(scale: Scale) -> Plan {
+    let rep = Report::new(
+        "bench-fwd-churn",
+        "Packet-path bench: cross-pod shuffle (hop-heavy forwarding churn)",
+        "timing artifact for the BENCH trajectory; FCT rows are a determinism canary",
+    );
+    let wl = TrafficModel::Shuffle {
+        flow_bytes: 64_000,
+        rounds: 3,
+        round_gap: Duration::micros(50),
+    };
+    let cells = SweepGrid::new(scale.base().with_traffic(wl))
+        .variants([irn()])
+        .build();
+    metrics_plan(rep, cells, scale, &FCT_METRICS)
+}
+
+/// `bench-incast-burst`: the delivery-burst stressor behind the BENCH
+/// trend line's incast figure. An M-to-1 incast fires every sender at
+/// time zero, concentrating same-timestep arrivals at the fan-in
+/// switch — the shape that exercises VOQ buildup, PFC/ECN bookkeeping,
+/// and the engine's batched switch→host delivery path.
+pub fn bench_incast_burst(scale: Scale) -> Plan {
+    let base = scale.base();
+    let m = if base.topology.hosts() >= 54 { 30 } else { 8 };
+    let rep = Report::new(
+        "bench-incast-burst",
+        "Packet-path bench: M-to-1 incast (delivery burst)",
+        "timing artifact for the BENCH trajectory; RCT rows are a determinism canary",
+    );
+    let wl = TrafficModel::Incast {
+        m,
+        total_bytes: scale.incast_bytes,
+    };
+    let cells = SweepGrid::new(base.with_traffic(wl))
+        .variants([irn()])
+        .build();
+    metrics_plan(rep, cells, scale, &INCAST_METRICS)
+}
+
 /// §6.1: the NIC state budget as its own printable report.
 pub fn state_budget_report() -> Report {
     let mut rep = Report::new(

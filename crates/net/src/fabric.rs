@@ -28,10 +28,13 @@
 //!   mid-serialization lets the in-flight frame finish (the headroom in
 //!   [`PfcConfig::for_buffer`](crate::PfcConfig::for_buffer) absorbs it).
 
+use std::sync::Arc;
+
 use irn_sim::{Duration, SchedulePort, SimRng, Time};
 
+use crate::arena::{PacketArena, PktId};
 use crate::packet::{FlowId, HostId, Packet};
-use crate::routing::{PortMap, Routes};
+use crate::routing::NetTables;
 use crate::switch::{Dequeue, EcnConfig, Enqueue, PfcConfig, SwitchState, SwitchStats};
 use crate::topology::{NodeId, Topology};
 use crate::units::Bandwidth;
@@ -128,14 +131,18 @@ struct DirLink {
 }
 
 /// Events the fabric schedules for itself via the caller's queue.
+///
+/// `Arrive` carries a 4-byte [`PktId`] into the fabric's
+/// [`PacketArena`], not the 64-byte packet — the whole enum is 12
+/// bytes, which is what makes ladder-queue buckets cache-dense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FabricEvent {
     /// Last bit of `pkt` reaches the receiving end of directed link `link`.
     Arrive {
         /// Directed link index.
         link: u32,
-        /// The packet.
-        pkt: Packet,
+        /// Arena handle of the packet.
+        pkt: PktId,
     },
     /// The transmitter of `link` finishes serializing its current frame.
     TxDone {
@@ -154,12 +161,13 @@ pub enum FabricEvent {
 /// What an event produced for the layer above.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FabricOutput {
-    /// A packet arrived at its destination host.
+    /// A packet arrived at its destination host. The id stays live
+    /// until the consumer claims it with [`Fabric::take_delivered`].
     Deliver {
         /// Receiving host.
         host: HostId,
-        /// The packet.
-        pkt: Packet,
+        /// Arena handle of the packet.
+        pkt: PktId,
     },
     /// `host`'s uplink just became available (previous transmission
     /// finished, or a PFC pause lifted); the transport may send.
@@ -202,13 +210,25 @@ pub struct Fabric {
     cfg: FabricConfig,
     links: Vec<DirLink>,
     switches: Vec<SwitchState>,
-    /// Directed link leaving each switch port.
-    switch_out_link: Vec<Vec<u32>>,
-    /// Directed link entering each switch port.
-    switch_in_link: Vec<Vec<u32>>,
+    /// Directed link leaving each switch port, flattened to
+    /// `sw * port_stride + port` (one load instead of a pointer chase
+    /// per forwarded packet).
+    switch_out_link: Vec<u32>,
+    /// Directed link entering each switch port, same layout.
+    switch_in_link: Vec<u32>,
+    /// Row width of the two link tables: max ports on any switch.
+    port_stride: usize,
+    /// Precomputed `cfg.bandwidth.serialize(bytes)` for small frames.
+    /// Every data/control packet fits; the table turns a per-hop u64
+    /// division into a load. Larger frames fall back to the division.
+    ser_lut: Vec<Duration>,
     /// Directed link host → edge switch.
     host_uplink: Vec<u32>,
-    routes: Routes,
+    /// Shared routing tables (see [`NetTables`]): per-topology, not
+    /// per-fabric, so seed replicates skip the BFS rebuild.
+    tables: Arc<NetTables>,
+    /// Every packet in flight, addressed by [`PktId`].
+    arena: PacketArena,
     rng: SimRng,
     injected_drops: u64,
     delivered_pkts: u64,
@@ -217,15 +237,23 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Instantiate the fabric for `topo` under `cfg`.
+    /// Instantiate the fabric for `topo` under `cfg`, building fresh
+    /// routing tables. Use [`Fabric::with_tables`] to share tables
+    /// across fabrics over the same topology.
     pub fn new(topo: &Topology, cfg: FabricConfig) -> Fabric {
-        let topo = topo.clone().validate();
-        let ports = PortMap::new(&topo);
-        let routes = Routes::build(&topo, &ports);
+        let tables = Arc::new(NetTables::build(topo));
+        Fabric::with_tables(topo, tables, cfg)
+    }
+
+    /// Instantiate the fabric for `topo` under `cfg` with precomputed
+    /// routing tables. `tables` must have been built from this exact
+    /// topology ([`NetTables::build`]).
+    pub fn with_tables(topo: &Topology, tables: Arc<NetTables>, cfg: FabricConfig) -> Fabric {
+        topo.check();
 
         let mut links = Vec::with_capacity(topo.cables.len() * 2);
-        let mut switch_out_link = vec![Vec::new(); topo.switches];
-        let mut switch_in_link = vec![Vec::new(); topo.switches];
+        let mut out_rows: Vec<Vec<u32>> = vec![Vec::new(); topo.switches];
+        let mut in_rows: Vec<Vec<u32>> = vec![Vec::new(); topo.switches];
         let mut host_uplink = vec![u32::MAX; topo.hosts];
 
         // Port numbers must match PortMap: cable order per switch.
@@ -253,7 +281,7 @@ impl Fabric {
                 match src {
                     Endpoint::Host(h) => host_uplink[h as usize] = id,
                     Endpoint::SwitchPort { sw, port } => {
-                        let v = &mut switch_out_link[sw as usize];
+                        let v = &mut out_rows[sw as usize];
                         if v.len() <= port as usize {
                             v.resize(port as usize + 1, u32::MAX);
                         }
@@ -263,7 +291,7 @@ impl Fabric {
                 match dst {
                     Endpoint::Host(_) => {}
                     Endpoint::SwitchPort { sw, port } => {
-                        let v = &mut switch_in_link[sw as usize];
+                        let v = &mut in_rows[sw as usize];
                         if v.len() <= port as usize {
                             v.resize(port as usize + 1, u32::MAX);
                         }
@@ -274,10 +302,31 @@ impl Fabric {
         }
 
         let switches = (0..topo.switches)
-            .map(|s| SwitchState::new(ports.radix(s), cfg.buffer_bytes, cfg.pfc, cfg.ecn))
+            .map(|s| SwitchState::new(tables.ports.radix(s), cfg.buffer_bytes, cfg.pfc, cfg.ecn))
             .collect();
 
         let rng = SimRng::new(cfg.seed ^ 0x5EED_F00D);
+
+        // Flatten the per-switch port→link rows into uniform-stride
+        // tables so the hot path indexes once instead of chasing a
+        // per-switch Vec pointer.
+        let port_stride = out_rows
+            .iter()
+            .chain(in_rows.iter())
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        let flatten = |rows: Vec<Vec<u32>>| -> Vec<u32> {
+            let mut flat = vec![u32::MAX; rows.len() * port_stride];
+            for (sw, row) in rows.into_iter().enumerate() {
+                flat[sw * port_stride..sw * port_stride + row.len()].copy_from_slice(&row);
+            }
+            flat
+        };
+        let switch_out_link = flatten(out_rows);
+        let switch_in_link = flatten(in_rows);
+
+        let ser_lut: Vec<Duration> = (0..2048u64).map(|b| cfg.bandwidth.serialize(b)).collect();
 
         Fabric {
             cfg,
@@ -285,8 +334,11 @@ impl Fabric {
             switches,
             switch_out_link,
             switch_in_link,
+            port_stride,
+            ser_lut,
             host_uplink,
-            routes,
+            tables,
+            arena: PacketArena::new(),
             rng,
             injected_drops: 0,
             delivered_pkts: 0,
@@ -312,16 +364,62 @@ impl Fabric {
 
     /// Longest shortest host-to-host path in links (for BDP-FC).
     pub fn diameter_hops(&self) -> usize {
-        self.routes.diameter_hops
+        self.tables.routes.diameter_hops
     }
 
     /// Shortest-path length between two hosts in links.
     pub fn path_hops(&self, src: HostId, dst: HostId) -> usize {
-        self.routes.host_distance(src.idx(), dst.idx())
+        self.tables.routes.host_distance(src.idx(), dst.idx())
+    }
+
+    /// Read a live in-flight packet by id.
+    #[inline]
+    pub fn packet(&self, id: PktId) -> &Packet {
+        self.arena.get(id)
+    }
+
+    /// Claim a delivered packet: copy it out of the arena and retire
+    /// the id. Must be called exactly once per
+    /// [`FabricOutput::Deliver`].
+    #[inline]
+    pub fn take_delivered(&mut self, id: PktId) -> Packet {
+        let pkt = *self.arena.get(id);
+        self.arena.release(id);
+        pkt
+    }
+
+    /// True when `Arrive { link, pkt }` would deliver a **data** packet
+    /// to a host — the shape the engine may batch with deferred NIC
+    /// polling (control deliveries must be handled one at a time; see
+    /// the engine's batching notes).
+    #[inline]
+    pub fn is_host_data_arrival(&self, link: u32, pkt: PktId) -> bool {
+        matches!(self.links[link as usize].dst, Endpoint::Host(_)) && self.arena.get(pkt).is_data()
+    }
+
+    /// Packets currently in flight through the fabric.
+    pub fn pkt_pool_live(&self) -> u32 {
+        self.arena.live()
+    }
+
+    /// High-water mark of packets simultaneously in flight.
+    pub fn pkt_pool_peak(&self) -> u32 {
+        self.arena.peak_slots()
+    }
+
+    /// Analytic peak footprint of the packet pool, bytes.
+    pub fn pkt_pool_bytes(&self) -> u64 {
+        self.arena.pool_bytes()
+    }
+
+    /// Lifetime (allocated, released) counts — equal at quiescence.
+    pub fn pkt_pool_churn(&self) -> (u64, u64) {
+        (self.arena.allocated(), self.arena.released())
     }
 
     /// True when `host` may start a transmission: uplink idle and not
     /// PFC-paused.
+    #[inline]
     pub fn host_tx_idle(&self, host: HostId) -> bool {
         let l = &self.links[self.host_uplink[host.idx()] as usize];
         !l.busy && !l.paused
@@ -332,10 +430,13 @@ impl Fabric {
         self.links[self.host_uplink[host.idx()] as usize].paused
     }
 
-    /// Begin serializing `pkt` from `host` onto its uplink.
+    /// Begin serializing `pkt` from `host` onto its uplink. The packet
+    /// enters the arena here; it leaves via [`Fabric::take_delivered`]
+    /// or an internal drop.
     ///
     /// Panics if the uplink is busy or paused — the transport must only
     /// send after [`FabricOutput::HostTxReady`] / [`Fabric::host_tx_idle`].
+    #[inline]
     pub fn host_start_tx(
         &mut self,
         now: Time,
@@ -361,15 +462,20 @@ impl Fabric {
             psn = pkt.psn,
             bytes = pkt.wire_bytes,
         );
-        let ser = self.cfg.bandwidth.serialize(pkt.wire_bytes as u64);
+        let ser = self.serialize_wire(pkt.wire_bytes as u64);
+        let id = self.arena.alloc(pkt);
         port.schedule(now + ser, FabricEvent::TxDone { link: link_id });
         port.schedule(
             now + ser + self.cfg.prop_delay,
-            FabricEvent::Arrive { link: link_id, pkt },
+            FabricEvent::Arrive {
+                link: link_id,
+                pkt: id,
+            },
         );
     }
 
     /// Process one fabric event.
+    #[inline]
     pub fn handle(
         &mut self,
         now: Time,
@@ -387,71 +493,89 @@ impl Fabric {
         &mut self,
         now: Time,
         link_id: u32,
-        pkt: Packet,
+        id: PktId,
         port: &mut impl SchedulePort<FabricEvent>,
     ) -> Option<FabricOutput> {
         match self.links[link_id as usize].dst {
             Endpoint::Host(h) => {
                 self.delivered_pkts += 1;
-                self.delivered_bytes += pkt.wire_bytes as u64;
+                self.delivered_bytes += self.arena.get(id).wire_bytes as u64;
                 Some(FabricOutput::Deliver {
                     host: HostId(h),
-                    pkt,
+                    pkt: id,
                 })
             }
             Endpoint::SwitchPort { sw, port: in_port } => {
+                // Copy the routing-relevant header fields out of the
+                // arena once; the packet bytes themselves stay put.
+                let (flow, src, dst, psn, ecmp_seed, is_retx, is_data) = {
+                    let pkt = self.arena.get(id);
+                    (
+                        pkt.flow,
+                        pkt.src,
+                        pkt.dst,
+                        pkt.psn,
+                        pkt.ecmp_seed,
+                        pkt.is_retx,
+                        pkt.is_data(),
+                    )
+                };
                 // Fault injection: a failing hop silently eats the frame.
                 if self.cfg.loss_injection > 0.0
-                    && pkt.is_data()
+                    && is_data
                     && self.rng.chance(self.cfg.loss_injection)
                 {
                     self.injected_drops += 1;
                     irn_telemetry::trace!(
                         "pkt.drop",
                         t = now.as_nanos(),
-                        flow = pkt.flow.0,
-                        src = pkt.src.0,
-                        dst = pkt.dst.0,
-                        psn = pkt.psn,
+                        flow = flow.0,
+                        src = src.0,
+                        dst = dst.0,
+                        psn = psn,
                         cause = "inject",
                     );
-                    return Some(FabricOutput::Dropped { flow: pkt.flow });
+                    self.arena.release(id);
+                    return Some(FabricOutput::Dropped { flow });
                 }
                 let swi = sw as usize;
                 let out = match self.cfg.load_balancing {
                     LoadBalancing::EcmpPerFlow => {
-                        self.routes.out_port(swi, pkt.dst.idx(), pkt.ecmp_seed)
+                        self.tables.routes.out_port(swi, dst.idx(), ecmp_seed)
                     }
                     LoadBalancing::PacketSpray => {
                         // Per-packet nonce: PSN plus a retransmission bit
                         // so a retransmitted copy can take a new path.
-                        let nonce = pkt.psn ^ ((pkt.is_retx as u32) << 30);
-                        self.routes
-                            .out_port_spray(swi, pkt.dst.idx(), pkt.ecmp_seed, nonce)
+                        let nonce = psn ^ ((is_retx as u32) << 30);
+                        self.tables
+                            .routes
+                            .out_port_spray(swi, dst.idx(), ecmp_seed, nonce)
                     }
                 };
-                match self.switches[swi].enqueue(in_port, out, pkt, &mut self.rng) {
+                match self.switches[swi].enqueue(in_port, out, id, &mut self.arena, &mut self.rng)
+                {
                     Enqueue::Dropped => {
                         irn_telemetry::trace!(
                             "pkt.drop",
                             t = now.as_nanos(),
-                            flow = pkt.flow.0,
-                            src = pkt.src.0,
-                            dst = pkt.dst.0,
-                            psn = pkt.psn,
+                            flow = flow.0,
+                            src = src.0,
+                            dst = dst.0,
+                            psn = psn,
                             cause = "buffer",
                         );
-                        return Some(FabricOutput::Dropped { flow: pkt.flow });
+                        self.arena.release(id);
+                        return Some(FabricOutput::Dropped { flow });
                     }
                     Enqueue::Queued { send_xoff, marked } => {
                         if marked {
                             irn_telemetry::trace!(
                                 "ecn.mark",
                                 t = now.as_nanos(),
-                                flow = pkt.flow.0,
-                                src = pkt.src.0,
-                                dst = pkt.dst.0,
-                                psn = pkt.psn,
+                                flow = flow.0,
+                                src = src.0,
+                                dst = dst.0,
+                                psn = psn,
                             );
                         }
                         if send_xoff {
@@ -524,6 +648,17 @@ impl Fabric {
         }
     }
 
+    /// Serialization delay at the fabric line rate, via the LUT for the
+    /// common small frames (exact: the table is built from
+    /// [`Bandwidth::serialize`]).
+    #[inline]
+    fn serialize_wire(&self, bytes: u64) -> Duration {
+        match self.ser_lut.get(bytes as usize) {
+            Some(&d) => d,
+            None => self.cfg.bandwidth.serialize(bytes),
+        }
+    }
+
     /// Start the transmitter of switch `sw` output `out_port` if it is idle,
     /// unpaused, and has queued traffic.
     fn try_switch_tx(
@@ -533,7 +668,7 @@ impl Fabric {
         out_port: u16,
         port: &mut impl SchedulePort<FabricEvent>,
     ) {
-        let out_link_id = self.switch_out_link[sw][out_port as usize];
+        let out_link_id = self.switch_out_link[sw * self.port_stride + out_port as usize];
         let link = &self.links[out_link_id as usize];
         if link.busy || link.paused {
             return;
@@ -542,13 +677,13 @@ impl Fabric {
             pkt,
             in_port,
             send_xon,
-        }) = self.switches[sw].dequeue(out_port)
+        }) = self.switches[sw].dequeue(out_port, &mut self.arena)
         else {
             return;
         };
         if send_xon {
             irn_telemetry::trace!("pfc.resume", t = now.as_nanos(), sw = sw, port = in_port,);
-            let in_link = self.switch_in_link[sw][in_port as usize];
+            let in_link = self.switch_in_link[sw * self.port_stride + in_port as usize];
             port.schedule(
                 now + self.cfg.prop_delay,
                 FabricEvent::PfcArrive {
@@ -558,7 +693,7 @@ impl Fabric {
             );
         }
         self.links[out_link_id as usize].busy = true;
-        let ser = self.cfg.bandwidth.serialize(pkt.wire_bytes as u64);
+        let ser = self.serialize_wire(self.arena.get(pkt).wire_bytes as u64);
         port.schedule(now + ser, FabricEvent::TxDone { link: out_link_id });
         port.schedule(
             now + ser + self.cfg.prop_delay,
@@ -610,7 +745,8 @@ mod tests {
     type TxReadies = Vec<(Time, HostId)>;
 
     /// Drive a fabric to quiescence, collecting host deliveries.
-    /// Returns (deliveries, tx_ready notifications).
+    /// Returns (deliveries, tx_ready notifications). Asserts the packet
+    /// arena drained — every allocated id retired exactly once.
     fn run(fabric: &mut Fabric, queue: &mut EventQueue<FabricEvent>) -> (Deliveries, TxReadies) {
         let mut delivered = Vec::new();
         let mut ready = Vec::new();
@@ -621,11 +757,16 @@ mod tests {
                 queue.push(t, e);
             }
             match out {
-                Some(FabricOutput::Deliver { host, pkt }) => delivered.push((now, host, pkt)),
+                Some(FabricOutput::Deliver { host, pkt }) => {
+                    delivered.push((now, host, fabric.take_delivered(pkt)))
+                }
                 Some(FabricOutput::HostTxReady { host }) => ready.push((now, host)),
                 Some(FabricOutput::Dropped { .. }) | None => {}
             }
         }
+        assert_eq!(fabric.pkt_pool_live(), 0, "arena must drain at quiescence");
+        let (allocated, released) = fabric.pkt_pool_churn();
+        assert_eq!(allocated, released);
         (delivered, ready)
     }
 
@@ -726,7 +867,10 @@ mod tests {
                 q.push(t, e);
             }
             match out {
-                Some(FabricOutput::Deliver { .. }) => delivered += 1,
+                Some(FabricOutput::Deliver { pkt, .. }) => {
+                    fabric.take_delivered(pkt);
+                    delivered += 1;
+                }
                 Some(FabricOutput::HostTxReady { host }) => {
                     let s = host.0 as usize;
                     if s < 8 && sent[s] < per_sender && fabric.host_tx_idle(host) {
@@ -737,6 +881,7 @@ mod tests {
                 Some(FabricOutput::Dropped { .. }) | None => {}
             }
         }
+        assert_eq!(fabric.pkt_pool_live(), 0);
         let stats = fabric.stats();
         assert_eq!(stats.buffer_drops, 0, "PFC must be lossless");
         assert!(stats.pauses > 0, "fan-in past tiny buffers must pause");
@@ -765,7 +910,10 @@ mod tests {
                 q.push(t, e);
             }
             match out {
-                Some(FabricOutput::Deliver { .. }) => delivered += 1,
+                Some(FabricOutput::Deliver { pkt, .. }) => {
+                    fabric.take_delivered(pkt);
+                    delivered += 1;
+                }
                 Some(FabricOutput::HostTxReady { host }) => {
                     let s = host.0 as usize;
                     if s < 8 && sent[s] < per_sender && fabric.host_tx_idle(host) {
@@ -776,6 +924,9 @@ mod tests {
                 Some(FabricOutput::Dropped { .. }) | None => {}
             }
         }
+        // Dropped packets were released by the fabric itself: the arena
+        // still drains to empty.
+        assert_eq!(fabric.pkt_pool_live(), 0);
         let stats = fabric.stats();
         assert!(stats.buffer_drops > 0, "tail-drop expected without PFC");
         assert_eq!(stats.pauses, 0);
@@ -815,13 +966,19 @@ mod tests {
                 q.push(t, e);
             }
             saw_pause |= fabric.host_tx_paused(HostId(0)) || fabric.host_tx_paused(HostId(1));
-            if let Some(FabricOutput::HostTxReady { host }) = out {
-                let s = host.0 as usize;
-                if s < 2 && budget > 0 && fabric.host_tx_idle(host) {
-                    send(&mut fabric, &mut q, now, host.0, 2, 1000, sent[s]);
-                    sent[s] += 1;
-                    budget -= 1;
+            match out {
+                Some(FabricOutput::Deliver { pkt, .. }) => {
+                    fabric.take_delivered(pkt);
                 }
+                Some(FabricOutput::HostTxReady { host }) => {
+                    let s = host.0 as usize;
+                    if s < 2 && budget > 0 && fabric.host_tx_idle(host) {
+                        send(&mut fabric, &mut q, now, host.0, 2, 1000, sent[s]);
+                        sent[s] += 1;
+                        budget -= 1;
+                    }
+                }
+                Some(FabricOutput::Dropped { .. }) | None => {}
             }
         }
         assert!(saw_pause, "host uplinks should have been paused");

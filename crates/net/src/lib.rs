@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod fabric;
 pub mod packet;
 pub mod routing;
@@ -40,8 +41,10 @@ pub mod switch;
 pub mod topology;
 pub mod units;
 
+pub use arena::{PacketArena, PktId, PktQueue};
 pub use fabric::{Fabric, FabricConfig, FabricEvent, FabricOutput, FabricStats, LoadBalancing};
 pub use packet::{FlowId, HostId, Packet, PacketKind};
+pub use routing::NetTables;
 pub use switch::{EcnConfig, PfcConfig};
 pub use topology::{fat_tree_hosts, NodeId, SwitchId, Topology};
 pub use units::{bdp_bytes, Bandwidth};

@@ -69,10 +69,20 @@ impl PortMap {
 }
 
 /// Precomputed ECMP routing state for one topology.
+///
+/// The candidate-port table is stored flat — one `u16` pool plus an
+/// offset per `(switch, host)` — rather than `Vec<Vec<Vec<u16>>>`: the
+/// lookup sits on the per-hop hot path, and two loads from contiguous
+/// arrays beat three dependent pointer chases into per-pair heap
+/// allocations.
 #[derive(Debug, Clone)]
 pub struct Routes {
-    /// `next[switch][host]` = output ports on shortest paths to `host`.
-    next: Vec<Vec<Vec<u16>>>,
+    /// Candidate output ports on shortest paths, concatenated in
+    /// `(switch, host)` row-major order.
+    port_pool: Vec<u16>,
+    /// `port_pool[offsets[s*hosts+h] .. offsets[s*hosts+h+1]]` = ports
+    /// on shortest paths from switch `s` to host `h`.
+    offsets: Vec<u32>,
     /// Flattened hosts×hosts matrix of shortest-path lengths in links.
     host_dist: Vec<u16>,
     hosts: usize,
@@ -148,12 +158,33 @@ impl Routes {
             }
         }
 
+        // Flatten the per-pair candidate lists into the pooled layout.
+        let mut port_pool = Vec::new();
+        let mut offsets = Vec::with_capacity(s_count * h_count + 1);
+        offsets.push(0u32);
+        for row in &next {
+            for cands in row {
+                port_pool.extend_from_slice(cands);
+                offsets.push(port_pool.len() as u32);
+            }
+        }
+
         Routes {
-            next,
+            port_pool,
+            offsets,
             host_dist,
             hosts: h_count,
             diameter_hops: diameter,
         }
+    }
+
+    /// Candidate ports for `(switch, dst_host)` in the pooled table.
+    #[inline]
+    fn cands(&self, switch: usize, dst_host: usize) -> &[u16] {
+        let base = switch * self.hosts + dst_host;
+        let start = self.offsets[base] as usize;
+        let end = self.offsets[base + 1] as usize;
+        &self.port_pool[start..end]
     }
 
     /// Shortest-path length between two hosts, in links traversed
@@ -168,8 +199,9 @@ impl Routes {
     /// The hash mixes the seed with the switch id so one flow takes
     /// independent (but fixed) choices at each hop, like hashing a
     /// five-tuple with a switch-specific salt.
+    #[inline]
     pub fn out_port(&self, switch: usize, dst_host: usize, ecmp_seed: u32) -> u16 {
-        let cands = &self.next[switch][dst_host];
+        let cands = self.cands(switch, dst_host);
         assert!(
             !cands.is_empty(),
             "no route from switch {switch} to host {dst_host}"
@@ -183,7 +215,7 @@ impl Routes {
 
     /// All equal-cost ports (for tests and path-diversity assertions).
     pub fn candidates(&self, switch: usize, dst_host: usize) -> &[u16] {
-        &self.next[switch][dst_host]
+        self.cands(switch, dst_host)
     }
 
     /// Per-packet spraying (§7 "Reordering due to load-balancing"):
@@ -197,7 +229,7 @@ impl Routes {
         ecmp_seed: u32,
         nonce: u32,
     ) -> u16 {
-        let cands = &self.next[switch][dst_host];
+        let cands = self.cands(switch, dst_host);
         assert!(
             !cands.is_empty(),
             "no route from switch {switch} to host {dst_host}"
@@ -212,6 +244,31 @@ impl Routes {
 
 /// SplitMix64: a tiny, high-quality 64-bit mixer (public domain), used
 /// only for ECMP hashing — never for workload randomness.
+/// The precomputed, topology-derived routing state a [`crate::Fabric`]
+/// needs: the port map plus the ECMP shortest-path tables.
+///
+/// Both are pure functions of the [`Topology`], so one `NetTables` can
+/// be shared (via `Arc`) by every fabric instantiated over the same
+/// geometry — multi-seed replicates of one cell shape stop re-running
+/// the per-destination BFS for every cell.
+#[derive(Debug)]
+pub struct NetTables {
+    /// Who is plugged into which switch port.
+    pub ports: PortMap,
+    /// ECMP shortest-path tables.
+    pub routes: Routes,
+}
+
+impl NetTables {
+    /// Validate `topo` and precompute its port map and routing tables.
+    pub fn build(topo: &Topology) -> NetTables {
+        topo.check();
+        let ports = PortMap::new(topo);
+        let routes = Routes::build(topo, &ports);
+        NetTables { ports, routes }
+    }
+}
+
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -21,12 +21,14 @@
 //!
 //! This module is pure state — no event scheduling — so every branch is
 //! unit-testable; the event plumbing lives in [`crate::fabric`].
-
-use std::collections::VecDeque;
+//!
+//! Queue state is struct-of-arrays: packets live in the caller's
+//! [`PacketArena`] and each VOQ is an intrusive [`PktQueue`] id chain —
+//! a switch never copies a packet, only 4-byte handles.
 
 use irn_sim::{Duration, SimRng};
 
-use crate::packet::Packet;
+use crate::arena::{PacketArena, PktId, PktQueue};
 use crate::units::Bandwidth;
 
 /// Priority Flow Control thresholds for one input port, in bytes.
@@ -130,10 +132,10 @@ pub enum Enqueue {
 }
 
 /// Outcome of dequeuing a packet for an output port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Dequeue {
-    /// The packet to transmit.
-    pub pkt: Packet,
+    /// Handle of the packet to transmit (still owned by the arena).
+    pub pkt: PktId,
     /// Input port it came from (pause bookkeeping).
     pub in_port: u16,
     /// This departure drained the input port to its X-ON threshold: owe
@@ -167,10 +169,14 @@ pub struct SwitchState {
     ecn: Option<EcnConfig>,
     /// Bytes buffered per input port.
     input_occ: Vec<u64>,
-    /// `voq[out * radix + inp]`: packets from `inp` waiting for `out`.
-    voq: Vec<VecDeque<Packet>>,
+    /// `voq[out * radix + inp]`: ids of packets from `inp` waiting for
+    /// `out`, chained through the shared arena's `next` array.
+    voq: Vec<PktQueue>,
     /// Total bytes queued for each output port (ECN signal).
     egress_bytes: Vec<u64>,
+    /// Packets queued for each output port (O(1) `has_traffic`; bytes
+    /// alone cannot tell — zero-byte control frames carry no bytes).
+    egress_pkts: Vec<u32>,
     /// Round-robin position per output port.
     rr_cursor: Vec<usize>,
     /// Whether we currently hold the upstream of each input port paused.
@@ -201,8 +207,9 @@ impl SwitchState {
             pfc,
             ecn,
             input_occ: vec![0; radix],
-            voq: (0..radix * radix).map(|_| VecDeque::new()).collect(),
+            voq: vec![PktQueue::EMPTY; radix * radix],
             egress_bytes: vec![0; radix],
+            egress_pkts: vec![0; radix],
             rr_cursor: vec![0; radix],
             xoff_active: vec![false; radix],
             stats: SwitchStats::default(),
@@ -211,19 +218,26 @@ impl SwitchState {
 
     /// Offer a packet arriving on `in_port` destined for `out_port`.
     ///
-    /// On success the packet lands in the VOQ (possibly ECN-marked); the
-    /// caller must then try to start the output port if it is idle, and
-    /// deliver an X-OFF upstream if requested.
+    /// On success the id lands in the VOQ (the packet possibly
+    /// ECN-marked in place); the caller must then try to start the
+    /// output port if it is idle, and deliver an X-OFF upstream if
+    /// requested. On [`Enqueue::Dropped`] the id stays with the caller,
+    /// who releases it back to the arena.
+    #[inline]
     pub fn enqueue(
         &mut self,
         in_port: u16,
         out_port: u16,
-        mut pkt: Packet,
+        pkt: PktId,
+        arena: &mut PacketArena,
         rng: &mut SimRng,
     ) -> Enqueue {
         let (inp, out) = (in_port as usize, out_port as usize);
         assert!(inp < self.radix && out < self.radix, "port out of range");
-        let size = pkt.wire_bytes as u64;
+        let (size, is_data) = {
+            let p = arena.get(pkt);
+            (p.wire_bytes as u64, p.is_data())
+        };
 
         if self.input_occ[inp] + size > self.buffer_bytes {
             self.stats.buffer_drops += 1;
@@ -234,10 +248,10 @@ impl SwitchState {
         // (DCQCN marks on egress enqueue).
         let mut marked = false;
         if let Some(ecn) = &self.ecn {
-            if pkt.is_data() {
+            if is_data {
                 let p = ecn.mark_probability(self.egress_bytes[out] + size);
                 if rng.chance(p) {
-                    pkt.ecn_ce = true;
+                    arena.get_mut(pkt).ecn_ce = true;
                     self.stats.ecn_marked += 1;
                     marked = true;
                 }
@@ -246,8 +260,9 @@ impl SwitchState {
 
         self.input_occ[inp] += size;
         self.egress_bytes[out] += size;
+        self.egress_pkts[out] += 1;
         self.stats.max_input_occupancy = self.stats.max_input_occupancy.max(self.input_occ[inp]);
-        self.voq[out * self.radix + inp].push_back(pkt);
+        self.voq[out * self.radix + inp].push(arena, pkt);
 
         let mut send_xoff = false;
         if let Some(pfc) = &self.pfc {
@@ -262,18 +277,28 @@ impl SwitchState {
 
     /// Pick the next packet for `out_port`, round-robin across input
     /// ports. Returns `None` when no VOQ for this output has traffic.
-    pub fn dequeue(&mut self, out_port: u16) -> Option<Dequeue> {
+    #[inline]
+    pub fn dequeue(&mut self, out_port: u16, arena: &mut PacketArena) -> Option<Dequeue> {
         let out = out_port as usize;
         assert!(out < self.radix, "port out of range");
-        let start = self.rr_cursor[out];
-        for off in 0..self.radix {
-            let inp = (start + off) % self.radix;
-            if let Some(pkt) = self.voq[out * self.radix + inp].pop_front() {
+        if self.egress_pkts[out] == 0 {
+            return None;
+        }
+        // Branchy wraparound instead of `% radix`: the modulo costs an
+        // integer division per probed VOQ, and this scan runs once per
+        // forwarded packet.
+        let mut inp = self.rr_cursor[out];
+        for _ in 0..self.radix {
+            if inp >= self.radix {
+                inp -= self.radix;
+            }
+            if let Some(pkt) = self.voq[out * self.radix + inp].pop(arena) {
                 // Advance past the input we just served.
-                self.rr_cursor[out] = (inp + 1) % self.radix;
-                let size = pkt.wire_bytes as u64;
+                self.rr_cursor[out] = if inp + 1 == self.radix { 0 } else { inp + 1 };
+                let size = arena.get(pkt).wire_bytes as u64;
                 self.input_occ[inp] -= size;
                 self.egress_bytes[out] -= size;
+                self.egress_pkts[out] -= 1;
                 self.stats.forwarded += 1;
 
                 let mut send_xon = false;
@@ -290,14 +315,15 @@ impl SwitchState {
                     send_xon,
                 });
             }
+            inp += 1;
         }
         None
     }
 
     /// True if any packet is waiting for `out_port`.
+    #[inline]
     pub fn has_traffic(&self, out_port: u16) -> bool {
-        self.egress_bytes[out_port as usize] > 0
-            || (0..self.radix).any(|inp| !self.voq[out_port as usize * self.radix + inp].is_empty())
+        self.egress_pkts[out_port as usize] > 0
     }
 
     /// Occupancy of input port `p`, bytes.
@@ -325,7 +351,7 @@ impl SwitchState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, HostId};
+    use crate::packet::{FlowId, HostId, Packet};
 
     fn pkt(bytes: u32) -> Packet {
         Packet::data(FlowId(0), HostId(0), HostId(1), 0, bytes)
@@ -335,27 +361,56 @@ mod tests {
         SimRng::new(1)
     }
 
+    /// Enqueue `p`, allocating it into `a`.
+    fn offer(
+        sw: &mut SwitchState,
+        a: &mut PacketArena,
+        inp: u16,
+        out: u16,
+        p: Packet,
+        r: &mut SimRng,
+    ) -> Enqueue {
+        let id = a.alloc(p);
+        let e = sw.enqueue(inp, out, id, a, r);
+        if e == Enqueue::Dropped {
+            a.release(id); // the fabric does this in production
+        }
+        e
+    }
+
+    /// Dequeue from `out`, copying the packet out of the arena.
+    fn take(sw: &mut SwitchState, a: &mut PacketArena, out: u16) -> Option<(Packet, u16, bool)> {
+        sw.dequeue(out, a).map(|d| {
+            let p = *a.get(d.pkt);
+            a.release(d.pkt);
+            (p, d.in_port, d.send_xon)
+        })
+    }
+
     #[test]
     fn fifo_within_one_voq() {
         let mut sw = SwitchState::new(2, 10_000, None, None);
+        let mut a = PacketArena::new();
         let mut r = rng();
         for psn in 0..3 {
             let mut p = pkt(100);
             p.psn = psn;
             assert!(matches!(
-                sw.enqueue(0, 1, p, &mut r),
+                offer(&mut sw, &mut a, 0, 1, p, &mut r),
                 Enqueue::Queued { .. }
             ));
         }
         for psn in 0..3 {
-            assert_eq!(sw.dequeue(1).unwrap().pkt.psn, psn);
+            assert_eq!(take(&mut sw, &mut a, 1).unwrap().0.psn, psn);
         }
-        assert!(sw.dequeue(1).is_none());
+        assert!(take(&mut sw, &mut a, 1).is_none());
+        assert_eq!(a.live(), 0, "arena empty at quiescence");
     }
 
     #[test]
     fn round_robin_across_inputs() {
         let mut sw = SwitchState::new(3, 10_000, None, None);
+        let mut a = PacketArena::new();
         let mut r = rng();
         // Two packets from each of inputs 0 and 1, all to output 2.
         for inp in [0u16, 1] {
@@ -363,26 +418,29 @@ mod tests {
                 let mut p = pkt(100);
                 p.psn = psn;
                 p.sack = inp as u32; // tag origin for the assertion
-                sw.enqueue(inp, 2, p, &mut r);
+                offer(&mut sw, &mut a, inp, 2, p, &mut r);
             }
         }
-        let order: Vec<u32> = (0..4).map(|_| sw.dequeue(2).unwrap().pkt.sack).collect();
+        let order: Vec<u32> = (0..4)
+            .map(|_| take(&mut sw, &mut a, 2).unwrap().0.sack)
+            .collect();
         assert_eq!(order, vec![0, 1, 0, 1], "must alternate between inputs");
     }
 
     #[test]
     fn buffer_overflow_drops_without_pfc() {
         let mut sw = SwitchState::new(2, 250, None, None);
+        let mut a = PacketArena::new();
         let mut r = rng();
         assert!(matches!(
-            sw.enqueue(0, 1, pkt(200), &mut r),
+            offer(&mut sw, &mut a, 0, 1, pkt(200), &mut r),
             Enqueue::Queued { .. }
         ));
-        assert_eq!(sw.enqueue(0, 1, pkt(100), &mut r), Enqueue::Dropped);
+        assert_eq!(offer(&mut sw, &mut a, 0, 1, pkt(100), &mut r), Enqueue::Dropped);
         assert_eq!(sw.stats.buffer_drops, 1);
         // Zero-byte control frames always fit.
         assert!(matches!(
-            sw.enqueue(0, 1, pkt(0), &mut r),
+            offer(&mut sw, &mut a, 0, 1, pkt(0), &mut r),
             Enqueue::Queued { .. }
         ));
     }
@@ -394,9 +452,10 @@ mod tests {
             xon_bytes: 100,
         };
         let mut sw = SwitchState::new(2, 1000, Some(pfc), None);
+        let mut a = PacketArena::new();
         let mut r = rng();
         assert_eq!(
-            sw.enqueue(0, 1, pkt(200), &mut r),
+            offer(&mut sw, &mut a, 0, 1, pkt(200), &mut r),
             Enqueue::Queued {
                 send_xoff: false,
                 marked: false
@@ -404,7 +463,7 @@ mod tests {
         );
         // Crosses 250 B: X-OFF owed.
         assert_eq!(
-            sw.enqueue(0, 1, pkt(100), &mut r),
+            offer(&mut sw, &mut a, 0, 1, pkt(100), &mut r),
             Enqueue::Queued {
                 send_xoff: true,
                 marked: false
@@ -412,7 +471,7 @@ mod tests {
         );
         // Already paused: no duplicate X-OFF.
         assert_eq!(
-            sw.enqueue(0, 1, pkt(100), &mut r),
+            offer(&mut sw, &mut a, 0, 1, pkt(100), &mut r),
             Enqueue::Queued {
                 send_xoff: false,
                 marked: false
@@ -429,15 +488,16 @@ mod tests {
             xon_bytes: 100,
         };
         let mut sw = SwitchState::new(2, 1000, Some(pfc), None);
+        let mut a = PacketArena::new();
         let mut r = rng();
         for _ in 0..3 {
-            sw.enqueue(0, 1, pkt(100), &mut r);
+            offer(&mut sw, &mut a, 0, 1, pkt(100), &mut r);
         }
         assert!(sw.holds_paused(0));
         // 300 → 200: still above X-ON (100).
-        assert!(!sw.dequeue(1).unwrap().send_xon);
+        assert!(!take(&mut sw, &mut a, 1).unwrap().2);
         // 200 → 100: at X-ON, resume.
-        assert!(sw.dequeue(1).unwrap().send_xon);
+        assert!(take(&mut sw, &mut a, 1).unwrap().2);
         assert!(!sw.holds_paused(0));
         assert_eq!(sw.stats.resumes_sent, 1);
     }
@@ -449,13 +509,14 @@ mod tests {
             xon_bytes: 50,
         };
         let mut sw = SwitchState::new(3, 1000, Some(pfc), None);
+        let mut a = PacketArena::new();
         let mut r = rng();
         // Fill input 0 past the threshold; input 1 stays quiet.
-        sw.enqueue(0, 2, pkt(200), &mut r);
+        offer(&mut sw, &mut a, 0, 2, pkt(200), &mut r);
         assert!(sw.holds_paused(0));
         assert!(!sw.holds_paused(1));
         assert!(matches!(
-            sw.enqueue(1, 2, pkt(100), &mut r),
+            offer(&mut sw, &mut a, 1, 2, pkt(100), &mut r),
             Enqueue::Queued {
                 send_xoff: false,
                 marked: false
@@ -471,16 +532,17 @@ mod tests {
             pmax: 1.0,
         };
         let mut sw = SwitchState::new(2, 1_000_000, None, Some(ecn));
+        let mut a = PacketArena::new();
         let mut r = rng();
         // First packet joins an empty egress queue: occupancy 400 < kmin.
-        sw.enqueue(0, 1, pkt(400), &mut r);
+        offer(&mut sw, &mut a, 0, 1, pkt(400), &mut r);
         // Keep filling: once occupancy ≥ kmax every data packet is marked.
         for _ in 0..5 {
-            sw.enqueue(0, 1, pkt(400), &mut r);
+            offer(&mut sw, &mut a, 0, 1, pkt(400), &mut r);
         }
         let mut marked = Vec::new();
-        while let Some(d) = sw.dequeue(1) {
-            marked.push(d.pkt.ecn_ce);
+        while let Some((p, _, _)) = take(&mut sw, &mut a, 1) {
+            marked.push(p.ecn_ce);
         }
         assert!(!marked[0], "below kmin must not be marked");
         assert!(
@@ -493,6 +555,7 @@ mod tests {
     fn ecn_ignores_control_packets() {
         let ecn = EcnConfig::step(0); // mark everything
         let mut sw = SwitchState::new(2, 1_000_000, None, Some(ecn));
+        let mut a = PacketArena::new();
         let mut r = rng();
         let ack = Packet::control(
             crate::packet::PacketKind::Ack,
@@ -502,8 +565,8 @@ mod tests {
             5,
             64,
         );
-        sw.enqueue(0, 1, ack, &mut r);
-        assert!(!sw.dequeue(1).unwrap().pkt.ecn_ce);
+        offer(&mut sw, &mut a, 0, 1, ack, &mut r);
+        assert!(!take(&mut sw, &mut a, 1).unwrap().0.ecn_ce);
     }
 
     #[test]
@@ -537,17 +600,33 @@ mod tests {
     #[test]
     fn egress_accounting_balances() {
         let mut sw = SwitchState::new(2, 100_000, None, None);
+        let mut a = PacketArena::new();
         let mut r = rng();
         for _ in 0..10 {
-            sw.enqueue(0, 1, pkt(1000), &mut r);
+            offer(&mut sw, &mut a, 0, 1, pkt(1000), &mut r);
         }
         assert_eq!(sw.egress_occupancy(1), 10_000);
         assert_eq!(sw.input_occupancy(0), 10_000);
         for _ in 0..10 {
-            sw.dequeue(1);
+            take(&mut sw, &mut a, 1);
         }
         assert_eq!(sw.egress_occupancy(1), 0);
         assert_eq!(sw.input_occupancy(0), 0);
+        assert!(!sw.has_traffic(1));
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn zero_byte_frames_count_as_traffic() {
+        // `has_traffic` must see queued zero-byte control frames even
+        // though they add no egress bytes.
+        let mut sw = SwitchState::new(2, 100_000, None, None);
+        let mut a = PacketArena::new();
+        let mut r = rng();
+        offer(&mut sw, &mut a, 0, 1, pkt(0), &mut r);
+        assert_eq!(sw.egress_occupancy(1), 0);
+        assert!(sw.has_traffic(1));
+        assert!(take(&mut sw, &mut a, 1).is_some());
         assert!(!sw.has_traffic(1));
     }
 }

@@ -197,6 +197,13 @@ impl Topology {
     /// invariants and panic with a description if violated. Returns
     /// `self` for chaining.
     pub fn validate(self) -> Topology {
+        self.check();
+        self
+    }
+
+    /// The by-reference form of [`Topology::validate`]: run the same
+    /// assertions without consuming (or cloning) the topology.
+    pub fn check(&self) {
         let mut host_deg = vec![0usize; self.hosts];
         for c in &self.cables {
             for n in [c.a, c.b] {
@@ -214,7 +221,6 @@ impl Topology {
         for (h, d) in host_deg.iter().enumerate() {
             assert_eq!(*d, 1, "host {h} must have exactly one cable, has {d}");
         }
-        self
     }
 }
 

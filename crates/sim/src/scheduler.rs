@@ -59,9 +59,13 @@ pub struct TimerId(u32);
 /// Internal per-timer state: the live generation and deadline mirror.
 #[derive(Debug, Clone, Copy)]
 struct TimerState {
-    /// Bumped on every arm/cancel; an entry whose stamped generation
-    /// lags this is a tombstone.
-    generation: u64,
+    /// Bumped (wrapping) on every arm/cancel; an entry whose stamped
+    /// generation differs is a tombstone. 32 bits keep the stamp to one
+    /// word in [`Entry`]; a false "live" match would need one timer to
+    /// be re-armed exactly 2^32 times while a single entry waits in a
+    /// bucket — orders of magnitude beyond what any pending window
+    /// (≤ RTO horizon) can produce.
+    generation: u32,
     /// Deadline of the live entry, if armed.
     deadline: Option<Time>,
 }
@@ -123,13 +127,22 @@ impl<F> SchedulePort<F> for Vec<(Time, F)> {
     }
 }
 
-/// One scheduled occurrence.
+/// Sentinel for [`Entry::timer_id`]: the entry is a plain event, not a
+/// timer expiry.
+const NO_TIMER: u32 = u32::MAX;
+
+/// One scheduled occurrence. The timer stamp is two packed `u32`s
+/// rather than `Option<(TimerId, u64)>`: entries are what every bucket
+/// sort and memmove shuffles, so 8 bytes of stamp instead of 24 is a
+/// measurable slice of hot-path traffic.
 struct Entry<E> {
     time: Time,
     seq: u64,
-    /// `Some((timer, generation))` when this entry is a timer expiry;
-    /// it is live only while the generation matches the timer's.
-    timer: Option<(TimerId, u64)>,
+    /// Owning timer index, or [`NO_TIMER`].
+    timer_id: u32,
+    /// Generation stamped at arm time; live only while it matches the
+    /// timer's current generation.
+    timer_gen: u32,
     event: E,
 }
 
@@ -230,11 +243,12 @@ impl<E> Scheduler<E> {
     /// "now" **and count the clamp** in [`SchedStats::past_clamps`] so
     /// the violation stays observable (`RunResult` surfaces it).
     pub fn push(&mut self, at: Time, event: E) {
-        self.insert(at, event, None);
+        self.insert(at, event, NO_TIMER, 0);
     }
 
     /// Create a fresh, unarmed timer.
     pub fn timer_create(&mut self) -> TimerId {
+        assert!(self.timers.len() < NO_TIMER as usize);
         let id = TimerId(self.timers.len() as u32);
         self.timers.push(TimerState {
             generation: 0,
@@ -248,7 +262,7 @@ impl<E> Scheduler<E> {
     /// never pop.
     pub fn timer_arm(&mut self, timer: TimerId, deadline: Time, event: E) {
         let idx = timer.0 as usize;
-        self.timers[idx].generation += 1;
+        self.timers[idx].generation = self.timers[idx].generation.wrapping_add(1);
         if self.timers[idx].deadline.take().is_some() {
             self.live -= 1; // the superseded entry is now a tombstone
         }
@@ -259,14 +273,14 @@ impl<E> Scheduler<E> {
         self.timers[idx].deadline = Some(deadline.max(self.now));
         let generation = self.timers[idx].generation;
         self.stats.timer_arms += 1;
-        self.insert(deadline, event, Some((timer, generation)));
+        self.insert(deadline, event, timer.0, generation);
     }
 
     /// Cancel whatever is armed on `timer` in O(1). A no-op (beyond the
     /// generation bump) if the timer is not armed.
     pub fn timer_cancel(&mut self, timer: TimerId) {
         let idx = timer.0 as usize;
-        self.timers[idx].generation += 1;
+        self.timers[idx].generation = self.timers[idx].generation.wrapping_add(1);
         if self.timers[idx].deadline.take().is_some() {
             self.live -= 1;
             self.stats.timer_cancels += 1;
@@ -283,7 +297,7 @@ impl<E> Scheduler<E> {
         self.timer_deadline(timer).is_some()
     }
 
-    fn insert(&mut self, at: Time, event: E, timer: Option<(TimerId, u64)>) {
+    fn insert(&mut self, at: Time, event: E, timer_id: u32, timer_gen: u32) {
         debug_assert!(
             at >= self.now,
             "scheduled event in the past: {at} < {}",
@@ -302,7 +316,8 @@ impl<E> Scheduler<E> {
         let entry = Entry {
             time: at,
             seq,
-            timer,
+            timer_id,
+            timer_gen,
             event,
         };
         let bucket = Self::bucket_of(at);
@@ -324,10 +339,8 @@ impl<E> Scheduler<E> {
 
     /// True if `entry` is a cancelled/superseded timer expiry.
     fn is_stale(&self, entry: &Entry<E>) -> bool {
-        match entry.timer {
-            Some((id, generation)) => self.timers[id.0 as usize].generation != generation,
-            None => false,
-        }
+        entry.timer_id != NO_TIMER
+            && self.timers[entry.timer_id as usize].generation != entry.timer_gen
     }
 
     /// Drop tombstones at the head and refill `due` from the ring /
@@ -388,12 +401,19 @@ impl<E> Scheduler<E> {
         // Take the ring slot only when it is exactly this bucket (a
         // cascade can target a bucket at or behind the cursor, whose
         // slot — if any — belongs to a future ring revolution).
+        //
+        // The drained `due` buffer is recycled into the emptied slot
+        // (or reused as the cascade batch) so bucket buffers cycle
+        // between the ring and `due` at their high-water capacity
+        // instead of being reallocated from scratch every revolution.
+        debug_assert!(self.due.is_empty());
+        let recycled = std::mem::take(&mut self.due);
         let mut batch: Vec<Entry<E>> = if b_ring == Some(bucket) {
-            let taken = std::mem::take(&mut self.ring[(bucket as usize) & MASK]);
-            self.ring_len -= taken.len();
-            taken
+            let slot = &mut self.ring[(bucket as usize) & MASK];
+            self.ring_len -= slot.len();
+            std::mem::replace(slot, recycled)
         } else {
-            Vec::new()
+            recycled
         };
         self.cursor = self.cursor.max(bucket);
 
@@ -426,7 +446,6 @@ impl<E> Scheduler<E> {
 
         batch.sort_unstable_by_key(|e| e.key());
         batch.reverse();
-        debug_assert!(self.due.is_empty());
         self.due = batch;
     }
 
@@ -443,6 +462,17 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Time and event of the earliest live entry without removing it —
+    /// exactly what the next [`Scheduler::pop`] would return. Same
+    /// `&mut self` rationale as [`Scheduler::peek_time`].
+    pub fn peek(&mut self) -> Option<(Time, &E)> {
+        if self.settle() {
+            self.due.last().map(|e| (e.time, &e.event))
+        } else {
+            None
+        }
+    }
+
     /// Remove and return the earliest live event, advancing "now".
     /// Cancelled timer deadlines never surface here.
     pub fn pop(&mut self) -> Option<(Time, E)> {
@@ -453,9 +483,9 @@ impl<E> Scheduler<E> {
         self.now = entry.time;
         self.live -= 1;
         self.stats.pops += 1;
-        if let Some((id, _)) = entry.timer {
+        if entry.timer_id != NO_TIMER {
             // A live expiry consumes its arming.
-            self.timers[id.0 as usize].deadline = None;
+            self.timers[entry.timer_id as usize].deadline = None;
         }
         Some((entry.time, entry.event))
     }

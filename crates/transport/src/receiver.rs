@@ -108,6 +108,7 @@ impl ReceiverQp {
     }
 
     /// Process an arriving data packet.
+    #[inline]
     pub fn on_data(&mut self, now: Time, pkt: &Packet) -> RecvOutcome {
         debug_assert_eq!(pkt.kind, PacketKind::Data);
         debug_assert_eq!(pkt.flow, self.flow);

@@ -205,6 +205,7 @@ impl SenderQp {
     }
 
     /// Ask for the next packet to put on the wire.
+    #[inline]
     pub fn poll(&mut self, now: Time) -> SenderPoll {
         if self.done {
             return SenderPoll::Done;
