@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use irn_metrics::{ideal_fct, FlowRecord, MetricsCollector};
+use irn_metrics::{ideal_fct, AppMetrics, FlowRecord, MetricsCollector};
 use irn_net::{
     Fabric, FabricEvent, FabricOutput, FlowId, HostId, NetTables, Packet, PacketKind, PktId,
     Topology,
@@ -40,7 +40,7 @@ use irn_sim::{Scheduler, Time, TimerId};
 use irn_transport::config::TransportKind;
 use irn_transport::tcp::{TcpReceiver, TcpSender};
 use irn_transport::{HostNic, NicPoll, ReceiverQp, SenderPoll, SenderQp, TimerCmd};
-use irn_workload::{FlowSpec, TrafficCtx};
+use irn_workload::{AppDriver, AppEvent, AppSink, FlowSpec, TrafficCtx};
 
 use crate::config::{ExperimentConfig, TopologySpec};
 use crate::result::{MemoryStats, RunResult, SchedCounters, TransportTotals};
@@ -81,6 +81,13 @@ pub enum Event {
         /// Host index.
         host: u32,
     },
+    /// A closed-loop driver's spawned flow reaches its start time. The
+    /// flow is already in the flow table; this event starts it exactly
+    /// like a streamed arrival would.
+    AppSpawn {
+        /// Flow index.
+        flow: u32,
+    },
 }
 
 impl From<FabricEvent> for Event {
@@ -106,6 +113,7 @@ const TAG_PFC_XOFF: u64 = 2;
 const TAG_PFC_XON: u64 = 3;
 const TAG_QP_TIMER: u64 = 4;
 const TAG_NIC_WAKE: u64 = 5;
+const TAG_APP_SPAWN: u64 = 6;
 
 impl PackedEvent {
     #[inline]
@@ -134,7 +142,9 @@ impl PackedEvent {
                 xoff: false,
             }),
             TAG_QP_TIMER => Event::QpTimer { flow: a },
-            _ => Event::NicWake { host: a },
+            TAG_NIC_WAKE => Event::NicWake { host: a },
+            TAG_APP_SPAWN => Event::AppSpawn { flow: a },
+            tag => unreachable!("unknown event tag {tag}"),
         }
     }
 }
@@ -145,11 +155,9 @@ impl From<FabricEvent> for PackedEvent {
         match fe {
             FabricEvent::TxDone { link } => PackedEvent::pack(TAG_TX_DONE, link, 0),
             FabricEvent::Arrive { link, pkt } => PackedEvent::pack(TAG_ARRIVE, link, pkt.0),
-            FabricEvent::PfcArrive { link, xoff } => PackedEvent::pack(
-                if xoff { TAG_PFC_XOFF } else { TAG_PFC_XON },
-                link,
-                0,
-            ),
+            FabricEvent::PfcArrive { link, xoff } => {
+                PackedEvent::pack(if xoff { TAG_PFC_XOFF } else { TAG_PFC_XON }, link, 0)
+            }
         }
     }
 }
@@ -161,6 +169,7 @@ impl From<Event> for PackedEvent {
             Event::Fabric(fe) => fe.into(),
             Event::QpTimer { flow } => PackedEvent::pack(TAG_QP_TIMER, flow, 0),
             Event::NicWake { host } => PackedEvent::pack(TAG_NIC_WAKE, host, 0),
+            Event::AppSpawn { flow } => PackedEvent::pack(TAG_APP_SPAWN, flow, 0),
         }
     }
 }
@@ -275,6 +284,12 @@ impl FlowSlab {
         self.slot_of[flow] == NOT_STARTED
     }
 
+    /// Extend the dense flow→slot map for one driver-spawned flow
+    /// (closed-loop workloads grow the flow table mid-run).
+    fn grow(&mut self) {
+        self.slot_of.push(NOT_STARTED);
+    }
+
     /// Recycle the flow's slot (drops sender/receiver state; keeps the
     /// timer for the next occupant). The flow id can never come back.
     fn retire(&mut self, flow: usize) {
@@ -308,6 +323,15 @@ pub fn legacy_per_flow_bytes() -> u64 {
         + std::mem::size_of::<Option<TimerId>>()) as u64
 }
 
+/// The closed-loop application runtime riding on the engine: the
+/// reactive driver, its reusable output sink, and the per-operation
+/// metrics it feeds.
+struct AppRuntime {
+    driver: Box<dyn AppDriver>,
+    sink: AppSink,
+    metrics: AppMetrics,
+}
+
 /// One experiment in flight.
 pub struct Simulation {
     cfg: ExperimentConfig,
@@ -336,6 +360,9 @@ pub struct Simulation {
     /// current same-timestep delivery batch (first-touch order;
     /// reusable buffer, cleared per batch).
     batch_hosts: Vec<HostId>,
+    /// Closed-loop application runtime, when the traffic model has one.
+    /// `None` for every open-loop model: the hot path stays untouched.
+    app: Option<AppRuntime>,
 }
 
 impl Simulation {
@@ -346,7 +373,29 @@ impl Simulation {
         let fabric = Fabric::with_tables(&topo, tables, cfg.fabric_config());
         let hosts = fabric.hosts();
 
-        let (flows, incast_from) = build_flows(&cfg, hosts);
+        let tctx = TrafficCtx {
+            hosts,
+            line_rate_bps: cfg.bandwidth.as_bps_f64(),
+            seed: cfg.seed,
+        };
+        // A closed-loop model contributes only its seed flows up front;
+        // the rest of the workload materializes in reaction to
+        // completions, through the driver hook in `maybe_retire`.
+        let (flows, incast_from, app) = match cfg.traffic.closed_loop(&tctx) {
+            Some(cl) => (
+                cl.seed_flows,
+                None,
+                Some(AppRuntime {
+                    driver: cl.driver,
+                    sink: AppSink::new(),
+                    metrics: AppMetrics::default(),
+                }),
+            ),
+            None => {
+                let stream = cfg.traffic.generate(&tctx);
+                (stream.flows, stream.incast_from, None)
+            }
+        };
         assert!(!flows.is_empty(), "workload generated no flows");
         let n = flows.len();
 
@@ -376,12 +425,21 @@ impl Simulation {
             completed: 0,
             finished_at: Time::ZERO,
             batch_hosts: Vec::new(),
+            app,
             cfg,
         }
     }
 
     /// Run to completion (all flows delivered) and report.
     pub fn run(mut self) -> RunResult {
+        // Give a closed-loop driver its time-zero callback (trace
+        // records for the seed operations; never any flows).
+        if let Some(app) = self.app.as_mut() {
+            app.sink.clear();
+            app.driver.on_start(&mut app.sink);
+            debug_assert!(app.sink.flows.is_empty(), "on_start must not spawn");
+            self.drain_app_sink(Time::ZERO);
+        }
         let mut events: u64 = 0;
         loop {
             // Interleave the lazily streamed arrivals with the queue;
@@ -443,9 +501,17 @@ impl Simulation {
                         self.counters.nic_wake_events += 1;
                         self.try_send(now, HostId(host));
                     }
+                    Event::AppSpawn { flow } => {
+                        self.counters.flow_arrivals += 1;
+                        self.on_flow_arrival(now, flow as usize);
+                    }
                 }
             }
-            if self.completed == self.flows.len() {
+            // With a closed-loop driver every completion may spawn more
+            // work, so the run ends only when the queue truly drains;
+            // open-loop runs keep the early exit (late NIC wake-ups and
+            // PFC resumes after the last completion are not work).
+            if self.app.is_none() && self.completed == self.flows.len() {
                 break;
             }
         }
@@ -472,17 +538,26 @@ impl Simulation {
         };
 
         let collector_fixed = std::mem::size_of::<MetricsCollector>() as u64;
+        let app_fixed = std::mem::size_of::<AppMetrics>() as u64;
         let metrics_bytes = collector_fixed
             + primary.heap_bytes()
             + incast_metrics
                 .as_ref()
-                .map_or(0, |m| collector_fixed + m.heap_bytes());
+                .map_or(0, |m| collector_fixed + m.heap_bytes())
+            + self
+                .app
+                .as_ref()
+                .map_or(0, |a| app_fixed + a.metrics.heap_bytes());
         let memory = MemoryStats {
             peak_flow_state_bytes: self.slab.peak_bytes(),
             metrics_bytes,
             flows: self.flows.len() as u64,
             hist_buckets: primary.allocated_buckets()
-                + incast_metrics.as_ref().map_or(0, |m| m.allocated_buckets()),
+                + incast_metrics.as_ref().map_or(0, |m| m.allocated_buckets())
+                + self
+                    .app
+                    .as_ref()
+                    .map_or(0, |a| a.metrics.allocated_buckets()),
             pkt_pool_bytes: self.fabric.pkt_pool_bytes(),
             pkt_pool_pkts: self.fabric.pkt_pool_peak() as u64,
         };
@@ -497,6 +572,7 @@ impl Simulation {
             summary: primary.summary(),
             metrics: primary,
             incast_metrics,
+            app: self.app.map(|a| a.metrics),
             fabric: self.fabric.stats(),
             transport: self.totals,
             events,
@@ -711,9 +787,15 @@ impl Simulation {
                         let slot = self.slab.slot_mut(idx).expect("acked flow is live");
                         let s = slot.sender.take().unwrap();
                         accumulate(&mut self.totals, &s);
-                        self.maybe_retire(now, idx);
                     }
                 }
+                // Retire even when the sender is already gone: a
+                // duplicate final ack (the sender completed on the
+                // first copy) can be the flow's last in-flight packet,
+                // and skipping the check here would leave the flow
+                // finished but never retired — starving a closed-loop
+                // driver waiting on the retirement callback.
+                self.maybe_retire(now, idx);
                 self.try_send(now, host);
             }
             PacketKind::Cnp => {
@@ -748,6 +830,71 @@ impl Simulation {
         }
         irn_telemetry::trace!("flow.retire", t = now.as_nanos(), flow = idx);
         self.slab.retire(idx);
+        // The closed-loop seam: a retired flow is the one event an
+        // application reacts to. The driver sees only (now, flow id,
+        // flow count) — virtual time, no wall clock — so its spawns are
+        // byte-identical at any --jobs and across worker fleets.
+        if let Some(app) = self.app.as_mut() {
+            app.sink.clear();
+            let next_index = self.flows.len() as u32;
+            app.driver
+                .on_flow_retired(now, idx as u32, next_index, &mut app.sink);
+            self.drain_app_sink(now);
+        }
+    }
+
+    /// Apply a driver callback's output: fold application events into
+    /// traces and per-operation metrics, then insert each spawned flow
+    /// into the live flow table and schedule its start.
+    fn drain_app_sink(&mut self, now: Time) {
+        let app = self.app.as_mut().expect("drain without a driver");
+        for ev in app.sink.events.drain(..) {
+            match ev {
+                AppEvent::OpStart { op, client, at } => {
+                    irn_telemetry::trace!(
+                        "app.op.start",
+                        t = at.as_nanos(),
+                        op = op,
+                        client = client,
+                    );
+                }
+                AppEvent::OpDone {
+                    op,
+                    client,
+                    started,
+                    at,
+                } => {
+                    let latency_ns = at.saturating_since(started).as_nanos();
+                    app.metrics.record_op(latency_ns);
+                    irn_telemetry::trace!(
+                        "app.op.done",
+                        t = at.as_nanos(),
+                        op = op,
+                        client = client,
+                        latency_ns = latency_ns,
+                    );
+                }
+                AppEvent::Phase { phase, at } => {
+                    app.metrics.record_phase();
+                    irn_telemetry::trace!("app.phase", t = at.as_nanos(), phase = phase);
+                }
+            }
+        }
+        let mut spawned = std::mem::take(&mut app.sink.flows);
+        for spec in spawned.drain(..) {
+            debug_assert!(spec.at >= now, "driver spawned a flow in the past");
+            let idx = self.flows.len() as u32;
+            self.flows.push(spec);
+            self.slab.grow();
+            self.sched
+                .push(spec.at, Event::AppSpawn { flow: idx }.into());
+        }
+        // Hand the drained buffer back so the sink reuses its capacity.
+        self.app
+            .as_mut()
+            .expect("drain without a driver")
+            .sink
+            .flows = spawned;
     }
 
     fn on_qp_timer(&mut self, now: Time, flow: u32) {
@@ -916,16 +1063,4 @@ fn accumulate(t: &mut TransportTotals, s: &FlowSender) {
             t.timeouts += s.stats.timeouts;
         }
     }
-}
-
-/// Materialize the traffic model into a flow list; returns the index of
-/// the first incast-population flow when there is one. The list need
-/// not be sorted — the engine derives a stable arrival order itself.
-fn build_flows(cfg: &ExperimentConfig, hosts: usize) -> (Vec<FlowSpec>, Option<usize>) {
-    let stream = cfg.traffic.generate(&TrafficCtx {
-        hosts,
-        line_rate_bps: cfg.bandwidth.as_bps_f64(),
-        seed: cfg.seed,
-    });
-    (stream.flows, stream.incast_from)
 }

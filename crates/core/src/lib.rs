@@ -39,7 +39,10 @@ pub mod scenario;
 
 pub use config::{ExperimentConfig, TopologySpec};
 pub use engine::{legacy_per_flow_bytes, Simulation};
-pub use irn_workload::{Component, Population, Start, TrafficCtx, TrafficError, TrafficModel};
+pub use irn_workload::{
+    AllreduceAlgo, AppDriver, AppEvent, AppSink, ClosedLoop, Component, Population, Start,
+    TrafficCtx, TrafficError, TrafficModel,
+};
 pub use result::{MemoryStats, RunResult, SchedCounters, TransportTotals};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SCENARIO_SCHEMA};
 
@@ -191,6 +194,140 @@ mod tests {
         assert!(without.fabric.buffer_drops > 0, "no PFC ⇒ drops");
         assert_eq!(without.fabric.pauses, 0);
         assert!(without.transport.retransmitted > 0, "losses must recover");
+    }
+
+    /// RPC closed loop: every op completes, app metrics are populated,
+    /// and the flow count matches the driver's exact accounting.
+    #[test]
+    fn rpc_closed_loop_completes_every_op() {
+        let cfg = ExperimentConfig {
+            topology: TopologySpec::SingleSwitch(6),
+            traffic: TrafficModel::RpcClosedLoop {
+                clients: 3,
+                ops_per_client: 8,
+                window: 2,
+                request_bytes: 8_000,
+                response_bytes: 1_000,
+                think: Duration::micros(30),
+                fanout: 2,
+            },
+            ..ExperimentConfig::paper_default(1)
+        };
+        let r = run(cfg);
+        let app = r.app.expect("closed-loop run must report app metrics");
+        assert_eq!(app.ops(), 3 * 8);
+        // fanout requests + fanout responses per op.
+        assert_eq!(r.summary.flows, 3 * 8 * 2 * 2);
+        assert!(app.mean_latency() > Duration::ZERO);
+        assert!(app.percentile_latency(0.99) >= app.percentile_latency(0.50));
+    }
+
+    /// Allreduce: both algorithms run all phases to completion and the
+    /// iteration count lands in the op counter.
+    #[test]
+    fn allreduce_completes_all_iterations() {
+        for algorithm in [AllreduceAlgo::Ring, AllreduceAlgo::Tree] {
+            let cfg = ExperimentConfig {
+                topology: TopologySpec::FatTree(4),
+                traffic: TrafficModel::Allreduce {
+                    algorithm,
+                    participants: 8,
+                    bytes: 1 << 20,
+                    iterations: 3,
+                },
+                ..ExperimentConfig::paper_default(1)
+            };
+            let r = run(cfg);
+            let app = r.app.expect("app metrics");
+            assert_eq!(app.ops(), 3, "{algorithm:?} iterations");
+            assert!(app.phases() > 0, "{algorithm:?} must emit phase barriers");
+            assert!(r.summary.flows > 0);
+        }
+    }
+
+    /// Leader replication: quorum commits drive every op to completion.
+    #[test]
+    fn leader_replicate_commits_every_op() {
+        let cfg = ExperimentConfig {
+            topology: TopologySpec::SingleSwitch(8),
+            traffic: TrafficModel::LeaderReplicate {
+                clients: 3,
+                followers: 3,
+                quorum: 2,
+                ops_per_client: 6,
+                request_bytes: 4_000,
+                ack_bytes: 64,
+                think: Duration::micros(20),
+            },
+            ..ExperimentConfig::paper_default(1)
+        };
+        let r = run(cfg);
+        let app = r.app.expect("app metrics");
+        assert_eq!(app.ops(), 3 * 6);
+        // request + F replicates + F acks + response per op.
+        assert_eq!(r.summary.flows, 3 * 6 * (2 * 3 + 2));
+    }
+
+    /// Closed-loop runs are deterministic: two identical runs produce
+    /// identical app metrics, event counts, and fabric counters.
+    #[test]
+    fn closed_loop_runs_are_deterministic() {
+        let mk = || ExperimentConfig {
+            topology: TopologySpec::FatTree(4),
+            traffic: TrafficModel::RpcClosedLoop {
+                clients: 4,
+                ops_per_client: 10,
+                window: 3,
+                request_bytes: 20_000,
+                response_bytes: 500,
+                think: Duration::micros(50),
+                fanout: 2,
+            },
+            ..ExperimentConfig::paper_default(1)
+        };
+        let a = run(mk());
+        let b = run(mk());
+        let (aa, ba) = (a.app.unwrap(), b.app.unwrap());
+        assert_eq!(aa.ops(), ba.ops());
+        assert_eq!(aa.mean_latency(), ba.mean_latency());
+        assert_eq!(aa.percentile_latency(0.99), ba.percentile_latency(0.99));
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fabric, b.fabric);
+        assert_eq!(a.summary.avg_fct, b.summary.avg_fct);
+    }
+
+    /// A lossy fabric still completes a closed-loop run (recovery paths
+    /// feed back into the driver correctly) and ops take longer than on
+    /// a clean fabric.
+    #[test]
+    fn closed_loop_survives_loss() {
+        let mk = |loss| {
+            ExperimentConfig {
+                topology: TopologySpec::SingleSwitch(6),
+                traffic: TrafficModel::RpcClosedLoop {
+                    clients: 2,
+                    ops_per_client: 6,
+                    window: 1,
+                    request_bytes: 50_000,
+                    response_bytes: 1_000,
+                    think: Duration::micros(10),
+                    fanout: 1,
+                },
+                loss_injection: loss,
+                ..ExperimentConfig::paper_default(1)
+            }
+            .with_transport(TransportKind::Irn)
+            .with_pfc(false)
+        };
+        let clean = run(mk(0.0));
+        let lossy = run(mk(0.02));
+        assert_eq!(clean.app.as_ref().unwrap().ops(), 12);
+        assert_eq!(lossy.app.as_ref().unwrap().ops(), 12);
+        assert!(lossy.transport.retransmitted > 0, "loss must force retx");
+        assert!(
+            lossy.app.unwrap().mean_latency() > clean.app.unwrap().mean_latency(),
+            "loss must slow down op latency"
+        );
     }
 
     /// Incast completes and reports an RCT.

@@ -1,6 +1,6 @@
 //! Results of one simulation run.
 
-use irn_metrics::{MetricsCollector, Summary};
+use irn_metrics::{AppMetrics, MetricsCollector, Summary};
 use irn_net::FabricStats;
 use irn_sim::{Duration, Time};
 use serde::{Deserialize, Serialize};
@@ -128,6 +128,10 @@ pub struct RunResult {
     /// Incast flows, when the workload included an incast (RCT lives
     /// here, §4.4.3).
     pub incast_metrics: Option<MetricsCollector>,
+    /// Per-operation latency of a closed-loop application (RPC round
+    /// trips, allreduce iterations, replicated commits), when the
+    /// workload was closed-loop.
+    pub app: Option<AppMetrics>,
     /// Fabric counters: drops, pauses, ECN marks.
     pub fabric: FabricStats,
     /// Transport counters.

@@ -25,7 +25,8 @@ use irn_sim::{Duration, Time};
 use irn_transport::cc::CcKind;
 use irn_transport::config::TransportKind;
 use irn_workload::{
-    Component, FlowSpec, Population, SizeDistribution, Start, TrafficError, TrafficModel,
+    AllreduceAlgo, Component, FlowSpec, Population, SizeDistribution, Start, TrafficError,
+    TrafficModel,
 };
 use serde::json::{self, Value};
 use serde::{DeError, Deserialize, Serialize};
@@ -488,6 +489,14 @@ name_table!(
     ]
 );
 
+name_table!(
+    AllreduceAlgo,
+    ALGO_NAMES,
+    algo_name,
+    algo_from,
+    [(AllreduceAlgo::Ring, "ring"), (AllreduceAlgo::Tree, "tree")]
+);
+
 // ---------------------------------------------------------------------
 // Serialization (Scenario → Value)
 // ---------------------------------------------------------------------
@@ -591,6 +600,60 @@ fn traffic_to_json(t: &TrafficModel) -> Value {
                     })
                     .collect(),
             ),
+        ),
+        TrafficModel::RpcClosedLoop {
+            clients,
+            ops_per_client,
+            window,
+            request_bytes,
+            response_bytes,
+            think,
+            fanout,
+        } => tagged(
+            "rpc_closed_loop",
+            Value::Object(vec![
+                ("clients".into(), clients.to_json()),
+                ("ops_per_client".into(), ops_per_client.to_json()),
+                ("window".into(), window.to_json()),
+                ("request_bytes".into(), request_bytes.to_json()),
+                ("response_bytes".into(), response_bytes.to_json()),
+                ("think_ns".into(), think.as_nanos().to_json()),
+                ("fanout".into(), fanout.to_json()),
+            ]),
+        ),
+        TrafficModel::Allreduce {
+            algorithm,
+            participants,
+            bytes,
+            iterations,
+        } => tagged(
+            "allreduce",
+            Value::Object(vec![
+                ("algorithm".into(), algo_name(*algorithm).to_json()),
+                ("participants".into(), participants.to_json()),
+                ("bytes".into(), bytes.to_json()),
+                ("iterations".into(), iterations.to_json()),
+            ]),
+        ),
+        TrafficModel::LeaderReplicate {
+            clients,
+            followers,
+            quorum,
+            ops_per_client,
+            request_bytes,
+            ack_bytes,
+            think,
+        } => tagged(
+            "leader_replicate",
+            Value::Object(vec![
+                ("clients".into(), clients.to_json()),
+                ("followers".into(), followers.to_json()),
+                ("quorum".into(), quorum.to_json()),
+                ("ops_per_client".into(), ops_per_client.to_json()),
+                ("request_bytes".into(), request_bytes.to_json()),
+                ("ack_bytes".into(), ack_bytes.to_json()),
+                ("think_ns".into(), think.as_nanos().to_json()),
+            ]),
         ),
         TrafficModel::Compose(parts) => tagged(
             "compose",
@@ -924,6 +987,70 @@ fn parse_traffic(v: &Value, path: &str) -> Result<TrafficModel, ScenarioError> {
             }
             Ok(TrafficModel::Explicit(flows))
         }
+        "rpc_closed_loop" => {
+            check_fields(
+                payload,
+                &[
+                    "clients",
+                    "ops_per_client",
+                    "window",
+                    "request_bytes",
+                    "response_bytes",
+                    "think_ns",
+                    "fanout",
+                ],
+                &p,
+            )?;
+            Ok(TrafficModel::RpcClosedLoop {
+                clients: req(payload, "clients", &p)?,
+                ops_per_client: req(payload, "ops_per_client", &p)?,
+                window: opt(payload, "window", &p, 1)?,
+                request_bytes: req(payload, "request_bytes", &p)?,
+                response_bytes: req(payload, "response_bytes", &p)?,
+                think: Duration::nanos(opt(payload, "think_ns", &p, 0)?),
+                fanout: opt(payload, "fanout", &p, 1)?,
+            })
+        }
+        "allreduce" => {
+            check_fields(
+                payload,
+                &["algorithm", "participants", "bytes", "iterations"],
+                &p,
+            )?;
+            Ok(TrafficModel::Allreduce {
+                algorithm: algo_from(
+                    &opt::<String>(payload, "algorithm", &p, "ring".to_string())?,
+                    &format!("{p}algorithm"),
+                )?,
+                participants: req(payload, "participants", &p)?,
+                bytes: req(payload, "bytes", &p)?,
+                iterations: opt(payload, "iterations", &p, 1)?,
+            })
+        }
+        "leader_replicate" => {
+            check_fields(
+                payload,
+                &[
+                    "clients",
+                    "followers",
+                    "quorum",
+                    "ops_per_client",
+                    "request_bytes",
+                    "ack_bytes",
+                    "think_ns",
+                ],
+                &p,
+            )?;
+            Ok(TrafficModel::LeaderReplicate {
+                clients: req(payload, "clients", &p)?,
+                followers: req(payload, "followers", &p)?,
+                quorum: req(payload, "quorum", &p)?,
+                ops_per_client: req(payload, "ops_per_client", &p)?,
+                request_bytes: req(payload, "request_bytes", &p)?,
+                ack_bytes: req(payload, "ack_bytes", &p)?,
+                think: Duration::nanos(opt(payload, "think_ns", &p, 0)?),
+            })
+        }
         "compose" => {
             let items = payload.as_array().ok_or_else(|| {
                 ScenarioError::Field(
@@ -969,6 +1096,9 @@ fn parse_traffic(v: &Value, path: &str) -> Result<TrafficModel, ScenarioError> {
                 "incast",
                 "shuffle",
                 "explicit",
+                "rpc_closed_loop",
+                "allreduce",
+                "leader_replicate",
                 "compose",
             ],
         }),
@@ -1100,6 +1230,81 @@ mod tests {
     }
 
     #[test]
+    fn closed_loop_config_mistakes_surface_as_typed_errors() {
+        // Degenerate closed-loop parameters reachable from a scenario
+        // document must come back as typed errors, never a panic.
+        let parse = |traffic: &str| {
+            Scenario::from_json_str(&format!(
+                r#"{{"schema": "scenario-v1", "name": "x",
+                    "topology": {{"single_switch": {{"hosts": 8}}}},
+                    "traffic": {traffic}}}"#,
+            ))
+            .unwrap_err()
+        };
+        // Think time that would overflow Time arithmetic.
+        let err = parse(&format!(
+            r#"{{"rpc_closed_loop": {{"clients": 2, "ops_per_client": 100,
+                "request_bytes": 1000, "response_bytes": 100,
+                "think_ns": {}}}}}"#,
+            u64::MAX / 4
+        ));
+        assert!(matches!(
+            err,
+            ScenarioError::Traffic(TrafficError::ThinkTimeOverflow { .. })
+        ));
+        // Quorum larger than the follower set.
+        let err = parse(
+            r#"{"leader_replicate": {"clients": 2, "followers": 3, "quorum": 5,
+                "ops_per_client": 4, "request_bytes": 1000, "ack_bytes": 64}}"#,
+        );
+        assert!(matches!(
+            err,
+            ScenarioError::Traffic(TrafficError::QuorumOutOfRange {
+                quorum: 5,
+                followers: 3
+            })
+        ));
+        // More participants than hosts.
+        let err = parse(r#"{"allreduce": {"participants": 9, "bytes": 1000}}"#);
+        assert!(matches!(
+            err,
+            ScenarioError::Traffic(TrafficError::ParticipantsOutOfRange {
+                participants: 9,
+                hosts: 8
+            })
+        ));
+        // A closed-loop model inside a compose.
+        let err = parse(
+            r#"{"compose": [{"traffic": {"rpc_closed_loop": {"clients": 1,
+                "ops_per_client": 1, "request_bytes": 1, "response_bytes": 1}}}]}"#,
+        );
+        assert!(matches!(
+            err,
+            ScenarioError::Traffic(TrafficError::ClosedLoopInCompose)
+        ));
+        // Unknown fields inside a closed-loop payload are typos.
+        let err = parse(
+            r#"{"rpc_closed_loop": {"clients": 1, "ops_per_client": 1,
+                "request_bytes": 1, "response_bytes": 1, "fanuot": 2}}"#,
+        );
+        assert_eq!(
+            err,
+            ScenarioError::UnknownField {
+                field: "traffic.rpc_closed_loop.fanuot".to_string()
+            }
+        );
+        // Unknown allreduce algorithm names list the options.
+        let err = parse(
+            r#"{"allreduce": {"algorithm": "butterfly", "participants": 4,
+                "bytes": 1000}}"#,
+        );
+        assert!(matches!(
+            err,
+            ScenarioError::UnknownName { found, .. } if found == "butterfly"
+        ));
+    }
+
+    #[test]
     fn every_traffic_model_round_trips() {
         let models = [
             TrafficModel::Poisson {
@@ -1130,6 +1335,30 @@ mod tests {
                 at: Time::from_nanos(42),
             }]),
             TrafficModel::incast_with_cross(3, 500_000, 0.5, SizeDistribution::Fixed(2000), 30),
+            TrafficModel::RpcClosedLoop {
+                clients: 2,
+                ops_per_client: 10,
+                window: 2,
+                request_bytes: 4096,
+                response_bytes: 256,
+                think: Duration::micros(50),
+                fanout: 2,
+            },
+            TrafficModel::Allreduce {
+                algorithm: AllreduceAlgo::Tree,
+                participants: 5,
+                bytes: 1 << 20,
+                iterations: 3,
+            },
+            TrafficModel::LeaderReplicate {
+                clients: 2,
+                followers: 3,
+                quorum: 2,
+                ops_per_client: 8,
+                request_bytes: 2048,
+                ack_bytes: 64,
+                think: Duration::micros(20),
+            },
         ];
         for model in models {
             let s = Scenario::builder("model under test")

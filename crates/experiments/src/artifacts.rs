@@ -61,6 +61,32 @@ impl Determinism {
     }
 }
 
+/// How an artifact's workload generates flows — orthogonal to
+/// [`Determinism`] (a closed-loop sweep is still byte-reproducible and
+/// seed-replicated; the class describes *traffic shape*, not noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// Arrivals precomputed up front (Poisson, incast, shuffle):
+    /// offered load is fixed regardless of how the fabric behaves.
+    OpenLoop,
+    /// Flows spawned in reaction to completions (RPC, allreduce,
+    /// replication): a slow fabric slows the offered load itself.
+    ClosedLoop,
+    /// No flow workload at all (analytical accounting, CPU timing).
+    Deterministic,
+}
+
+impl WorkloadClass {
+    /// The class name as printed by `repro --list`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkloadClass::OpenLoop => "open-loop",
+            WorkloadClass::ClosedLoop => "closed-loop",
+            WorkloadClass::Deterministic => "deterministic",
+        }
+    }
+}
+
 /// How an artifact is produced.
 enum Kind {
     /// Simulation-backed: expands to a [`Plan`] whose cells can join a
@@ -77,6 +103,8 @@ pub struct Artifact {
     pub name: &'static str,
     /// Determinism class (see [`Determinism`]).
     pub determinism: Determinism,
+    /// Workload class (see [`WorkloadClass`]).
+    pub workload: WorkloadClass,
     kind: Kind,
     seeds: fn(&Scale) -> usize,
 }
@@ -128,11 +156,26 @@ fn one_seed(_: &Scale) -> usize {
     1
 }
 
-/// Replicated simulation artifact driven by the scale's seed count.
+/// Replicated open-loop simulation artifact driven by the scale's seed
+/// count.
 const fn sim(name: &'static str, runner: fn(Scale) -> Plan) -> Artifact {
     Artifact {
         name,
         determinism: Determinism::Replicated,
+        workload: WorkloadClass::OpenLoop,
+        kind: Kind::Sim(runner),
+        seeds: scale_seeds,
+    }
+}
+
+/// Replicated **closed-loop** simulation artifact: same batching and
+/// seed replication as [`sim`], but the workload spawns flows in
+/// reaction to completions (reported by `--list` as `closed-loop`).
+const fn sim_closed(name: &'static str, runner: fn(Scale) -> Plan) -> Artifact {
+    Artifact {
+        name,
+        determinism: Determinism::Replicated,
+        workload: WorkloadClass::ClosedLoop,
         kind: Kind::Sim(runner),
         seeds: scale_seeds,
     }
@@ -151,6 +194,7 @@ pub static ARTIFACTS: &[Artifact] = &[
     Artifact {
         name: "fig9",
         determinism: Determinism::Replicated,
+        workload: WorkloadClass::OpenLoop,
         kind: Kind::Sim(runners::fig9),
         // Incast averaging predates the Poisson replication and keeps
         // its own repetition count (paper: up to 100).
@@ -163,12 +207,14 @@ pub static ARTIFACTS: &[Artifact] = &[
     Artifact {
         name: "table1",
         determinism: Determinism::Timing,
+        workload: WorkloadClass::Deterministic,
         kind: Kind::Inline(runners::table1),
         seeds: one_seed,
     },
     Artifact {
         name: "table2",
         determinism: Determinism::Timing,
+        workload: WorkloadClass::Deterministic,
         kind: Kind::Inline(runners::table2),
         seeds: one_seed,
     },
@@ -182,9 +228,16 @@ pub static ARTIFACTS: &[Artifact] = &[
     Artifact {
         name: "state-budget",
         determinism: Determinism::Deterministic,
+        workload: WorkloadClass::Deterministic,
         kind: Kind::Inline(runners::state_budget_report),
         seeds: one_seed,
     },
+    // Closed-loop application workloads (§ traffic models beyond the
+    // paper's open-loop sweeps): each sweeps loss rate × {IRN, RoCE}
+    // and reports per-operation latency instead of per-flow FCT.
+    sim_closed("rpc-loss", runners::rpc_loss),
+    sim_closed("allreduce-loss", runners::allreduce_loss),
+    sim_closed("replicate-loss", runners::replicate_loss),
     // Packet-path stressors for the BENCH trajectory: hop-heavy
     // cross-pod forwarding churn and an M-to-1 delivery burst. Their
     // reports are ordinary replicated metrics (a determinism canary);
@@ -796,6 +849,26 @@ mod tests {
             // Inline ⇔ no plan; planned ⇔ replicated here.
             let planned = a.plan(Scale::quick().with_seeds(1)).is_some();
             assert_eq!(planned, a.determinism == Determinism::Replicated);
+        }
+    }
+
+    #[test]
+    fn workload_classes_partition_the_registry() {
+        let closed: Vec<&str> = ARTIFACTS
+            .iter()
+            .filter(|a| a.workload == WorkloadClass::ClosedLoop)
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(closed, ["rpc-loss", "allreduce-loss", "replicate-loss"]);
+        for a in ARTIFACTS {
+            // Inline artifacts run no flows; simulation artifacts are
+            // open- or closed-loop, never "deterministic".
+            let planned = a.plan(Scale::quick().with_seeds(1)).is_some();
+            assert_eq!(planned, a.workload != WorkloadClass::Deterministic);
+            // Closed-loop sweeps are still seed-replicated simulations.
+            if a.workload == WorkloadClass::ClosedLoop {
+                assert_eq!(a.determinism, Determinism::Replicated);
+            }
         }
     }
 

@@ -12,8 +12,9 @@
 //! repro diff-timing OLD.json NEW.json      compare two bench-trajectory
 //!                                          files, warn on drift
 //! repro trace-summarize FILE               aggregate a trace-v1 file into
-//!                                          per-kind / per-flow tables
-//! repro [flags] --list                     registry: name, class, seeds, cells
+//!                                          per-kind / per-flow / per-op tables
+//! repro [flags] --list                     registry: name, class, workload,
+//!                                          seeds, cells
 //! repro --verify-json DIR                  validate an emitted JSON directory
 //! ```
 //!
@@ -214,7 +215,7 @@ const MODES: &[(&str, &str)] = &[
     ),
     (
         "repro trace-summarize FILE",
-        "aggregate a trace-v1 file into per-kind / per-flow tables",
+        "aggregate a trace-v1 file into per-kind / per-flow / per-op tables",
     ),
 ];
 
@@ -771,13 +772,14 @@ fn verify_json_dir(dir: &Path) -> i32 {
     }
 }
 
-/// The registry as a table: name, determinism class, seed count, and
-/// batch cell count at the active scale.
+/// The registry as a table: name, determinism class, workload class,
+/// seed count, and batch cell count at the active scale.
 fn list_artifacts(scale: Scale) {
     println!(
-        "{:<14} {:<14} {:>5}  {:>6}   (scale: {})",
+        "{:<16} {:<14} {:<12} {:>5}  {:>6}   (scale: {})",
         "artifact",
         "class",
+        "workload",
         "seeds",
         "cells",
         scale.label()
@@ -787,9 +789,10 @@ fn list_artifacts(scale: Scale) {
             .plan(scale)
             .map_or_else(|| "-".to_string(), |p| p.cell_count().to_string());
         println!(
-            "{:<14} {:<14} {:>5}  {:>6}",
+            "{:<16} {:<14} {:<12} {:>5}  {:>6}",
             a.name,
             a.determinism.as_str(),
+            a.workload.as_str(),
             a.seed_count(&scale),
             cells
         );
@@ -1129,6 +1132,10 @@ fn trace_summarize_mode(args: &Args) {
     // kind -> count, and flow -> (events, kind -> count).
     let mut by_kind: Vec<(String, u64)> = Vec::new();
     let mut by_flow: Vec<(u64, u64)> = Vec::new();
+    // Completed application operations: (cell, op, client, latency_ns),
+    // harvested from `app.op.done` lines (closed-loop runs only).
+    let mut ops: Vec<(u64, u64, u64, u64)> = Vec::new();
+    let mut phases = 0u64;
     let mut events = 0u64;
     let mut truncated = 0u64;
     for (i, line) in lines {
@@ -1151,6 +1158,17 @@ fn trace_summarize_mode(args: &Args) {
         events += 1;
         if kind == "trace.truncated" {
             truncated += v.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+        }
+        if kind == "app.op.done" {
+            ops.push((
+                v.get("cell").and_then(Value::as_u64).unwrap_or(0),
+                v.get("op").and_then(Value::as_u64).unwrap_or(0),
+                v.get("client").and_then(Value::as_u64).unwrap_or(0),
+                v.get("latency_ns").and_then(Value::as_u64).unwrap_or(0),
+            ));
+        }
+        if kind == "app.phase" {
+            phases += 1;
         }
         match by_kind.iter_mut().find(|(k, _)| k == kind) {
             Some((_, c)) => *c += 1,
@@ -1189,6 +1207,34 @@ fn trace_summarize_mode(args: &Args) {
     }
     if by_flow.len() > 20 {
         println!("... and {} more flow(s)", by_flow.len() - 20);
+    }
+
+    // Per-operation view: only printed when the trace carries
+    // closed-loop `app.op.done` events (see docs/TRACING.md).
+    if !ops.is_empty() {
+        let sum: u64 = ops.iter().map(|(_, _, _, l)| l).sum();
+        let mean_ns = sum / ops.len() as u64;
+        println!();
+        println!(
+            "operations: {} completed, {} phase barrier(s), mean latency {:.3} ms",
+            ops.len(),
+            phases,
+            mean_ns as f64 / 1e6
+        );
+        println!(
+            "{:<6} {:<8} {:<8} {:>12}   slowest operations",
+            "cell", "op", "client", "latency_ms"
+        );
+        ops.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| (a.0, a.1).cmp(&(b.0, b.1))));
+        for (cell, op, client, latency_ns) in ops.iter().take(10) {
+            println!(
+                "{cell:<6} {op:<8} {client:<8} {:>12.3}",
+                *latency_ns as f64 / 1e6
+            );
+        }
+        if ops.len() > 10 {
+            println!("... and {} more operation(s)", ops.len() - 10);
+        }
     }
 }
 
@@ -1359,7 +1405,10 @@ fn diff_memory_mode(args: &Args) {
     }
     for (name, _, _) in &old {
         if !new.iter().any(|(n, _, _)| n == name) {
-            println!("{name:<16} {:<10} {:>12} {:>12} {:>9}", "-", "-", "-", "gone");
+            println!(
+                "{name:<16} {:<10} {:>12} {:>12} {:>9}",
+                "-", "-", "-", "gone"
+            );
         }
     }
     if args.fail_on_drift && violations > 0 {

@@ -46,7 +46,7 @@ pub mod scale;
 pub mod scenario_run;
 pub mod telemetry;
 
-pub use artifacts::{Artifact, Determinism, ARTIFACTS};
+pub use artifacts::{Artifact, Determinism, WorkloadClass, ARTIFACTS};
 pub use irn_harness::Harness;
 pub use memory::{memory_json, verify_memory_json, MemorySummary};
 pub use plan::Plan;

@@ -58,6 +58,29 @@ pub(crate) const INCAST_METRICS: [Metric; 4] = [
     ("incast_rct_ms", |r| r.rct().as_millis_f64()),
 ];
 
+/// Closed-loop workloads report per-operation latency (the application
+/// round trip the driver observed), not per-flow FCT: an op spans a
+/// whole request/response (or iteration, or commit) chain, which is the
+/// number an RPC or replication user actually sees.
+pub(crate) const APP_METRICS: [Metric; 4] = [
+    ("ops", |r| r.app.as_ref().map_or(0.0, |a| a.ops() as f64)),
+    ("op_mean_ms", |r| {
+        r.app
+            .as_ref()
+            .map_or(0.0, |a| a.mean_latency().as_millis_f64())
+    }),
+    ("op_p50_ms", |r| {
+        r.app
+            .as_ref()
+            .map_or(0.0, |a| a.percentile_latency(0.50).as_millis_f64())
+    }),
+    ("op_p99_ms", |r| {
+        r.app
+            .as_ref()
+            .map_or(0.0, |a| a.percentile_latency(0.99).as_millis_f64())
+    }),
+];
+
 /// Fan each logical cell out over the scale's seed set (the cell's own
 /// seed is the base of the strided set).
 fn replicate_cells(cells: Vec<Cell>, scale: Scale) -> ReplicateSet {
@@ -944,6 +967,109 @@ pub fn bench_incast_burst(scale: Scale) -> Plan {
         .variants([irn()])
         .build();
     metrics_plan(rep, cells, scale, &INCAST_METRICS)
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop application artifacts
+// ---------------------------------------------------------------------
+
+/// Loss rates for the closed-loop loss × transport sweeps: clean,
+/// Figure 10's 0.1%, and an aggressive 1%.
+const APP_LOSS_RATES: [f64; 3] = [0.0, 0.001, 0.01];
+
+/// The closed-loop comparison matrix: each loss rate × {IRN, RoCE},
+/// both lossy-mode (no PFC), one row per cell, reporting per-op
+/// latency. RoCE runs without PFC here because §4.1's RoCE-with-PFC
+/// configuration disables timeouts (PFC is assumed to prevent loss),
+/// so injected drops would be unrecoverable. Open-loop sweeps hold
+/// arrivals fixed as the fabric degrades; closed-loop ops *wait* for
+/// their predecessors, so transport-level recovery cost (selective
+/// repeat vs go-back-N) compounds into op latency — that divergence
+/// is the point of these artifacts.
+fn app_loss_plan(rep: Report, base: ExperimentConfig, scale: Scale) -> Plan {
+    let mut cells = Vec::new();
+    for &loss in &APP_LOSS_RATES {
+        let mut cfg = base.clone();
+        cfg.loss_injection = loss;
+        let pct = loss * 100.0;
+        cells.push(Cell::tpc(
+            format!("IRN loss={pct}%"),
+            &cfg,
+            TransportKind::Irn,
+            false,
+            CcKind::None,
+        ));
+        cells.push(Cell::tpc(
+            format!("RoCE loss={pct}%"),
+            &cfg,
+            TransportKind::Roce,
+            false,
+            CcKind::None,
+        ));
+    }
+    metrics_plan(rep, cells, scale, &APP_METRICS)
+}
+
+/// `rpc-loss`: closed-loop RPC (fanout 2, window 2) under the loss ×
+/// transport sweep.
+pub fn rpc_loss(scale: Scale) -> Plan {
+    let rep = Report::new(
+        "rpc-loss",
+        "Closed-loop RPC op latency: loss rate x {IRN, RoCE}",
+        "closed-loop op latency diverges with loss: go-back-N recovery stalls the window",
+    );
+    let mut base = scale.base();
+    base.traffic = TrafficModel::RpcClosedLoop {
+        clients: 8,
+        ops_per_client: (scale.flows / 32).max(2) as u32,
+        window: 2,
+        request_bytes: 40_000,
+        response_bytes: 1_000,
+        think: Duration::micros(50),
+        fanout: 2,
+    };
+    app_loss_plan(rep, base, scale)
+}
+
+/// `allreduce-loss`: ring allreduce iterations under the loss ×
+/// transport sweep. Phase barriers make every iteration as slow as its
+/// slowest flow, so a single retransmission storm shows up directly in
+/// the iteration time.
+pub fn allreduce_loss(scale: Scale) -> Plan {
+    let rep = Report::new(
+        "allreduce-loss",
+        "Ring allreduce iteration latency: loss rate x {IRN, RoCE}",
+        "phase barriers amplify tail flows; selective repeat keeps iterations tight",
+    );
+    let mut base = scale.base();
+    base.traffic = TrafficModel::Allreduce {
+        algorithm: irn_core::AllreduceAlgo::Ring,
+        participants: 8,
+        bytes: 1 << 20,
+        iterations: (scale.flows / 112).max(2) as u32,
+    };
+    app_loss_plan(rep, base, scale)
+}
+
+/// `replicate-loss`: leader/quorum replication commits under the loss ×
+/// transport sweep.
+pub fn replicate_loss(scale: Scale) -> Plan {
+    let rep = Report::new(
+        "replicate-loss",
+        "Leader replication commit latency: loss rate x {IRN, RoCE}",
+        "quorum acks hide one slow follower; loss beyond that lands on the commit path",
+    );
+    let mut base = scale.base();
+    base.traffic = TrafficModel::LeaderReplicate {
+        clients: 4,
+        followers: 3,
+        quorum: 2,
+        ops_per_client: (scale.flows / 32).max(2) as u32,
+        request_bytes: 20_000,
+        ack_bytes: 64,
+        think: Duration::micros(50),
+    };
+    app_loss_plan(rep, base, scale)
 }
 
 /// §6.1: the NIC state budget as its own printable report.

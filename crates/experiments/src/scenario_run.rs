@@ -16,14 +16,18 @@ use serde::Serialize;
 use crate::artifacts::SCHEMA_VERSION;
 use crate::plan::Plan;
 use crate::report::{Report, Row};
-use crate::runners::{Metric, FCT_METRICS, INCAST_METRICS, SEED_STRIDE};
+use crate::runners::{Metric, APP_METRICS, FCT_METRICS, INCAST_METRICS, SEED_STRIDE};
 
 /// The plan for one scenario: its cell fanned out over `seeds` strided
 /// replicates (base = the scenario's own seed), assembled into a
-/// one-row report of the headline metrics (plus incast RCT when the
-/// traffic has an incast population).
+/// one-row report of the headline metrics — per-operation latency for
+/// closed-loop traffic, incast RCT when the traffic has an incast
+/// population, plain FCT otherwise.
 pub fn scenario_plan(scenario: &Scenario, seeds: usize) -> Plan {
-    let metrics: &'static [Metric] = if scenario.config().traffic.has_incast_population() {
+    let traffic = &scenario.config().traffic;
+    let metrics: &'static [Metric] = if traffic.is_closed_loop() {
+        &APP_METRICS
+    } else if traffic.has_incast_population() {
         &INCAST_METRICS
     } else {
         &FCT_METRICS
@@ -139,6 +143,30 @@ mod tests {
         let row = &rep.rows[0];
         assert!(row.values.iter().any(|(n, _)| n == "avg_fct_ms"));
         assert!(!row.values.iter().any(|(n, _)| n == "incast_rct_ms"));
+    }
+
+    /// Closed-loop scenarios report the per-operation metric set.
+    #[test]
+    fn closed_loop_scenario_reports_op_metrics() {
+        let s = Scenario::builder("tiny rpc")
+            .topology(TopologySpec::SingleSwitch(6))
+            .traffic(TrafficModel::RpcClosedLoop {
+                clients: 2,
+                ops_per_client: 4,
+                window: 1,
+                request_bytes: 8_000,
+                response_bytes: 500,
+                think: irn_core::sim::Duration::micros(20),
+                fanout: 1,
+            })
+            .build()
+            .unwrap();
+        let rep = scenario_plan(&s, 2).run(&Harness::new(2));
+        let row = &rep.rows[0];
+        assert!(row.values.iter().any(|(n, _)| n == "op_p99_ms"));
+        assert!(!row.values.iter().any(|(n, _)| n == "avg_fct_ms"));
+        let ops = row.values.iter().find(|(n, _)| n == "ops").unwrap().1;
+        assert_eq!(ops, 8.0, "2 clients x 4 ops, identical over seeds");
     }
 
     #[test]

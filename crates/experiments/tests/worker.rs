@@ -101,6 +101,101 @@ fn killed_worker_mid_batch_reassigns_and_stays_byte_identical() {
     assert_eq!(stats.iter().map(|s| s.cells).sum::<usize>(), cells.len());
 }
 
+/// Closed-loop cells over a 3-worker fleet with one rigged death:
+/// driver-spawned flows are generated *inside* each worker's event
+/// loop, so this pins that reactive workloads ship the same bytes as
+/// the in-process executor — app metrics included — even across
+/// reassignment after a worker dies.
+#[test]
+fn closed_loop_fleet_with_rigged_death_is_byte_identical() {
+    use irn_core::sim::Duration;
+    use irn_core::{TopologySpec, TrafficModel};
+    let mk = |traffic: TrafficModel, seed: u64| {
+        ExperimentConfig {
+            topology: TopologySpec::SingleSwitch(8),
+            traffic,
+            ..ExperimentConfig::paper_default(1)
+        }
+        .with_seed(seed)
+    };
+    let cells: Vec<Cell> = vec![
+        Cell::new(
+            "rpc",
+            mk(
+                TrafficModel::RpcClosedLoop {
+                    clients: 3,
+                    ops_per_client: 5,
+                    window: 2,
+                    request_bytes: 15_000,
+                    response_bytes: 800,
+                    think: Duration::micros(30),
+                    fanout: 2,
+                },
+                11,
+            ),
+        ),
+        Cell::new(
+            "allreduce",
+            mk(
+                TrafficModel::Allreduce {
+                    algorithm: irn_core::AllreduceAlgo::Ring,
+                    participants: 6,
+                    bytes: 150_000,
+                    iterations: 2,
+                },
+                12,
+            ),
+        ),
+        Cell::new(
+            "replicate",
+            mk(
+                TrafficModel::LeaderReplicate {
+                    clients: 2,
+                    followers: 3,
+                    quorum: 2,
+                    ops_per_client: 4,
+                    request_bytes: 9_000,
+                    ack_bytes: 64,
+                    think: Duration::micros(20),
+                },
+                13,
+            ),
+        ),
+        // One open-loop cell mixed in: reassignment order must not
+        // depend on workload class.
+        Cell::new("poisson", ExperimentConfig::quick(30).with_seed(14)),
+    ];
+    let reference = ThreadExecutor::new(2).run_cells(&cells, None).unwrap();
+    for (_, wall) in reference.iter().map(|o| (&o.result, o.wall)) {
+        assert!(wall.as_nanos() > 0);
+    }
+    let pool = WorkerPool::new(PoolConfig::new(vec![
+        spawn_spec(&[]),
+        spawn_spec(&[]),
+        spawn_spec(&["--exit-after", "0"]),
+    ]));
+    let got = pool.run_cells(&cells, None).unwrap();
+    assert_eq!(
+        result_trees(&got),
+        result_trees(&reference),
+        "closed-loop fleet diverged from in-process results"
+    );
+    // The app-metrics block crossed the wire for the closed-loop cells.
+    for (o, label) in got.iter().zip(["rpc", "allreduce", "replicate"]) {
+        assert!(
+            o.result.app.is_some(),
+            "{label} cell lost its app metrics over the wire"
+        );
+    }
+    let stats = pool.worker_stats();
+    assert_eq!(
+        stats.iter().filter(|s| !s.alive).count(),
+        1,
+        "the rigged worker died: {stats:?}"
+    );
+    assert_eq!(stats.iter().map(|s| s.cells).sum::<usize>(), cells.len());
+}
+
 #[test]
 fn fleet_trace_with_rigged_death_matches_in_process_bytes() {
     // The load-bearing trace invariant at fleet scope: a 3-worker pool

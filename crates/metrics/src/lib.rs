@@ -403,6 +403,149 @@ impl Deserialize for TailPopulation {
     }
 }
 
+/// Per-operation metrics of a closed-loop application run, in
+/// O(buckets) memory.
+///
+/// A closed-loop driver (RPC, allreduce, replication) completes
+/// *operations* — request/response round trips, collective iterations,
+/// replicated commits — whose latency spans many flows. This collector
+/// streams those latencies the same way [`MetricsCollector`] streams
+/// FCTs: exact count, sum, and extremes, plus a [`LogHistogram`] for
+/// interior quantiles under the same accuracy contract (every quantile
+/// within [`QUANTILE_RELATIVE_ERROR`], 1%, of the exact nearest-rank
+/// value; the `q = 0`/`q = 1` boundaries exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppMetrics {
+    ops: u64,
+    latency_sum_ns: u64,
+    min_latency_ns: u64,
+    max_latency_ns: u64,
+    latency_hist: LogHistogram,
+    phases: u64,
+}
+
+impl Default for AppMetrics {
+    fn default() -> AppMetrics {
+        AppMetrics {
+            ops: 0,
+            latency_sum_ns: 0,
+            min_latency_ns: u64::MAX,
+            max_latency_ns: 0,
+            latency_hist: LogHistogram::new(),
+            phases: 0,
+        }
+    }
+}
+
+impl AppMetrics {
+    /// Fold in one completed operation's latency.
+    pub fn record_op(&mut self, latency_ns: u64) {
+        self.ops += 1;
+        self.latency_sum_ns += latency_ns;
+        self.min_latency_ns = self.min_latency_ns.min(latency_ns);
+        self.max_latency_ns = self.max_latency_ns.max(latency_ns);
+        self.latency_hist.record(latency_ns);
+    }
+
+    /// Count one crossed collective phase barrier.
+    pub fn record_phase(&mut self) {
+        self.phases += 1;
+    }
+
+    /// Completed operations (exact).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Collective phase barriers crossed (exact; zero for RPC and
+    /// replication models).
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+
+    /// True when no operation has completed.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+
+    /// Mean operation latency (exact; [`Duration::ZERO`] when empty).
+    pub fn mean_latency(&self) -> Duration {
+        if self.ops == 0 {
+            return Duration::ZERO;
+        }
+        Duration::nanos(self.latency_sum_ns / self.ops)
+    }
+
+    /// Operation latency at quantile `q` ∈ [0, 1]: exact at the
+    /// boundaries, bucketed (≤ [`MAX_RELATIVE_ERROR`]) in the
+    /// interior, [`Duration::ZERO`] when empty.
+    pub fn percentile_latency(&self, q: f64) -> Duration {
+        percentile_ns(
+            &self.latency_hist,
+            q,
+            self.min_latency_ns,
+            self.max_latency_ns,
+        )
+    }
+
+    /// Heap bytes behind the latency histogram.
+    pub fn heap_bytes(&self) -> u64 {
+        self.latency_hist.heap_bytes()
+    }
+
+    /// Allocated histogram buckets.
+    pub fn allocated_buckets(&self) -> u64 {
+        self.latency_hist.allocated_buckets() as u64
+    }
+}
+
+impl Serialize for AppMetrics {
+    /// `{"ops": 0, "phases": n}` when no operation completed (latency
+    /// fields are meaningless then); otherwise the full scalar +
+    /// histogram form.
+    fn to_json(&self) -> Value {
+        if self.ops == 0 {
+            return Value::Object(vec![
+                ("ops".to_string(), 0u64.to_json()),
+                ("phases".to_string(), self.phases.to_json()),
+            ]);
+        }
+        Value::Object(vec![
+            ("ops".to_string(), self.ops.to_json()),
+            ("latency_sum_ns".to_string(), self.latency_sum_ns.to_json()),
+            ("min_latency_ns".to_string(), self.min_latency_ns.to_json()),
+            ("max_latency_ns".to_string(), self.max_latency_ns.to_json()),
+            ("latency_hist".to_string(), self.latency_hist.to_json()),
+            ("phases".to_string(), self.phases.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for AppMetrics {
+    fn from_json(v: &Value) -> Result<AppMetrics, DeError> {
+        let ops: u64 = de_field(v, "ops")?;
+        let phases: u64 = de_field(v, "phases")?;
+        if ops == 0 {
+            return Ok(AppMetrics {
+                phases,
+                ..AppMetrics::default()
+            });
+        }
+        let m = AppMetrics {
+            ops,
+            latency_sum_ns: de_field(v, "latency_sum_ns")?,
+            min_latency_ns: de_field(v, "min_latency_ns")?,
+            max_latency_ns: de_field(v, "max_latency_ns")?,
+            latency_hist: de_field(v, "latency_hist")?,
+            phases,
+        };
+        if m.latency_hist.total() != ops {
+            return Err(DeError::new("histogram total does not match ops").in_field("latency_hist"));
+        }
+        Ok(m)
+    }
+}
+
 /// Aggregated results over many flows, in O(buckets) memory.
 ///
 /// Exact accumulators (sums, extremes, RCT span) sit alongside two
@@ -984,5 +1127,57 @@ mod tests {
             m.record(rec(i, 2, 0, 100 + i as u64 % 7, 10));
         }
         assert!(m.allocated_buckets() < 3 * MAX_BUCKETS as u64);
+    }
+
+    #[test]
+    fn app_metrics_quantiles_meet_the_contract() {
+        let mut a = AppMetrics::default();
+        assert!(a.is_empty());
+        assert_eq!(a.mean_latency(), Duration::ZERO);
+        assert_eq!(a.percentile_latency(0.99), Duration::ZERO);
+        let latencies: Vec<u64> = (1..=1000).map(|i| i * 977).collect();
+        for &l in &latencies {
+            a.record_op(l);
+        }
+        a.record_phase();
+        a.record_phase();
+        assert_eq!(a.ops(), 1000);
+        assert_eq!(a.phases(), 2);
+        // Boundaries exact, interior within the 1% quantile contract.
+        assert_eq!(a.percentile_latency(0.0), Duration::nanos(977));
+        assert_eq!(a.percentile_latency(1.0), Duration::nanos(977_000));
+        let exact = latencies[nearest_rank(0.99, 1000) - 1];
+        let got = a.percentile_latency(0.99).as_nanos();
+        assert!(
+            (got as f64 - exact as f64).abs() / exact as f64 <= QUANTILE_RELATIVE_ERROR,
+            "p99 {got} vs exact {exact}"
+        );
+        let mean = a.mean_latency().as_nanos();
+        assert_eq!(mean, latencies.iter().sum::<u64>() / 1000);
+    }
+
+    #[test]
+    fn app_metrics_serde_round_trips_and_validates() {
+        let mut a = AppMetrics::default();
+        for l in [5_000u64, 80_000, 80_000, 2_000_000] {
+            a.record_op(l);
+        }
+        a.record_phase();
+        let text = serde::json::to_string(&a);
+        let back = AppMetrics::from_json(&serde::json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(serde::json::to_string(&back), text);
+
+        // Empty form stays compact but keeps the phase count.
+        let mut empty = AppMetrics::default();
+        empty.record_phase();
+        let etext = serde::json::to_string(&empty);
+        assert_eq!(etext, r#"{"ops":0,"phases":1}"#);
+        let eback = AppMetrics::from_json(&serde::json::from_str(&etext).unwrap()).unwrap();
+        assert_eq!(eback, empty);
+
+        // A histogram that disagrees with the op count is rejected.
+        let bad = r#"{"ops":3,"latency_sum_ns":30,"min_latency_ns":10,"max_latency_ns":10,"latency_hist":{"total":1,"buckets":[[10,1]]},"phases":0}"#;
+        assert!(AppMetrics::from_json(&serde::json::from_str(bad).unwrap()).is_err());
     }
 }

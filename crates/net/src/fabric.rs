@@ -552,8 +552,7 @@ impl Fabric {
                             .out_port_spray(swi, dst.idx(), ecmp_seed, nonce)
                     }
                 };
-                match self.switches[swi].enqueue(in_port, out, id, &mut self.arena, &mut self.rng)
-                {
+                match self.switches[swi].enqueue(in_port, out, id, &mut self.arena, &mut self.rng) {
                     Enqueue::Dropped => {
                         irn_telemetry::trace!(
                             "pkt.drop",

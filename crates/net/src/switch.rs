@@ -436,7 +436,10 @@ mod tests {
             offer(&mut sw, &mut a, 0, 1, pkt(200), &mut r),
             Enqueue::Queued { .. }
         ));
-        assert_eq!(offer(&mut sw, &mut a, 0, 1, pkt(100), &mut r), Enqueue::Dropped);
+        assert_eq!(
+            offer(&mut sw, &mut a, 0, 1, pkt(100), &mut r),
+            Enqueue::Dropped
+        );
         assert_eq!(sw.stats.buffer_drops, 1);
         // Zero-byte control frames always fit.
         assert!(matches!(

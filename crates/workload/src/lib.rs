@@ -25,8 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod model;
 
+pub use app::{
+    AllreduceAlgo, AllreduceDriver, AppDriver, AppEvent, AppSink, ClosedLoop,
+    LeaderReplicateDriver, RpcDriver,
+};
 pub use model::{Component, FlowStream, Population, Start, TrafficCtx, TrafficError, TrafficModel};
 
 use irn_sim::{Duration, SimRng, Time};

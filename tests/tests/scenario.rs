@@ -8,8 +8,8 @@ use irn_core::transport::cc::CcKind;
 use irn_core::transport::config::TransportKind;
 use irn_core::workload::{FlowSpec, SizeDistribution};
 use irn_core::{
-    run, Component, Population, Scenario, ScenarioError, Start, TopologySpec, TrafficError,
-    TrafficModel,
+    run, AllreduceAlgo, Component, Population, Scenario, ScenarioError, Start, TopologySpec,
+    TrafficError, TrafficModel,
 };
 use proptest::prelude::*;
 use serde::json;
@@ -74,6 +74,46 @@ fn arb_leaf_model(rng: &mut SimRng, hosts: usize) -> TrafficModel {
     }
 }
 
+/// A random *closed-loop* model, valid at `hosts` by construction.
+/// These never nest under Compose (validation forbids it), so they are
+/// generated as top-level traffic only.
+fn arb_closed_loop(rng: &mut SimRng, hosts: usize) -> TrafficModel {
+    let kind = rng.index(3);
+    if kind == 0 {
+        let clients = 1 + rng.index(hosts - 1);
+        let servers = hosts - clients;
+        return TrafficModel::RpcClosedLoop {
+            clients: clients as u32,
+            ops_per_client: 1 + rng.index(30) as u32,
+            window: 1 + rng.index(4) as u32,
+            request_bytes: 1 + rng.range(1, 1_000_000),
+            response_bytes: 1 + rng.range(1, 100_000),
+            think: Duration::nanos(rng.range(0, 1_000_000)),
+            fanout: 1 + rng.index(servers.min(4)) as u32,
+        };
+    }
+    // LeaderReplicate needs leader + followers + clients distinct hosts.
+    if kind == 2 && hosts >= 3 {
+        let followers = 1 + rng.index(hosts - 2);
+        let clients = 1 + rng.index(hosts - 1 - followers);
+        return TrafficModel::LeaderReplicate {
+            clients: clients as u32,
+            followers: followers as u32,
+            quorum: 1 + rng.index(followers) as u32,
+            ops_per_client: 1 + rng.index(30) as u32,
+            request_bytes: 1 + rng.range(1, 1_000_000),
+            ack_bytes: 1 + rng.range(1, 10_000),
+            think: Duration::nanos(rng.range(0, 1_000_000)),
+        };
+    }
+    TrafficModel::Allreduce {
+        algorithm: pick(rng, &[AllreduceAlgo::Ring, AllreduceAlgo::Tree]),
+        participants: (2 + rng.index(hosts - 1)) as u32,
+        bytes: 1 + rng.range(1, 10_000_000),
+        iterations: 1 + rng.index(6) as u32,
+    }
+}
+
 fn arb_scenario(seed: u64) -> Scenario {
     let mut rng = SimRng::new(seed);
     let topology = match rng.index(3) {
@@ -83,6 +123,8 @@ fn arb_scenario(seed: u64) -> Scenario {
     };
     let hosts = topology.hosts();
     let traffic = if rng.chance(0.25) {
+        arb_closed_loop(&mut rng, hosts)
+    } else if rng.chance(0.33) {
         TrafficModel::Compose(
             (0..1 + rng.index(3))
                 .map(|_| Component {
@@ -225,6 +267,43 @@ fn parsed_scenario_runs_bit_identical() {
             ))
             .build()
             .unwrap(),
+        Scenario::builder("round-trip rpc closed loop")
+            .topology(TopologySpec::SingleSwitch(6))
+            .traffic(TrafficModel::RpcClosedLoop {
+                clients: 2,
+                ops_per_client: 6,
+                window: 2,
+                request_bytes: 10_000,
+                response_bytes: 500,
+                think: Duration::micros(25),
+                fanout: 2,
+            })
+            .seed(3)
+            .build()
+            .unwrap(),
+        Scenario::builder("round-trip allreduce")
+            .topology(TopologySpec::SingleSwitch(8))
+            .traffic(TrafficModel::Allreduce {
+                algorithm: AllreduceAlgo::Tree,
+                participants: 6,
+                bytes: 300_000,
+                iterations: 2,
+            })
+            .build()
+            .unwrap(),
+        Scenario::builder("round-trip leader replicate")
+            .topology(TopologySpec::SingleSwitch(8))
+            .traffic(TrafficModel::LeaderReplicate {
+                clients: 2,
+                followers: 3,
+                quorum: 2,
+                ops_per_client: 5,
+                request_bytes: 8_000,
+                ack_bytes: 64,
+                think: Duration::micros(15),
+            })
+            .build()
+            .unwrap(),
     ];
     for scenario in scenarios {
         let parsed = Scenario::from_json_str(&scenario.to_json_string()).unwrap();
@@ -317,7 +396,7 @@ fn committed_example_scenarios_are_valid() {
         count += 1;
     }
     assert!(
-        count >= 4,
+        count >= 7,
         "expected the committed example set, found {count}"
     );
 }
